@@ -1,0 +1,64 @@
+//! Statistics shared by the baseline engines.
+
+/// Per-thread counters of a baseline STM engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BaselineStats {
+    /// Committed update transactions.
+    pub commits: u64,
+    /// Committed read-only transactions.
+    pub ro_commits: u64,
+    /// Aborted transaction attempts.
+    pub aborts: u64,
+    /// Object reads.
+    pub reads: u64,
+    /// Object writes.
+    pub writes: u64,
+    /// Body re-executions.
+    pub retries: u64,
+    /// Full read-set validations performed (validation engine only).
+    pub validations: u64,
+    /// Total read-set entries examined across all validations — the paper's
+    /// "validation overhead grows linearly with the number of objects a
+    /// transaction has read so far" made measurable.
+    pub validated_entries: u64,
+}
+
+impl BaselineStats {
+    /// Record an aborted attempt.
+    pub fn record_abort(&mut self) {
+        self.aborts += 1;
+    }
+
+    /// Total commits.
+    pub fn total_commits(&self) -> u64 {
+        self.commits + self.ro_commits
+    }
+
+    /// Merge another thread's counters.
+    pub fn merge(&mut self, other: &BaselineStats) {
+        self.commits += other.commits;
+        self.ro_commits += other.ro_commits;
+        self.aborts += other.aborts;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.retries += other.retries;
+        self.validations += other.validations;
+        self.validated_entries += other.validated_entries;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = BaselineStats { commits: 1, reads: 2, ..Default::default() };
+        let b = BaselineStats { commits: 3, validations: 4, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.commits, 4);
+        assert_eq!(a.reads, 2);
+        assert_eq!(a.validations, 4);
+        assert_eq!(a.total_commits(), 4);
+    }
+}

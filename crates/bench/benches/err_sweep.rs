@@ -1,0 +1,51 @@
+//! EXP-ERR as a Criterion bench: single transaction cost on externally
+//! synchronized clocks at different deviation bounds (§4.3), multi- vs
+//! single-version. The full sweep with abort breakdowns is the `err_sweep`
+//! harness binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsa_stm::{Stm, StmConfig};
+use lsa_time::external::{ExternalClock, OffsetPolicy};
+
+fn transfer_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("err-sweep/transfer");
+    for &dev in &[0u64, 10_000, 1_000_000] {
+        for (mode, versions) in [("mv8", 8usize), ("sv1", 1usize)] {
+            let tb = ExternalClock::with_policy(dev, OffsetPolicy::Alternating);
+            let stm = Stm::with_config(tb, StmConfig::multi_version(versions));
+            let a = stm.new_tvar(1_000i64);
+            let b2 = stm.new_tvar(1_000i64);
+            let mut h = stm.register();
+            g.bench_with_input(
+                BenchmarkId::new(mode, format!("dev{}us", dev / 1_000)),
+                &dev,
+                |b, _| {
+                    b.iter(|| {
+                        h.atomically(|tx| {
+                            let va = *tx.read(&a)?;
+                            let vb = *tx.read(&b2)?;
+                            tx.write(&a, va - 1)?;
+                            tx.write(&b2, vb + 1)?;
+                            Ok(())
+                        })
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = transfer_cost
+}
+criterion_main!(benches);

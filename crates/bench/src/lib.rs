@@ -1,0 +1,41 @@
+//! # lsa-bench — Criterion benchmarks for every figure of the SPAA'07
+//! evaluation
+//!
+//! | bench target | paper artifact |
+//! |---|---|
+//! | `fig2_throughput` | Figure 2 (counter vs MMTimer, 10/50/100 accesses) |
+//! | `fig1_sync_error` | Figure 1 (synchronization measurement round cost) |
+//! | `timebase_ops` | §4.2 raw time-base costs (EXP-TB) |
+//! | `err_sweep` | §4.3 synchronization-error effect (EXP-ERR) |
+//! | `validation_cost` | §1 validation vs time-based reads (EXP-VAL) |
+//! | `stm_ops` | LSA-RT primitive costs (open/commit/extend ablations) |
+//!
+//! The benches are deliberately small so `cargo bench --workspace` finishes
+//! on a laptop; the `lsa-harness` binaries produce the full figure series.
+//!
+//! This library exposes tiny helpers shared by the bench targets.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use lsa_stm::{Stm, TVar};
+use lsa_time::TimeBase;
+
+/// Build an STM + `n` zero-initialized `u64` TVars on the given time base.
+pub fn stm_with_vars<B: TimeBase>(tb: B, n: usize) -> (Stm<B>, Vec<TVar<u64, B::Ts>>) {
+    let stm = Stm::new(tb);
+    let vars = (0..n).map(|_| stm.new_tvar(0u64)).collect();
+    (stm, vars)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsa_time::counter::SharedCounter;
+
+    #[test]
+    fn helper_builds_requested_vars() {
+        let (_stm, vars) = stm_with_vars(SharedCounter::new(), 7);
+        assert_eq!(vars.len(), 7);
+    }
+}

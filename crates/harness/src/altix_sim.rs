@@ -1,0 +1,243 @@
+//! Discrete-event model of the paper's SGI Altix 3700 testbed for Figure 2.
+//!
+//! The reproduction host has 2 hardware threads; the paper's headline result
+//! (shared counter flattens, MMTimer scales linearly up to 16 CPUs) needs 16
+//! processors. Per the substitution policy (DESIGN.md §3) we model the
+//! testbed: each simulated CPU executes update transactions back-to-back;
+//! the only *shared* resource is the counter's cache line, modeled as a
+//! serially reusable resource with a transfer latency — exactly the physics
+//! that limits the counter in the paper ("update transactions typically
+//! update the counter, which results in cache misses for all concurrent
+//! transactions").
+//!
+//! Cost model per transaction (all parameters calibrated against the paper's
+//! single-thread throughput, see `AltixParams::paper_calibrated`):
+//!
+//! ```text
+//! getTime (time-base read)  +  k · access_ns  +  overhead_ns  +  getNewTS
+//! ```
+//!
+//! With the **counter** time base, both time-base operations serialize on
+//! the counter line (remote transfer unless the same CPU accessed it last).
+//! With the **MMTimer** time base, both cost a fixed uncontended register
+//! read. The simulator is deterministic and runs in microseconds of host
+//! time.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Which time base the simulated STM uses.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SimTimeBase {
+    /// Shared integer counter behind a ccNUMA interconnect.
+    Counter {
+        /// Cache-line transfer cost when another CPU accessed it last (ns).
+        remote_ns: f64,
+        /// Cost when the same CPU accessed it last (ns).
+        local_ns: f64,
+    },
+    /// Synchronized hardware clock: fixed-cost uncontended reads.
+    Clock {
+        /// Register read cost (ns) — 7.5 MMTimer ticks ≈ 375 ns.
+        read_ns: f64,
+    },
+}
+
+/// Simulation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct AltixParams {
+    /// Per-object STM access cost (open, clone, bookkeeping), ns.
+    pub access_ns: f64,
+    /// Fixed per-transaction overhead outside accesses and time base, ns.
+    pub overhead_ns: f64,
+    /// Simulated duration, ns of virtual time.
+    pub duration_ns: f64,
+}
+
+impl AltixParams {
+    /// Calibrated so the single-thread points of Figure 2 land near the
+    /// paper's values (~0.55 M tx/s with the counter and ~0.45 M tx/s with
+    /// the MMTimer at 10 accesses).
+    pub fn paper_calibrated() -> Self {
+        AltixParams { access_ns: 150.0, overhead_ns: 200.0, duration_ns: 20_000_000.0 }
+    }
+
+    /// The counter model calibrated to the paper's plateau (~1.5 M tx/s for
+    /// short transactions on 16 CPUs ⇒ ≈ 330 ns per serialized counter
+    /// access, two accesses per transaction).
+    pub fn paper_counter() -> SimTimeBase {
+        SimTimeBase::Counter { remote_ns: 330.0, local_ns: 5.0 }
+    }
+
+    /// The MMTimer model: 7.5 ticks at 20 MHz per read.
+    pub fn paper_mmtimer() -> SimTimeBase {
+        SimTimeBase::Clock { read_ns: 375.0 }
+    }
+}
+
+/// State of the serially-reusable counter cache line.
+struct Line {
+    free_at: f64,
+    owner: usize,
+}
+
+/// Result of one simulated configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SimPoint {
+    /// Simulated CPUs.
+    pub cpus: usize,
+    /// Accesses per transaction.
+    pub accesses: usize,
+    /// Committed transactions.
+    pub commits: u64,
+    /// Throughput in millions of transactions per second.
+    pub mtx_per_sec: f64,
+}
+
+/// f64 ordering key for the event heap.
+#[derive(PartialEq, PartialOrd)]
+struct F(f64);
+impl Eq for F {}
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for F {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other).expect("no NaN in sim times")
+    }
+}
+
+/// Transaction phase whose next step is a time-base access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Phase {
+    /// About to perform the start-of-transaction `getTime`.
+    Start,
+    /// About to perform the commit-time `getNewTS`.
+    Commit,
+}
+
+/// Simulate `cpus` processors running `accesses`-object update transactions
+/// for the configured duration on the given time base.
+///
+/// Events are processed at *time-base access* granularity so the counter
+/// line is granted in global access-time order — a transaction's commit
+/// access queues behind other CPUs' earlier accesses, exactly like the real
+/// coherence protocol.
+pub fn simulate(cpus: usize, accesses: usize, tb: SimTimeBase, p: AltixParams) -> SimPoint {
+    assert!(cpus >= 1 && accesses >= 1);
+    let mut line = Line { free_at: 0.0, owner: usize::MAX };
+    let mut commits = 0u64;
+    let body_ns = accesses as f64 * p.access_ns + p.overhead_ns;
+    // Min-heap of (next access time, cpu, phase).
+    let mut heap: BinaryHeap<Reverse<(F, usize, Phase)>> = (0..cpus)
+        .map(|c| Reverse((F(c as f64 * 1.0), c, Phase::Start))) // 1 ns stagger
+        .collect();
+
+    let mut tb_access = |t: f64, cpu: usize| -> f64 {
+        match tb {
+            SimTimeBase::Clock { read_ns } => t + read_ns,
+            SimTimeBase::Counter { remote_ns, local_ns } => {
+                // Wait for the line, transfer it if remote, own it.
+                let start = t.max(line.free_at);
+                let cost = if line.owner == cpu { local_ns } else { remote_ns };
+                line.free_at = start + cost;
+                line.owner = cpu;
+                start + cost
+            }
+        }
+    };
+
+    while let Some(Reverse((F(t), cpu, phase))) = heap.pop() {
+        if t >= p.duration_ns {
+            continue;
+        }
+        match phase {
+            Phase::Start => {
+                let t1 = tb_access(t, cpu);
+                heap.push(Reverse((F(t1 + body_ns), cpu, Phase::Commit)));
+            }
+            Phase::Commit => {
+                let t3 = tb_access(t, cpu);
+                commits += 1;
+                heap.push(Reverse((F(t3), cpu, Phase::Start)));
+            }
+        }
+    }
+
+    SimPoint {
+        cpus,
+        accesses,
+        commits,
+        mtx_per_sec: commits as f64 / p.duration_ns * 1e3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> AltixParams {
+        AltixParams { duration_ns: 5_000_000.0, ..AltixParams::paper_calibrated() }
+    }
+
+    #[test]
+    fn clock_scales_linearly() {
+        let tb = AltixParams::paper_mmtimer();
+        let t1 = simulate(1, 10, tb, params()).mtx_per_sec;
+        let t16 = simulate(16, 10, tb, params()).mtx_per_sec;
+        let speedup = t16 / t1;
+        assert!(
+            speedup > 14.0,
+            "MMTimer must scale nearly linearly to 16 CPUs (got {speedup:.1}x)"
+        );
+    }
+
+    #[test]
+    fn counter_plateaus_for_short_transactions() {
+        let tb = AltixParams::paper_counter();
+        let t8 = simulate(8, 10, tb, params()).mtx_per_sec;
+        let t16 = simulate(16, 10, tb, params()).mtx_per_sec;
+        assert!(
+            t16 < t8 * 1.25,
+            "counter must plateau: 8cpu={t8:.2} 16cpu={t16:.2} Mtx/s"
+        );
+        // And the plateau sits near the serialization bound: two accesses of
+        // 330 ns per transaction -> ~1.5 M tx/s.
+        assert!(t16 > 1.0 && t16 < 2.2, "plateau at ~1.5 M tx/s, got {t16:.2}");
+    }
+
+    #[test]
+    fn crossover_counter_wins_single_threaded_clock_wins_at_16() {
+        // Figure 2's qualitative content at 10 accesses.
+        let c = AltixParams::paper_counter();
+        let m = AltixParams::paper_mmtimer();
+        let c1 = simulate(1, 10, c, params()).mtx_per_sec;
+        let m1 = simulate(1, 10, m, params()).mtx_per_sec;
+        assert!(c1 > m1, "single-threaded: MMTimer's read cost hurts ({c1:.2} vs {m1:.2})");
+        let c16 = simulate(16, 10, c, params()).mtx_per_sec;
+        let m16 = simulate(16, 10, m, params()).mtx_per_sec;
+        assert!(m16 > 2.5 * c16, "16 CPUs: clock must win big ({m16:.2} vs {c16:.2})");
+    }
+
+    #[test]
+    fn counter_influence_shrinks_for_large_transactions() {
+        // §4.2: "The influence of the shared counter decreases when
+        // transactions get larger".
+        let c = AltixParams::paper_counter();
+        let m = AltixParams::paper_mmtimer();
+        let ratio_10 = simulate(16, 10, m, params()).mtx_per_sec
+            / simulate(16, 10, c, params()).mtx_per_sec;
+        let ratio_100 = simulate(16, 100, m, params()).mtx_per_sec
+            / simulate(16, 100, c, params()).mtx_per_sec;
+        assert!(
+            ratio_100 < ratio_10,
+            "clock advantage must shrink with tx size ({ratio_10:.2} -> {ratio_100:.2})"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let tb = AltixParams::paper_counter();
+        let a = simulate(6, 50, tb, params());
+        let b = simulate(6, 50, tb, params());
+        assert_eq!(a.commits, b.commits);
+    }
+}

@@ -1,0 +1,90 @@
+//! **Figure 2** — "Overhead of time bases for update transactions of
+//! different size": throughput (10⁶ tx/s) vs thread count for the shared
+//! integer counter vs the MMTimer, panels at 10/50/100 accesses.
+//!
+//! Two modes:
+//! * the **modeled Altix** (default): the discrete-event model of the paper's
+//!   16-CPU ccNUMA testbed (see DESIGN.md §3 — the documented substitution
+//!   for hardware this host does not have), which reproduces the full curves;
+//! * `--real`: the actual LSA-RT implementation on real threads of this host
+//!   with the [`lsa_time::numa::NumaCounter`] latency model vs the simulated
+//!   MMTimer — a sanity check limited by the host's core count.
+//!
+//! Output: one table per panel with the same series the paper plots.
+
+use lsa_harness::altix_sim::{simulate, AltixParams};
+use lsa_harness::{f3, measure_window, run_for, Table};
+use lsa_stm::Stm;
+use lsa_time::hardware::HardwareClock;
+use lsa_time::numa::{NumaCounter, NumaModel};
+use lsa_workloads::{DisjointConfig, DisjointWorkload};
+
+const THREADS: [usize; 7] = [1, 2, 4, 6, 8, 12, 16];
+const PANELS: [usize; 3] = [10, 50, 100];
+
+fn modeled_altix() {
+    println!("FIG2 (modeled Altix 3700, discrete-event; DESIGN.md S3 substitution)\n");
+    let params = AltixParams::paper_calibrated();
+    for &accesses in &PANELS {
+        let mut t = Table::new(
+            format!("Figure 2 panel: {accesses} accesses — 10^6 tx/s"),
+            &["threads", "shared-counter", "mmtimer", "mmtimer/counter"],
+        );
+        for &cpus in &THREADS {
+            let c = simulate(cpus, accesses, AltixParams::paper_counter(), params);
+            let m = simulate(cpus, accesses, AltixParams::paper_mmtimer(), params);
+            t.row(vec![
+                cpus.to_string(),
+                f3(c.mtx_per_sec),
+                f3(m.mtx_per_sec),
+                f3(m.mtx_per_sec / c.mtx_per_sec),
+            ]);
+        }
+        t.print();
+    }
+}
+
+fn real_threads() {
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "FIG2 (real threads on this host: {host} hardware threads; \
+         points beyond {host} threads are oversubscribed)\n"
+    );
+    let window = measure_window(300);
+    let threads: Vec<usize> = THREADS.iter().copied().filter(|&t| t <= host.max(2) * 2).collect();
+    for &accesses in &PANELS {
+        let mut t = Table::new(
+            format!("Figure 2 (real) panel: {accesses} accesses — 10^6 tx/s"),
+            &["threads", "numa-counter", "mmtimer", "mmtimer/counter"],
+        );
+        for &n in &threads {
+            let cfg = DisjointConfig {
+                objects_per_thread: (accesses * 4).max(64),
+                accesses_per_tx: accesses,
+            };
+            let counter_wl =
+                DisjointWorkload::new(Stm::new(NumaCounter::new(NumaModel::altix())), n, cfg);
+            let c = run_for(n, window, |i| counter_wl.worker(i));
+            let clock_wl =
+                DisjointWorkload::new(Stm::new(HardwareClock::mmtimer()), n, cfg);
+            let m = run_for(n, window, |i| clock_wl.worker(i));
+            t.row(vec![
+                n.to_string(),
+                f3(c.mtx_per_sec()),
+                f3(m.mtx_per_sec()),
+                f3(m.mtx_per_sec() / c.mtx_per_sec().max(1e-12)),
+            ]);
+        }
+        t.print();
+    }
+}
+
+fn main() {
+    let real = std::env::args().any(|a| a == "--real");
+    if real {
+        real_threads();
+    } else {
+        modeled_altix();
+        println!("(run with --real for the real-thread sanity check on this host)");
+    }
+}

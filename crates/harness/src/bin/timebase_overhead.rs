@@ -1,0 +1,118 @@
+//! **EXP-TB** — raw time-base operation costs (§4.2 background).
+//!
+//! Tight-loop cost of `getTime` and `getNewTS` for every time base, single-
+//! and multi-threaded. Shows (a) the MMTimer's fixed read cost, (b) the
+//! counter's cheap uncontended operations that degrade under concurrency,
+//! and (c) that the TL2 timestamp-sharing optimization does not change the
+//! picture (the paper: "showed no advantages on our hardware").
+
+use lsa_harness::{f2, measure_window, Table};
+use lsa_time::counter::{SharedCounter, Tl2Counter};
+use lsa_time::external::ExternalClock;
+use lsa_time::hardware::HardwareClock;
+use lsa_time::numa::{NumaCounter, NumaModel};
+use lsa_time::perfect::PerfectClock;
+use lsa_time::{ThreadClock, TimeBase};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+use std::time::Instant;
+
+/// Nanoseconds per operation per thread (aggregate thread-time / total ops).
+fn bench_base<B: TimeBase>(tb: &B, threads: usize, new_ts: bool) -> f64 {
+    let window = measure_window(200);
+    let barrier = Barrier::new(threads + 1);
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let mut clock = tb.register_thread();
+                let barrier = &barrier;
+                let stop = &stop;
+                s.spawn(move || {
+                    barrier.wait();
+                    let mut ops = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        for _ in 0..64 {
+                            if new_ts {
+                                std::hint::black_box(clock.get_new_ts());
+                            } else {
+                                std::hint::black_box(clock.get_time());
+                            }
+                        }
+                        ops += 64;
+                    }
+                    ops
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        while start.elapsed() < window {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        stop.store(true, Ordering::Relaxed);
+        let elapsed = start.elapsed();
+        let ops: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        elapsed.as_nanos() as f64 * threads as f64 / ops.max(1) as f64
+    })
+}
+
+fn main() {
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let thread_counts: Vec<usize> = [1usize, 2, 4].into_iter().filter(|&t| t <= host * 2).collect();
+
+    for (op, new_ts) in [("getTime", false), ("getNewTS", true)] {
+        let mut t = Table::new(
+            format!("EXP-TB: {op} cost (ns/op per thread)"),
+            &{
+                let mut h = vec!["time base"];
+                h.extend(thread_counts.iter().map(|tc| match tc {
+                    1 => "1 thr",
+                    2 => "2 thr",
+                    _ => "4 thr",
+                }));
+                h
+            },
+        );
+        type BaseBench = Box<dyn Fn(usize) -> f64>;
+        let bases: Vec<(&str, BaseBench)> = vec![
+            ("shared-counter", {
+                let b = SharedCounter::new();
+                Box::new(move |n| bench_base(&b, n, new_ts))
+            }),
+            ("tl2-counter", {
+                let b = Tl2Counter::new();
+                Box::new(move |n| bench_base(&b, n, new_ts))
+            }),
+            ("numa-counter(altix)", {
+                let b = NumaCounter::new(NumaModel::altix());
+                Box::new(move |n| bench_base(&b, n, new_ts))
+            }),
+            ("perfect-clock", {
+                let b = PerfectClock::new();
+                Box::new(move |n| bench_base(&b, n, new_ts))
+            }),
+            ("mmtimer(375ns)", {
+                let b = HardwareClock::mmtimer();
+                Box::new(move |n| bench_base(&b, n, new_ts))
+            }),
+            ("mmtimer(free)", {
+                let b = HardwareClock::mmtimer_free();
+                Box::new(move |n| bench_base(&b, n, new_ts))
+            }),
+            ("external(1us)", {
+                let b = ExternalClock::new(1_000);
+                Box::new(move |n| bench_base(&b, n, new_ts))
+            }),
+        ];
+        for (name, bench) in &bases {
+            let mut cells = vec![name.to_string()];
+            for &n in &thread_counts {
+                cells.push(f2(bench(n)));
+            }
+            t.row(cells);
+        }
+        t.print();
+    }
+    println!("note: per-thread cost; contended counters degrade with threads while clock reads stay flat.");
+}

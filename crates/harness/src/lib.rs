@@ -1,0 +1,32 @@
+//! # lsa-harness — experiment harness reproducing the SPAA'07 evaluation
+//!
+//! One binary per paper artifact (DESIGN.md §4 experiment index):
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `fig1` | Figure 1 — clock synchronization errors and offsets |
+//! | `fig2` | Figure 2 — throughput vs threads, counter vs MMTimer (10/50/100 accesses) |
+//! | `timebase_overhead` | §4.2 raw time-base costs (EXP-TB) |
+//! | `err_sweep` | §4.3 synchronization-error sweep (EXP-ERR) |
+//! | `validation_cost` | §1 validation-vs-time-based cost (EXP-VAL) |
+//! | `cm_ablation` | §2.3 contention-manager ablation (EXP-CM) |
+//! | `paper_check` | one PASS/FAIL line per qualitative claim (CI smoke test) |
+//!
+//! Shared infrastructure: [`runner`] (thread orchestration and throughput),
+//! [`table`] (text/CSV output), [`altix_sim`] (the discrete-event model of
+//! the paper's 16-CPU ccNUMA testbed — the documented substitution for
+//! hardware this reproduction does not have).
+//!
+//! Every binary honours `LSA_MEASURE_MS` (per-point measurement window) and
+//! `LSA_CSV=1` (machine-readable output).
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod altix_sim;
+pub mod runner;
+pub mod table;
+
+pub use altix_sim::{simulate, AltixParams, SimPoint, SimTimeBase};
+pub use runner::{measure_window, run_for, run_steps, BenchWorker, RunOutcome};
+pub use table::{f2, f3, Table};

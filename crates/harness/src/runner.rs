@@ -1,0 +1,219 @@
+//! Thread orchestration and throughput measurement.
+//!
+//! All real-thread experiments share this runner: spawn `n` workers, release
+//! them simultaneously through a barrier, run for a fixed wall-clock
+//! duration, collect per-thread statistics. Workers are built *before* the
+//! barrier so allocation and registration never pollute the measured window.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// A measurable workload worker: one `step` = one transaction (or one
+/// logical operation).
+pub trait BenchWorker: Send {
+    /// Execute one unit of work.
+    fn step(&mut self);
+    /// `(commits, aborts)` accumulated so far.
+    fn totals(&self) -> (u64, u64);
+}
+
+/// Outcome of a timed run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOutcome {
+    /// Worker thread count.
+    pub threads: usize,
+    /// Measured wall-clock window.
+    pub elapsed: Duration,
+    /// Total steps executed.
+    pub steps: u64,
+    /// Total committed transactions.
+    pub commits: u64,
+    /// Total aborted attempts.
+    pub aborts: u64,
+}
+
+impl RunOutcome {
+    /// Committed transactions per second.
+    pub fn tx_per_sec(&self) -> f64 {
+        self.commits as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Committed transactions per second, in millions (the paper's Figure 2
+    /// y-axis unit).
+    pub fn mtx_per_sec(&self) -> f64 {
+        self.tx_per_sec() / 1e6
+    }
+
+    /// Aborts per commit.
+    pub fn abort_ratio(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / self.commits as f64
+        }
+    }
+}
+
+/// Run `threads` workers for `duration`; `make(i)` builds worker `i`.
+pub fn run_for<W, F>(threads: usize, duration: Duration, make: F) -> RunOutcome
+where
+    W: BenchWorker,
+    F: Fn(usize) -> W + Sync,
+{
+    assert!(threads >= 1);
+    let barrier = Barrier::new(threads + 1);
+    let stop = AtomicBool::new(false);
+
+    let (elapsed, per_thread) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|i| {
+                let barrier = &barrier;
+                let stop = &stop;
+                let mut worker = make(i);
+                s.spawn(move || {
+                    barrier.wait();
+                    let mut steps = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        worker.step();
+                        steps += 1;
+                    }
+                    let (commits, aborts) = worker.totals();
+                    (steps, commits, aborts)
+                })
+            })
+            .collect();
+
+        barrier.wait();
+        let start = Instant::now();
+        while start.elapsed() < duration {
+            std::thread::sleep(Duration::from_millis(1).min(duration));
+        }
+        stop.store(true, Ordering::Relaxed);
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        (start.elapsed(), results)
+    });
+
+    let mut outcome = RunOutcome { threads, elapsed, steps: 0, commits: 0, aborts: 0 };
+    for (steps, commits, aborts) in per_thread {
+        outcome.steps += steps;
+        outcome.commits += commits;
+        outcome.aborts += aborts;
+    }
+    outcome
+}
+
+/// Run exactly `steps_per_thread` steps on each of `threads` workers
+/// (deterministic workloads for tests).
+pub fn run_steps<W, F>(threads: usize, steps_per_thread: u64, make: F) -> RunOutcome
+where
+    W: BenchWorker,
+    F: Fn(usize) -> W + Sync,
+{
+    assert!(threads >= 1);
+    let barrier = Barrier::new(threads);
+    let start = Instant::now();
+    let per_thread: Vec<(u64, u64, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|i| {
+                let barrier = &barrier;
+                let mut worker = make(i);
+                s.spawn(move || {
+                    barrier.wait();
+                    for _ in 0..steps_per_thread {
+                        worker.step();
+                    }
+                    let (commits, aborts) = worker.totals();
+                    (steps_per_thread, commits, aborts)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = start.elapsed();
+
+    let mut outcome = RunOutcome { threads, elapsed, steps: 0, commits: 0, aborts: 0 };
+    for (steps, commits, aborts) in per_thread {
+        outcome.steps += steps;
+        outcome.commits += commits;
+        outcome.aborts += aborts;
+    }
+    outcome
+}
+
+/// Duration knob shared by the figure binaries: `LSA_MEASURE_MS` overrides
+/// the per-point measurement window (milliseconds).
+pub fn measure_window(default_ms: u64) -> Duration {
+    let ms = std::env::var("LSA_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(default_ms);
+    Duration::from_millis(ms.max(1))
+}
+
+// Blanket adapters so workload workers plug straight into the runner.
+use lsa_time::TimeBase;
+
+impl<B: TimeBase> BenchWorker for lsa_workloads::DisjointWorker<B> {
+    fn step(&mut self) {
+        lsa_workloads::DisjointWorker::step(self);
+    }
+
+    fn totals(&self) -> (u64, u64) {
+        let s = self.stats();
+        (s.total_commits(), s.total_aborts())
+    }
+}
+
+impl<B: TimeBase> BenchWorker for lsa_workloads::BankWorker<B> {
+    fn step(&mut self) {
+        lsa_workloads::BankWorker::step(self);
+    }
+
+    fn totals(&self) -> (u64, u64) {
+        let s = self.stats();
+        (s.total_commits(), s.total_aborts())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsa_stm::Stm;
+    use lsa_time::counter::SharedCounter;
+    use lsa_workloads::{DisjointConfig, DisjointWorkload};
+
+    #[test]
+    fn run_steps_counts_exactly() {
+        let wl = DisjointWorkload::new(
+            Stm::new(SharedCounter::new()),
+            2,
+            DisjointConfig { objects_per_thread: 32, accesses_per_tx: 4 },
+        );
+        let out = run_steps(2, 100, |i| wl.worker(i));
+        assert_eq!(out.steps, 200);
+        assert_eq!(out.commits, 200);
+        assert_eq!(out.aborts, 0);
+        assert_eq!(wl.total(), 200 * 4);
+    }
+
+    #[test]
+    fn run_for_executes_and_measures() {
+        let wl = DisjointWorkload::new(
+            Stm::new(SharedCounter::new()),
+            1,
+            DisjointConfig { objects_per_thread: 16, accesses_per_tx: 2 },
+        );
+        let out = run_for(1, Duration::from_millis(30), |i| wl.worker(i));
+        assert!(out.commits > 0, "some transactions must commit in 30 ms");
+        assert!(out.elapsed >= Duration::from_millis(30));
+        assert!(out.tx_per_sec() > 0.0);
+        assert_eq!(out.commits, out.steps, "no aborts in disjoint workload");
+    }
+
+    #[test]
+    fn measure_window_env_override() {
+        std::env::remove_var("LSA_MEASURE_MS");
+        assert_eq!(measure_window(250), Duration::from_millis(250));
+    }
+}

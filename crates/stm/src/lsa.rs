@@ -1,0 +1,610 @@
+//! The Real-Time Lazy Snapshot Algorithm (LSA-RT), Algorithms 2–3 of the
+//! paper.
+//!
+//! A [`Txn`] incrementally constructs a *consistent snapshot*: the set of
+//! object versions it reads, together with a validity range `T.R` that is the
+//! intersection of the versions' validity ranges. Because `T.R` is kept
+//! guaranteed-non-empty at every step, transactions always observe consistent
+//! data without per-access validation — the defining property of time-based
+//! transactional memory (§1.1).
+//!
+//! Key correspondences with the paper's pseudocode:
+//!
+//! | Paper | Here |
+//! |---|---|
+//! | `Start(T)` (Alg. 2 l.1–7) | `Txn::begin` (crate-internal, driven by `atomically`) |
+//! | `Open(T,o,write)` (l.9–24) | [`Txn::write`] / [`Txn::modify`] via `open_write` |
+//! | `Open(T,o,read)` (l.25–33) | [`Txn::read`] |
+//! | `Commit(T)` (l.35–52) | `Txn::finish_commit` (driven by `atomically`) |
+//! | `Abort(T)` (l.53–59) | `Txn::ensure_aborted` + `Err(Abort)` propagation |
+//! | `Extend(T)` (Alg. 3 l.1–6) | [`Txn::extend`] |
+//! | `getVersion` (l.7–18) | [`crate::object::TObject::try_read`] + retry loop |
+//! | `getPrelimUB` (l.19–35) | `prelim_ub` (crate-internal) |
+//! | helping (l.13) | `Txn::help_commit` |
+//!
+//! ### The `t` parameter of `getPrelimUB`
+//!
+//! The fallback branch of `getPrelimUB` returns the caller-supplied timestamp
+//! `t`, which is sound exactly when the caller can guarantee that the version
+//! was still the latest at (a real time corresponding to) `t`. We pass:
+//! * at **open**: the transaction's own latest observation — the join of
+//!   `⌊T.R⌋` (commit times of versions it read) and the last `getTime` it
+//!   performed — both in the past, and the version is the latest *now*;
+//! * at **extend**: a fresh `getTime()` (Alg. 3 line 2);
+//! * at **commit validation**: `T.CT` (Alg. 2 line 44) — sound because any
+//!   later superseder must acquire its commit time after entering the
+//!   `Committing` state, i.e. strictly after ours (§2.4).
+
+use crate::cm::{ContentionManager, Resolution};
+use crate::config::StmConfig;
+use crate::error::{Abort, AbortReason, TxResult};
+use crate::object::{AnyObject, ReadAttempt, TVar, WriteAttempt};
+use crate::stats::TxnStats;
+use crate::status::TxnStatus;
+use crate::txn_shared::{CommitCtx, CtxEntry, TxnShared};
+use crate::version::VersionMeta;
+use lsa_time::{ThreadClock, TimeBase, Timestamp, ValidityRange};
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Outcome of one `getPrelimUB` attempt.
+enum Prelim<Ts: Timestamp> {
+    /// A sound conservative estimate of `⌈v.R⌉`.
+    Ready(Ts),
+    /// The registered writer is `Committing` but its commit time is not set
+    /// yet. Returning the fallback `t` here would be **unsound**: the writer
+    /// may already hold a commit time ≤ `t` (drawn from the time base before
+    /// our reading of `t`) that is merely not yet published. Resolution is
+    /// the paper's helper behaviour (Algorithm 2 lines 41–42): race to set
+    /// the writer's commit time from our own clock — "a committing thread
+    /// will try to set the timestamp obtained from its local time reference
+    /// … if it fails, another thread has set the commit time beforehand".
+    /// A helper-set commit time is sound: it is obtained *after* observing
+    /// the `Committing` state, satisfying §2.4's visibility requirement.
+    NeedCt(Arc<TxnShared<Ts>>),
+}
+
+/// `getPrelimUB(T, o, v, t)` — Algorithm 3 lines 19–35: one attempt at a
+/// conservative estimate of `⌈v.R⌉` as seen by transaction `me`.
+fn prelim_raw<Ts: Timestamp>(
+    obj: &dyn AnyObject<Ts>,
+    meta: &VersionMeta<Ts>,
+    t: Ts,
+    me: &TxnShared<Ts>,
+) -> Prelim<Ts> {
+    // Superseded: the exact upper bound is known.
+    if let Some(u) = meta.upper() {
+        return Prelim::Ready(u);
+    }
+    // The paper's pseudocode evaluates getPrelimUB atomically; here the
+    // reads of `meta.upper` (above) and `o.writer` (below) are separate and
+    // the thread can stall between them — during which `v` may be superseded
+    // several times and `o.writer` may belong to a much later generation,
+    // whose commit time says NOTHING about `v`'s validity. Because `upper`
+    // is write-once, re-checking it *after* sampling the writer
+    // (`finish(..)` below) restores atomicity: if it is still unset at the
+    // re-check, no successor of `v` has folded, so `v` really is the latest
+    // version at that instant and the sampled writer (if any) is its first
+    // prospective superseder — making the bounds below sound.
+    let finish = |claim: Prelim<Ts>| -> Prelim<Ts> {
+        match meta.upper() {
+            Some(u) => Prelim::Ready(u),
+            None => claim,
+        }
+    };
+    // v is (tentatively) the latest version: only the registered writer may
+    // bound it before t.
+    if let Some(w) = obj.current_writer() {
+        let st = w.status();
+        if matches!(st, TxnStatus::Committing | TxnStatus::Committed) {
+            return match w.ct() {
+                Some(ct) if w.id() == me.id() => {
+                    // Own write: overestimate by one — we know no other
+                    // transaction can commit a version of o before CT+1 if
+                    // we commit (Alg. 3 line 27, "simplifies Commit").
+                    finish(Prelim::Ready(ct))
+                }
+                Some(ct) => {
+                    // The superseding version becomes valid at ct, so v is
+                    // valid at least until ct − 1 (Alg. 3 line 29). Sound
+                    // even if w later aborts (the version then stays valid
+                    // longer than claimed).
+                    finish(Prelim::Ready(ct.prior()))
+                }
+                // Committed implies a published CT, so only a Committing
+                // writer can land here.
+                None => finish(Prelim::NeedCt(w)),
+            };
+        }
+    }
+    finish(Prelim::Ready(t))
+}
+
+/// `getPrelimUB` resolved to a sound value: when the registered writer is
+/// committing but has not yet published its commit time, race to install one
+/// from `clock` (the paper's nonblocking helper behaviour) and recompute.
+fn prelim_resolved<C: ThreadClock>(
+    clock: &mut C,
+    obj: &dyn AnyObject<C::Ts>,
+    meta: &VersionMeta<C::Ts>,
+    t: C::Ts,
+    me: &TxnShared<C::Ts>,
+) -> C::Ts {
+    loop {
+        match prelim_raw(obj, meta, t, me) {
+            Prelim::Ready(ub) => return ub,
+            Prelim::NeedCt(w) => {
+                let fresh = clock.get_new_ts();
+                w.set_ct(fresh); // first setter wins; everyone agrees after
+            }
+        }
+    }
+}
+
+/// Commit-time validation (Algorithm 2 lines 43–48): every version in `T.O`
+/// must be (guaranteed) valid at `ct`.
+pub(crate) fn validate<C: ThreadClock>(
+    clock: &mut C,
+    entries: &[CtxEntry<C::Ts>],
+    ct: C::Ts,
+    owner: &TxnShared<C::Ts>,
+) -> bool {
+    for e in entries {
+        let ub = prelim_resolved(clock, e.obj.as_ref(), &e.meta, ct, owner);
+        // Paper line 45: abort if T.CT ≿ ub (possibly later than).
+        if ct.possibly_later(ub) {
+            return false;
+        }
+    }
+    true
+}
+
+/// An executing transaction. Created by
+/// [`crate::stm::ThreadHandle::atomically`]; user code receives `&mut Txn`
+/// inside the transaction body and performs [`Txn::read`] / [`Txn::write`] /
+/// [`Txn::modify`] operations, propagating [`Abort`] errors with `?`.
+pub struct Txn<'h, B: TimeBase> {
+    cfg: &'h StmConfig,
+    cm: &'h dyn ContentionManager,
+    clock: &'h mut B::Clock,
+    stats: &'h mut TxnStats,
+    shared: Arc<TxnShared<B::Ts>>,
+    /// `T.R` — the snapshot's validity range.
+    range: ValidityRange<B::Ts>,
+    /// Latest time this transaction has itself observed (start / extends);
+    /// the sound fallback for `getPrelimUB` at opens.
+    observed: B::Ts,
+    is_update: bool,
+    finished: bool,
+    read_set: Vec<CtxEntry<B::Ts>>,
+    read_cache: HashMap<u64, Arc<dyn Any + Send + Sync>>,
+    write_set: HashMap<u64, Arc<dyn AnyObject<B::Ts>>>,
+}
+
+impl<'h, B: TimeBase> Txn<'h, B> {
+    /// `Start(T)` — Algorithm 2 lines 1–7.
+    pub(crate) fn begin(
+        cfg: &'h StmConfig,
+        cm: &'h dyn ContentionManager,
+        clock: &'h mut B::Clock,
+        stats: &'h mut TxnStats,
+        shared: Arc<TxnShared<B::Ts>>,
+    ) -> Self {
+        let start = clock.get_time();
+        Txn {
+            cfg,
+            cm,
+            clock,
+            stats,
+            shared,
+            range: ValidityRange::from(start),
+            observed: start,
+            is_update: false,
+            finished: false,
+            read_set: Vec::new(),
+            read_cache: HashMap::new(),
+            write_set: HashMap::new(),
+        }
+    }
+
+    /// Unique id of this transaction attempt.
+    pub fn id(&self) -> u64 {
+        self.shared.id()
+    }
+
+    /// The snapshot's current validity range `T.R`.
+    pub fn validity_range(&self) -> ValidityRange<B::Ts> {
+        self.range
+    }
+
+    /// Whether the transaction has written anything yet.
+    pub fn is_update(&self) -> bool {
+        self.is_update
+    }
+
+    /// Abort deliberately; the `atomically` loop will re-run the body.
+    /// Usage: `return Err(tx.abort_retry());`
+    pub fn abort_retry(&mut self) -> Abort {
+        self.do_abort(AbortReason::Explicit)
+    }
+
+    fn check_alive(&mut self) -> TxResult<()> {
+        if self.finished {
+            return Err(Abort::new(AbortReason::Explicit));
+        }
+        if self.shared.status() == TxnStatus::Aborted {
+            // A contention manager killed us (Algorithm 2 lines 16–18).
+            return Err(self.do_abort(AbortReason::Killed));
+        }
+        Ok(())
+    }
+
+    /// The sound fallback timestamp for `getPrelimUB` at open time: a value
+    /// known to be in the past of "now".
+    fn fallback_ts(&self, lower: B::Ts) -> B::Ts {
+        lower.join(self.observed)
+    }
+
+    /// `Open(T, o, read)` — Algorithm 2 lines 25–33 plus the `getVersion`
+    /// retry loop of Algorithm 3.
+    pub fn read<T: Send + Sync + 'static>(
+        &mut self,
+        var: &TVar<T, B::Ts>,
+    ) -> TxResult<Arc<T>> {
+        self.check_alive()?;
+        self.stats.reads += 1;
+        self.shared.cm().add_op();
+        let id = var.id();
+
+        // Read-own-write: the speculative value is ours.
+        if self.write_set.contains_key(&id) {
+            return match var.object().read_spec_value(self.shared.id()) {
+                Some(v) => Ok(v),
+                None => Err(self.do_abort(AbortReason::Killed)),
+            };
+        }
+        // Repeated read: same version as before (snapshot stability).
+        if let Some(cached) = self.read_cache.get(&id) {
+            let v = Arc::clone(cached)
+                .downcast::<T>()
+                .expect("object payload type is stable");
+            return Ok(v);
+        }
+
+        let mut extended = false;
+        let mut spins = 0u32;
+        loop {
+            match var.object().try_read(&self.range) {
+                ReadAttempt::Found { value, meta, lower } => {
+                    // Tentatively intersect T.R with the version's range
+                    // (Alg. 2 lines 28–29).
+                    let mut nr = self.range;
+                    nr.restrict_lower(lower);
+                    let t = self.fallback_ts(nr.lower);
+                    let ub = prelim_resolved(
+                        self.clock,
+                        var.object().as_ref() as &dyn AnyObject<B::Ts>,
+                        &meta,
+                        t,
+                        &self.shared,
+                    );
+                    nr.restrict_upper(ub);
+                    if !nr.is_consistent() {
+                        // Possibly inconsistent (line 30): try one extension,
+                        // which may move ⌈T.R⌉ forward far enough (§2.2:
+                        // optional but increases the chance of success).
+                        if self.cfg.extend_on_read && !extended {
+                            extended = true;
+                            self.extend();
+                            continue; // re-select a version in the new range
+                        }
+                        return Err(self.do_abort(AbortReason::Snapshot));
+                    }
+                    self.range = nr;
+                    let entry = CtxEntry {
+                        obj: Arc::clone(var.object()) as Arc<dyn AnyObject<B::Ts>>,
+                        meta: Arc::clone(&meta),
+                    };
+                    self.read_set.push(entry);
+                    self.read_cache
+                        .insert(id, Arc::clone(&value) as Arc<dyn Any + Send + Sync>);
+                    return Ok(value);
+                }
+                ReadAttempt::NoOverlap { newest_lower: _ } => {
+                    if self.cfg.extend_on_read && !extended {
+                        extended = true;
+                        self.extend();
+                        if !self.range.is_consistent() {
+                            return Err(self.do_abort(AbortReason::Snapshot));
+                        }
+                        continue;
+                    }
+                    // No suitable version (Alg. 3 line 11).
+                    return Err(self.do_abort(AbortReason::NoVersion));
+                }
+                ReadAttempt::NeedFold => var.object().fold_resolved(),
+                ReadAttempt::NeedHelp(w) => self.help_commit(&w),
+            }
+            spins += 1;
+            if spins > 64 {
+                std::thread::yield_now();
+                spins = 0;
+            }
+        }
+    }
+
+    /// `Open(T, o, write)` — Algorithm 2 lines 9–24 — followed by installing
+    /// `value` as the speculative payload.
+    pub fn write<T: Send + Sync + 'static>(
+        &mut self,
+        var: &TVar<T, B::Ts>,
+        value: T,
+    ) -> TxResult<()> {
+        self.open_write(var)?;
+        if !var.object().set_spec_value(self.shared.id(), Arc::new(value)) {
+            return Err(self.do_abort(AbortReason::Killed));
+        }
+        Ok(())
+    }
+
+    /// Read-modify-write convenience: applies `f` to the current value (the
+    /// transaction's own pending write if it has one, the snapshot value
+    /// otherwise) and writes the result.
+    pub fn modify<T: Send + Sync + 'static>(
+        &mut self,
+        var: &TVar<T, B::Ts>,
+        f: impl FnOnce(&T) -> T,
+    ) -> TxResult<()> {
+        let current = if self.write_set.contains_key(&var.id()) {
+            match var.object().read_spec_value(self.shared.id()) {
+                Some(v) => v,
+                None => return Err(self.do_abort(AbortReason::Killed)),
+            }
+        } else {
+            self.read(var)?
+        };
+        self.write(var, f(&current))
+    }
+
+    fn open_write<T: Send + Sync + 'static>(
+        &mut self,
+        var: &TVar<T, B::Ts>,
+    ) -> TxResult<()> {
+        self.check_alive()?;
+        let id = var.id();
+        if self.write_set.contains_key(&id) {
+            return Ok(());
+        }
+        self.stats.writes += 1;
+        self.shared.cm().add_op();
+
+        let mut cm_attempt = 0u32;
+        let mut spins = 0u32;
+        loop {
+            match var.object().try_write(&self.shared) {
+                WriteAttempt::Registered { base_value: _, base_meta, base_lower, spec_meta } => {
+                    self.is_update = true;
+                    self.write_set
+                        .insert(id, Arc::clone(var.object()) as Arc<dyn AnyObject<B::Ts>>);
+
+                    // Alg. 2 lines 22–24: "Is the version too recent?" —
+                    // extend so the snapshot can reach the version we are
+                    // about to base our write on.
+                    if let Some(u) = self.range.upper {
+                        if base_lower.possibly_later(u) {
+                            self.extend();
+                        }
+                    }
+                    // Lines 28–29 against the base version vc.
+                    let mut nr = self.range;
+                    nr.restrict_lower(base_lower);
+                    let t = self.fallback_ts(nr.lower);
+                    let ub = prelim_resolved(
+                        self.clock,
+                        var.object().as_ref() as &dyn AnyObject<B::Ts>,
+                        &base_meta,
+                        t,
+                        &self.shared,
+                    );
+                    nr.restrict_upper(ub);
+                    if !nr.is_consistent() {
+                        return Err(self.do_abort(AbortReason::Snapshot));
+                    }
+                    self.range = nr;
+                    // T.O gains the new speculative version (paper line 33);
+                    // its getPrelimUB at commit is the self-case (CT).
+                    self.read_set.push(CtxEntry {
+                        obj: Arc::clone(var.object()) as Arc<dyn AnyObject<B::Ts>>,
+                        meta: spec_meta,
+                    });
+                    return Ok(());
+                }
+                WriteAttempt::AlreadyWriter => {
+                    self.write_set
+                        .insert(id, Arc::clone(var.object()) as Arc<dyn AnyObject<B::Ts>>);
+                    return Ok(());
+                }
+                WriteAttempt::NeedHelp(w) => self.help_commit(&w),
+                WriteAttempt::Conflict(other) => {
+                    self.stats.conflicts += 1;
+                    match self.cm.resolve(self.shared.cm(), other.cm(), cm_attempt) {
+                        Resolution::AbortOther => {
+                            // Kill the registered writer (Alg. 2 l.16–18);
+                            // if the CAS fails the writer moved on — loop.
+                            other.transition(TxnStatus::Active, TxnStatus::Aborted);
+                        }
+                        Resolution::AbortSelf => {
+                            return Err(self.do_abort(AbortReason::ContentionLoser));
+                        }
+                        Resolution::Wait => {}
+                    }
+                    cm_attempt += 1;
+                    // We may have been killed while waiting.
+                    self.check_alive()?;
+                }
+            }
+            spins += 1;
+            if spins > 64 {
+                std::thread::yield_now();
+                spins = 0;
+            }
+        }
+    }
+
+    /// `Extend(T)` — Algorithm 3 lines 1–6: raise `⌈T.R⌉` to the current
+    /// time, then re-minimize over the read set's preliminary upper bounds.
+    pub fn extend(&mut self) {
+        let now = self.clock.get_time();
+        self.observed = self.observed.join(now);
+        self.range.set_upper(now);
+        for i in 0..self.read_set.len() {
+            let (obj, meta) =
+                (Arc::clone(&self.read_set[i].obj), Arc::clone(&self.read_set[i].meta));
+            let ub = prelim_resolved(self.clock, obj.as_ref(), &meta, now, &self.shared);
+            self.range.restrict_upper(ub);
+        }
+        self.stats.extensions += 1;
+    }
+
+    /// Help a committing transaction complete (Algorithm 3 lines 12–13 and
+    /// §2.3): race to set its commit time from *our* clock, re-run its
+    /// validation, and finalize its status. Idempotent and lock-free with
+    /// respect to object locks.
+    pub(crate) fn help_commit(&mut self, w: &Arc<TxnShared<B::Ts>>) {
+        if w.status() != TxnStatus::Committing {
+            return;
+        }
+        // Race to set the commit time from our own clock (lines 41–42): "a
+        // committing thread will try to set the timestamp obtained from its
+        // local time reference … if it fails, another thread has set the
+        // commit time beforehand".
+        let ct = match w.ct() {
+            Some(ct) => ct,
+            None => {
+                let t = self.clock.get_new_ts();
+                w.set_ct(t)
+            }
+        };
+        let Some(ctx) = w.ctx() else {
+            return; // already finalized and cleaned up
+        };
+        if w.status() != TxnStatus::Committing {
+            return;
+        }
+        if w.is_snapshot_isolation() || validate(self.clock, &ctx.entries, ct, w) {
+            if w.transition(TxnStatus::Committing, TxnStatus::Committed) {
+                self.stats.helps += 1;
+            }
+        } else {
+            w.transition(TxnStatus::Committing, TxnStatus::Aborted);
+        }
+    }
+
+    /// `Commit(T)` — Algorithm 2 lines 35–52. Called by the `atomically`
+    /// retry loop after the body returned `Ok`. On success returns the
+    /// commit time of an update transaction (`None` for read-only commits).
+    pub(crate) fn finish_commit(&mut self) -> TxResult<Option<B::Ts>> {
+        debug_assert!(!self.finished, "commit called twice");
+        if !self.is_update {
+            // Read-only: the snapshot is consistent by construction —
+            // validation is unnecessary (lines 36–37).
+            if self.shared.transition(TxnStatus::Active, TxnStatus::Committed) {
+                self.finished = true;
+                self.stats.ro_commits += 1;
+                self.cm.on_commit(self.shared.cm());
+                return Ok(None);
+            }
+            return Err(self.do_abort(AbortReason::Killed));
+        }
+
+        // Publish the read set for helpers *before* becoming visible as
+        // committing: any thread that observes `Committing` finds the
+        // context.
+        self.shared.publish_ctx(CommitCtx { entries: self.read_set.clone() });
+        if !self.shared.transition(TxnStatus::Active, TxnStatus::Committing) {
+            return Err(self.do_abort(AbortReason::Killed));
+        }
+        // Tentative commit time; the first setter wins (lines 41–42). The
+        // getNewTS call happens strictly after the Committing transition —
+        // the visibility requirement of §2.4.
+        let t = self.clock.get_new_ts();
+        let ct = self.shared.set_ct(t);
+
+        // Snapshot-isolation mode (TRANSACT'06 extension): skip the read-set
+        // validation — the snapshot was consistent when read, and visible
+        // writes already exclude write-write conflicts. Serializable mode
+        // runs Algorithm 2 lines 43–48.
+        let valid = self.cfg.snapshot_isolation
+            || validate(self.clock, &self.read_set, ct, &self.shared);
+        if valid {
+            self.shared.transition(TxnStatus::Committing, TxnStatus::Committed);
+        } else {
+            self.shared.transition(TxnStatus::Committing, TxnStatus::Aborted);
+        }
+        // Either our transition won or a helper finalized first; the status
+        // is now final either way.
+        let status = self.shared.status();
+        self.finalize_cleanup();
+        match status {
+            TxnStatus::Committed => {
+                self.finished = true;
+                self.stats.commits += 1;
+                self.cm.on_commit(self.shared.cm());
+                Ok(Some(ct))
+            }
+            TxnStatus::Aborted => {
+                self.finished = true;
+                self.stats.record_abort(AbortReason::Validation);
+                self.cm.on_abort(self.shared.cm());
+                Err(Abort::new(AbortReason::Validation))
+            }
+            _ => unreachable!("status must be final after commit"),
+        }
+    }
+
+    /// Make sure the transaction ends aborted (used by the retry loop when
+    /// the body propagated an [`Abort`], and as a safety net). Idempotent.
+    pub(crate) fn ensure_aborted(&mut self, reason: AbortReason) {
+        if !self.finished {
+            self.do_abort(reason);
+        }
+    }
+
+    /// `Abort(T)` — Algorithm 2 lines 53–59 (the owner-side path).
+    fn do_abort(&mut self, reason: AbortReason) -> Abort {
+        if !self.finished {
+            self.shared.transition(TxnStatus::Active, TxnStatus::Aborted);
+            // (Committing is never current here: the commit path finalizes
+            // itself before returning.)
+            debug_assert!(self.shared.status().is_final());
+            self.finalize_cleanup();
+            self.finished = true;
+            self.stats.record_abort(reason);
+            self.cm.on_abort(self.shared.cm());
+        }
+        Abort::new(reason)
+    }
+
+    /// Post-final cleanup: fold/discard our speculative versions so objects
+    /// are immediately writable by others, and drop the helper context to
+    /// break the descriptor↔object reference cycle.
+    fn finalize_cleanup(&mut self) {
+        for obj in self.write_set.values() {
+            obj.fold_resolved();
+        }
+        self.shared.clear_ctx();
+    }
+}
+
+impl<B: TimeBase> Drop for Txn<'_, B> {
+    fn drop(&mut self) {
+        // A panicking body must not leave a zombie writer registered.
+        if !self.finished {
+            self.shared.transition(TxnStatus::Active, TxnStatus::Aborted);
+            if self.shared.status().is_final() {
+                self.finalize_cleanup();
+            }
+        }
+    }
+}

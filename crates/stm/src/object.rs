@@ -1,0 +1,565 @@
+//! Multi-version transactional objects with visible writes.
+//!
+//! Each object holds a bounded chain of *committed* versions (newest first)
+//! plus at most one *speculative* version owned by a registered writer — the
+//! paper's `o.writer` mark (§2.3, DSTM-style visible writes). "Setting the
+//! transaction's state atomically commits — or discards in case of an abort —
+//! all object versions written by the transaction": the speculative version's
+//! fate is determined solely by its writer's status word, and it is *folded*
+//! into the committed chain (or dropped) lazily by the next thread that
+//! touches the object, and proactively by the committer itself.
+//!
+//! Lock discipline: every object has its own short-critical-section
+//! [`RwLock`]; no thread ever holds two object locks, and no lock is held
+//! while consulting the contention manager, helping a commit, or touching a
+//! time base. Global coordination happens **only** through the time base —
+//! preserving the phenomenon the paper measures.
+
+use crate::txn_shared::TxnShared;
+use crate::status::TxnStatus;
+use crate::version::VersionMeta;
+use lsa_time::{Timestamp, ValidityRange};
+use parking_lot::RwLock;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Type-erased view of an object used by read sets, validation and helping
+/// (no payload type parameter, so descriptors can hold heterogeneous sets).
+pub trait AnyObject<Ts: Timestamp>: Send + Sync {
+    /// Process-wide object id.
+    fn id(&self) -> u64;
+
+    /// The currently registered writer, if any (the paper's `o.writer`),
+    /// regardless of its status.
+    fn current_writer(&self) -> Option<Arc<TxnShared<Ts>>>;
+
+    /// Fold a *resolved* (committed/aborted) speculative version into the
+    /// committed chain / the void. No-op when there is no speculative
+    /// version or its writer is still live.
+    fn fold_resolved(&self);
+}
+
+/// Outcome of a read attempt (the object-side half of `getVersion`,
+/// Algorithm 3 lines 7–18).
+pub enum ReadAttempt<T, Ts: Timestamp> {
+    /// A committed version overlapping the requested range.
+    Found {
+        /// The version's payload.
+        value: Arc<T>,
+        /// The version's range metadata (goes into the read set).
+        meta: Arc<VersionMeta<Ts>>,
+        /// `⌊v.R⌋` — returned separately so the caller does not re-lock.
+        lower: Ts,
+    },
+    /// No committed version overlaps the range. Carries the newest version's
+    /// lower bound so the caller can decide whether extending could help
+    /// (the newest version begins after the range's upper bound).
+    NoOverlap {
+        /// Lower bound of the newest committed version.
+        newest_lower: Ts,
+    },
+    /// A resolved speculative version must be folded first; call
+    /// [`AnyObject::fold_resolved`] and retry.
+    NeedFold,
+    /// The registered writer is committing; help it finish (Algorithm 3
+    /// line 13) and retry.
+    NeedHelp(Arc<TxnShared<Ts>>),
+}
+
+/// Outcome of a write-registration attempt (Algorithm 2 lines 11–21).
+pub enum WriteAttempt<T, Ts: Timestamp> {
+    /// We are now the registered writer.
+    Registered {
+        /// The latest committed version's payload the speculative copy was
+        /// cloned from (`vc` in Algorithm 2 line 12).
+        base_value: Arc<T>,
+        /// `vc`'s range metadata.
+        base_meta: Arc<VersionMeta<Ts>>,
+        /// `⌊vc.R⌋`.
+        base_lower: Ts,
+        /// The fresh speculative version's metadata (goes into the read set;
+        /// its `getPrelimUB` is the self-case returning `T.CT`).
+        spec_meta: Arc<VersionMeta<Ts>>,
+    },
+    /// This transaction is already the registered writer.
+    AlreadyWriter,
+    /// Another *active* transaction holds the write mark: consult the
+    /// contention manager (Algorithm 2 lines 16–17).
+    Conflict(Arc<TxnShared<Ts>>),
+    /// The registered writer is committing; help it and retry.
+    NeedHelp(Arc<TxnShared<Ts>>),
+}
+
+struct Committed<T, Ts: Timestamp> {
+    value: Arc<T>,
+    meta: Arc<VersionMeta<Ts>>,
+}
+
+struct Spec<T, Ts: Timestamp> {
+    value: Arc<T>,
+    meta: Arc<VersionMeta<Ts>>,
+    writer: Arc<TxnShared<Ts>>,
+}
+
+struct ObjInner<T, Ts: Timestamp> {
+    /// Committed versions, newest first. Never empty (objects are created
+    /// with an initial committed version).
+    committed: VecDeque<Committed<T, Ts>>,
+    /// The at-most-one speculative version (the visible write mark).
+    spec: Option<Spec<T, Ts>>,
+}
+
+/// A multi-version transactional object.
+pub struct TObject<T, Ts: Timestamp> {
+    id: u64,
+    max_versions: usize,
+    inner: RwLock<ObjInner<T, Ts>>,
+}
+
+impl<T: Send + Sync + 'static, Ts: Timestamp> TObject<T, Ts> {
+    /// Create an object whose initial version is valid from `lower`
+    /// (normally [`Timestamp::origin`], so every snapshot can see it).
+    pub fn new(id: u64, initial: T, lower: Ts, max_versions: usize) -> Self {
+        assert!(max_versions >= 1, "need at least one committed version");
+        let mut committed = VecDeque::with_capacity(max_versions.min(16) + 1);
+        committed.push_front(Committed {
+            value: Arc::new(initial),
+            meta: Arc::new(VersionMeta::committed_at(lower)),
+        });
+        TObject {
+            id,
+            max_versions,
+            inner: RwLock::new(ObjInner { committed, spec: None }),
+        }
+    }
+
+    /// The latest committed value, ignoring transactions (for seeding and
+    /// debugging; *not* transactionally consistent with anything else).
+    pub fn snapshot_latest(&self) -> Arc<T> {
+        self.fold_resolved();
+        Arc::clone(&self.inner.read().committed.front().expect("non-empty").value)
+    }
+
+    /// Number of committed versions currently retained.
+    pub fn version_count(&self) -> usize {
+        self.inner.read().committed.len()
+    }
+
+    /// Debug view of the committed chain: `(lower, upper)` per version,
+    /// newest first, plus the current writer's status if any.
+    #[doc(hidden)]
+    pub fn debug_chain(&self) -> Vec<(Option<Ts>, Option<Ts>)> {
+        self.inner
+            .read()
+            .committed
+            .iter()
+            .map(|v| (v.meta.lower(), v.meta.upper()))
+            .collect()
+    }
+
+    /// The object-side half of `getVersion` for a read in `range`:
+    /// the newest committed version whose validity range (as recorded —
+    /// preliminary bounds are the caller's business) overlaps `range`.
+    pub fn try_read(&self, range: &ValidityRange<Ts>) -> ReadAttempt<T, Ts> {
+        let inner = self.inner.read();
+        if let Some(spec) = &inner.spec {
+            match spec.writer.status() {
+                TxnStatus::Committed | TxnStatus::Aborted => return ReadAttempt::NeedFold,
+                TxnStatus::Committing => {
+                    return ReadAttempt::NeedHelp(Arc::clone(&spec.writer))
+                }
+                TxnStatus::Active => {} // invisible to readers
+            }
+        }
+        for (idx, v) in inner.committed.iter().enumerate() {
+            let lower = v.meta.lower().expect("committed version has lower");
+            debug_assert!(
+                idx == 0 || v.meta.upper().is_some(),
+                "non-front version without an upper bound (chain corrupt)"
+            );
+            let vrange = match v.meta.upper() {
+                Some(u) => ValidityRange::bounded(lower, u),
+                None => ValidityRange::from(lower),
+            };
+            if vrange.overlaps(range) {
+                return ReadAttempt::Found {
+                    value: Arc::clone(&v.value),
+                    meta: Arc::clone(&v.meta),
+                    lower,
+                };
+            }
+        }
+        let newest_lower = inner
+            .committed
+            .front()
+            .expect("non-empty")
+            .meta
+            .lower()
+            .expect("committed version has lower");
+        ReadAttempt::NoOverlap { newest_lower }
+    }
+
+    /// Attempt to register `me` as the writer (Algorithm 2 lines 11–21).
+    /// On success the speculative version starts as an `Arc`-clone of the
+    /// latest committed payload; the caller replaces it via
+    /// [`TObject::set_spec_value`].
+    pub fn try_write(&self, me: &Arc<TxnShared<Ts>>) -> WriteAttempt<T, Ts> {
+        let mut inner = self.inner.write();
+        // The registered writer's status is not protected by this object's
+        // lock, so it can resolve at any instant — loop until we observe a
+        // stable, unresolved state (we hold the lock, so at most one extra
+        // fold happens).
+        loop {
+            Self::fold_locked(&mut inner, self.max_versions);
+            match &inner.spec {
+                None => break,
+                Some(spec) => match spec.writer.status() {
+                    TxnStatus::Active | TxnStatus::Committing
+                        if spec.writer.id() == me.id() =>
+                    {
+                        return WriteAttempt::AlreadyWriter;
+                    }
+                    TxnStatus::Active => {
+                        return WriteAttempt::Conflict(Arc::clone(&spec.writer))
+                    }
+                    TxnStatus::Committing => {
+                        return WriteAttempt::NeedHelp(Arc::clone(&spec.writer))
+                    }
+                    // Resolved between fold and match: fold again.
+                    TxnStatus::Committed | TxnStatus::Aborted => continue,
+                },
+            }
+        }
+        let base = inner.committed.front().expect("non-empty");
+        let base_value = Arc::clone(&base.value);
+        let base_meta = Arc::clone(&base.meta);
+        let base_lower = base.meta.lower().expect("committed version has lower");
+        let spec_meta = Arc::new(VersionMeta::speculative());
+        inner.spec = Some(Spec {
+            value: Arc::clone(&base_value),
+            meta: Arc::clone(&spec_meta),
+            writer: Arc::clone(me),
+        });
+        WriteAttempt::Registered { base_value, base_meta, base_lower, spec_meta }
+    }
+
+    /// Replace the speculative payload (the transaction's pending write).
+    /// Returns `false` if `me` is no longer the registered writer (it was
+    /// killed and its speculative version discarded).
+    pub fn set_spec_value(&self, me_id: u64, value: Arc<T>) -> bool {
+        let mut inner = self.inner.write();
+        match &mut inner.spec {
+            Some(spec) if spec.writer.id() == me_id => {
+                spec.value = value;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Read back the speculative payload (read-own-write). `None` if `me`
+    /// is no longer the registered writer.
+    pub fn read_spec_value(&self, me_id: u64) -> Option<Arc<T>> {
+        let inner = self.inner.read();
+        match &inner.spec {
+            Some(spec) if spec.writer.id() == me_id => Some(Arc::clone(&spec.value)),
+            _ => None,
+        }
+    }
+
+    /// Fold a resolved speculative version while holding the write lock:
+    ///
+    /// * committed writer → fix the speculative version's lower bound to the
+    ///   writer's commit time `CT`, fix the previous newest version's upper
+    ///   bound to `CT.prior()` (Algorithm 3 line 29's "valid at least until
+    ///   then" becomes exact here), push it as the new head, prune the tail;
+    /// * aborted writer → discard.
+    fn fold_locked(inner: &mut ObjInner<T, Ts>, max_versions: usize) {
+        let resolved = match &inner.spec {
+            Some(spec) => spec.writer.status().is_final(),
+            None => false,
+        };
+        if !resolved {
+            return;
+        }
+        let spec = inner.spec.take().expect("checked above");
+        match spec.writer.status() {
+            TxnStatus::Committed => {
+                let ct = spec.writer.ct().expect("committed writer has a CT");
+                spec.meta.set_lower(ct);
+                if let Some(prev) = inner.committed.front() {
+                    debug_assert!(
+                        ct.possibly_later(prev.meta.lower().expect("committed")),
+                        "commit-time order inverted within one object's chain: \
+                         new {:?} after {:?}",
+                        ct,
+                        prev.meta.lower()
+                    );
+                    prev.meta.set_upper(ct.prior());
+                }
+                inner.committed.push_front(Committed { value: spec.value, meta: spec.meta });
+                while inner.committed.len() > max_versions {
+                    // Only superseded versions (fixed upper) can sit behind
+                    // the head, so pruning never erases live range info —
+                    // readers that still hold the meta keep the full range.
+                    let pruned = inner.committed.pop_back().expect("len checked");
+                    debug_assert!(pruned.meta.upper().is_some());
+                }
+            }
+            TxnStatus::Aborted => drop(spec),
+            _ => unreachable!("resolved checked above"),
+        }
+    }
+}
+
+impl<T: Send + Sync + 'static, Ts: Timestamp> AnyObject<Ts> for TObject<T, Ts> {
+    fn id(&self) -> u64 {
+        self.id
+    }
+
+    fn current_writer(&self) -> Option<Arc<TxnShared<Ts>>> {
+        self.inner.read().spec.as_ref().map(|s| Arc::clone(&s.writer))
+    }
+
+    fn fold_resolved(&self) {
+        let mut inner = self.inner.write();
+        Self::fold_locked(&mut inner, self.max_versions);
+    }
+}
+
+impl<T, Ts: Timestamp> std::fmt::Debug for TObject<T, Ts> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TObject").field("id", &self.id).finish()
+    }
+}
+
+/// A cloneable handle to a [`TObject`] — the user-facing "transactional
+/// variable". Reads and writes go through
+/// [`crate::lsa::Txn::read`] / [`crate::lsa::Txn::write`].
+pub struct TVar<T, Ts: Timestamp> {
+    obj: Arc<TObject<T, Ts>>,
+}
+
+impl<T, Ts: Timestamp> Clone for TVar<T, Ts> {
+    fn clone(&self) -> Self {
+        TVar { obj: Arc::clone(&self.obj) }
+    }
+}
+
+impl<T: Send + Sync + 'static, Ts: Timestamp> TVar<T, Ts> {
+    /// Wrap an object (used by [`crate::stm::Stm::new_tvar`]).
+    pub(crate) fn from_object(obj: TObject<T, Ts>) -> Self {
+        TVar { obj: Arc::new(obj) }
+    }
+
+    /// The underlying object.
+    #[inline]
+    pub(crate) fn object(&self) -> &Arc<TObject<T, Ts>> {
+        &self.obj
+    }
+
+    /// The underlying object, exposed for white-box tests that construct
+    /// descriptor states directly (helping / failure injection). Not part of
+    /// the stable API.
+    #[doc(hidden)]
+    pub fn object_for_tests(&self) -> &Arc<TObject<T, Ts>> {
+        &self.obj
+    }
+
+    /// Object id (stable across clones of the handle).
+    pub fn id(&self) -> u64 {
+        self.obj.id
+    }
+
+    /// Latest committed value, outside any transaction (debug/seeding only).
+    pub fn snapshot_latest(&self) -> Arc<T> {
+        self.obj.snapshot_latest()
+    }
+
+    /// Number of committed versions currently retained (for tests and the
+    /// multi- vs single-version experiments).
+    pub fn version_count(&self) -> usize {
+        self.obj.version_count()
+    }
+}
+
+impl<T, Ts: Timestamp> std::fmt::Debug for TVar<T, Ts> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TVar").field("id", &self.obj.id).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::status::TxnStatus;
+
+    fn obj(max_versions: usize) -> TObject<i64, u64> {
+        TObject::new(1, 10, 0, max_versions)
+    }
+
+    fn txn(id: u64) -> Arc<TxnShared<u64>> {
+        Arc::new(TxnShared::new(id))
+    }
+
+    #[test]
+    fn fresh_object_serves_initial_version() {
+        let o = obj(4);
+        match o.try_read(&ValidityRange::from(5u64)) {
+            ReadAttempt::Found { value, lower, .. } => {
+                assert_eq!(*value, 10);
+                assert_eq!(lower, 0);
+            }
+            _ => panic!("expected Found"),
+        }
+    }
+
+    #[test]
+    fn write_commit_fold_produces_new_version() {
+        let o = obj(4);
+        let t = txn(100);
+        let spec_meta = match o.try_write(&t) {
+            WriteAttempt::Registered { spec_meta, base_lower, .. } => {
+                assert_eq!(base_lower, 0);
+                spec_meta
+            }
+            _ => panic!("expected Registered"),
+        };
+        assert!(o.set_spec_value(t.id(), Arc::new(42)));
+        t.transition(TxnStatus::Active, TxnStatus::Committing);
+        t.set_ct(7);
+        t.transition(TxnStatus::Committing, TxnStatus::Committed);
+        o.fold_resolved();
+        assert_eq!(spec_meta.lower(), Some(7));
+        assert_eq!(*o.snapshot_latest(), 42);
+        assert_eq!(o.version_count(), 2);
+        // Old version's upper is CT - 1.
+        match o.try_read(&ValidityRange::bounded(0u64, 6)) {
+            ReadAttempt::Found { value, meta, .. } => {
+                assert_eq!(*value, 10);
+                assert_eq!(meta.upper(), Some(6));
+            }
+            _ => panic!("old version must still be readable at 6"),
+        }
+        // New version serves times >= 7.
+        match o.try_read(&ValidityRange::from(7u64)) {
+            ReadAttempt::Found { value, .. } => assert_eq!(*value, 42),
+            _ => panic!("new version must serve"),
+        }
+    }
+
+    #[test]
+    fn aborted_writer_is_discarded() {
+        let o = obj(4);
+        let t = txn(100);
+        assert!(matches!(o.try_write(&t), WriteAttempt::Registered { .. }));
+        o.set_spec_value(t.id(), Arc::new(999));
+        t.transition(TxnStatus::Active, TxnStatus::Aborted);
+        o.fold_resolved();
+        assert_eq!(*o.snapshot_latest(), 10, "write discarded");
+        assert_eq!(o.version_count(), 1);
+        assert!(o.current_writer().is_none());
+    }
+
+    #[test]
+    fn second_writer_conflicts_with_active_first() {
+        let o = obj(4);
+        let t1 = txn(1);
+        let t2 = txn(2);
+        assert!(matches!(o.try_write(&t1), WriteAttempt::Registered { .. }));
+        match o.try_write(&t2) {
+            WriteAttempt::Conflict(w) => assert_eq!(w.id(), 1),
+            _ => panic!("expected Conflict"),
+        }
+        assert!(matches!(o.try_write(&t1), WriteAttempt::AlreadyWriter));
+    }
+
+    #[test]
+    fn committing_writer_asks_for_help() {
+        let o = obj(4);
+        let t1 = txn(1);
+        assert!(matches!(o.try_write(&t1), WriteAttempt::Registered { .. }));
+        t1.transition(TxnStatus::Active, TxnStatus::Committing);
+        let t2 = txn(2);
+        assert!(matches!(o.try_write(&t2), WriteAttempt::NeedHelp(_)));
+        assert!(matches!(
+            o.try_read(&ValidityRange::from(0u64)),
+            ReadAttempt::NeedHelp(_)
+        ));
+    }
+
+    #[test]
+    fn reader_ignores_active_writer() {
+        let o = obj(4);
+        let t1 = txn(1);
+        assert!(matches!(o.try_write(&t1), WriteAttempt::Registered { .. }));
+        o.set_spec_value(t1.id(), Arc::new(77));
+        match o.try_read(&ValidityRange::from(0u64)) {
+            ReadAttempt::Found { value, .. } => assert_eq!(*value, 10),
+            _ => panic!("reader must see committed version"),
+        }
+    }
+
+    #[test]
+    fn pruning_keeps_at_most_max_versions() {
+        let o = obj(2);
+        for (i, ct) in [(1u64, 10u64), (2, 20), (3, 30), (4, 40)] {
+            let t = txn(i);
+            assert!(matches!(o.try_write(&t), WriteAttempt::Registered { .. }));
+            o.set_spec_value(t.id(), Arc::new(i as i64));
+            t.transition(TxnStatus::Active, TxnStatus::Committing);
+            t.set_ct(ct);
+            t.transition(TxnStatus::Committing, TxnStatus::Committed);
+            o.fold_resolved();
+        }
+        assert_eq!(o.version_count(), 2);
+        assert_eq!(*o.snapshot_latest(), 4);
+        // A range before the retained window finds nothing.
+        match o.try_read(&ValidityRange::bounded(0u64, 5)) {
+            ReadAttempt::NoOverlap { newest_lower } => assert_eq!(newest_lower, 40),
+            _ => panic!("pruned history must be unreachable"),
+        }
+    }
+
+    #[test]
+    fn single_version_mode_keeps_only_latest() {
+        let o = obj(1);
+        let t = txn(1);
+        assert!(matches!(o.try_write(&t), WriteAttempt::Registered { .. }));
+        o.set_spec_value(t.id(), Arc::new(5));
+        t.transition(TxnStatus::Active, TxnStatus::Committing);
+        t.set_ct(100);
+        t.transition(TxnStatus::Committing, TxnStatus::Committed);
+        o.fold_resolved();
+        assert_eq!(o.version_count(), 1);
+        // Reads in the past fail: TL2-like behaviour (§1.2).
+        assert!(matches!(
+            o.try_read(&ValidityRange::bounded(0u64, 50)),
+            ReadAttempt::NoOverlap { .. }
+        ));
+    }
+
+    #[test]
+    fn read_own_write_roundtrip() {
+        let o = obj(4);
+        let t = txn(9);
+        assert!(matches!(o.try_write(&t), WriteAttempt::Registered { .. }));
+        assert!(o.set_spec_value(t.id(), Arc::new(1234)));
+        assert_eq!(*o.read_spec_value(t.id()).unwrap(), 1234);
+        assert!(o.read_spec_value(555).is_none(), "only the writer reads its spec");
+    }
+
+    #[test]
+    fn killed_writer_loses_spec_slot() {
+        let o = obj(4);
+        let t1 = txn(1);
+        assert!(matches!(o.try_write(&t1), WriteAttempt::Registered { .. }));
+        // t1 gets killed by a contention manager.
+        t1.transition(TxnStatus::Active, TxnStatus::Aborted);
+        // Another writer takes over (fold happens inside try_write).
+        let t2 = txn(2);
+        assert!(matches!(o.try_write(&t2), WriteAttempt::Registered { .. }));
+        assert!(!o.set_spec_value(t1.id(), Arc::new(0)), "t1 lost the slot");
+        assert!(o.read_spec_value(t1.id()).is_none());
+    }
+}

@@ -1,0 +1,392 @@
+//! The LSA-RT runtime: object factory, thread registration, retry loop.
+//!
+//! An [`Stm`] owns the time base, the configuration and the contention
+//! manager. Threads register once ([`Stm::register`]) to obtain a
+//! [`ThreadHandle`] carrying their per-thread clock ([`lsa_time::ThreadClock`])
+//! and statistics; [`ThreadHandle::atomically`] runs a transaction body with
+//! automatic retry on abort:
+//!
+//! ```
+//! use lsa_stm::stm::Stm;
+//! use lsa_time::counter::SharedCounter;
+//!
+//! let stm = Stm::new(SharedCounter::new());
+//! let account = stm.new_tvar(100i64);
+//! let mut thread = stm.register();
+//! thread.atomically(|tx| {
+//!     let v = tx.read(&account)?;
+//!     tx.write(&account, *v - 30)
+//! });
+//! assert_eq!(*account.snapshot_latest(), 70);
+//! ```
+
+use crate::cm::{ContentionManager, Polite};
+use crate::config::StmConfig;
+use crate::error::TxResult;
+use crate::lsa::Txn;
+use crate::object::{TObject, TVar};
+use crate::stats::TxnStats;
+use crate::txn_shared::TxnShared;
+use lsa_time::{TimeBase, Timestamp};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Process-wide instance counter so object ids never collide between
+/// distinct [`Stm`] instances (ids key per-transaction hash maps).
+static STM_INSTANCES: AtomicU32 = AtomicU32::new(1);
+
+struct StmInner<B: TimeBase> {
+    tb: B,
+    cfg: StmConfig,
+    cm: Box<dyn ContentionManager>,
+    instance: u32,
+    next_obj: AtomicU64,
+    next_handle: AtomicU64,
+    /// Birth-order source for contention managers that require one
+    /// ([`ContentionManager::needs_birth`]); untouched otherwise so the
+    /// default configuration has no shared counter besides the time base.
+    birth_counter: AtomicU64,
+}
+
+/// The LSA-RT software transactional memory runtime.
+pub struct Stm<B: TimeBase> {
+    inner: Arc<StmInner<B>>,
+}
+
+impl<B: TimeBase> Clone for Stm<B> {
+    fn clone(&self) -> Self {
+        Stm { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<B: TimeBase> Stm<B> {
+    /// Runtime with the default configuration and the [`Polite`] contention
+    /// manager.
+    pub fn new(tb: B) -> Self {
+        Self::with_cm(tb, StmConfig::default(), Polite::default())
+    }
+
+    /// Runtime with a custom configuration.
+    pub fn with_config(tb: B, cfg: StmConfig) -> Self {
+        Self::with_cm(tb, cfg, Polite::default())
+    }
+
+    /// Runtime with custom configuration and contention manager.
+    pub fn with_cm(tb: B, cfg: StmConfig, cm: impl ContentionManager) -> Self {
+        Stm {
+            inner: Arc::new(StmInner {
+                tb,
+                cfg,
+                cm: Box::new(cm),
+                instance: STM_INSTANCES.fetch_add(1, Ordering::Relaxed),
+                next_obj: AtomicU64::new(1),
+                next_handle: AtomicU64::new(1),
+                birth_counter: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// The runtime's configuration.
+    pub fn config(&self) -> &StmConfig {
+        &self.inner.cfg
+    }
+
+    /// The underlying time base.
+    pub fn time_base(&self) -> &B {
+        &self.inner.tb
+    }
+
+    /// Name of the contention-management policy in use.
+    pub fn cm_name(&self) -> &'static str {
+        self.inner.cm.name()
+    }
+
+    /// Create a transactional variable holding `value`. The initial version
+    /// is valid from [`Timestamp::origin`], i.e. visible to every snapshot.
+    pub fn new_tvar<T: Send + Sync + 'static>(&self, value: T) -> TVar<T, B::Ts> {
+        let seq = self.inner.next_obj.fetch_add(1, Ordering::Relaxed);
+        let id = ((self.inner.instance as u64) << 40) | seq;
+        TVar::from_object(TObject::new(
+            id,
+            value,
+            <B::Ts as Timestamp>::origin(),
+            self.inner.cfg.max_versions,
+        ))
+    }
+
+    /// Register the calling thread: allocates its clock handle and stats.
+    pub fn register(&self) -> ThreadHandle<B> {
+        let handle_id = self.inner.next_handle.fetch_add(1, Ordering::Relaxed);
+        ThreadHandle {
+            stm: self.clone(),
+            handle_id,
+            clock: self.inner.tb.register_thread(),
+            stats: TxnStats::default(),
+            txn_seq: 0,
+            last_commit_time: None,
+        }
+    }
+}
+
+/// A registered thread's gateway to running transactions.
+pub struct ThreadHandle<B: TimeBase> {
+    stm: Stm<B>,
+    handle_id: u64,
+    clock: B::Clock,
+    stats: TxnStats,
+    txn_seq: u64,
+    last_commit_time: Option<B::Ts>,
+}
+
+impl<B: TimeBase> ThreadHandle<B> {
+    /// The owning runtime.
+    pub fn stm(&self) -> &Stm<B> {
+        &self.stm
+    }
+
+    /// Statistics accumulated by this thread so far.
+    pub fn stats(&self) -> &TxnStats {
+        &self.stats
+    }
+
+    /// Take (and reset) the accumulated statistics.
+    pub fn take_stats(&mut self) -> TxnStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Commit time of this thread's most recent committed *update*
+    /// transaction (`None` before the first one, unchanged by read-only
+    /// commits). The offline serializability checker in the integration
+    /// tests orders the committed history by these values.
+    pub fn last_commit_time(&self) -> Option<B::Ts> {
+        self.last_commit_time
+    }
+
+    fn next_txn_id(&mut self) -> u64 {
+        self.txn_seq += 1;
+        (self.handle_id << 40) | (self.txn_seq & ((1 << 40) - 1))
+    }
+
+    /// Run `body` as a transaction, retrying on abort until it commits;
+    /// returns the body's result. The body must perform all shared accesses
+    /// through the provided [`Txn`] and propagate [`crate::error::Abort`]
+    /// errors with `?` — the loop re-executes it from scratch after an abort
+    /// (any side effects outside the STM must therefore be idempotent).
+    pub fn atomically<R>(
+        &mut self,
+        mut body: impl FnMut(&mut Txn<'_, B>) -> TxResult<R>,
+    ) -> R {
+        let needs_birth = self.stm.inner.cm.needs_birth();
+        let mut birth = 0u64;
+        let mut carried_ops = 0u64;
+        let mut retries = 0u32;
+        loop {
+            let txn_id = self.next_txn_id();
+            let shared = Arc::new(TxnShared::new(txn_id));
+            if self.stm.inner.cfg.snapshot_isolation {
+                shared.mark_snapshot_isolation();
+            }
+            // Contention-manager continuity across retries of the same
+            // logical transaction (karma, age).
+            shared.cm().seed(carried_ops, retries);
+            if needs_birth {
+                if birth == 0 {
+                    birth = self.stm.inner.birth_counter.fetch_add(1, Ordering::Relaxed);
+                }
+                shared.cm().set_birth(birth);
+            }
+
+            let inner = &self.stm.inner;
+            let mut txn = Txn::begin(
+                &inner.cfg,
+                inner.cm.as_ref(),
+                &mut self.clock,
+                &mut self.stats,
+                Arc::clone(&shared),
+            );
+            match body(&mut txn) {
+                Ok(value) => {
+                    if let Ok(ct) = txn.finish_commit() {
+                        drop(txn);
+                        if ct.is_some() {
+                            self.last_commit_time = ct;
+                        }
+                        return value;
+                    }
+                }
+                Err(abort) => txn.ensure_aborted(abort.reason),
+            }
+            drop(txn);
+
+            carried_ops = shared.cm().ops();
+            retries = retries.saturating_add(1);
+            self.stats.retries += 1;
+            if u64::from(retries) > inner.cfg.yield_after_retries {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Like [`ThreadHandle::atomically`] but gives up after `max_attempts`
+    /// aborts, returning the last abort. Useful for tests and bounded-effort
+    /// callers.
+    pub fn try_atomically<R>(
+        &mut self,
+        max_attempts: u32,
+        mut body: impl FnMut(&mut Txn<'_, B>) -> TxResult<R>,
+    ) -> TxResult<R> {
+        assert!(max_attempts >= 1);
+        let mut last = None;
+        for _ in 0..max_attempts {
+            let txn_id = self.next_txn_id();
+            let shared = Arc::new(TxnShared::new(txn_id));
+            if self.stm.inner.cfg.snapshot_isolation {
+                shared.mark_snapshot_isolation();
+            }
+            let inner = &self.stm.inner;
+            let mut txn = Txn::begin(
+                &inner.cfg,
+                inner.cm.as_ref(),
+                &mut self.clock,
+                &mut self.stats,
+                Arc::clone(&shared),
+            );
+            match body(&mut txn) {
+                Ok(value) => match txn.finish_commit() {
+                    Ok(ct) => {
+                        drop(txn);
+                        if ct.is_some() {
+                            self.last_commit_time = ct;
+                        }
+                        return Ok(value);
+                    }
+                    Err(a) => last = Some(a),
+                },
+                Err(a) => {
+                    txn.ensure_aborted(a.reason);
+                    last = Some(a);
+                }
+            }
+            drop(txn);
+            self.stats.retries += 1;
+        }
+        Err(last.expect("max_attempts >= 1"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::AbortReason;
+    use lsa_time::counter::SharedCounter;
+    use lsa_time::hardware::HardwareClock;
+    use lsa_time::perfect::PerfectClock;
+
+    #[test]
+    fn single_thread_read_write_roundtrip() {
+        let stm = Stm::new(SharedCounter::new());
+        let x = stm.new_tvar(1i64);
+        let mut h = stm.register();
+        let seen = h.atomically(|tx| {
+            let v = tx.read(&x)?;
+            tx.write(&x, *v + 41)?;
+            tx.read(&x).map(|v| *v)
+        });
+        assert_eq!(seen, 42, "read-own-write");
+        assert_eq!(*x.snapshot_latest(), 42);
+        assert_eq!(h.stats().commits, 1);
+        assert_eq!(h.stats().total_aborts(), 0);
+    }
+
+    #[test]
+    fn read_only_txn_commits_without_validation() {
+        let stm = Stm::new(SharedCounter::new());
+        let x = stm.new_tvar(7i64);
+        let mut h = stm.register();
+        let v = h.atomically(|tx| tx.read(&x).map(|v| *v));
+        assert_eq!(v, 7);
+        assert_eq!(h.stats().ro_commits, 1);
+        assert_eq!(h.stats().commits, 0);
+    }
+
+    #[test]
+    fn modify_accumulates_within_txn() {
+        let stm = Stm::new(PerfectClock::new());
+        let x = stm.new_tvar(0i64);
+        let mut h = stm.register();
+        h.atomically(|tx| {
+            for _ in 0..5 {
+                tx.modify(&x, |v| v + 1)?;
+            }
+            Ok(())
+        });
+        assert_eq!(*x.snapshot_latest(), 5);
+    }
+
+    #[test]
+    fn sequential_txns_see_each_other() {
+        let stm = Stm::new(HardwareClock::mmtimer_free());
+        let x = stm.new_tvar(0i64);
+        let mut h = stm.register();
+        for i in 1..=10 {
+            h.atomically(|tx| tx.modify(&x, |v| v + 1));
+            assert_eq!(*x.snapshot_latest(), i);
+        }
+        assert_eq!(h.stats().commits, 10);
+    }
+
+    #[test]
+    fn explicit_retry_reruns_body() {
+        let stm = Stm::new(SharedCounter::new());
+        let x = stm.new_tvar(0i64);
+        let mut h = stm.register();
+        let mut attempts = 0;
+        h.atomically(|tx| {
+            attempts += 1;
+            if attempts < 3 {
+                return Err(tx.abort_retry());
+            }
+            tx.write(&x, attempts)
+        });
+        assert_eq!(attempts, 3);
+        assert_eq!(*x.snapshot_latest(), 3);
+        assert_eq!(h.stats().aborts_for(AbortReason::Explicit), 2);
+        assert_eq!(h.stats().retries, 2);
+    }
+
+    #[test]
+    fn try_atomically_bounds_attempts() {
+        let stm = Stm::new(SharedCounter::new());
+        let mut h = stm.register();
+        let r: TxResult<()> = h.try_atomically(3, |tx| Err(tx.abort_retry()));
+        assert!(r.is_err());
+        assert_eq!(h.stats().aborts_for(AbortReason::Explicit), 3);
+    }
+
+    #[test]
+    fn two_stms_have_disjoint_object_ids() {
+        let a = Stm::new(SharedCounter::new());
+        let b = Stm::new(SharedCounter::new());
+        let xa = a.new_tvar(0u8);
+        let xb = b.new_tvar(0u8);
+        assert_ne!(xa.id(), xb.id());
+    }
+
+    #[test]
+    fn heterogeneous_payloads_in_one_txn() {
+        let stm = Stm::new(SharedCounter::new());
+        let n = stm.new_tvar(3usize);
+        let s = stm.new_tvar(String::from("abc"));
+        let v = stm.new_tvar(vec![1u8, 2, 3]);
+        let mut h = stm.register();
+        let total = h.atomically(|tx| {
+            let a = *tx.read(&n)?;
+            let b = tx.read(&s)?.len();
+            let c = tx.read(&v)?.len();
+            tx.write(&n, a + b + c)?;
+            Ok(a + b + c)
+        });
+        assert_eq!(total, 9);
+        assert_eq!(*n.snapshot_latest(), 9);
+    }
+}

@@ -1,0 +1,127 @@
+//! Object version metadata.
+//!
+//! Every object traverses a sequence of versions (§1.1). A version's
+//! *validity range* `[⌊v.R⌋, ⌈v.R⌉]` starts at the commit time of the
+//! transaction that wrote it and ends just before the commit time of the
+//! transaction that superseded it; the latest version has `⌈v.R⌉ = ∞`.
+//!
+//! [`VersionMeta`] separates the range bookkeeping from the (typed) payload
+//! so that the transaction read set can be stored type-erased. Both bounds
+//! are write-once ([`std::sync::OnceLock`]): the lower bound is fixed when
+//! the writing transaction's speculative version is *folded* into the
+//! committed chain, the upper bound when the next version commits. Readers
+//! keep an `Arc<VersionMeta>` in their read set, so pruning old versions from
+//! an object's chain never invalidates the information a reader needs — a
+//! pruned version always has both bounds fixed.
+
+use lsa_time::Timestamp;
+use std::sync::OnceLock;
+
+/// Shared, write-once validity-range metadata of one object version.
+#[derive(Debug)]
+pub struct VersionMeta<Ts: Timestamp> {
+    lower: OnceLock<Ts>,
+    upper: OnceLock<Ts>,
+}
+
+impl<Ts: Timestamp> VersionMeta<Ts> {
+    /// Metadata for a speculative version: both bounds unknown.
+    pub fn speculative() -> Self {
+        VersionMeta { lower: OnceLock::new(), upper: OnceLock::new() }
+    }
+
+    /// Metadata for an already-committed version with a known lower bound
+    /// (used for the initial version of a fresh object).
+    pub fn committed_at(lower: Ts) -> Self {
+        let meta = Self::speculative();
+        meta.lower.set(lower).ok();
+        meta
+    }
+
+    /// `⌊v.R⌋`, if the version has been committed.
+    #[inline]
+    pub fn lower(&self) -> Option<Ts> {
+        self.lower.get().copied()
+    }
+
+    /// `⌈v.R⌉`, if the version has been superseded (`None` means `∞`).
+    #[inline]
+    pub fn upper(&self) -> Option<Ts> {
+        self.upper.get().copied()
+    }
+
+    /// Fix the lower bound (at fold time, to the writer's commit time).
+    /// Idempotent: only the first call takes effect — folding is performed
+    /// by whichever thread touches the object first and may race helpers.
+    #[inline]
+    pub fn set_lower(&self, ts: Ts) {
+        self.lower.set(ts).ok();
+    }
+
+    /// Fix the upper bound (when a superseding version is folded, to the
+    /// superseder's commit time minus one granule). Idempotent.
+    #[inline]
+    pub fn set_upper(&self, ts: Ts) {
+        self.upper.set(ts).ok();
+    }
+
+    /// The version's validity range as currently known:
+    /// `[lower, upper-or-∞]`. Panics if called before the version committed
+    /// (speculative versions have no range yet).
+    pub fn range(&self) -> lsa_time::ValidityRange<Ts> {
+        let lower = self.lower().expect("range() on a speculative version");
+        match self.upper() {
+            Some(u) => lsa_time::ValidityRange::bounded(lower, u),
+            None => lsa_time::ValidityRange::from(lower),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speculative_has_no_bounds() {
+        let m: VersionMeta<u64> = VersionMeta::speculative();
+        assert_eq!(m.lower(), None);
+        assert_eq!(m.upper(), None);
+    }
+
+    #[test]
+    fn bounds_are_write_once() {
+        let m: VersionMeta<u64> = VersionMeta::speculative();
+        m.set_lower(5);
+        m.set_lower(99); // ignored
+        assert_eq!(m.lower(), Some(5));
+        m.set_upper(10);
+        m.set_upper(3); // ignored
+        assert_eq!(m.upper(), Some(10));
+    }
+
+    #[test]
+    fn committed_at_sets_lower_only() {
+        let m: VersionMeta<u64> = VersionMeta::committed_at(7);
+        assert_eq!(m.lower(), Some(7));
+        assert_eq!(m.upper(), None);
+        let r = m.range();
+        assert_eq!(r.lower, 7);
+        assert_eq!(r.upper, None);
+    }
+
+    #[test]
+    fn range_reflects_fixed_upper() {
+        let m: VersionMeta<u64> = VersionMeta::committed_at(7);
+        m.set_upper(20);
+        let r = m.range();
+        assert_eq!(r.upper, Some(20));
+        assert!(r.contains(7) && r.contains(20) && !r.contains(21));
+    }
+
+    #[test]
+    #[should_panic(expected = "speculative")]
+    fn range_on_speculative_panics() {
+        let m: VersionMeta<u64> = VersionMeta::speculative();
+        let _ = m.range();
+    }
+}

@@ -1,0 +1,152 @@
+//! Deterministic helping and failure-injection scenarios.
+//!
+//! The concurrency smoke tests exercise helping probabilistically; these
+//! tests construct the exact descriptor states the paper's Algorithm 3
+//! line 13 and §2.3 describe — a writer *stuck* in the `Committing` state —
+//! and verify that other transactions complete the commit on its behalf, set
+//! its commit time from their own clocks, and observe its result.
+
+use lsa_stm::object::{AnyObject, ReadAttempt, WriteAttempt};
+use lsa_stm::prelude::*;
+use lsa_stm::status::TxnStatus;
+use lsa_stm::txn_shared::{CommitCtx, CtxEntry, TxnShared};
+use lsa_time::counter::SharedCounter;
+use lsa_time::ValidityRange;
+use std::sync::Arc;
+
+/// Build a "stuck" committing writer on a fresh object: registered, value
+/// installed, context published, status = Committing, **no commit time** —
+/// as if the owner thread was preempted right after the status CAS.
+fn stuck_committing_writer(
+    stm: &Stm<SharedCounter>,
+    var: &TVar<u64, u64>,
+    value: u64,
+) -> Arc<TxnShared<u64>> {
+    let writer: Arc<TxnShared<u64>> = Arc::new(TxnShared::new(0xDEAD));
+    let spec_meta = match var.object_for_tests().try_write(&writer) {
+        WriteAttempt::Registered { spec_meta, .. } => spec_meta,
+        _ => panic!("fresh object must register"),
+    };
+    assert!(var.object_for_tests().set_spec_value(writer.id(), Arc::new(value)));
+    writer.publish_ctx(CommitCtx {
+        entries: vec![CtxEntry {
+            obj: Arc::clone(var.object_for_tests()) as Arc<dyn lsa_stm::object::AnyObject<u64>>,
+            meta: spec_meta,
+        }],
+    });
+    assert!(writer.transition(TxnStatus::Active, TxnStatus::Committing));
+    let _ = stm;
+    writer
+}
+
+#[test]
+fn reader_helps_stuck_committer_and_sees_its_write() {
+    let stm = Stm::new(SharedCounter::new());
+    let var = stm.new_tvar(1u64);
+    let writer = stuck_committing_writer(&stm, &var, 42);
+    assert_eq!(writer.ct(), None, "owner never set a commit time");
+
+    // A reader arriving now must help the commit finish (Algorithm 3
+    // line 13) and then read the committed value 42.
+    let mut h = stm.register();
+    let seen = h.atomically(|tx| tx.read(&var).map(|v| *v));
+    assert_eq!(seen, 42, "reader must observe the helped commit");
+    assert_eq!(writer.status(), TxnStatus::Committed);
+    assert!(writer.ct().is_some(), "a helper set the commit time from its clock");
+    assert!(h.stats().helps >= 1, "the help must be accounted");
+}
+
+#[test]
+fn writer_helps_stuck_committer_before_taking_over() {
+    let stm = Stm::new(SharedCounter::new());
+    let var = stm.new_tvar(1u64);
+    let writer = stuck_committing_writer(&stm, &var, 7);
+
+    let mut h = stm.register();
+    h.atomically(|tx| tx.modify(&var, |v| v * 10));
+    assert_eq!(*var.snapshot_latest(), 70, "helped commit (7) then ours (×10)");
+    assert_eq!(writer.status(), TxnStatus::Committed);
+}
+
+#[test]
+fn raw_reader_gets_need_help_for_committing_writer() {
+    let stm = Stm::new(SharedCounter::new());
+    let var = stm.new_tvar(5u64);
+    let writer = stuck_committing_writer(&stm, &var, 6);
+    match var.object_for_tests().try_read(&ValidityRange::from(0u64)) {
+        ReadAttempt::NeedHelp(w) => assert_eq!(w.id(), writer.id()),
+        _ => panic!("committing writer must request help"),
+    }
+}
+
+#[test]
+fn killed_writer_mid_transaction_retries_cleanly() {
+    // Inject a kill exactly between a transaction's open-for-write and its
+    // commit; the victim must detect it (AbortReason::Killed), retry, and
+    // still produce a correct result.
+    let stm = Stm::new(SharedCounter::new());
+    let var = stm.new_tvar(0u64);
+    let mut h = stm.register();
+    let mut injected = false;
+    h.atomically(|tx| {
+        tx.modify(&var, |v| v + 1)?;
+        if !injected {
+            injected = true;
+            // Simulate an enemy contention manager: kill the current txn.
+            // We reach the shared descriptor through the object's writer.
+            let w = var
+                .object_for_tests()
+                .current_writer()
+                .expect("we are the registered writer");
+            assert!(w.transition(TxnStatus::Active, TxnStatus::Aborted));
+        }
+        // The very next operation must notice the kill and abort.
+        tx.read(&var).map(|v| *v)
+    });
+    assert_eq!(*var.snapshot_latest(), 1, "retry applied the increment once");
+    assert_eq!(h.stats().aborts_for(AbortReason::Killed), 1);
+    assert_eq!(h.stats().commits, 1);
+}
+
+#[test]
+fn aborted_stuck_writer_is_discarded_by_next_accessor() {
+    // A writer that is killed while Active leaves a speculative version; the
+    // next accessor folds it away without help.
+    let stm = Stm::new(SharedCounter::new());
+    let var = stm.new_tvar(9u64);
+    let writer: Arc<TxnShared<u64>> = Arc::new(TxnShared::new(0xBEEF));
+    assert!(matches!(
+        var.object_for_tests().try_write(&writer),
+        WriteAttempt::Registered { .. }
+    ));
+    var.object_for_tests().set_spec_value(writer.id(), Arc::new(666));
+    assert!(writer.transition(TxnStatus::Active, TxnStatus::Aborted));
+
+    let mut h = stm.register();
+    let seen = h.atomically(|tx| tx.read(&var).map(|v| *v));
+    assert_eq!(seen, 9, "the aborted write must never surface");
+    assert!(var.object_for_tests().current_writer().is_none());
+}
+
+#[test]
+fn two_helpers_race_exactly_one_commit() {
+    // Many threads help the same stuck committer; the version must be folded
+    // exactly once and every reader agree on the value.
+    let stm = Stm::new(SharedCounter::new());
+    let var = stm.new_tvar(0u64);
+    let writer = stuck_committing_writer(&stm, &var, 1234);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let stm = stm.clone();
+            let var = var.clone();
+            s.spawn(move || {
+                let mut h = stm.register();
+                let v = h.atomically(|tx| tx.read(&var).map(|v| *v));
+                assert_eq!(v, 1234);
+            });
+        }
+    });
+    assert_eq!(writer.status(), TxnStatus::Committed);
+    assert_eq!(*var.snapshot_latest(), 1234);
+    assert_eq!(var.version_count(), 2, "initial + exactly one helped commit");
+}

@@ -1,0 +1,105 @@
+//! Regression test for the `getPrelimUB` atomicity race.
+//!
+//! The paper's pseudocode (Algorithm 3 lines 19–35) evaluates `getPrelimUB`
+//! atomically. A naive implementation reads `v.upper` and `o.writer` as two
+//! separate loads; if the reading thread stalls between them, `v` can be
+//! superseded several times in the gap and the sampled writer belongs to a
+//! much later generation — whose commit time says nothing about `v`'s
+//! validity. The resulting snapshot claims an old version valid far beyond
+//! its true range, and a read-only scan combines versions from different
+//! commits.
+//!
+//! The fix re-checks the write-once `upper` bound after sampling the writer
+//! (`prelim_raw`'s `finish`). This test is the distilled workload that
+//! exposed the race within ~2 seconds on a 2-core host: one updater moving
+//! value between two variables at maximum rate, one scanner asserting the
+//! invariant. Run in a loop to give the scheduler many chances to preempt
+//! between the two loads.
+
+use lsa_stm::prelude::*;
+use lsa_time::counter::SharedCounter;
+use lsa_time::hardware::HardwareClock;
+use lsa_time::TimeBase;
+
+fn two_var_invariant_holds<B: TimeBase>(tb: B, iterations: usize) {
+    let stm = Stm::new(tb);
+    let a = stm.new_tvar(500i64);
+    let b = stm.new_tvar(500i64);
+    std::thread::scope(|s| {
+        let stm2 = stm.clone();
+        let (a2, b2) = (a.clone(), b.clone());
+        s.spawn(move || {
+            let mut h = stm2.register();
+            for i in 0..iterations {
+                let amt = (i % 9) as i64;
+                h.atomically(|tx| {
+                    let va = *tx.read(&a2)?;
+                    let vb = *tx.read(&b2)?;
+                    tx.write(&a2, va - amt)?;
+                    tx.write(&b2, vb + amt)?;
+                    Ok(())
+                });
+            }
+        });
+        let stm3 = stm.clone();
+        let (a3, b3) = (a.clone(), b.clone());
+        s.spawn(move || {
+            let mut h = stm3.register();
+            for j in 0..iterations {
+                let total = h.atomically(|tx| Ok(*tx.read(&a3)? + *tx.read(&b3)?));
+                assert_eq!(
+                    total, 1_000,
+                    "iteration {j}: scan combined versions from different commits"
+                );
+            }
+        });
+    });
+    assert_eq!(*a.snapshot_latest() + *b.snapshot_latest(), 1_000);
+}
+
+#[test]
+fn tight_two_var_scan_counter() {
+    for _ in 0..8 {
+        two_var_invariant_holds(SharedCounter::new(), 4_000);
+    }
+}
+
+#[test]
+fn tight_two_var_scan_counter_single_version() {
+    let stm = Stm::with_config(SharedCounter::new(), StmConfig::single_version());
+    let a = stm.new_tvar(500i64);
+    let b = stm.new_tvar(500i64);
+    std::thread::scope(|s| {
+        let stm2 = stm.clone();
+        let (a2, b2) = (a.clone(), b.clone());
+        s.spawn(move || {
+            let mut h = stm2.register();
+            for i in 0..8_000 {
+                let amt = (i % 9) as i64;
+                h.atomically(|tx| {
+                    let va = *tx.read(&a2)?;
+                    let vb = *tx.read(&b2)?;
+                    tx.write(&a2, va - amt)?;
+                    tx.write(&b2, vb + amt)?;
+                    Ok(())
+                });
+            }
+        });
+        let stm3 = stm.clone();
+        let (a3, b3) = (a.clone(), b.clone());
+        s.spawn(move || {
+            let mut h = stm3.register();
+            for _ in 0..8_000 {
+                let total = h.atomically(|tx| Ok(*tx.read(&a3)? + *tx.read(&b3)?));
+                assert_eq!(total, 1_000);
+            }
+        });
+    });
+}
+
+#[test]
+fn tight_two_var_scan_mmtimer() {
+    for _ in 0..4 {
+        two_var_invariant_holds(HardwareClock::mmtimer_free(), 3_000);
+    }
+}

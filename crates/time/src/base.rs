@@ -1,0 +1,133 @@
+//! The time base abstraction (§2.1 of the paper).
+//!
+//! A *time base* provides every thread with the utility functions of
+//! Algorithm 1: `getTime` (a monotonic reading of the global time) and
+//! `getNewTS` (a reading strictly greater than anything this thread has seen
+//! so far). Threads interact with the time base through a per-thread
+//! [`ThreadClock`] handle obtained from [`TimeBase::register_thread`] — this
+//! models the paper's "each thread p has access to a local clock Cp" (§3.1)
+//! and lets implementations keep per-thread state (last returned value,
+//! injected clock offsets, NUMA cache-line ownership) without sharing.
+
+use crate::timestamp::Timestamp;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// A shared time base from which threads obtain their clock handles.
+///
+/// Implementations are cheap to share (`Arc` internally where needed) and
+/// must guarantee that the timestamps handed out through *any* of their
+/// [`ThreadClock`]s are mutually comparable with the semantics of
+/// [`Timestamp`].
+pub trait TimeBase: Send + Sync + 'static {
+    /// The timestamp type produced by this base's clocks.
+    type Ts: Timestamp;
+    /// The per-thread clock handle type.
+    type Clock: ThreadClock<Ts = Self::Ts>;
+
+    /// Create a clock handle for the calling thread. Handles are `Send` but
+    /// are meant to be used by a single thread at a time (they carry the
+    /// thread-local monotonicity state).
+    fn register_thread(&self) -> Self::Clock;
+
+    /// A short human-readable name used in experiment output
+    /// (e.g. `"shared-counter"`, `"mmtimer"`).
+    fn name(&self) -> &'static str;
+}
+
+/// A per-thread clock handle implementing the paper's `getTime`/`getNewTS`.
+pub trait ThreadClock: Send + 'static {
+    /// The timestamp type produced by this clock.
+    type Ts: Timestamp;
+
+    /// The paper's `getTime()`: returns the current time as observed by this
+    /// thread. Successive calls on the same handle return monotonically
+    /// non-decreasing timestamps (`t2 ≽ t1`), but not necessarily strictly
+    /// increasing ones — clocks that tick rarely (e.g. commit counters) may
+    /// return the same value repeatedly.
+    fn get_time(&mut self) -> Self::Ts;
+
+    /// The paper's `getNewTS()`: returns a timestamp *strictly greater* than
+    /// any timestamp previously returned to this thread by `get_time` or
+    /// `get_new_ts`. Update transactions call this once at commit to obtain
+    /// their tentative commit time (Algorithm 2 line 41).
+    fn get_new_ts(&mut self) -> Self::Ts;
+}
+
+/// Start of the process-wide monotonic epoch. All real-time-flavoured time
+/// bases in this crate derive their readings from one shared [`Instant`], so
+/// readings taken by different threads are mutually consistent (Linux
+/// `CLOCK_MONOTONIC` is globally coherent across CPUs, which is exactly the
+/// "perfectly synchronized clock" hardware assumption of §3.1).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Offset added to all nanosecond readings so that downstream arithmetic
+/// (e.g. `ts - dev` for externally synchronized clocks, `prior()`) can never
+/// underflow near process start. Roughly 18 minutes.
+pub const EPOCH_OFFSET_NS: u64 = 1 << 40;
+
+/// Read the shared monotonic clock, in nanoseconds since an arbitrary (but
+/// process-wide) epoch. This is the raw oscillator from which
+/// [`crate::perfect::PerfectClock`], [`crate::hardware::HardwareClock`] and
+/// [`crate::external::ExternalClock`] synthesize their readings.
+#[inline]
+pub fn monotonic_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64 + EPOCH_OFFSET_NS
+}
+
+/// Busy-wait for approximately `ns` nanoseconds. Used by the latency-emulating
+/// time bases ([`crate::hardware::HardwareClock`] read cost,
+/// [`crate::numa::NumaCounter`] remote-miss cost). Spinning (rather than
+/// sleeping) matches what the modeled hardware does: the CPU is stalled on an
+/// uncached load for the duration.
+#[inline]
+pub fn spin_for_ns(ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    let start = Instant::now();
+    while (start.elapsed().as_nanos() as u64) < ns {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_ns_is_monotonic_and_offset() {
+        let a = monotonic_ns();
+        let b = monotonic_ns();
+        assert!(b >= a);
+        assert!(a >= EPOCH_OFFSET_NS);
+    }
+
+    #[test]
+    fn monotonic_ns_consistent_across_threads() {
+        // A reading taken *after* a handshake must be >= a reading taken
+        // before it, even when the two readings come from different threads:
+        // this is the global-coherence property the paper's perfectly
+        // synchronized clocks provide.
+        let before = monotonic_ns();
+        let from_thread = std::thread::spawn(monotonic_ns).join().unwrap();
+        let after = monotonic_ns();
+        assert!(from_thread >= before);
+        assert!(after >= from_thread);
+    }
+
+    #[test]
+    fn spin_for_ns_waits_at_least_that_long() {
+        let start = Instant::now();
+        spin_for_ns(200_000); // 200 µs
+        assert!(start.elapsed().as_nanos() >= 200_000);
+    }
+
+    #[test]
+    fn spin_for_zero_returns_immediately() {
+        spin_for_ns(0);
+    }
+}

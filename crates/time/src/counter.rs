@@ -1,0 +1,282 @@
+//! Shared-integer-counter time bases (§1.2 of the paper).
+//!
+//! The classical time base of LSA and TL2: a single global integer counter,
+//! read at every transaction start (`getTime`) and incremented by every
+//! committing update transaction (`getNewTS`). On small multi-cores the cost
+//! is negligible; on larger machines every increment causes cache misses in
+//! *all* concurrent transactions, which is precisely the bottleneck the paper
+//! sets out to remove (§4.2, Figure 2).
+//!
+//! Two variants are provided:
+//!
+//! * [`SharedCounter`] — plain `fetch_add` counter,
+//! * [`Tl2Counter`] — the TL2 optimization in which a transaction whose
+//!   timestamp-acquiring compare-and-swap fails *shares* the timestamp
+//!   installed by the winner instead of retrying. The paper reports this
+//!   "showed no advantages on our hardware" (§4.2); the
+//!   [`Tl2Counter::shared_acquisitions`] statistic lets the benchmarks verify
+//!   both behaviours.
+
+use crate::base::{ThreadClock, TimeBase};
+use crossbeam_utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The classical global shared integer counter time base.
+///
+/// `getTime` is a single atomic load; `getNewTS` is a `fetch_add(1)` whose
+/// result is strictly greater than every previously published timestamp,
+/// satisfying the `getNewTS` contract trivially. The counter is cache-padded
+/// so that the *only* sharing the benchmarks observe is the true sharing of
+/// the counter itself, not false sharing with neighbouring data.
+#[derive(Clone, Debug, Default)]
+pub struct SharedCounter {
+    counter: Arc<CachePadded<AtomicU64>>,
+}
+
+impl SharedCounter {
+    /// Create a counter starting at 1 (0 is never produced, so callers can
+    /// use 0 as an "unset" sentinel as the paper does with `T.CT ← 0`).
+    pub fn new() -> Self {
+        SharedCounter {
+            counter: Arc::new(CachePadded::new(AtomicU64::new(1))),
+        }
+    }
+
+    /// Current raw value of the counter (for statistics/tests).
+    pub fn current(&self) -> u64 {
+        self.counter.load(Ordering::SeqCst)
+    }
+}
+
+/// Per-thread handle to a [`SharedCounter`].
+#[derive(Clone, Debug)]
+pub struct SharedCounterClock {
+    counter: Arc<CachePadded<AtomicU64>>,
+}
+
+impl TimeBase for SharedCounter {
+    type Ts = u64;
+    type Clock = SharedCounterClock;
+
+    fn register_thread(&self) -> SharedCounterClock {
+        SharedCounterClock {
+            counter: Arc::clone(&self.counter),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "shared-counter"
+    }
+}
+
+impl ThreadClock for SharedCounterClock {
+    type Ts = u64;
+
+    #[inline]
+    fn get_time(&mut self) -> u64 {
+        // Acquire: a transaction that observes counter value t must also
+        // observe all writes of the transactions that committed at <= t.
+        self.counter.load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn get_new_ts(&mut self) -> u64 {
+        // AcqRel: the increment both publishes our commit (Release) and
+        // brings us up to date with earlier committers (Acquire).
+        self.counter.fetch_add(1, Ordering::AcqRel) + 1
+    }
+}
+
+/// TL2-style counter: on a failed timestamp-acquiring CAS the transaction
+/// adopts the winner's timestamp instead of retrying (§1.2).
+///
+/// Sharing a commit timestamp is sound for time-based STMs because two
+/// transactions may commit at the same time as long as they do not conflict
+/// (§2.3) — and conflicting transactions are serialized by the object-level
+/// write protocol, never by the counter.
+#[derive(Clone, Debug, Default)]
+pub struct Tl2Counter {
+    counter: Arc<CachePadded<AtomicU64>>,
+    shared: Arc<CachePadded<AtomicU64>>,
+}
+
+impl Tl2Counter {
+    /// Create a counter starting at 1.
+    pub fn new() -> Self {
+        Tl2Counter {
+            counter: Arc::new(CachePadded::new(AtomicU64::new(1))),
+            shared: Arc::new(CachePadded::new(AtomicU64::new(0))),
+        }
+    }
+
+    /// Current raw value of the counter (for statistics/tests).
+    pub fn current(&self) -> u64 {
+        self.counter.load(Ordering::SeqCst)
+    }
+
+    /// How many `get_new_ts` calls returned a timestamp installed by another
+    /// thread (i.e. how often the optimization actually fired).
+    pub fn shared_acquisitions(&self) -> u64 {
+        self.shared.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-thread handle to a [`Tl2Counter`].
+#[derive(Clone, Debug)]
+pub struct Tl2CounterClock {
+    counter: Arc<CachePadded<AtomicU64>>,
+    shared: Arc<CachePadded<AtomicU64>>,
+    /// Largest timestamp this thread has returned so far; the shared-on-failure
+    /// path may only return values strictly greater than this.
+    last_seen: u64,
+}
+
+impl TimeBase for Tl2Counter {
+    type Ts = u64;
+    type Clock = Tl2CounterClock;
+
+    fn register_thread(&self) -> Tl2CounterClock {
+        Tl2CounterClock {
+            counter: Arc::clone(&self.counter),
+            shared: Arc::clone(&self.shared),
+            last_seen: 0,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "tl2-counter"
+    }
+}
+
+impl ThreadClock for Tl2CounterClock {
+    type Ts = u64;
+
+    #[inline]
+    fn get_time(&mut self) -> u64 {
+        let t = self.counter.load(Ordering::Acquire);
+        self.last_seen = self.last_seen.max(t);
+        t
+    }
+
+    #[inline]
+    fn get_new_ts(&mut self) -> u64 {
+        let mut cur = self.counter.load(Ordering::Acquire);
+        loop {
+            match self.counter.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.last_seen = cur + 1;
+                    return cur + 1;
+                }
+                Err(observed) => {
+                    // TL2 optimization: adopt the winner's timestamp — but
+                    // only if it satisfies the strict getNewTS contract for
+                    // this thread.
+                    if observed > self.last_seen {
+                        self.shared.fetch_add(1, Ordering::Relaxed);
+                        self.last_seen = observed;
+                        return observed;
+                    }
+                    cur = observed;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base::{ThreadClock as _, TimeBase as _};
+
+    #[test]
+    fn counter_starts_above_zero() {
+        let tb = SharedCounter::new();
+        let mut c = tb.register_thread();
+        assert!(c.get_time() >= 1);
+    }
+
+    #[test]
+    fn get_new_ts_is_strictly_increasing_per_thread() {
+        let tb = SharedCounter::new();
+        let mut c = tb.register_thread();
+        let mut last = c.get_time();
+        for _ in 0..100 {
+            let t = c.get_new_ts();
+            assert!(t > last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn get_time_sees_other_threads_commits() {
+        let tb = SharedCounter::new();
+        let mut a = tb.register_thread();
+        let mut b = tb.register_thread();
+        let t1 = a.get_new_ts();
+        assert!(b.get_time() >= t1);
+    }
+
+    #[test]
+    fn concurrent_new_ts_are_unique_for_plain_counter() {
+        let tb = SharedCounter::new();
+        let threads = 4;
+        let per = 10_000;
+        let mut all: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let mut clk = tb.register_thread();
+                    s.spawn(move || (0..per).map(|_| clk.get_new_ts()).collect::<Vec<_>>())
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), threads * per, "plain counter timestamps are unique");
+    }
+
+    #[test]
+    fn tl2_counter_monotonic_per_thread_under_contention() {
+        let tb = Tl2Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let mut clk = tb.register_thread();
+                s.spawn(move || {
+                    let mut last = 0;
+                    for _ in 0..10_000 {
+                        let t = clk.get_new_ts();
+                        assert!(t > last, "strictly increasing per thread");
+                        last = t;
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn tl2_counter_may_share_timestamps() {
+        let tb = Tl2Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let mut clk = tb.register_thread();
+                s.spawn(move || {
+                    for _ in 0..50_000 {
+                        clk.get_new_ts();
+                    }
+                });
+            }
+        });
+        // With 4 threads hammering the counter some CASes fail; we only check
+        // that the statistic is wired up (0 is possible on a 1-CPU box, so
+        // don't assert > 0 — just that the total adds up).
+        let issued = tb.current() - 1;
+        let shared = tb.shared_acquisitions();
+        assert_eq!(issued + shared, 4 * 50_000);
+    }
+}

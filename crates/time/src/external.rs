@@ -1,0 +1,448 @@
+//! Externally synchronized real-time clocks (§3.2, Algorithm 5).
+//!
+//! Each thread `p` reads a local clock `ECp` whose deviation from real time
+//! is bounded: `|ECp(t) − t| ≤ dev`. A timestamp is therefore a triple
+//! `(ts, cid, dev)` — the local reading, the identifier of the clock that
+//! produced it, and the deviation bound. Comparisons between timestamps from
+//! the *same* clock need no slack; comparisons across clocks must assume the
+//! worst-case deviation of both sides (Algorithm 5 line 14). `max`/`min` of
+//! incomparable timestamps *poison* the clock id (`cid = undefined`) so that
+//! all future comparisons keep accounting for the uncertainty.
+//!
+//! Masking uncertainty this way virtually shrinks every version's validity
+//! range by `dev` on each side, creating gaps of `2·dev` between versions
+//! (§3.2) — the effect quantified by the `err_sweep` experiment (EXP-ERR in
+//! DESIGN.md).
+//!
+//! [`ExternalClock`] *injects* per-thread offsets (bounded by `dev`) on top
+//! of the globally coherent monotonic clock, so the uncertainty handling is
+//! exercised for real: two threads genuinely disagree about the current time,
+//! by up to `2·dev`.
+
+use crate::base::{monotonic_ns, ThreadClock, TimeBase};
+use crate::timestamp::Timestamp;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Clock identifier carried by an [`ExtTimestamp`]. [`ClockId::UNDEFINED`]
+/// marks a timestamp that resulted from `max`/`min` of incomparable inputs
+/// and must always be compared with deviation slack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ClockId(pub u32);
+
+impl ClockId {
+    /// The paper's `undefined` clock id.
+    pub const UNDEFINED: ClockId = ClockId(u32::MAX);
+
+    /// Whether this id is the `undefined` marker.
+    #[inline]
+    pub fn is_undefined(self) -> bool {
+        self == Self::UNDEFINED
+    }
+}
+
+/// A timestamp from an externally synchronized clock: `(ts, cid, dev)`
+/// (§3.2). `ts` and `dev` are in nanoseconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExtTimestamp {
+    /// Local clock reading (nanoseconds).
+    pub ts: u64,
+    /// Identifier of the producing clock, or [`ClockId::UNDEFINED`].
+    pub cid: ClockId,
+    /// Maximum deviation of the producing clock from real time (nanoseconds).
+    pub dev: u64,
+}
+
+impl ExtTimestamp {
+    /// Construct a timestamp.
+    #[inline]
+    pub fn new(ts: u64, cid: ClockId, dev: u64) -> Self {
+        ExtTimestamp { ts, cid, dev }
+    }
+
+    /// Latest real time at which this reading could have been taken.
+    #[inline]
+    pub fn upper_ns(self) -> u64 {
+        self.ts.saturating_add(self.dev)
+    }
+
+    /// Earliest real time at which this reading could have been taken.
+    #[inline]
+    pub fn lower_ns(self) -> u64 {
+        self.ts.saturating_sub(self.dev)
+    }
+}
+
+impl Timestamp for ExtTimestamp {
+    /// Algorithm 5, function `≽`: same-clock timestamps compare exactly;
+    /// cross-clock comparisons require the intervals of possible real times
+    /// to be disjoint in the right direction.
+    #[inline]
+    fn ge(self, other: Self) -> bool {
+        if self.cid == other.cid && !self.cid.is_undefined() {
+            self.ts >= other.ts
+        } else {
+            self.lower_ns() >= other.upper_ns()
+        }
+    }
+
+    /// Algorithm 5, function `max`.
+    #[inline]
+    fn join(self, other: Self) -> Self {
+        if self.ge(other) {
+            self
+        } else if other.ge(self) {
+            other
+        } else if self.upper_ns() > other.upper_ns() {
+            ExtTimestamp { cid: ClockId::UNDEFINED, ..self }
+        } else {
+            ExtTimestamp { cid: ClockId::UNDEFINED, ..other }
+        }
+    }
+
+    /// Algorithm 5, function `min`.
+    #[inline]
+    fn meet(self, other: Self) -> Self {
+        if self.ge(other) {
+            other
+        } else if other.ge(self) {
+            self
+        } else if self.lower_ns() < other.lower_ns() {
+            ExtTimestamp { cid: ClockId::UNDEFINED, ..self }
+        } else {
+            ExtTimestamp { cid: ClockId::UNDEFINED, ..other }
+        }
+    }
+
+    #[inline]
+    fn prior(self) -> Self {
+        ExtTimestamp { ts: self.ts.saturating_sub(1), ..self }
+    }
+
+    #[inline]
+    fn raw_value(self) -> i128 {
+        self.ts as i128
+    }
+
+    #[inline]
+    fn origin() -> Self {
+        // dev = 0 so that `t.ge(origin)` holds for every real reading `t`
+        // (cross-clock comparison needs t.lower_ns() >= 0) and
+        // `origin.ge(t)` never holds for t produced by a clock (all readings
+        // sit above EPOCH_OFFSET_NS).
+        ExtTimestamp { ts: 0, cid: ClockId::UNDEFINED, dev: 0 }
+    }
+}
+
+/// How per-thread clock offsets are assigned by an [`ExternalClock`].
+#[derive(Clone, Debug)]
+pub enum OffsetPolicy {
+    /// All local clocks agree with real time exactly (offset 0); the
+    /// *comparisons* still apply the full deviation slack. Useful to isolate
+    /// the algorithmic cost of uncertainty from actual disagreement.
+    Zero,
+    /// Deterministic hash-spread of offsets over `[-dev, +dev]`.
+    Spread,
+    /// Alternate the extremes: clock 0 gets `-dev`, clock 1 gets `+dev`,
+    /// clock 2 gets `-dev`, … — the worst case for cross-clock gaps.
+    Alternating,
+    /// Explicit offsets (nanoseconds) per registration order; registrations
+    /// beyond the list wrap around. Every value must satisfy `|o| ≤ dev`.
+    Explicit(Vec<i64>),
+}
+
+/// An externally synchronized clock ensemble with deviation bound `dev`
+/// (§3.2). Every registered thread gets its own [`ClockId`] and a bounded
+/// offset from real time chosen by the [`OffsetPolicy`].
+#[derive(Clone, Debug)]
+pub struct ExternalClock {
+    dev_ns: u64,
+    policy: OffsetPolicy,
+    next_cid: Arc<AtomicU32>,
+}
+
+impl ExternalClock {
+    /// Ensemble with hash-spread offsets in `[-dev_ns, +dev_ns]`.
+    pub fn new(dev_ns: u64) -> Self {
+        Self::with_policy(dev_ns, OffsetPolicy::Spread)
+    }
+
+    /// Ensemble with an explicit offset assignment policy.
+    ///
+    /// # Panics
+    /// Panics if an [`OffsetPolicy::Explicit`] offset exceeds the deviation
+    /// bound.
+    pub fn with_policy(dev_ns: u64, policy: OffsetPolicy) -> Self {
+        if let OffsetPolicy::Explicit(offsets) = &policy {
+            for &o in offsets {
+                assert!(
+                    o.unsigned_abs() <= dev_ns,
+                    "explicit offset {o} exceeds deviation bound {dev_ns}"
+                );
+            }
+        }
+        ExternalClock {
+            dev_ns,
+            policy,
+            next_cid: Arc::new(AtomicU32::new(0)),
+        }
+    }
+
+    /// The deviation bound `dev` (nanoseconds).
+    pub fn dev_ns(&self) -> u64 {
+        self.dev_ns
+    }
+
+    fn offset_for(&self, index: u32) -> i64 {
+        let dev = self.dev_ns as i64;
+        match &self.policy {
+            OffsetPolicy::Zero => 0,
+            OffsetPolicy::Spread => {
+                if dev == 0 {
+                    0
+                } else {
+                    // Deterministic multiplicative hash spread over [-dev, dev].
+                    let h = (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16;
+                    (h % (2 * dev as u64 + 1)) as i64 - dev
+                }
+            }
+            OffsetPolicy::Alternating => {
+                if index.is_multiple_of(2) {
+                    -dev
+                } else {
+                    dev
+                }
+            }
+            OffsetPolicy::Explicit(offsets) => {
+                if offsets.is_empty() {
+                    0
+                } else {
+                    offsets[index as usize % offsets.len()]
+                }
+            }
+        }
+    }
+}
+
+/// Per-thread handle to an [`ExternalClock`]: the thread's local clock `ECp`.
+#[derive(Clone, Debug)]
+pub struct ExternalClockHandle {
+    cid: ClockId,
+    offset_ns: i64,
+    dev_ns: u64,
+    last_ts: u64,
+}
+
+impl ExternalClockHandle {
+    /// The clock id of this handle.
+    pub fn clock_id(&self) -> ClockId {
+        self.cid
+    }
+
+    /// The injected offset of this local clock from real time (nanoseconds).
+    pub fn offset_ns(&self) -> i64 {
+        self.offset_ns
+    }
+
+    #[inline]
+    fn read_local(&self) -> u64 {
+        // ECp(t) = t + offset, with |offset| <= dev: the paper's bounded
+        // deviation model. Saturating add keeps the reading a valid u64 even
+        // for extreme negative offsets near the epoch (EPOCH_OFFSET_NS makes
+        // this unreachable in practice).
+        let t = monotonic_ns();
+        if self.offset_ns >= 0 {
+            t.saturating_add(self.offset_ns as u64)
+        } else {
+            t.saturating_sub(self.offset_ns.unsigned_abs())
+        }
+    }
+}
+
+impl TimeBase for ExternalClock {
+    type Ts = ExtTimestamp;
+    type Clock = ExternalClockHandle;
+
+    fn register_thread(&self) -> ExternalClockHandle {
+        let index = self.next_cid.fetch_add(1, Ordering::Relaxed);
+        assert!(index < u32::MAX - 1, "too many clock registrations");
+        ExternalClockHandle {
+            cid: ClockId(index),
+            offset_ns: self.offset_for(index),
+            dev_ns: self.dev_ns,
+            last_ts: 0,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "external-clock"
+    }
+}
+
+impl ThreadClock for ExternalClockHandle {
+    type Ts = ExtTimestamp;
+
+    #[inline]
+    fn get_time(&mut self) -> ExtTimestamp {
+        let ts = self.read_local().max(self.last_ts);
+        self.last_ts = ts;
+        ExtTimestamp::new(ts, self.cid, self.dev_ns)
+    }
+
+    #[inline]
+    fn get_new_ts(&mut self) -> ExtTimestamp {
+        // §3.2: with dev > 0 the uncertainty masking already guarantees that
+        // versions are never valid exactly at their commit time, so getNewTS
+        // is just getTime. With dev == 0 the ensemble degenerates to a
+        // perfectly synchronized clock and we need Algorithm 4's loop.
+        if self.dev_ns > 0 {
+            self.get_time()
+        } else {
+            loop {
+                let ts = self.read_local();
+                if ts > self.last_ts {
+                    self.last_ts = ts;
+                    return ExtTimestamp::new(ts, self.cid, 0);
+                }
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: u64, cid: u32, dev: u64) -> ExtTimestamp {
+        ExtTimestamp::new(v, ClockId(cid), dev)
+    }
+
+    #[test]
+    fn same_clock_compares_exactly() {
+        assert!(ts(100, 1, 50).ge(ts(99, 1, 50)));
+        assert!(ts(100, 1, 50).ge(ts(100, 1, 50)));
+        assert!(!ts(99, 1, 50).ge(ts(100, 1, 50)));
+    }
+
+    #[test]
+    fn cross_clock_requires_deviation_gap() {
+        // dev = 10 on both sides: need ts1 - 10 >= ts2 + 10, i.e. gap >= 20.
+        assert!(ts(120, 1, 10).ge(ts(100, 2, 10)));
+        assert!(!ts(119, 1, 10).ge(ts(100, 2, 10)));
+        // Within the uncertainty window, *neither* dominates...
+        assert!(!ts(110, 1, 10).ge(ts(100, 2, 10)));
+        assert!(!ts(100, 2, 10).ge(ts(110, 1, 10)));
+        // ...so each is "possibly later" than the other.
+        assert!(ts(110, 1, 10).possibly_later(ts(100, 2, 10)));
+        assert!(ts(100, 2, 10).possibly_later(ts(110, 1, 10)));
+    }
+
+    #[test]
+    fn undefined_cid_always_uses_deviation() {
+        let a = ts(100, u32::MAX, 10); // undefined
+        let b = ts(100, u32::MAX, 10);
+        assert!(!a.ge(b), "same values but undefined cid: not comparable exactly");
+    }
+
+    #[test]
+    fn join_picks_dominant_or_poisons() {
+        let a = ts(200, 1, 10);
+        let b = ts(100, 2, 10);
+        assert_eq!(a.join(b), a, "clearly later keeps its cid");
+        let c = ts(105, 1, 10);
+        let d = ts(100, 2, 10);
+        let j = c.join(d);
+        assert!(j.cid.is_undefined(), "incomparable join poisons cid");
+        assert_eq!(j.ts, 105, "larger upper bound wins (105+10 > 100+10)");
+    }
+
+    #[test]
+    fn meet_picks_dominated_or_poisons() {
+        let a = ts(200, 1, 10);
+        let b = ts(100, 2, 10);
+        assert_eq!(a.meet(b), b);
+        let c = ts(105, 1, 10);
+        let d = ts(100, 2, 10);
+        let m = c.meet(d);
+        assert!(m.cid.is_undefined());
+        assert_eq!(m.ts, 100, "smaller lower bound wins (100-10 < 105-10)");
+    }
+
+    #[test]
+    fn join_semantics_any_later_ts_is_later_than_both() {
+        // For t3 ≽ join(t1,t2) (cross-clock), t3 must be ≽ t1 and ≽ t2.
+        let t1 = ts(105, 1, 10);
+        let t2 = ts(100, 2, 10);
+        let j = t1.join(t2);
+        let t3 = ts(j.ts + j.dev + 25, 3, 5);
+        assert!(t3.ge(j));
+        assert!(t3.ge(t1));
+        assert!(t3.ge(t2));
+    }
+
+    #[test]
+    fn handles_get_bounded_offsets() {
+        for policy in [OffsetPolicy::Spread, OffsetPolicy::Alternating, OffsetPolicy::Zero] {
+            let tb = ExternalClock::with_policy(1000, policy);
+            for _ in 0..16 {
+                let h = tb.register_thread();
+                assert!(h.offset_ns().unsigned_abs() <= 1000);
+            }
+        }
+    }
+
+    #[test]
+    fn readings_stay_within_dev_of_real_time() {
+        let tb = ExternalClock::with_policy(5_000, OffsetPolicy::Alternating);
+        let mut h = tb.register_thread();
+        for _ in 0..100 {
+            let before = monotonic_ns();
+            let t = h.get_time();
+            let after = monotonic_ns();
+            assert!(t.ts + t.dev >= before, "reading too far in the past");
+            assert!(t.ts <= after + t.dev, "reading too far in the future");
+        }
+    }
+
+    #[test]
+    fn per_thread_monotonic_despite_offsets() {
+        let tb = ExternalClock::with_policy(1_000_000, OffsetPolicy::Alternating);
+        let mut h = tb.register_thread();
+        let mut last = h.get_time();
+        for _ in 0..100 {
+            let t = h.get_time();
+            assert!(t.ts >= last.ts);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn two_handles_disagree_when_offsets_differ() {
+        let tb = ExternalClock::with_policy(1_000_000_000, OffsetPolicy::Alternating);
+        let mut a = tb.register_thread(); // -1 s
+        let mut b = tb.register_thread(); // +1 s
+        let ta = a.get_time();
+        let tb2 = b.get_time();
+        // b's reading is ~2 s ahead of a's: not within exact comparability,
+        // but ge still must NOT claim a ≽ b.
+        assert!(!ta.ge(tb2));
+    }
+
+    #[test]
+    fn explicit_offsets_are_validated() {
+        let result = std::panic::catch_unwind(|| {
+            ExternalClock::with_policy(10, OffsetPolicy::Explicit(vec![50]))
+        });
+        assert!(result.is_err(), "offset beyond dev must panic");
+    }
+
+    #[test]
+    fn dev_zero_get_new_ts_is_strict() {
+        let tb = ExternalClock::with_policy(0, OffsetPolicy::Zero);
+        let mut h = tb.register_thread();
+        let a = h.get_new_ts();
+        let b = h.get_new_ts();
+        assert!(b.ts > a.ts);
+    }
+}

@@ -1,0 +1,69 @@
+//! # lsa-time — scalable time bases for time-based transactional memory
+//!
+//! This crate implements the *time base* abstraction of the SPAA'07 paper
+//! ["Time-based Transactional Memory with Scalable Time Bases"][paper]
+//! (Riegel, Fetzer, Felber), together with every concrete time base the paper
+//! discusses:
+//!
+//! * [`counter::SharedCounter`] — the classical global shared integer counter
+//!   used by LSA and TL2 (incremented by every committing update transaction),
+//! * [`counter::Tl2Counter`] — the TL2 optimization that lets transactions
+//!   share a commit timestamp when the timestamp-acquiring CAS fails,
+//! * [`perfect::PerfectClock`] — a perfectly synchronized real-time clock
+//!   (Algorithm 4 of the paper),
+//! * [`hardware::HardwareClock`] — a simulated *MMTimer*: a globally
+//!   synchronized hardware clock with a configurable tick frequency
+//!   (20 MHz in the paper) and a read latency larger than one tick,
+//! * [`external::ExternalClock`] — externally synchronized clocks with a
+//!   bounded deviation `dev`; timestamps are `(ts, cid, dev)` triples and
+//!   compare according to Algorithm 5 of the paper,
+//! * [`numa::NumaCounter`] / [`numa::NumaModel`] — a ccNUMA interconnect cost
+//!   model used to reproduce the paper's SGI-Altix contention behaviour on a
+//!   small host (see DESIGN.md §3).
+//!
+//! The abstraction is split in two traits:
+//!
+//! * [`Timestamp`] captures the *timestamp algebra* of Algorithm 1: the
+//!   "guaranteed later than or equal" relation `≼` ([`Timestamp::ge`]), the
+//!   derived "possibly later than" relation `≾`
+//!   ([`Timestamp::possibly_later`]), and uncertainty-aware
+//!   [`Timestamp::join`] (max) and [`Timestamp::meet`] (min).
+//! * [`TimeBase`] produces per-thread clock handles ([`ThreadClock`]) whose
+//!   [`ThreadClock::get_time`] and [`ThreadClock::get_new_ts`] implement the
+//!   paper's `getTime`/`getNewTS` utility functions.
+//!
+//! The crate also contains the measurement infrastructure used for the
+//! paper's Figure 1 ([`sync_measure`]) and a software clock-synchronization
+//! simulator ([`sync_sim`]).
+//!
+//! [paper]: https://doi.org/10.1145/1248377.1248415
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod base;
+pub mod counter;
+pub mod external;
+pub mod hardware;
+pub mod numa;
+pub mod perfect;
+pub mod range;
+pub mod sync_measure;
+pub mod sync_sim;
+pub mod timestamp;
+
+pub use base::{ThreadClock, TimeBase};
+pub use range::ValidityRange;
+pub use timestamp::Timestamp;
+
+/// Convenient re-exports of every concrete time base.
+pub mod prelude {
+    pub use crate::base::{ThreadClock, TimeBase};
+    pub use crate::counter::{SharedCounter, Tl2Counter};
+    pub use crate::external::{ExtTimestamp, ExternalClock};
+    pub use crate::hardware::HardwareClock;
+    pub use crate::numa::{NumaCounter, NumaModel};
+    pub use crate::perfect::PerfectClock;
+    pub use crate::range::ValidityRange;
+    pub use crate::timestamp::Timestamp;
+}

@@ -1,0 +1,253 @@
+//! A ccNUMA interconnect cost model for the shared-counter time base.
+//!
+//! The paper's case study runs on a 16-CPU partition of an SGI Altix 3700, a
+//! ccNUMA machine on which transferring the counter's cache line between
+//! processors costs several hundred nanoseconds. On a small commodity host
+//! the *algorithmic* contention is identical but the *cost* of a line
+//! transfer is tens of nanoseconds, which hides the bottleneck the paper
+//! demonstrates.
+//!
+//! [`NumaCounter`] makes the cost explicit: it wraps the shared counter and
+//! charges every access that misses in the (modeled) local cache with a
+//! configurable remote-transfer latency, following an invalidation-based
+//! (MESI-like) protocol:
+//!
+//! * every write (timestamp acquisition) invalidates all remote copies, so a
+//!   subsequent access by any *other* thread pays [`NumaModel::remote_ns`];
+//! * repeated accesses by the same thread with no intervening remote write
+//!   hit the local cache and pay only [`NumaModel::local_ns`].
+//!
+//! The model intentionally charges the latency by *spinning* — on the modeled
+//! machine the CPU is stalled on the uncached access for that long, and a
+//! stalled CPU cannot run other transactions, which is exactly the effect
+//! that limits throughput in Figure 2. See DESIGN.md §3 for the substitution
+//! argument, and `lsa_harness::altix_sim` for the discrete-event model that
+//! reproduces the 16-CPU curves exactly.
+
+use crate::base::{spin_for_ns, ThreadClock, TimeBase};
+use crossbeam_utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Latency parameters of the modeled ccNUMA interconnect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NumaModel {
+    /// Cost (ns) of an access that must fetch the counter's cache line from
+    /// a remote node (read miss or read-for-ownership).
+    pub remote_ns: u64,
+    /// Cost (ns) of an access that hits the local cache.
+    pub local_ns: u64,
+}
+
+impl NumaModel {
+    /// Altix-3700-like parameters: ~600 ns remote transfer, ~5 ns local hit.
+    pub fn altix() -> Self {
+        NumaModel { remote_ns: 600, local_ns: 5 }
+    }
+
+    /// A free interconnect (turns [`NumaCounter`] into a plain
+    /// [`crate::counter::SharedCounter`] with extra bookkeeping) — for tests.
+    pub fn free() -> Self {
+        NumaModel { remote_ns: 0, local_ns: 0 }
+    }
+}
+
+#[derive(Debug)]
+struct NumaShared {
+    counter: CachePadded<AtomicU64>,
+    /// Incremented on every write; a thread whose cached copy of this value
+    /// is stale has (in the model) had its cache line invalidated.
+    line_version: CachePadded<AtomicU64>,
+    /// Registration id of the last writer (the modeled line owner).
+    owner: CachePadded<AtomicU64>,
+    next_id: CachePadded<AtomicU64>,
+}
+
+/// A shared integer counter behind the [`NumaModel`] cost model.
+#[derive(Clone, Debug)]
+pub struct NumaCounter {
+    shared: Arc<NumaShared>,
+    model: NumaModel,
+}
+
+impl NumaCounter {
+    /// A counter starting at 1 with the given interconnect model.
+    pub fn new(model: NumaModel) -> Self {
+        NumaCounter {
+            shared: Arc::new(NumaShared {
+                counter: CachePadded::new(AtomicU64::new(1)),
+                line_version: CachePadded::new(AtomicU64::new(0)),
+                owner: CachePadded::new(AtomicU64::new(u64::MAX)),
+                next_id: CachePadded::new(AtomicU64::new(0)),
+            }),
+            model,
+        }
+    }
+
+    /// Current raw counter value (for statistics/tests).
+    pub fn current(&self) -> u64 {
+        self.shared.counter.load(Ordering::SeqCst)
+    }
+
+    /// The interconnect model in use.
+    pub fn model(&self) -> NumaModel {
+        self.model
+    }
+}
+
+/// Per-thread handle to a [`NumaCounter`]; tracks the modeled local cache
+/// state (which line version this thread last observed).
+#[derive(Debug)]
+pub struct NumaCounterClock {
+    shared: Arc<NumaShared>,
+    model: NumaModel,
+    id: u64,
+    cached_line_version: u64,
+    /// Number of modeled remote misses this thread has paid (statistics).
+    remote_misses: u64,
+}
+
+impl NumaCounterClock {
+    /// Modeled remote misses paid by this thread so far.
+    pub fn remote_misses(&self) -> u64 {
+        self.remote_misses
+    }
+}
+
+impl TimeBase for NumaCounter {
+    type Ts = u64;
+    type Clock = NumaCounterClock;
+
+    fn register_thread(&self) -> NumaCounterClock {
+        NumaCounterClock {
+            shared: Arc::clone(&self.shared),
+            model: self.model,
+            id: self.shared.next_id.fetch_add(1, Ordering::Relaxed),
+            cached_line_version: u64::MAX, // first access is always a miss
+            remote_misses: 0,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "numa-counter"
+    }
+}
+
+impl ThreadClock for NumaCounterClock {
+    type Ts = u64;
+
+    #[inline]
+    fn get_time(&mut self) -> u64 {
+        let v = self.shared.line_version.load(Ordering::Acquire);
+        if v != self.cached_line_version {
+            // Line was invalidated by a writer on another node: read miss.
+            spin_for_ns(self.model.remote_ns);
+            self.remote_misses += 1;
+            self.cached_line_version = self.shared.line_version.load(Ordering::Acquire);
+        } else {
+            spin_for_ns(self.model.local_ns);
+        }
+        self.shared.counter.load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn get_new_ts(&mut self) -> u64 {
+        // Read-for-ownership: if another thread owns the line (it wrote
+        // last), fetching it exclusively costs a remote transfer.
+        if self.shared.owner.load(Ordering::Acquire) != self.id {
+            spin_for_ns(self.model.remote_ns);
+            self.remote_misses += 1;
+        } else {
+            spin_for_ns(self.model.local_ns);
+        }
+        let t = self.shared.counter.fetch_add(1, Ordering::AcqRel) + 1;
+        self.shared.owner.store(self.id, Ordering::Release);
+        let lv = self.shared.line_version.fetch_add(1, Ordering::AcqRel) + 1;
+        // Our own write leaves the line in our cache in modified state.
+        self.cached_line_version = lv;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn behaves_like_a_counter() {
+        let tb = NumaCounter::new(NumaModel::free());
+        let mut c = tb.register_thread();
+        let t0 = c.get_time();
+        let t1 = c.get_new_ts();
+        assert!(t1 > t0);
+        assert_eq!(c.get_time(), t1);
+    }
+
+    #[test]
+    fn single_thread_pays_remote_only_once() {
+        let model = NumaModel { remote_ns: 50_000, local_ns: 0 };
+        let tb = NumaCounter::new(model);
+        let mut c = tb.register_thread();
+        c.get_new_ts(); // first access: one RFO miss
+        let start = Instant::now();
+        for _ in 0..100 {
+            c.get_new_ts(); // owner stays us: all local
+            c.get_time(); // line version cached: all local
+        }
+        let elapsed = start.elapsed().as_nanos() as u64;
+        assert!(
+            elapsed < model.remote_ns * 20,
+            "200 local accesses must not pay remote latency (took {elapsed} ns)"
+        );
+        assert_eq!(c.remote_misses(), 1);
+    }
+
+    #[test]
+    fn alternating_writers_pay_remote_every_time() {
+        let model = NumaModel { remote_ns: 10_000, local_ns: 0 };
+        let tb = NumaCounter::new(model);
+        let mut a = tb.register_thread();
+        let mut b = tb.register_thread();
+        for _ in 0..10 {
+            a.get_new_ts();
+            b.get_new_ts();
+        }
+        assert_eq!(a.remote_misses(), 10);
+        assert_eq!(b.remote_misses(), 10);
+    }
+
+    #[test]
+    fn reader_misses_after_every_remote_write() {
+        let model = NumaModel { remote_ns: 1_000, local_ns: 0 };
+        let tb = NumaCounter::new(model);
+        let mut writer = tb.register_thread();
+        let mut reader = tb.register_thread();
+        reader.get_time(); // initial miss
+        let base = reader.remote_misses();
+        for i in 0..5 {
+            writer.get_new_ts();
+            reader.get_time();
+            assert_eq!(reader.remote_misses(), base + i + 1);
+            reader.get_time(); // second read hits
+            assert_eq!(reader.remote_misses(), base + i + 1);
+        }
+    }
+
+    #[test]
+    fn timestamps_unique_under_concurrency() {
+        let tb = NumaCounter::new(NumaModel::free());
+        let mut all: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let mut c = tb.register_thread();
+                    s.spawn(move || (0..5_000).map(|_| c.get_new_ts()).collect::<Vec<_>>())
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 4 * 5_000);
+    }
+}

@@ -1,0 +1,165 @@
+//! Validity ranges over uncertain timestamps.
+//!
+//! The paper associates a *validity range* `v.R = [⌊v.R⌋, ⌈v.R⌉]` with every
+//! object version (the interval between the commit that created the version
+//! and the commit that superseded it) and a validity range `T.R` with every
+//! transaction (the intersection of the ranges of all versions it accessed;
+//! §1.1). A still-valid version and a fresh transaction have `⌈R⌉ = ∞`,
+//! modeled here as `upper == None`.
+
+use crate::timestamp::Timestamp;
+
+/// A (possibly right-open) interval of timestamps: `[lower, upper]` with
+/// `upper == None` meaning `∞`.
+///
+/// All mutating operations use the uncertainty-aware [`Timestamp::join`] /
+/// [`Timestamp::meet`] so that the interval arithmetic stays conservative
+/// under clock reading errors (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValidityRange<Ts: Timestamp> {
+    /// Lower bound `⌊R⌋`: the earliest time at which the snapshot/version is
+    /// known to be valid.
+    pub lower: Ts,
+    /// Upper bound `⌈R⌉`: `None` encodes `∞` (still valid / not yet bounded).
+    pub upper: Option<Ts>,
+}
+
+impl<Ts: Timestamp> ValidityRange<Ts> {
+    /// A fresh right-open range `[lower, ∞]` (Algorithm 2 line 3).
+    #[inline]
+    pub fn from(lower: Ts) -> Self {
+        ValidityRange { lower, upper: None }
+    }
+
+    /// A fully bounded range `[lower, upper]`.
+    #[inline]
+    pub fn bounded(lower: Ts, upper: Ts) -> Self {
+        ValidityRange { lower, upper: Some(upper) }
+    }
+
+    /// Raise the lower bound: `⌊R⌋ ← max(⌊R⌋, ts)` (Algorithm 2 line 28).
+    #[inline]
+    pub fn restrict_lower(&mut self, ts: Ts) {
+        self.lower = self.lower.join(ts);
+    }
+
+    /// Lower the upper bound: `⌈R⌉ ← min(⌈R⌉, ts)` (Algorithm 2 line 29),
+    /// treating the current `None` as `∞`.
+    #[inline]
+    pub fn restrict_upper(&mut self, ts: Ts) {
+        self.upper = Some(match self.upper {
+            None => ts,
+            Some(u) => u.meet(ts),
+        });
+    }
+
+    /// Overwrite the upper bound unconditionally (used by `Extend`,
+    /// Algorithm 3 line 2, before re-minimizing over the read set).
+    #[inline]
+    pub fn set_upper(&mut self, ts: Ts) {
+        self.upper = Some(ts);
+    }
+
+    /// Whether the range is still *guaranteed* non-empty: the paper aborts
+    /// when `⌊T.R⌋ ≿ ⌈T.R⌉` (lower *possibly later* than upper, Algorithm 2
+    /// line 30); the range is consistent iff `⌈R⌉ ≽ ⌊R⌋`.
+    #[inline]
+    pub fn is_consistent(&self) -> bool {
+        match self.upper {
+            None => true,
+            Some(u) => u.ge(self.lower),
+        }
+    }
+
+    /// Guaranteed overlap test used by `getVersion` (Algorithm 3 line 9):
+    /// `⌈v.R⌉ ≽ ⌊R⌋ ∧ ⌈R⌉ ≽ ⌊v.R⌋`, with `None` upper bounds passing
+    /// trivially (`∞` is later than everything).
+    #[inline]
+    pub fn overlaps(&self, other: &Self) -> bool {
+        let upper_ok = match self.upper {
+            None => true,
+            Some(u) => u.ge(other.lower),
+        };
+        let lower_ok = match other.upper {
+            None => true,
+            Some(u) => u.ge(self.lower),
+        };
+        upper_ok && lower_ok
+    }
+
+    /// Whether `ts` is guaranteed to lie within the range.
+    #[inline]
+    pub fn contains(&self, ts: Ts) -> bool {
+        ts.ge(self.lower)
+            && match self.upper {
+                None => true,
+                Some(u) => u.ge(ts),
+            }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_range_is_consistent_and_open() {
+        let r = ValidityRange::from(10u64);
+        assert!(r.is_consistent());
+        assert_eq!(r.upper, None);
+        assert!(r.contains(10));
+        assert!(r.contains(u64::MAX));
+        assert!(!r.contains(9));
+    }
+
+    #[test]
+    fn restrict_lower_takes_join() {
+        let mut r = ValidityRange::from(10u64);
+        r.restrict_lower(5);
+        assert_eq!(r.lower, 10);
+        r.restrict_lower(20);
+        assert_eq!(r.lower, 20);
+    }
+
+    #[test]
+    fn restrict_upper_takes_meet_and_handles_infinity() {
+        let mut r = ValidityRange::from(10u64);
+        r.restrict_upper(50);
+        assert_eq!(r.upper, Some(50));
+        r.restrict_upper(70);
+        assert_eq!(r.upper, Some(50));
+        r.restrict_upper(30);
+        assert_eq!(r.upper, Some(30));
+    }
+
+    #[test]
+    fn consistency_matches_paper_abort_condition() {
+        let mut r = ValidityRange::from(10u64);
+        r.restrict_upper(10);
+        assert!(r.is_consistent(), "[10,10] is a valid snapshot point");
+        r.restrict_lower(11);
+        assert!(!r.is_consistent(), "[11,10] is empty");
+    }
+
+    #[test]
+    fn overlap_is_symmetric_for_total_orders() {
+        let a = ValidityRange::bounded(0u64, 10);
+        let b = ValidityRange::bounded(10u64, 20);
+        let c = ValidityRange::bounded(11u64, 20);
+        assert!(a.overlaps(&b), "touching at 10");
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert!(!c.overlaps(&a));
+        let open = ValidityRange::from(5u64);
+        assert!(open.overlaps(&a));
+        assert!(a.overlaps(&open));
+    }
+
+    #[test]
+    fn set_upper_overwrites_even_upward() {
+        // Extend() first *raises* ⌈T.R⌉ to now, then re-minimizes.
+        let mut r = ValidityRange::bounded(0u64, 5);
+        r.set_upper(100);
+        assert_eq!(r.upper, Some(100));
+    }
+}

@@ -1,0 +1,253 @@
+//! Software clock-synchronization simulator (§3.2 background).
+//!
+//! The paper's externally synchronized clocks assume "local clocks with a
+//! bounded drift rate \[that\] can be used to approximate real-time", kept in
+//! sync by a software protocol (the references are Cristian's probabilistic
+//! clock synchronization and Fetzer/Cristian's external/internal
+//! synchronization). This module simulates such an ensemble to answer the
+//! question the experiments need answered: *what deviation bound `dev` is
+//! achievable in software*, given oscillator drift, resynchronization period
+//! and message-delay bounds?
+//!
+//! The simulation is deterministic (seeded) and entirely virtual-time — no
+//! threads, no sleeping. Each slave node performs a Cristian-style exchange
+//! with the master every `sync_interval`; between exchanges its offset grows
+//! with its drift rate. The reported per-round maxima mirror the Figure 1
+//! series, and [`achievable_dev`] gives the bound to feed into
+//! [`crate::external::ExternalClock`].
+
+/// Oscillator and protocol parameters for the simulated ensemble.
+#[derive(Clone, Debug)]
+pub struct SyncSimConfig {
+    /// Number of slave nodes (the master is node 0 and defines real time).
+    pub nodes: usize,
+    /// Maximum oscillator drift, in parts per million. Each node gets a
+    /// deterministic drift in `[-max, +max]`.
+    pub max_drift_ppm: f64,
+    /// Resynchronization period, in seconds of real time.
+    pub sync_interval_s: f64,
+    /// Number of synchronization rounds to simulate.
+    pub rounds: usize,
+    /// Minimum one-way message delay (microseconds).
+    pub min_delay_us: f64,
+    /// Maximum one-way message delay (microseconds).
+    pub max_delay_us: f64,
+    /// RNG seed (the simulation is fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for SyncSimConfig {
+    fn default() -> Self {
+        SyncSimConfig {
+            nodes: 15,
+            max_drift_ppm: 50.0,
+            sync_interval_s: 0.1, // the paper's round interval
+            rounds: 100,
+            min_delay_us: 1.0,
+            max_delay_us: 25.0,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Per-round maxima over all slave nodes (microseconds).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimRound {
+    /// Round index.
+    pub round: usize,
+    /// Largest true clock offset from the master right *before* the round's
+    /// correction (drift accumulated since the last round).
+    pub max_abs_offset_us: f64,
+    /// Largest per-node error bound computed by the protocol
+    /// (half round-trip + drift allowance).
+    pub max_error_us: f64,
+}
+
+/// Outcome of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimOutcome {
+    /// Per-round series (the Figure 1 analogue for software sync).
+    pub rounds: Vec<SimRound>,
+    /// The deviation bound `dev` (microseconds) that an
+    /// [`crate::external::ExternalClock`] built on this ensemble could
+    /// honestly advertise: the worst `error + |offset|` seen in any round.
+    pub achievable_dev_us: f64,
+}
+
+/// SplitMix64 — tiny deterministic RNG so the simulator needs no external
+/// dependency.
+#[derive(Clone, Debug)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in [0, 1).
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+}
+
+struct Node {
+    /// Oscillator rate error (seconds of clock per second of real time − 1).
+    drift: f64,
+    /// Current clock correction such that `local(t) = t·(1+drift) + adj`.
+    adj: f64,
+    /// Real time of the last resynchronization.
+    last_sync_t: f64,
+}
+
+impl Node {
+    fn local(&self, t: f64) -> f64 {
+        t * (1.0 + self.drift) + self.adj
+    }
+
+    fn offset(&self, t: f64) -> f64 {
+        self.local(t) - t
+    }
+}
+
+/// Run the simulation.
+pub fn simulate(cfg: &SyncSimConfig) -> SimOutcome {
+    assert!(cfg.nodes >= 1);
+    assert!(cfg.max_delay_us >= cfg.min_delay_us);
+    assert!(cfg.min_delay_us >= 0.0);
+
+    let mut rng = SplitMix64(cfg.seed);
+    let mut nodes: Vec<Node> = (0..cfg.nodes)
+        .map(|_| Node {
+            drift: rng.uniform(-cfg.max_drift_ppm, cfg.max_drift_ppm) * 1e-6,
+            adj: 0.0,
+            last_sync_t: 0.0,
+        })
+        .collect();
+
+    let mut rounds = Vec::with_capacity(cfg.rounds);
+    let mut worst = 0.0f64;
+
+    for round in 0..cfg.rounds {
+        let t = (round + 1) as f64 * cfg.sync_interval_s;
+        let mut max_abs_offset_us = 0.0f64;
+        let mut max_error_us = 0.0f64;
+
+        for node in nodes.iter_mut() {
+            // True offset accumulated since the last correction.
+            let off_us = node.offset(t) * 1e6;
+            max_abs_offset_us = max_abs_offset_us.max(off_us.abs());
+
+            // Cristian exchange: request delay d1, reply delay d2 (seconds).
+            let d1 = rng.uniform(cfg.min_delay_us, cfg.max_delay_us) * 1e-6;
+            let d2 = rng.uniform(cfg.min_delay_us, cfg.max_delay_us) * 1e-6;
+            let l0 = node.local(t);
+            let master_reading = t + d1; // master clock IS real time
+            let l1 = node.local(t + d1 + d2);
+            // Midpoint estimate of the local offset, and its error bound.
+            let est_offset = (l0 + l1) / 2.0 - master_reading;
+            let half_rtt = (l1 - l0) / 2.0;
+            // Protocol error bound: half-RTT minus the known minimum delay,
+            // plus the drift that can accumulate until the *next* exchange.
+            let error_bound = (half_rtt - cfg.min_delay_us * 1e-6)
+                + cfg.max_drift_ppm * 1e-6 * cfg.sync_interval_s;
+            max_error_us = max_error_us.max(error_bound * 1e6);
+
+            // Step correction: cancel the estimated offset.
+            node.adj -= est_offset;
+            node.last_sync_t = t;
+
+            // Sanity: the protocol's bound must cover its actual mistake.
+            let residual = node.offset(t + d1 + d2).abs();
+            debug_assert!(
+                residual <= error_bound + 1e-12,
+                "estimation mistake {residual} exceeds bound {error_bound}"
+            );
+        }
+
+        worst = worst.max(max_abs_offset_us + max_error_us);
+        rounds.push(SimRound { round, max_abs_offset_us, max_error_us });
+    }
+
+    SimOutcome { rounds, achievable_dev_us: worst }
+}
+
+/// Convenience: the `dev` (in **nanoseconds**, ready for
+/// [`crate::external::ExternalClock::new`]) achievable under `cfg`.
+pub fn achievable_dev(cfg: &SyncSimConfig) -> u64 {
+    (simulate(cfg).achievable_dev_us * 1_000.0).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = SyncSimConfig::default();
+        let a = simulate(&cfg);
+        let b = simulate(&cfg);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.achievable_dev_us, b.achievable_dev_us);
+    }
+
+    #[test]
+    fn zero_drift_zero_jitter_synchronizes_perfectly() {
+        let cfg = SyncSimConfig {
+            nodes: 4,
+            max_drift_ppm: 0.0,
+            min_delay_us: 5.0,
+            max_delay_us: 5.0, // symmetric constant delays: exact estimation
+            rounds: 10,
+            ..Default::default()
+        };
+        let out = simulate(&cfg);
+        // After the first correction all offsets stay ~0.
+        for r in &out.rounds[1..] {
+            assert!(r.max_abs_offset_us < 1e-6, "offset {}", r.max_abs_offset_us);
+        }
+    }
+
+    #[test]
+    fn offsets_bounded_by_drift_times_interval_after_first_sync() {
+        let cfg = SyncSimConfig::default();
+        let out = simulate(&cfg);
+        // After the first round, offset = estimation residual + drift·interval.
+        // Residual <= half jitter; drift contribution <= 50ppm * 0.1s = 5 µs;
+        // jitter (25-1)/2 = 12 µs. Generous bound: 25 µs.
+        for r in &out.rounds[1..] {
+            assert!(
+                r.max_abs_offset_us < 25.0,
+                "round {} offset {} too large",
+                r.round,
+                r.max_abs_offset_us
+            );
+        }
+    }
+
+    #[test]
+    fn tighter_sync_gives_smaller_dev() {
+        let loose = SyncSimConfig::default();
+        let tight = SyncSimConfig {
+            max_drift_ppm: 5.0,
+            max_delay_us: 3.0,
+            ..loose.clone()
+        };
+        assert!(achievable_dev(&tight) < achievable_dev(&loose));
+    }
+
+    #[test]
+    fn achievable_dev_covers_every_round() {
+        let out = simulate(&SyncSimConfig::default());
+        for r in &out.rounds {
+            assert!(out.achievable_dev_us + 1e-9 >= r.max_abs_offset_us);
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Bank workload: transfers between accounts plus read-only audits.
+//!
+//! The classic STM correctness-and-contention workload. Update transactions
+//! move money between two random accounts; read-only audit transactions sum
+//! every account and must always observe the invariant total — the paper's
+//! "consistent snapshot" guarantee made executable. The mix is configurable,
+//! and audits of all accounts are exactly the long read-only transactions for
+//! which multi-version LSA shines and for which synchronization errors
+//! matter (§4.3, EXP-ERR).
+
+use crate::rng::FastRng;
+use lsa_stm::{Stm, TVar, ThreadHandle, TxnStats};
+use lsa_time::TimeBase;
+
+/// Parameters of the bank workload.
+#[derive(Clone, Copy, Debug)]
+pub struct BankConfig {
+    /// Number of accounts.
+    pub accounts: usize,
+    /// Initial balance per account.
+    pub initial: i64,
+    /// Percentage (0–100) of transactions that are read-only audits.
+    pub audit_percent: u32,
+}
+
+impl Default for BankConfig {
+    fn default() -> Self {
+        BankConfig { accounts: 64, initial: 1_000, audit_percent: 20 }
+    }
+}
+
+/// Shared state of the bank workload.
+pub struct BankWorkload<B: TimeBase> {
+    stm: Stm<B>,
+    cfg: BankConfig,
+    accounts: Vec<TVar<i64, B::Ts>>,
+}
+
+impl<B: TimeBase> BankWorkload<B> {
+    /// Create the bank on `stm`.
+    pub fn new(stm: Stm<B>, cfg: BankConfig) -> Self {
+        assert!(cfg.accounts >= 2);
+        assert!(cfg.audit_percent <= 100);
+        let accounts = (0..cfg.accounts).map(|_| stm.new_tvar(cfg.initial)).collect();
+        BankWorkload { stm, cfg, accounts }
+    }
+
+    /// The underlying runtime.
+    pub fn stm(&self) -> &Stm<B> {
+        &self.stm
+    }
+
+    /// The invariant total.
+    pub fn expected_total(&self) -> i64 {
+        self.cfg.accounts as i64 * self.cfg.initial
+    }
+
+    /// Quiescent total (non-transactional; call when no workers run).
+    pub fn quiescent_total(&self) -> i64 {
+        self.accounts.iter().map(|a| *a.snapshot_latest()).sum()
+    }
+
+    /// Build the worker for thread `tid`.
+    pub fn worker(&self, tid: usize) -> BankWorker<B> {
+        BankWorker {
+            handle: self.stm.register(),
+            accounts: self.accounts.clone(),
+            cfg: self.cfg,
+            rng: FastRng::new(0xBA2C + tid as u64),
+            audit_failures: 0,
+        }
+    }
+}
+
+/// Per-thread bank worker.
+pub struct BankWorker<B: TimeBase> {
+    handle: ThreadHandle<B>,
+    accounts: Vec<TVar<i64, B::Ts>>,
+    cfg: BankConfig,
+    rng: FastRng,
+    audit_failures: u64,
+}
+
+impl<B: TimeBase> BankWorker<B> {
+    /// Run one transaction: an audit with probability `audit_percent`,
+    /// otherwise a transfer between two distinct random accounts.
+    pub fn step(&mut self) {
+        if self.rng.percent(self.cfg.audit_percent) {
+            let expected = self.cfg.accounts as i64 * self.cfg.initial;
+            let accounts = &self.accounts;
+            let total = self.handle.atomically(|tx| {
+                let mut sum = 0i64;
+                for a in accounts {
+                    sum += *tx.read(a)?;
+                }
+                Ok(sum)
+            });
+            if total != expected {
+                self.audit_failures += 1;
+            }
+        } else {
+            let from = self.rng.below(self.cfg.accounts);
+            let mut to = self.rng.below(self.cfg.accounts);
+            if to == from {
+                to = (to + 1) % self.cfg.accounts;
+            }
+            let amount = self.rng.range(1, 100);
+            let (a, b) = (self.accounts[from].clone(), self.accounts[to].clone());
+            self.handle.atomically(|tx| {
+                let va = *tx.read(&a)?;
+                let vb = *tx.read(&b)?;
+                tx.write(&a, va - amount)?;
+                tx.write(&b, vb + amount)?;
+                Ok(())
+            });
+        }
+    }
+
+    /// Number of audits that observed a broken invariant (must stay 0).
+    pub fn audit_failures(&self) -> u64 {
+        self.audit_failures
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &TxnStats {
+        self.handle.stats()
+    }
+
+    /// Take (and reset) statistics.
+    pub fn take_stats(&mut self) -> TxnStats {
+        self.handle.take_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsa_stm::StmConfig;
+    use lsa_time::counter::SharedCounter;
+    use lsa_time::external::{ExternalClock, OffsetPolicy};
+
+    #[test]
+    fn invariant_survives_concurrency() {
+        let wl = BankWorkload::new(Stm::new(SharedCounter::new()), BankConfig::default());
+        let failures: u64 = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let mut w = wl.worker(t);
+                    s.spawn(move || {
+                        for _ in 0..1_000 {
+                            w.step();
+                        }
+                        w.audit_failures()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(failures, 0, "no audit may see a broken invariant");
+        assert_eq!(wl.quiescent_total(), wl.expected_total());
+    }
+
+    #[test]
+    fn invariant_survives_clock_uncertainty() {
+        // Large injected deviation: validity gaps of 2·dev shrink snapshots
+        // (more aborts) but must never break consistency.
+        let tb = ExternalClock::with_policy(100_000, OffsetPolicy::Alternating);
+        let wl = BankWorkload::new(
+            Stm::with_config(tb, StmConfig::multi_version(8)),
+            BankConfig { accounts: 16, initial: 500, audit_percent: 30 },
+        );
+        let failures: u64 = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let mut w = wl.worker(t);
+                    s.spawn(move || {
+                        for _ in 0..500 {
+                            w.step();
+                        }
+                        w.audit_failures()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(failures, 0);
+        assert_eq!(wl.quiescent_total(), wl.expected_total());
+    }
+
+    #[test]
+    fn audit_percent_100_is_read_only() {
+        let wl = BankWorkload::new(
+            Stm::new(SharedCounter::new()),
+            BankConfig { accounts: 8, initial: 10, audit_percent: 100 },
+        );
+        let mut w = wl.worker(0);
+        for _ in 0..50 {
+            w.step();
+        }
+        assert_eq!(w.stats().ro_commits, 50);
+        assert_eq!(w.stats().commits, 0);
+        assert_eq!(w.audit_failures(), 0);
+    }
+}

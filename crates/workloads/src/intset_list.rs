@@ -1,0 +1,260 @@
+//! Transactional sorted linked-list integer set.
+//!
+//! The classic STM data-structure benchmark (used by DSTM, LSA-STM, TL2 …):
+//! operations traverse the list inside a transaction, so the read set grows
+//! linearly with the traversal length — the workload that makes per-access
+//! consistency costs visible and that rewards time-based STMs (O(1) per
+//! access) over validation-based ones (O(n) per access).
+//!
+//! Nodes are immutable values in [`TVar`]s linked through `Option<TVar>`;
+//! updates replace a node's value functionally (its key stays, its `next`
+//! changes), so concurrent snapshot readers keep traversing their own
+//! consistent version of the list.
+
+use lsa_stm::{Stm, TVar, ThreadHandle, TxResult, Txn};
+use lsa_time::{TimeBase, Timestamp};
+
+/// One list node: a key and the link to the next node.
+#[derive(Clone)]
+pub struct Node<Ts: Timestamp> {
+    key: i64,
+    next: Option<TVar<Node<Ts>, Ts>>,
+}
+
+/// A sorted linked-list set of `i64` keys (head/tail sentinels at ±∞).
+pub struct IntSetList<B: TimeBase> {
+    stm: Stm<B>,
+    head: TVar<Node<B::Ts>, B::Ts>,
+}
+
+impl<B: TimeBase> IntSetList<B> {
+    /// Empty set on `stm`.
+    pub fn new(stm: Stm<B>) -> Self {
+        let tail = stm.new_tvar(Node { key: i64::MAX, next: None });
+        let head = stm.new_tvar(Node { key: i64::MIN, next: Some(tail) });
+        IntSetList { stm, head }
+    }
+
+    /// The underlying runtime.
+    pub fn stm(&self) -> &Stm<B> {
+        &self.stm
+    }
+
+    /// Locate `key`: returns (node-var of the last node with a smaller key,
+    /// its value, node-var of the first node with key ≥ `key`, its value).
+    #[allow(clippy::type_complexity)]
+    fn locate(
+        &self,
+        tx: &mut Txn<'_, B>,
+        key: i64,
+    ) -> TxResult<(
+        TVar<Node<B::Ts>, B::Ts>,
+        std::sync::Arc<Node<B::Ts>>,
+        TVar<Node<B::Ts>, B::Ts>,
+        std::sync::Arc<Node<B::Ts>>,
+    )> {
+        let mut prev_var = self.head.clone();
+        let mut prev = tx.read(&prev_var)?;
+        loop {
+            let cur_var = prev
+                .next
+                .clone()
+                .expect("interior node always has a successor (tail sentinel)");
+            let cur = tx.read(&cur_var)?;
+            if cur.key >= key {
+                return Ok((prev_var, prev, cur_var, cur));
+            }
+            prev_var = cur_var;
+            prev = cur;
+        }
+    }
+
+    /// Insert `key`; returns `false` if it was already present.
+    pub fn insert(&self, h: &mut ThreadHandle<B>, key: i64) -> bool {
+        assert!(key > i64::MIN && key < i64::MAX, "sentinel keys are reserved");
+        h.atomically(|tx| {
+            let (prev_var, prev, cur_var, cur) = self.locate(tx, key)?;
+            if cur.key == key {
+                return Ok(false);
+            }
+            let new_var = self.stm.new_tvar(Node { key, next: Some(cur_var) });
+            tx.write(&prev_var, Node { key: prev.key, next: Some(new_var) })?;
+            Ok(true)
+        })
+    }
+
+    /// Remove `key`; returns `false` if it was absent.
+    pub fn remove(&self, h: &mut ThreadHandle<B>, key: i64) -> bool {
+        h.atomically(|tx| {
+            let (prev_var, prev, cur_var, cur) = self.locate(tx, key)?;
+            if cur.key != key {
+                return Ok(false);
+            }
+            // Open the victim for writing too: concurrent inserts *after*
+            // `cur` would otherwise modify a node we just unlinked.
+            tx.write(&cur_var, Node { key: cur.key, next: cur.next.clone() })?;
+            tx.write(&prev_var, Node { key: prev.key, next: cur.next.clone() })?;
+            Ok(true)
+        })
+    }
+
+    /// Membership test (read-only transaction).
+    pub fn contains(&self, h: &mut ThreadHandle<B>, key: i64) -> bool {
+        h.atomically(|tx| {
+            let (_, _, _, cur) = self.locate(tx, key)?;
+            Ok(cur.key == key)
+        })
+    }
+
+    /// Number of keys (read-only full traversal).
+    pub fn len(&self, h: &mut ThreadHandle<B>) -> usize {
+        h.atomically(|tx| {
+            let mut n = 0usize;
+            let mut var = self.head.clone();
+            loop {
+                let node = tx.read(&var)?;
+                match &node.next {
+                    Some(next) => {
+                        if node.key != i64::MIN {
+                            n += 1;
+                        }
+                        var = next.clone();
+                    }
+                    None => return Ok(n),
+                }
+            }
+        })
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self, h: &mut ThreadHandle<B>) -> bool {
+        self.len(h) == 0
+    }
+
+    /// Collect all keys in order (read-only snapshot).
+    pub fn to_vec(&self, h: &mut ThreadHandle<B>) -> Vec<i64> {
+        h.atomically(|tx| {
+            let mut keys = Vec::new();
+            let mut var = self.head.clone();
+            loop {
+                let node = tx.read(&var)?;
+                match &node.next {
+                    Some(next) => {
+                        if node.key != i64::MIN {
+                            keys.push(node.key);
+                        }
+                        var = next.clone();
+                    }
+                    None => return Ok(keys),
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::FastRng;
+    use lsa_time::counter::SharedCounter;
+    use lsa_time::perfect::PerfectClock;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn sequential_matches_btreeset() {
+        let set = IntSetList::new(Stm::new(SharedCounter::new()));
+        let mut h = set.stm().clone().register();
+        let mut reference = BTreeSet::new();
+        let mut rng = FastRng::new(77);
+        for _ in 0..400 {
+            let key = rng.range(0, 60);
+            match rng.below(3) {
+                0 => assert_eq!(set.insert(&mut h, key), reference.insert(key)),
+                1 => assert_eq!(set.remove(&mut h, key), reference.remove(&key)),
+                _ => assert_eq!(set.contains(&mut h, key), reference.contains(&key)),
+            }
+        }
+        assert_eq!(set.len(&mut h), reference.len());
+        assert_eq!(set.to_vec(&mut h), reference.iter().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn keys_stay_sorted_and_unique_under_concurrency() {
+        let set = IntSetList::new(Stm::new(PerfectClock::new()));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let set = &set;
+                s.spawn(move || {
+                    let mut h = set.stm().clone().register();
+                    let mut rng = FastRng::new(t as u64 + 1);
+                    for _ in 0..300 {
+                        let key = rng.range(0, 40);
+                        if rng.percent(60) {
+                            set.insert(&mut h, key);
+                        } else {
+                            set.remove(&mut h, key);
+                        }
+                    }
+                });
+            }
+        });
+        let mut h = set.stm().clone().register();
+        let keys = set.to_vec(&mut h);
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(keys, sorted, "list must stay sorted and duplicate-free");
+    }
+
+    #[test]
+    fn concurrent_inserts_of_disjoint_ranges_all_land() {
+        let set = IntSetList::new(Stm::new(SharedCounter::new()));
+        std::thread::scope(|s| {
+            for t in 0..4i64 {
+                let set = &set;
+                s.spawn(move || {
+                    let mut h = set.stm().clone().register();
+                    for k in 0..50 {
+                        assert!(set.insert(&mut h, t * 1000 + k));
+                    }
+                });
+            }
+        });
+        let mut h = set.stm().clone().register();
+        assert_eq!(set.len(&mut h), 200);
+    }
+
+    #[test]
+    fn delete_vs_insert_race_preserves_reachability() {
+        // The remove() write to the victim node forces conflicts with
+        // inserts that would otherwise link behind an unlinked node.
+        let set = IntSetList::new(Stm::new(PerfectClock::new()));
+        let mut h = set.stm().clone().register();
+        for k in [10, 20, 30] {
+            set.insert(&mut h, k);
+        }
+        std::thread::scope(|s| {
+            let set_a = &set;
+            s.spawn(move || {
+                let mut h = set_a.stm().clone().register();
+                for _ in 0..200 {
+                    set_a.remove(&mut h, 20);
+                    set_a.insert(&mut h, 20);
+                }
+            });
+            let set_b = &set;
+            s.spawn(move || {
+                let mut h = set_b.stm().clone().register();
+                for _ in 0..200 {
+                    set_b.insert(&mut h, 25);
+                    set_b.remove(&mut h, 25);
+                }
+            });
+        });
+        let keys = set.to_vec(&mut h);
+        assert!(keys.contains(&10) && keys.contains(&30));
+        for w in keys.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # lsa-workloads — workload generators for the SPAA'07 evaluation
+//!
+//! * [`disjoint`] — the paper's §4.2 workload: transactions update `k`
+//!   distinct private objects; no logical conflicts, so time-base overhead
+//!   dominates (Figure 2),
+//! * [`bank`] — transfers + read-only audits; the consistency workload used
+//!   by the synchronization-error experiment (§4.3 / EXP-ERR),
+//! * [`intset_list`] — sorted linked-list set: long traversals, growing read
+//!   sets (the validation-cost experiment, EXP-VAL),
+//! * [`skiplist`] — skip-list set: O(log n) traversals, medium read sets,
+//! * [`hashset`] — bucketed hash set: short transactions, tunable contention,
+//! * [`rng`] — cheap deterministic randomness for workload threads.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod bank;
+pub mod disjoint;
+pub mod hashset;
+pub mod intset_list;
+pub mod rng;
+pub mod skiplist;
+
+pub use bank::{BankConfig, BankWorkload, BankWorker};
+pub use disjoint::{DisjointConfig, DisjointWorker, DisjointWorkload};
+pub use hashset::HashSetT;
+pub use intset_list::IntSetList;
+pub use rng::FastRng;
+pub use skiplist::SkipListSet;

@@ -1,0 +1,298 @@
+//! Transactional skip-list integer set.
+//!
+//! The logarithmic counterpart to [`crate::intset_list`]: traversals touch
+//! O(log n) nodes instead of O(n), so transactions have medium-sized read
+//! sets and conflicts concentrate on the upper levels. Deterministic tower
+//! heights (drawn from a seeded RNG at insert time) keep runs reproducible.
+//!
+//! Each node's forward pointers live in a single [`TVar`] holding an
+//! immutable `Tower` (a small vector of successor links); updates replace
+//! whole towers functionally, which keeps concurrent snapshot readers on
+//! consistent versions — the same pattern as the linked list, generalized to
+//! multiple levels.
+
+use crate::rng::FastRng;
+use lsa_stm::{Stm, TVar, ThreadHandle, TxResult, Txn};
+use lsa_time::{TimeBase, Timestamp};
+use std::sync::Arc;
+
+/// Maximum tower height (enough for millions of keys at p = 1/2).
+pub const MAX_LEVEL: usize = 16;
+
+/// A node's payload: its key plus one successor link per level.
+#[derive(Clone)]
+pub struct Tower<Ts: Timestamp> {
+    key: i64,
+    /// `next[l]` is the successor at level `l`; `None` = list end.
+    next: Vec<Option<NodeRef<Ts>>>,
+}
+
+type NodeRef<Ts> = Arc<SkipNode<Ts>>;
+
+/// A skip-list node: an immutable identity wrapping the transactional tower.
+pub struct SkipNode<Ts: Timestamp> {
+    tower: TVar<Tower<Ts>, Ts>,
+}
+
+/// A sorted skip-list set of `i64` keys with transactional operations.
+pub struct SkipListSet<B: TimeBase> {
+    stm: Stm<B>,
+    head: NodeRef<B::Ts>,
+}
+
+impl<B: TimeBase> SkipListSet<B> {
+    /// Empty set on `stm`.
+    pub fn new(stm: Stm<B>) -> Self {
+        let head_tower = Tower { key: i64::MIN, next: vec![None; MAX_LEVEL] };
+        let head = Arc::new(SkipNode { tower: stm.new_tvar(head_tower) });
+        SkipListSet { stm, head }
+    }
+
+    /// The underlying runtime.
+    pub fn stm(&self) -> &Stm<B> {
+        &self.stm
+    }
+
+    /// Deterministic tower height for the `n`-th insert of a given seed
+    /// stream: geometric with p = 1/2, capped at [`MAX_LEVEL`].
+    fn height(rng: &mut FastRng) -> usize {
+        let mut h = 1;
+        while h < MAX_LEVEL && rng.percent(50) {
+            h += 1;
+        }
+        h
+    }
+
+    /// Find, per level, the last node with `key < target` (the update path).
+    /// Returns `(preds, preds_towers, successor_at_level_0)`.
+    #[allow(clippy::type_complexity)]
+    fn find_preds(
+        &self,
+        tx: &mut Txn<'_, B>,
+        target: i64,
+    ) -> TxResult<(
+        Vec<NodeRef<B::Ts>>,
+        Vec<Arc<Tower<B::Ts>>>,
+        Option<NodeRef<B::Ts>>,
+    )> {
+        let mut preds: Vec<NodeRef<B::Ts>> = Vec::with_capacity(MAX_LEVEL);
+        let mut towers: Vec<Arc<Tower<B::Ts>>> = Vec::with_capacity(MAX_LEVEL);
+        let mut node = Arc::clone(&self.head);
+        let mut tower = tx.read(&node.tower)?;
+        for level in (0..MAX_LEVEL).rev() {
+            loop {
+                let Some(next) = tower.next[level].clone() else { break };
+                let next_tower = tx.read(&next.tower)?;
+                if next_tower.key < target {
+                    node = next;
+                    tower = next_tower;
+                } else {
+                    break;
+                }
+            }
+            preds.push(Arc::clone(&node));
+            towers.push(Arc::clone(&tower));
+        }
+        preds.reverse();
+        towers.reverse();
+        let succ = towers[0].next[0].clone();
+        Ok((preds, towers, succ))
+    }
+
+    /// Insert `key`; returns `false` if already present. `rng` drives the
+    /// tower height (pass a per-thread [`FastRng`]).
+    pub fn insert(&self, h: &mut ThreadHandle<B>, rng: &mut FastRng, key: i64) -> bool {
+        assert!(key > i64::MIN && key < i64::MAX, "sentinel keys reserved");
+        let height = Self::height(rng);
+        h.atomically(|tx| {
+            let (preds, towers, succ) = self.find_preds(tx, key)?;
+            if let Some(s) = &succ {
+                if tx.read(&s.tower)?.key == key {
+                    return Ok(false);
+                }
+            }
+            // Build the new node's tower from the predecessors' successors.
+            let mut next = vec![None; MAX_LEVEL];
+            #[allow(clippy::needless_range_loop)]
+            for level in 0..height {
+                next[level] = towers[level].next[level].clone();
+            }
+            let new_node = Arc::new(SkipNode {
+                tower: self.stm.new_tvar(Tower { key, next }),
+            });
+            // Splice into every level it occupies (deduplicating writes when
+            // one pred covers several levels).
+            for (level, pred) in preds.iter().enumerate().take(height) {
+                let cur = tx.read(&pred.tower)?;
+                let mut nt = (*cur).clone();
+                nt.next[level] = Some(Arc::clone(&new_node));
+                tx.write(&pred.tower, nt)?;
+            }
+            Ok(true)
+        })
+    }
+
+    /// Remove `key`; returns `false` if absent.
+    pub fn remove(&self, h: &mut ThreadHandle<B>, key: i64) -> bool {
+        h.atomically(|tx| {
+            let (preds, _towers, succ) = self.find_preds(tx, key)?;
+            let Some(victim) = succ else { return Ok(false) };
+            let vt = tx.read(&victim.tower)?;
+            if vt.key != key {
+                return Ok(false);
+            }
+            // Unlink at every level where a pred points at the victim;
+            // write the victim too so concurrent splices conflict with us.
+            for (level, pred) in preds.iter().enumerate() {
+                let cur = tx.read(&pred.tower)?;
+                if let Some(n) = &cur.next[level] {
+                    if Arc::ptr_eq(n, &victim) {
+                        let mut nt = (*cur).clone();
+                        nt.next[level] = vt.next[level].clone();
+                        tx.write(&pred.tower, nt)?;
+                    }
+                }
+            }
+            tx.write(&victim.tower, (*vt).clone())?;
+            Ok(true)
+        })
+    }
+
+    /// Membership test (read-only transaction).
+    pub fn contains(&self, h: &mut ThreadHandle<B>, key: i64) -> bool {
+        h.atomically(|tx| {
+            let (_, _, succ) = self.find_preds(tx, key)?;
+            match succ {
+                Some(s) => Ok(tx.read(&s.tower)?.key == key),
+                None => Ok(false),
+            }
+        })
+    }
+
+    /// All keys in ascending order (one read-only snapshot).
+    pub fn to_vec(&self, h: &mut ThreadHandle<B>) -> Vec<i64> {
+        h.atomically(|tx| {
+            let mut keys = Vec::new();
+            let mut cursor = tx.read(&self.head.tower)?.next[0].clone();
+            while let Some(node) = cursor {
+                let t = tx.read(&node.tower)?;
+                keys.push(t.key);
+                cursor = t.next[0].clone();
+            }
+            Ok(keys)
+        })
+    }
+
+    /// Number of keys (read-only snapshot).
+    pub fn len(&self, h: &mut ThreadHandle<B>) -> usize {
+        self.to_vec(h).len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self, h: &mut ThreadHandle<B>) -> bool {
+        self.len(h) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsa_time::counter::SharedCounter;
+    use lsa_time::perfect::PerfectClock;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn sequential_matches_btreeset() {
+        let set = SkipListSet::new(Stm::new(SharedCounter::new()));
+        let mut h = set.stm().clone().register();
+        let mut rng = FastRng::new(99);
+        let mut height_rng = FastRng::new(7);
+        let mut reference = BTreeSet::new();
+        for _ in 0..600 {
+            let key = rng.range(0, 120);
+            match rng.below(3) {
+                0 => assert_eq!(
+                    set.insert(&mut h, &mut height_rng, key),
+                    reference.insert(key)
+                ),
+                1 => assert_eq!(set.remove(&mut h, key), reference.remove(&key)),
+                _ => assert_eq!(set.contains(&mut h, key), reference.contains(&key)),
+            }
+        }
+        assert_eq!(set.to_vec(&mut h), reference.iter().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stays_sorted_unique_under_concurrency() {
+        let set = SkipListSet::new(Stm::new(PerfectClock::new()));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let set = &set;
+                s.spawn(move || {
+                    let mut h = set.stm().clone().register();
+                    let mut rng = FastRng::new(t as u64 + 1);
+                    let mut hr = FastRng::new(t as u64 + 100);
+                    for _ in 0..250 {
+                        let key = rng.range(0, 64);
+                        if rng.percent(60) {
+                            set.insert(&mut h, &mut hr, key);
+                        } else {
+                            set.remove(&mut h, key);
+                        }
+                    }
+                });
+            }
+        });
+        let mut h = set.stm().clone().register();
+        let keys = set.to_vec(&mut h);
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(keys, sorted, "skip list must stay sorted and unique");
+        // Structural invariant: every key present at level 0 is reachable.
+        for &k in &keys {
+            assert!(set.contains(&mut h, k));
+        }
+    }
+
+    #[test]
+    fn disjoint_concurrent_inserts_all_land() {
+        let set = SkipListSet::new(Stm::new(SharedCounter::new()));
+        std::thread::scope(|s| {
+            for t in 0..4i64 {
+                let set = &set;
+                s.spawn(move || {
+                    let mut h = set.stm().clone().register();
+                    let mut hr = FastRng::new(t as u64 + 5);
+                    for k in 0..60 {
+                        assert!(set.insert(&mut h, &mut hr, t * 1000 + k));
+                    }
+                });
+            }
+        });
+        let mut h = set.stm().clone().register();
+        assert_eq!(set.len(&mut h), 240);
+    }
+
+    #[test]
+    fn towers_never_exceed_max_level() {
+        let mut rng = FastRng::new(1);
+        for _ in 0..10_000 {
+            let h = SkipListSet::<SharedCounter>::height(&mut rng);
+            assert!((1..=MAX_LEVEL).contains(&h));
+        }
+    }
+
+    #[test]
+    fn remove_then_insert_same_key_roundtrips() {
+        let set = SkipListSet::new(Stm::new(SharedCounter::new()));
+        let mut h = set.stm().clone().register();
+        let mut hr = FastRng::new(3);
+        assert!(set.insert(&mut h, &mut hr, 42));
+        assert!(set.remove(&mut h, 42));
+        assert!(!set.contains(&mut h, 42));
+        assert!(set.insert(&mut h, &mut hr, 42));
+        assert!(set.contains(&mut h, 42));
+        assert_eq!(set.to_vec(&mut h), vec![42]);
+    }
+}

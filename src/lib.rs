@@ -1,0 +1,56 @@
+//! # lsa-rt — Time-based Transactional Memory with Scalable Time Bases
+//!
+//! A from-scratch Rust reproduction of the SPAA'07 paper by Riegel, Fetzer
+//! and Felber: the **LSA-RT** software transactional memory — a multi-version
+//! STM whose consistency reasoning is decoupled from its *time base*, so the
+//! classical global commit counter can be replaced by scalable real-time
+//! clocks (perfectly synchronized, or externally synchronized with bounded
+//! deviation).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`time`] ([`lsa_time`]) — timestamp algebra (Alg. 1/4/5) and every time
+//!   base: shared counter, TL2 counter, perfect clock, simulated MMTimer,
+//!   externally synchronized clocks, ccNUMA-modeled counter, plus the
+//!   Figure 1 measurement machinery and a software clock-sync simulator,
+//! * [`stm`] ([`lsa_stm`]) — the LSA-RT algorithm (Alg. 2/3): multi-version
+//!   objects, visible writes, lazy snapshot extension, two-phase commit with
+//!   helping, pluggable contention managers,
+//! * [`baseline`] ([`lsa_baseline`]) — TL2-style and validation-based
+//!   comparator STMs (§1.2),
+//! * [`workloads`] ([`lsa_workloads`]) — the §4.2 disjoint-update workload,
+//!   bank, linked-list/hash-set structures,
+//! * [`harness`] ([`lsa_harness`]) — figure-regenerating experiment binaries
+//!   and the Altix discrete-event model.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use lsa_rt::prelude::*;
+//!
+//! // LSA-RT on the paper's scalable time base (simulated MMTimer).
+//! let stm = Stm::new(HardwareClock::mmtimer_free());
+//! let x = stm.new_tvar(0i64);
+//! let mut thread = stm.register();
+//! thread.atomically(|tx| tx.modify(&x, |v| v + 1));
+//! assert_eq!(*x.snapshot_latest(), 1);
+//! ```
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the
+//! system inventory and experiment index, and `EXPERIMENTS.md` for
+//! paper-vs-measured results.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use lsa_baseline as baseline;
+pub use lsa_harness as harness;
+pub use lsa_stm as stm;
+pub use lsa_time as time;
+pub use lsa_workloads as workloads;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use lsa_stm::prelude::*;
+    pub use lsa_time::prelude::*;
+}

@@ -1,0 +1,213 @@
+//! Cross-engine consistency: the same workloads on LSA-RT, TL2 and the
+//! validation STM must preserve the same invariants — and, single-threaded,
+//! produce identical final states.
+
+use lsa_rt::baseline::{Tl2Stm, ValidationMode, ValidationStm};
+use lsa_rt::prelude::*;
+use lsa_rt::time::counter::SharedCounter;
+use lsa_rt::workloads::FastRng;
+
+/// A deterministic sequence of transfers applied through any engine must
+/// give identical balances (single-threaded: all engines are sequential).
+#[test]
+fn single_threaded_engines_agree() {
+    const N: usize = 10;
+    const STEPS: usize = 2_000;
+
+    let run_schedule = |mut transfer: Box<dyn FnMut(usize, usize, i64)>| {
+        let mut rng = FastRng::new(4242);
+        for _ in 0..STEPS {
+            let from = rng.below(N);
+            let to = (from + 1 + rng.below(N - 1)) % N;
+            let amount = rng.range(1, 50);
+            transfer(from, to, amount);
+        }
+    };
+
+    // LSA-RT.
+    let stm = Stm::new(SharedCounter::new());
+    let lsa_vars: Vec<TVar<i64, u64>> = (0..N).map(|_| stm.new_tvar(1_000)).collect();
+    let mut h = stm.register();
+    {
+        let vars = lsa_vars.clone();
+        run_schedule(Box::new(move |from, to, amount| {
+            let (a, b) = (vars[from].clone(), vars[to].clone());
+            h.atomically(|tx| {
+                let va = *tx.read(&a)?;
+                let vb = *tx.read(&b)?;
+                tx.write(&a, va - amount)?;
+                tx.write(&b, vb + amount)?;
+                Ok(())
+            });
+        }));
+    }
+    let lsa_final: Vec<i64> = lsa_vars.iter().map(|v| *v.snapshot_latest()).collect();
+
+    // TL2.
+    let tl2 = Tl2Stm::new(SharedCounter::new());
+    let tl2_vars: Vec<_> = (0..N).map(|_| tl2.new_var(1_000i64)).collect();
+    let mut th = tl2.register();
+    {
+        let vars = tl2_vars.clone();
+        run_schedule(Box::new(move |from, to, amount| {
+            let (a, b) = (vars[from].clone(), vars[to].clone());
+            th.atomically(|tx| {
+                let va = *tx.read(&a)?;
+                let vb = *tx.read(&b)?;
+                tx.write(&a, va - amount)?;
+                tx.write(&b, vb + amount)?;
+                Ok(())
+            });
+        }));
+    }
+    let tl2_final: Vec<i64> = tl2_vars.iter().map(|v| *v.snapshot_latest()).collect();
+
+    // Validation engine.
+    let vstm = ValidationStm::new(ValidationMode::Always);
+    let val_vars: Vec<_> = (0..N).map(|_| vstm.new_var(1_000i64)).collect();
+    let mut vh = vstm.register();
+    {
+        let vars = val_vars.clone();
+        run_schedule(Box::new(move |from, to, amount| {
+            let (a, b) = (vars[from].clone(), vars[to].clone());
+            vh.atomically(|tx| {
+                let va = *tx.read(&a)?;
+                let vb = *tx.read(&b)?;
+                tx.write(&a, va - amount)?;
+                tx.write(&b, vb + amount)?;
+                Ok(())
+            });
+        }));
+    }
+    let val_final: Vec<i64> = val_vars.iter().map(|v| *v.snapshot_latest()).collect();
+
+    assert_eq!(lsa_final, tl2_final, "LSA-RT and TL2 diverged");
+    assert_eq!(lsa_final, val_final, "LSA-RT and validation STM diverged");
+    assert_eq!(lsa_final.iter().sum::<i64>(), N as i64 * 1_000);
+}
+
+/// Concurrent invariant parity: each engine preserves the bank total under
+/// the same thread/transfer counts.
+#[test]
+fn concurrent_engines_preserve_invariants() {
+    const N: usize = 12;
+    const THREADS: usize = 4;
+    const STEPS: usize = 1_200;
+
+    // LSA-RT.
+    let stm = Stm::new(SharedCounter::new());
+    let vars: Vec<TVar<i64, u64>> = (0..N).map(|_| stm.new_tvar(100)).collect();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let stm = stm.clone();
+            let vars = vars.clone();
+            s.spawn(move || {
+                let mut h = stm.register();
+                let mut rng = FastRng::new(t as u64 + 1);
+                for _ in 0..STEPS {
+                    let from = rng.below(N);
+                    let to = (from + 1 + rng.below(N - 1)) % N;
+                    let (a, b) = (vars[from].clone(), vars[to].clone());
+                    h.atomically(|tx| {
+                        let va = *tx.read(&a)?;
+                        let vb = *tx.read(&b)?;
+                        tx.write(&a, va - 1)?;
+                        tx.write(&b, vb + 1)?;
+                        Ok(())
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(vars.iter().map(|v| *v.snapshot_latest()).sum::<i64>(), N as i64 * 100);
+
+    // TL2.
+    let tl2 = Tl2Stm::new(SharedCounter::new());
+    let tvars: Vec<_> = (0..N).map(|_| tl2.new_var(100i64)).collect();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let tl2 = tl2.clone();
+            let tvars = tvars.clone();
+            s.spawn(move || {
+                let mut h = tl2.register();
+                let mut rng = FastRng::new(t as u64 + 1);
+                for _ in 0..STEPS {
+                    let from = rng.below(N);
+                    let to = (from + 1 + rng.below(N - 1)) % N;
+                    let (a, b) = (tvars[from].clone(), tvars[to].clone());
+                    h.atomically(|tx| {
+                        let va = *tx.read(&a)?;
+                        let vb = *tx.read(&b)?;
+                        tx.write(&a, va - 1)?;
+                        tx.write(&b, vb + 1)?;
+                        Ok(())
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(tvars.iter().map(|v| *v.snapshot_latest()).sum::<i64>(), N as i64 * 100);
+
+    // Validation engine (commit-counter mode).
+    let vstm = std::sync::Arc::new(ValidationStm::new(ValidationMode::CommitCounter));
+    let vvars: Vec<_> = (0..N).map(|_| vstm.new_var(100i64)).collect();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let vstm = std::sync::Arc::clone(&vstm);
+            let vvars = vvars.clone();
+            s.spawn(move || {
+                let mut h = vstm.register();
+                let mut rng = FastRng::new(t as u64 + 1);
+                for _ in 0..STEPS {
+                    let from = rng.below(N);
+                    let to = (from + 1 + rng.below(N - 1)) % N;
+                    let (a, b) = (vvars[from].clone(), vvars[to].clone());
+                    h.atomically(|tx| {
+                        let va = *tx.read(&a)?;
+                        let vb = *tx.read(&b)?;
+                        tx.write(&a, va - 1)?;
+                        tx.write(&b, vb + 1)?;
+                        Ok(())
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(vvars.iter().map(|v| *v.snapshot_latest()).sum::<i64>(), N as i64 * 100);
+}
+
+/// LSA-RT on every time base agrees with the sequential expectation when
+/// each thread works on private data (paper §4.2 workload shape).
+#[test]
+fn all_time_bases_agree_on_disjoint_work() {
+    use lsa_rt::time::external::{ExternalClock, OffsetPolicy};
+    use lsa_rt::time::numa::{NumaCounter, NumaModel};
+
+    fn run<B: lsa_rt::time::TimeBase>(tb: B) -> u64 {
+        let stm = Stm::new(tb);
+        let vars: Vec<TVar<u64, B::Ts>> = (0..4).map(|_| stm.new_tvar(0u64)).collect();
+        std::thread::scope(|s| {
+            for v in vars.iter() {
+                let stm = stm.clone();
+                let v = v.clone();
+                s.spawn(move || {
+                    let mut h = stm.register();
+                    for _ in 0..500 {
+                        h.atomically(|tx| tx.modify(&v, |x| x + 1));
+                    }
+                });
+            }
+        });
+        vars.iter().map(|v| *v.snapshot_latest()).sum()
+    }
+
+    assert_eq!(run(SharedCounter::new()), 2_000);
+    assert_eq!(run(lsa_rt::time::counter::Tl2Counter::new()), 2_000);
+    assert_eq!(run(PerfectClock::new()), 2_000);
+    assert_eq!(run(HardwareClock::mmtimer_free()), 2_000);
+    assert_eq!(run(NumaCounter::new(NumaModel::free())), 2_000);
+    assert_eq!(
+        run(ExternalClock::with_policy(10_000, OffsetPolicy::Alternating)),
+        2_000
+    );
+}

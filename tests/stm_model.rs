@@ -1,0 +1,151 @@
+//! Model-based testing: the STM against a reference `HashMap`, and random
+//! transaction shapes (property-based).
+
+use lsa_rt::prelude::*;
+use lsa_rt::time::counter::SharedCounter;
+use lsa_rt::time::hardware::HardwareClock;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// One operation of a generated transaction body.
+#[derive(Clone, Debug)]
+enum Op {
+    Read(usize),
+    Write(usize, u64),
+    Modify(usize, u64),
+}
+
+fn op_strategy(n_vars: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..n_vars).prop_map(Op::Read),
+        ((0..n_vars), any::<u64>()).prop_map(|(i, v)| Op::Write(i, v % 1000)),
+        ((0..n_vars), any::<u64>()).prop_map(|(i, v)| Op::Modify(i, v % 10)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sequentially executed random transactions leave the STM in exactly
+    /// the state of the reference model, and every intra-transaction read
+    /// observes model semantics (read-own-write included).
+    #[test]
+    fn sequential_txns_match_reference_model(
+        txns in prop::collection::vec(prop::collection::vec(op_strategy(6), 1..12), 1..24)
+    ) {
+        let stm = Stm::new(SharedCounter::new());
+        let vars: Vec<TVar<u64, u64>> = (0..6).map(|_| stm.new_tvar(0u64)).collect();
+        let mut model: HashMap<usize, u64> = (0..6).map(|i| (i, 0u64)).collect();
+        let mut h = stm.register();
+
+        for body in &txns {
+            // Apply to the STM transactionally.
+            let mut scratch = model.clone();
+            h.atomically(|tx| {
+                scratch = model.clone(); // body may re-run after an abort
+                for op in body {
+                    match *op {
+                        Op::Read(i) => {
+                            let got = *tx.read(&vars[i])?;
+                            assert_eq!(got, scratch[&i], "read diverged from model");
+                        }
+                        Op::Write(i, v) => {
+                            tx.write(&vars[i], v)?;
+                            scratch.insert(i, v);
+                        }
+                        Op::Modify(i, d) => {
+                            tx.modify(&vars[i], |x| x + d)?;
+                            *scratch.get_mut(&i).unwrap() += d;
+                        }
+                    }
+                }
+                Ok(())
+            });
+            model = scratch;
+        }
+
+        for (i, var) in vars.iter().enumerate() {
+            prop_assert_eq!(*var.snapshot_latest(), model[&i]);
+        }
+    }
+
+    /// Aborted transactions leave no trace: run a body, then abort it
+    /// explicitly — state must be unchanged.
+    #[test]
+    fn aborted_txns_are_invisible(
+        body in prop::collection::vec(op_strategy(4), 1..10),
+        commit_value in 0u64..1000
+    ) {
+        let stm = Stm::new(HardwareClock::mmtimer_free());
+        let vars: Vec<TVar<u64, u64>> = (0..4).map(|_| stm.new_tvar(7u64)).collect();
+        let mut h = stm.register();
+
+        let mut attempts = 0;
+        let r: TxResult<()> = h.try_atomically(1, |tx| {
+            attempts += 1;
+            for op in &body {
+                match *op {
+                    Op::Read(i) => { tx.read(&vars[i])?; }
+                    Op::Write(i, v) => { tx.write(&vars[i], v)?; }
+                    Op::Modify(i, d) => { tx.modify(&vars[i], |x| x + d)?; }
+                }
+            }
+            Err(tx.abort_retry())
+        });
+        prop_assert!(r.is_err());
+        prop_assert_eq!(attempts, 1);
+        for var in &vars {
+            prop_assert_eq!(*var.snapshot_latest(), 7u64, "abort leaked a write");
+        }
+
+        // And a subsequent committed write works normally.
+        h.atomically(|tx| tx.write(&vars[0], commit_value));
+        prop_assert_eq!(*vars[0].snapshot_latest(), commit_value);
+    }
+
+    /// Version-chain depth never exceeds the configured maximum.
+    #[test]
+    fn version_chains_are_bounded(updates in 1usize..40, max_versions in 1usize..6) {
+        let stm = Stm::with_config(
+            SharedCounter::new(),
+            StmConfig::multi_version(max_versions),
+        );
+        let v = stm.new_tvar(0u64);
+        let mut h = stm.register();
+        for _ in 0..updates {
+            h.atomically(|tx| tx.modify(&v, |x| x + 1));
+        }
+        prop_assert!(v.version_count() <= max_versions);
+        prop_assert_eq!(*v.snapshot_latest(), updates as u64);
+    }
+}
+
+/// A long random mixed run with a fixed seed, as a deterministic regression
+/// anchor next to the proptests.
+#[test]
+fn deterministic_mixed_run() {
+    let stm = Stm::new(SharedCounter::new());
+    let a = stm.new_tvar(0i64);
+    let b = stm.new_tvar(100i64);
+    let mut h = stm.register();
+    let mut seed = 0xC0FFEEu64;
+    for _ in 0..5_000 {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        match seed % 4 {
+            0 => h.atomically(|tx| tx.modify(&a, |v| v + 1)),
+            1 => h.atomically(|tx| tx.modify(&b, |v| v - 1)),
+            2 => {
+                h.atomically(|tx| {
+                    let va = *tx.read(&a)?;
+                    tx.write(&b, va)?;
+                    Ok(())
+                });
+            }
+            _ => {
+                let _ = h.atomically(|tx| Ok(*tx.read(&a)? + *tx.read(&b)?));
+            }
+        }
+    }
+    assert_eq!(h.stats().total_commits(), 5_000);
+    assert_eq!(h.stats().total_aborts(), 0, "single thread never aborts");
+}

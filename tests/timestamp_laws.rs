@@ -1,0 +1,138 @@
+//! Property-based tests of the timestamp algebra (§2.1, Algorithms 1 and 5).
+//!
+//! The paper states the laws informally; here they are machine-checked over
+//! both timestamp domains:
+//!
+//! * `t2 ≽ t1  ⟹  ¬(t1 ≿ t2)` and `t2 ≿ t1 ⟹ ¬(t1 ≽ t2)`,
+//! * `ge` is reflexive on same-clock timestamps and transitive,
+//! * `max` semantics: `t3 ≽ max(t1,t2) ⟹ t3 ≽ t1 ∧ t3 ≽ t2`,
+//! * `min` semantics: `min(t1,t2) ≽ t3 ⟹ t1 ≽ t3 ∧ t2 ≽ t3`,
+//! * external-clock comparisons mask the deviation conservatively.
+
+use lsa_rt::time::external::{ClockId, ExtTimestamp};
+use lsa_rt::time::Timestamp;
+use proptest::prelude::*;
+
+fn ext_ts() -> impl Strategy<Value = ExtTimestamp> {
+    // Timestamps around a large epoch with bounded deviations; cid 0..4 plus
+    // the undefined marker.
+    (
+        (1u64 << 40)..(1u64 << 40) + 1_000_000,
+        prop_oneof![Just(u32::MAX), 0u32..4],
+        0u64..10_000,
+    )
+        .prop_map(|(ts, cid, dev)| ExtTimestamp::new(ts, ClockId(cid), dev))
+}
+
+proptest! {
+    // ---- u64 (totally ordered time bases) ----
+
+    #[test]
+    fn u64_paper_implications(t1: u64, t2: u64) {
+        if t2.ge(t1) {
+            prop_assert!(!t1.possibly_later(t2));
+        }
+        if t2.possibly_later(t1) {
+            prop_assert!(!t1.ge(t2));
+        }
+    }
+
+    #[test]
+    fn u64_ge_total(t1: u64, t2: u64) {
+        // In a totally ordered base, at least one direction always holds.
+        prop_assert!(t1.ge(t2) || t2.ge(t1));
+    }
+
+    #[test]
+    fn u64_join_meet_bounds(t1: u64, t2: u64, t3: u64) {
+        let j = t1.join(t2);
+        prop_assert!(j.ge(t1) && j.ge(t2));
+        if t3.ge(j) {
+            prop_assert!(t3.ge(t1) && t3.ge(t2));
+        }
+        let m = t1.meet(t2);
+        prop_assert!(t1.ge(m) && t2.ge(m));
+        if m.ge(t3) {
+            prop_assert!(t1.ge(t3) && t2.ge(t3));
+        }
+    }
+
+    #[test]
+    fn u64_prior_is_predecessor(t in 1u64..u64::MAX) {
+        prop_assert_eq!(t.prior(), t - 1);
+        prop_assert!(t.possibly_later(t.prior()));
+    }
+
+    // ---- ExtTimestamp (Algorithm 5) ----
+
+    #[test]
+    fn ext_paper_implications(t1 in ext_ts(), t2 in ext_ts()) {
+        if t2.ge(t1) {
+            prop_assert!(!t1.possibly_later(t2));
+        }
+        if t2.possibly_later(t1) {
+            prop_assert!(!t1.ge(t2));
+        }
+    }
+
+    #[test]
+    fn ext_ge_reflexive_same_clock(t in ext_ts()) {
+        if !t.cid.is_undefined() {
+            prop_assert!(t.ge(t));
+        }
+    }
+
+    #[test]
+    fn ext_ge_transitive(a in ext_ts(), b in ext_ts(), c in ext_ts()) {
+        if a.ge(b) && b.ge(c) {
+            prop_assert!(a.ge(c), "a={a:?} b={b:?} c={c:?}");
+        }
+    }
+
+    #[test]
+    fn ext_join_dominates_both(t1 in ext_ts(), t2 in ext_ts(), t3 in ext_ts()) {
+        let j = t1.join(t2);
+        if t3.ge(j) {
+            prop_assert!(t3.ge(t1), "t3={t3:?} j={j:?} t1={t1:?}");
+            prop_assert!(t3.ge(t2), "t3={t3:?} j={j:?} t2={t2:?}");
+        }
+    }
+
+    #[test]
+    fn ext_meet_dominated_by_both(t1 in ext_ts(), t2 in ext_ts(), t3 in ext_ts()) {
+        let m = t1.meet(t2);
+        if m.ge(t3) {
+            prop_assert!(t1.ge(t3), "m={m:?} t1={t1:?} t3={t3:?}");
+            prop_assert!(t2.ge(t3), "m={m:?} t2={t2:?} t3={t3:?}");
+        }
+    }
+
+    #[test]
+    fn ext_cross_clock_requires_gap(off in 0u64..30_000) {
+        // Two readings from different clocks, both with dev = 10 µs: only a
+        // gap larger than dev1 + dev2 orders them.
+        let dev = 10_000u64;
+        let base = 1u64 << 40;
+        let t1 = ExtTimestamp::new(base + off, ClockId(1), dev);
+        let t2 = ExtTimestamp::new(base, ClockId(2), dev);
+        if off >= 2 * dev {
+            prop_assert!(t1.ge(t2));
+        } else {
+            prop_assert!(!t1.ge(t2), "within the uncertainty window");
+            prop_assert!(t1.possibly_later(t2) && t2.possibly_later(t1));
+        }
+    }
+
+    #[test]
+    fn ext_origin_below_everything(t in ext_ts()) {
+        let origin = ExtTimestamp::origin();
+        prop_assert!(t.ge(origin));
+        prop_assert!(!origin.ge(t));
+    }
+
+    #[test]
+    fn u64_origin_below_everything(t in 1u64..) {
+        prop_assert!(t.ge(u64::origin()));
+        prop_assert!(!u64::origin().ge(t));
+    }
+}
