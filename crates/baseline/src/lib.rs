@@ -18,6 +18,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod engine;
 pub mod stats;
 pub mod tl2;
 pub mod validation;

@@ -53,8 +53,16 @@ mod tests {
 
     #[test]
     fn merge_sums_fields() {
-        let mut a = BaselineStats { commits: 1, reads: 2, ..Default::default() };
-        let b = BaselineStats { commits: 3, validations: 4, ..Default::default() };
+        let mut a = BaselineStats {
+            commits: 1,
+            reads: 2,
+            ..Default::default()
+        };
+        let b = BaselineStats {
+            commits: 3,
+            validations: 4,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.commits, 4);
         assert_eq!(a.reads, 2);

@@ -102,7 +102,10 @@ pub struct Tl2Var<T> {
 
 impl<T> Clone for Tl2Var<T> {
     fn clone(&self) -> Self {
-        Tl2Var { id: self.id, inner: Arc::clone(&self.inner) }
+        Tl2Var {
+            id: self.id,
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -118,15 +121,24 @@ impl<T: Send + Sync + 'static> Tl2Var<T> {
     }
 }
 
-/// The TL2 runtime.
-pub struct Tl2Stm<B: TimeBase<Ts = u64>> {
-    tb: Arc<B>,
+struct Tl2Inner<B> {
+    tb: B,
+    /// Shared id source: clones of the runtime hand out ids from the same
+    /// sequence, so per-transaction maps keyed by id never collide.
     next_var: AtomicU64,
+}
+
+/// The TL2 runtime. Cheap to clone; clones share the time base and the
+/// variable-id sequence.
+pub struct Tl2Stm<B: TimeBase<Ts = u64>> {
+    inner: Arc<Tl2Inner<B>>,
 }
 
 impl<B: TimeBase<Ts = u64>> Clone for Tl2Stm<B> {
     fn clone(&self) -> Self {
-        Tl2Stm { tb: Arc::clone(&self.tb), next_var: AtomicU64::new(0) }
+        Tl2Stm {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -135,13 +147,23 @@ impl<B: TimeBase<Ts = u64>> Tl2Stm<B> {
     /// `u64` timestamps (it has no mechanism for masking clock uncertainty —
     /// a limitation the LSA-RT paper's Algorithm 5 removes).
     pub fn new(tb: B) -> Self {
-        Tl2Stm { tb: Arc::new(tb), next_var: AtomicU64::new(1) }
+        Tl2Stm {
+            inner: Arc::new(Tl2Inner {
+                tb,
+                next_var: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// The underlying time base.
+    pub fn time_base(&self) -> &B {
+        &self.inner.tb
     }
 
     /// Create a transactional variable.
     pub fn new_var<T: Send + Sync + 'static>(&self, value: T) -> Tl2Var<T> {
         Tl2Var {
-            id: self.next_var.fetch_add(1, Ordering::Relaxed),
+            id: self.inner.next_var.fetch_add(1, Ordering::Relaxed),
             inner: Arc::new(VarInner {
                 vlock: VLock::default(),
                 data: RwLock::new(Arc::new(value)),
@@ -152,7 +174,7 @@ impl<B: TimeBase<Ts = u64>> Tl2Stm<B> {
     /// Register the calling thread.
     pub fn register(&self) -> Tl2Thread<B> {
         Tl2Thread {
-            clock: self.tb.register_thread(),
+            clock: self.inner.tb.register_thread(),
             stats: BaselineStats::default(),
         }
     }
@@ -261,8 +283,10 @@ impl<B: TimeBase<Ts = u64>> Tl2Txn<'_, B> {
                 var_id: var.id,
                 sample: Box::new(move || inner.vlock.sample()),
             });
-            self.read_cache
-                .insert(var.id, Arc::clone(&value) as Arc<dyn std::any::Any + Send + Sync>);
+            self.read_cache.insert(
+                var.id,
+                Arc::clone(&value) as Arc<dyn std::any::Any + Send + Sync>,
+            );
             return Ok(value);
         }
     }
@@ -373,10 +397,7 @@ impl<B: TimeBase<Ts = u64>> Tl2Thread<B> {
     }
 
     /// Run `body` with retry-on-abort until it commits.
-    pub fn atomically<R>(
-        &mut self,
-        mut body: impl FnMut(&mut Tl2Txn<'_, B>) -> Tl2Result<R>,
-    ) -> R {
+    pub fn atomically<R>(&mut self, mut body: impl FnMut(&mut Tl2Txn<'_, B>) -> Tl2Result<R>) -> R {
         let mut backoff = 0u32;
         loop {
             let rv = self.clock.get_time();
@@ -521,7 +542,10 @@ mod tests {
             tx.read(&x).map(|v| *v)
         });
         assert_eq!(v, 1);
-        assert!(reader.stats().retries >= 1, "first attempt must have aborted");
+        assert!(
+            reader.stats().retries >= 1,
+            "first attempt must have aborted"
+        );
     }
 
     #[test]

@@ -63,7 +63,10 @@ pub struct ValVar<T> {
 
 impl<T> Clone for ValVar<T> {
     fn clone(&self) -> Self {
-        ValVar { id: self.id, inner: Arc::clone(&self.inner) }
+        ValVar {
+            id: self.id,
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -79,40 +82,49 @@ impl<T: Send + Sync + 'static> ValVar<T> {
     }
 }
 
-/// The validation-based STM runtime.
-pub struct ValidationStm {
+struct ValInner {
     mode: ValidationMode,
     /// RSTM's global commit counter: incremented by every attempted update
     /// commit. Deliberately a single shared cache line — the point the paper
     /// makes about this design.
     commit_counter: Arc<CachePadded<AtomicU64>>,
+    /// Shared id source so runtime clones never hand out colliding var ids.
     next_var: AtomicU64,
+}
+
+/// The validation-based STM runtime. Cheap to clone; clones share the commit
+/// counter and the variable-id sequence.
+#[derive(Clone)]
+pub struct ValidationStm {
+    inner: Arc<ValInner>,
 }
 
 impl ValidationStm {
     /// Runtime in the given validation mode.
     pub fn new(mode: ValidationMode) -> Self {
         ValidationStm {
-            mode,
-            commit_counter: Arc::new(CachePadded::new(AtomicU64::new(0))),
-            next_var: AtomicU64::new(1),
+            inner: Arc::new(ValInner {
+                mode,
+                commit_counter: Arc::new(CachePadded::new(AtomicU64::new(0))),
+                next_var: AtomicU64::new(1),
+            }),
         }
     }
 
     /// The validation mode.
     pub fn mode(&self) -> ValidationMode {
-        self.mode
+        self.inner.mode
     }
 
     /// Current value of the global commit counter.
     pub fn commit_counter(&self) -> u64 {
-        self.commit_counter.load(Ordering::Acquire)
+        self.inner.commit_counter.load(Ordering::Acquire)
     }
 
     /// Create a transactional variable.
     pub fn new_var<T: Send + Sync + 'static>(&self, value: T) -> ValVar<T> {
         ValVar {
-            id: self.next_var.fetch_add(1, Ordering::Relaxed),
+            id: self.inner.next_var.fetch_add(1, Ordering::Relaxed),
             inner: Arc::new(VarInner {
                 version: AtomicU64::new(0),
                 data: RwLock::new(Arc::new(value)),
@@ -124,8 +136,8 @@ impl ValidationStm {
     /// Register the calling thread.
     pub fn register(&self) -> ValThread {
         ValThread {
-            mode: self.mode,
-            commit_counter: Arc::clone(&self.commit_counter),
+            mode: self.inner.mode,
+            commit_counter: Arc::clone(&self.inner.commit_counter),
             stats: BaselineStats::default(),
         }
     }
@@ -246,9 +258,30 @@ impl ValTxn<'_> {
         if let Some(cached) = self.read_cache.get(&var.id) {
             return Ok(Arc::clone(cached).downcast::<T>().expect("stable type"));
         }
+        let mut spins = 0u32;
         let (value, seen_version) = loop {
+            // A committer holds `locked` for the whole apply (data write +
+            // version bump). Readers must never sample while it is held:
+            // the data store and the version bump are separate writes, so a
+            // read in that window could pair a NEW value with the OLD
+            // version number — and later validations, which compare version
+            // numbers only, would wrongly certify the mixed snapshot.
+            // Bounded spinning: on oversubscribed hosts the committer may be
+            // descheduled while holding `locked`, so yield past 64 tries.
+            spins += 1;
+            if spins > 64 {
+                std::thread::yield_now();
+                spins = 0;
+            }
+            if var.inner.locked.load(Ordering::Acquire) != 0 {
+                std::hint::spin_loop();
+                continue;
+            }
             let v1 = var.inner.version.load(Ordering::Acquire);
             let value = Arc::clone(&var.inner.data.read());
+            if var.inner.locked.load(Ordering::Acquire) != 0 {
+                continue; // a committer started mid-read — resample
+            }
             let v2 = var.inner.version.load(Ordering::Acquire);
             if v1 == v2 {
                 break (value, v1);
@@ -259,8 +292,10 @@ impl ValTxn<'_> {
             seen_version,
         }));
         self.maybe_validate()?;
-        self.read_cache
-            .insert(var.id, Arc::clone(&value) as Arc<dyn std::any::Any + Send + Sync>);
+        self.read_cache.insert(
+            var.id,
+            Arc::clone(&value) as Arc<dyn std::any::Any + Send + Sync>,
+        );
         Ok(value)
     }
 
@@ -272,7 +307,11 @@ impl ValTxn<'_> {
             var.id | (1 << 63),
             Arc::clone(&pending) as Arc<dyn std::any::Any + Send + Sync>,
         );
-        let entry = TypedApply { inner: Arc::clone(&var.inner), id: var.id, pending };
+        let entry = TypedApply {
+            inner: Arc::clone(&var.inner),
+            id: var.id,
+            pending,
+        };
         match self.write_ids.get(&var.id) {
             Some(&idx) => self.writes[idx] = Box::new(entry),
             None => {
@@ -497,6 +536,52 @@ mod tests {
         });
         assert_eq!((va, vb), (1, 0), "retry observed the new value of a");
         assert!(h.stats().aborts >= 1);
+    }
+
+    #[test]
+    fn concurrent_audits_never_see_mixed_snapshots() {
+        // Regression test: the read path must not sample an object while a
+        // committer holds its write lock — the data store and the version
+        // bump are separate writes, and a read in between pairs a new value
+        // with an old version number, certifying a torn snapshot. Writers
+        // keep transferring between two accounts; auditors must always see
+        // the invariant total.
+        for mode in [ValidationMode::Always, ValidationMode::CommitCounter] {
+            let stm = ValidationStm::new(mode);
+            let a = stm.new_var(500i64);
+            let b = stm.new_var(500i64);
+            std::thread::scope(|s| {
+                for seed in 0..2u64 {
+                    let stm = stm.clone();
+                    let (a, b) = (a.clone(), b.clone());
+                    s.spawn(move || {
+                        let mut h = stm.register();
+                        for i in 0..4_000i64 {
+                            let amt = (i * (seed as i64 + 1)) % 7 - 3;
+                            h.atomically(|tx| {
+                                let va = *tx.read(&a)?;
+                                let vb = *tx.read(&b)?;
+                                tx.write(&a, va - amt)?;
+                                tx.write(&b, vb + amt)?;
+                                Ok(())
+                            });
+                        }
+                    });
+                }
+                for _ in 0..2 {
+                    let stm = stm.clone();
+                    let (a, b) = (a.clone(), b.clone());
+                    s.spawn(move || {
+                        let mut h = stm.register();
+                        for _ in 0..4_000 {
+                            let total = h.atomically(|tx| Ok(*tx.read(&a)? + *tx.read(&b)?));
+                            assert_eq!(total, 1_000, "audit saw a torn snapshot");
+                        }
+                    });
+                }
+            });
+            assert_eq!(*a.snapshot_latest() + *b.snapshot_latest(), 1_000);
+        }
     }
 
     #[test]

@@ -21,8 +21,14 @@ fn measurement_round(c: &mut Criterion) {
 }
 
 fn sync_simulation(c: &mut Criterion) {
-    let cfg = SyncSimConfig { rounds: 100, nodes: 15, ..Default::default() };
-    c.bench_function("fig1/sync-sim-100rounds-15nodes", |b| b.iter(|| simulate(&cfg)));
+    let cfg = SyncSimConfig {
+        rounds: 100,
+        nodes: 15,
+        ..Default::default()
+    };
+    c.bench_function("fig1/sync-sim-100rounds-15nodes", |b| {
+        b.iter(|| simulate(&cfg))
+    });
 }
 
 fn quick() -> Criterion {

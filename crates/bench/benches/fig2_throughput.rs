@@ -13,7 +13,10 @@ use lsa_workloads::{DisjointConfig, DisjointWorkload};
 fn real_single_thread(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig2/real-1thread");
     for &k in &[10usize, 50, 100] {
-        let cfg = DisjointConfig { objects_per_thread: (4 * k).max(64), accesses_per_tx: k };
+        let cfg = DisjointConfig {
+            objects_per_thread: (4 * k).max(64),
+            accesses_per_tx: k,
+        };
         let wl = DisjointWorkload::new(Stm::new(SharedCounter::new()), 1, cfg);
         let mut w = wl.worker(0);
         g.bench_with_input(BenchmarkId::new("shared-counter", k), &k, |b, _| {
@@ -30,7 +33,10 @@ fn real_single_thread(c: &mut Criterion) {
 
 fn modeled_16cpu_point(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig2/modeled-altix-16cpu");
-    let params = AltixParams { duration_ns: 2_000_000.0, ..AltixParams::paper_calibrated() };
+    let params = AltixParams {
+        duration_ns: 2_000_000.0,
+        ..AltixParams::paper_calibrated()
+    };
     g.bench_function("counter-10acc", |b| {
         b.iter(|| simulate(16, 10, AltixParams::paper_counter(), params))
     });

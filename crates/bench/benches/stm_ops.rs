@@ -90,8 +90,10 @@ fn extension_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("stm-ops/extend");
     for &n in &[4usize, 32] {
         for (label, extend) in [("extend-on", true), ("extend-off", false)] {
-            let mut cfg = StmConfig::default();
-            cfg.extend_on_read = extend;
+            let cfg = StmConfig {
+                extend_on_read: extend,
+                ..StmConfig::default()
+            };
             let stm = Stm::with_config(SharedCounter::new(), cfg);
             let vars: Vec<_> = (0..n).map(|_| stm.new_tvar(0u64)).collect();
             let target = stm.new_tvar(0u64);

@@ -12,11 +12,11 @@ use lsa_time::{ThreadClock, TimeBase};
 
 fn bench_ops<B: TimeBase>(c: &mut Criterion, name: &str, tb: B) {
     let mut clock = tb.register_thread();
-    c.bench_function(&format!("timebase/{name}/get_time"), |b| {
+    c.bench_function(format!("timebase/{name}/get_time"), |b| {
         b.iter(|| std::hint::black_box(clock.get_time()))
     });
     let mut clock = tb.register_thread();
-    c.bench_function(&format!("timebase/{name}/get_new_ts"), |b| {
+    c.bench_function(format!("timebase/{name}/get_new_ts"), |b| {
         b.iter(|| std::hint::black_box(clock.get_new_ts()))
     });
 }
@@ -24,7 +24,11 @@ fn bench_ops<B: TimeBase>(c: &mut Criterion, name: &str, tb: B) {
 fn all(c: &mut Criterion) {
     bench_ops(c, "shared-counter", SharedCounter::new());
     bench_ops(c, "tl2-counter", Tl2Counter::new());
-    bench_ops(c, "numa-counter-altix", NumaCounter::new(NumaModel::altix()));
+    bench_ops(
+        c,
+        "numa-counter-altix",
+        NumaCounter::new(NumaModel::altix()),
+    );
     bench_ops(c, "perfect-clock", PerfectClock::new());
     bench_ops(c, "mmtimer", HardwareClock::mmtimer());
     bench_ops(c, "mmtimer-free", HardwareClock::mmtimer_free());

@@ -1,0 +1,247 @@
+//! # lsa-engine — the engine abstraction of the workspace
+//!
+//! The SPAA'07 paper's central claim is that the LSA algorithm is decoupled
+//! from its *time base*. This crate decouples the rest of the workspace from
+//! its *engine*: the [`TxnEngine`] trait family is implemented by
+//! `lsa_stm::Stm` (LSA-RT), `lsa_baseline::Tl2Stm` and
+//! `lsa_baseline::ValidationStm`, so every workload, experiment and test can
+//! run on any engine × time-base combination — the design-space matrix the
+//! paper's §1.2 surveys (validation-based vs time-based, single- vs
+//! multi-version, counter vs real-time clock).
+//!
+//! ## The trait family
+//!
+//! * [`TxnEngine`] — an STM runtime: creates transactional variables
+//!   ([`TxnEngine::Var`], a generic associated type) and registers threads.
+//! * [`EngineHandle`] — a registered thread: runs transaction bodies with
+//!   retry-on-abort ([`EngineHandle::atomically`]) and exposes the shared
+//!   statistics surface ([`EngineStats`]).
+//! * [`TxnOps`] — the operations available *inside* a transaction body:
+//!   [`read`](TxnOps::read), [`write`](TxnOps::write),
+//!   [`modify`](TxnOps::modify). Abort values stay engine-specific
+//!   ([`TxnEngine::Abort`]) and propagate with `?` exactly like in
+//!   engine-native code.
+//!
+//! ## Writing engine-generic code
+//!
+//! ```
+//! use lsa_engine::{EngineHandle, TxnEngine, TxnOps};
+//!
+//! /// Transfer between two accounts on ANY engine.
+//! fn transfer<E: TxnEngine>(e: &E, h: &mut E::Handle, amount: i64) -> i64 {
+//!     let a = e.new_var(100i64);
+//!     let b = e.new_var(0i64);
+//!     h.atomically(|tx| {
+//!         let va = *tx.read(&a)?;
+//!         let vb = *tx.read(&b)?;
+//!         tx.write(&a, va - amount)?;
+//!         tx.write(&b, vb + amount)?;
+//!         Ok(va - amount)
+//!     })
+//! }
+//! ```
+//!
+//! A new backend costs one trait impl — not a fork of the workloads and the
+//! harness. See `DESIGN.md` §5 for the implementation notes per engine.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Shorthand for an engine's abort type.
+pub type EngineAbort<E> = <E as TxnEngine>::Abort;
+
+/// Shorthand for an engine's transactional-variable type.
+pub type EngineVar<E, T> = <E as TxnEngine>::Var<T>;
+
+/// Result of one transactional operation (or of a whole body) on engine `E`.
+pub type EngineResult<R, E> = Result<R, EngineAbort<E>>;
+
+/// A software-transactional-memory runtime.
+///
+/// Implementations are cheap to clone (reference-counted internally) and
+/// sharable across threads; per-thread access goes through
+/// [`register`](TxnEngine::register).
+pub trait TxnEngine: Clone + Send + Sync + 'static {
+    /// The engine's abort/error value, propagated with `?` through
+    /// transaction bodies. Aborts are control flow, not failures: the
+    /// [`EngineHandle::atomically`] loop catches them and re-runs the body.
+    type Abort: fmt::Debug + Send + 'static;
+
+    /// The engine's transactional variable holding a `T`. Cloning a var is
+    /// cloning a reference to the same shared object.
+    type Var<T: Send + Sync + 'static>: Clone + Send + Sync + 'static;
+
+    /// The per-thread handle produced by [`register`](TxnEngine::register).
+    type Handle: EngineHandle<Engine = Self>;
+
+    /// Create a transactional variable initialized to `value`.
+    fn new_var<T: Send + Sync + 'static>(&self, value: T) -> Self::Var<T>;
+
+    /// Register the calling thread, allocating its clock/stats state.
+    fn register(&self) -> Self::Handle;
+
+    /// Human-readable engine identifier for experiment output, including the
+    /// time base or mode, e.g. `"lsa-rt(mmtimer)"` or `"validation(always)"`.
+    fn engine_name(&self) -> String;
+
+    /// The latest committed value of `var`, read non-transactionally. Only
+    /// meaningful while no update transactions are in flight (seeding,
+    /// post-run audits).
+    fn peek<T: Send + Sync + 'static>(var: &Self::Var<T>) -> Arc<T>;
+}
+
+/// A registered thread of a [`TxnEngine`]: the gateway to running
+/// transactions.
+pub trait EngineHandle: Send + 'static {
+    /// The owning engine type.
+    type Engine: TxnEngine<Handle = Self>;
+
+    /// The engine's in-flight transaction view, borrowing from the handle
+    /// for the duration `'t` of one attempt.
+    type Txn<'t>: TxnOps<Engine = Self::Engine>
+    where
+        Self: 't;
+
+    /// Run `body` as a transaction, retrying on abort until it commits, and
+    /// return its result. `body` must route every shared access through the
+    /// provided [`TxnOps`] view and propagate aborts with `?`; side effects
+    /// outside the STM must be idempotent because the body re-runs after an
+    /// abort.
+    fn atomically<R, F>(&mut self, body: F) -> R
+    where
+        F: for<'t> FnMut(&mut Self::Txn<'t>) -> EngineResult<R, Self::Engine>;
+
+    /// Snapshot of the statistics this thread accumulated so far, on the
+    /// engine-shared surface.
+    fn engine_stats(&self) -> EngineStats;
+
+    /// Take (and reset) the accumulated statistics.
+    fn take_engine_stats(&mut self) -> EngineStats;
+}
+
+/// Operations available inside a transaction body, shared by every engine.
+pub trait TxnOps {
+    /// The owning engine type.
+    type Engine: TxnEngine;
+
+    /// Transactional read of `var`'s value within this transaction's
+    /// snapshot (read-own-write included).
+    fn read<T: Send + Sync + 'static>(
+        &mut self,
+        var: &EngineVar<Self::Engine, T>,
+    ) -> EngineResult<Arc<T>, Self::Engine>;
+
+    /// Transactional write of `value` to `var`, visible to this transaction
+    /// immediately and to others after commit.
+    fn write<T: Send + Sync + 'static>(
+        &mut self,
+        var: &EngineVar<Self::Engine, T>,
+        value: T,
+    ) -> EngineResult<(), Self::Engine>;
+
+    /// Read-modify-write convenience: applies `f` to the current value (the
+    /// transaction's own pending write if any) and writes the result.
+    fn modify<T: Send + Sync + 'static>(
+        &mut self,
+        var: &EngineVar<Self::Engine, T>,
+        f: impl FnOnce(&T) -> T,
+    ) -> EngineResult<(), Self::Engine>;
+}
+
+/// The statistics surface shared by every engine. Engine-specific detail
+/// (abort reasons, validation counts, helping) stays on the engines' native
+/// stats types; this is the common denominator the harness aggregates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Committed update transactions.
+    pub commits: u64,
+    /// Committed read-only transactions.
+    pub ro_commits: u64,
+    /// Aborted transaction attempts (all causes).
+    pub aborts: u64,
+    /// Transaction-body re-executions after an abort.
+    pub retries: u64,
+    /// Transactional object reads.
+    pub reads: u64,
+    /// Transactional object writes.
+    pub writes: u64,
+}
+
+impl EngineStats {
+    /// Total commits (update + read-only).
+    pub fn total_commits(&self) -> u64 {
+        self.commits + self.ro_commits
+    }
+
+    /// Aborts per commit (0 when nothing committed).
+    pub fn abort_ratio(&self) -> f64 {
+        let c = self.total_commits();
+        if c == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / c as f64
+        }
+    }
+
+    /// Merge another thread's counters into this one.
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.commits += other.commits;
+        self.ro_commits += other.ro_commits;
+        self.aborts += other.aborts;
+        self.retries += other.retries;
+        self.reads += other.reads;
+        self.writes += other.writes;
+    }
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "commits={} (ro={}) aborts={} retries={} reads={} writes={}",
+            self.total_commits(),
+            self.ro_commits,
+            self.aborts,
+            self.retries,
+            self.reads,
+            self.writes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_merge_and_ratios() {
+        let mut a = EngineStats {
+            commits: 2,
+            aborts: 1,
+            ..Default::default()
+        };
+        let b = EngineStats {
+            commits: 2,
+            ro_commits: 4,
+            aborts: 3,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.total_commits(), 8);
+        assert_eq!(a.aborts, 4);
+        assert_eq!(a.abort_ratio(), 0.5);
+        assert!(a.to_string().contains("commits=8"));
+    }
+
+    #[test]
+    fn zero_commit_ratio_is_zero() {
+        let s = EngineStats {
+            aborts: 7,
+            ..Default::default()
+        };
+        assert_eq!(s.abort_ratio(), 0.0);
+    }
+}

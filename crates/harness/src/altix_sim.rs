@@ -59,14 +59,21 @@ impl AltixParams {
     /// paper's values (~0.55 M tx/s with the counter and ~0.45 M tx/s with
     /// the MMTimer at 10 accesses).
     pub fn paper_calibrated() -> Self {
-        AltixParams { access_ns: 150.0, overhead_ns: 200.0, duration_ns: 20_000_000.0 }
+        AltixParams {
+            access_ns: 150.0,
+            overhead_ns: 200.0,
+            duration_ns: 20_000_000.0,
+        }
     }
 
     /// The counter model calibrated to the paper's plateau (~1.5 M tx/s for
     /// short transactions on 16 CPUs ⇒ ≈ 330 ns per serialized counter
     /// access, two accesses per transaction).
     pub fn paper_counter() -> SimTimeBase {
-        SimTimeBase::Counter { remote_ns: 330.0, local_ns: 5.0 }
+        SimTimeBase::Counter {
+            remote_ns: 330.0,
+            local_ns: 5.0,
+        }
     }
 
     /// The MMTimer model: 7.5 ticks at 20 MHz per read.
@@ -123,7 +130,10 @@ enum Phase {
 /// coherence protocol.
 pub fn simulate(cpus: usize, accesses: usize, tb: SimTimeBase, p: AltixParams) -> SimPoint {
     assert!(cpus >= 1 && accesses >= 1);
-    let mut line = Line { free_at: 0.0, owner: usize::MAX };
+    let mut line = Line {
+        free_at: 0.0,
+        owner: usize::MAX,
+    };
     let mut commits = 0u64;
     let body_ns = accesses as f64 * p.access_ns + p.overhead_ns;
     // Min-heap of (next access time, cpu, phase).
@@ -134,10 +144,17 @@ pub fn simulate(cpus: usize, accesses: usize, tb: SimTimeBase, p: AltixParams) -
     let mut tb_access = |t: f64, cpu: usize| -> f64 {
         match tb {
             SimTimeBase::Clock { read_ns } => t + read_ns,
-            SimTimeBase::Counter { remote_ns, local_ns } => {
+            SimTimeBase::Counter {
+                remote_ns,
+                local_ns,
+            } => {
                 // Wait for the line, transfer it if remote, own it.
                 let start = t.max(line.free_at);
-                let cost = if line.owner == cpu { local_ns } else { remote_ns };
+                let cost = if line.owner == cpu {
+                    local_ns
+                } else {
+                    remote_ns
+                };
                 line.free_at = start + cost;
                 line.owner = cpu;
                 start + cost
@@ -175,7 +192,10 @@ mod tests {
     use super::*;
 
     fn params() -> AltixParams {
-        AltixParams { duration_ns: 5_000_000.0, ..AltixParams::paper_calibrated() }
+        AltixParams {
+            duration_ns: 5_000_000.0,
+            ..AltixParams::paper_calibrated()
+        }
     }
 
     #[test]
@@ -201,7 +221,10 @@ mod tests {
         );
         // And the plateau sits near the serialization bound: two accesses of
         // 330 ns per transaction -> ~1.5 M tx/s.
-        assert!(t16 > 1.0 && t16 < 2.2, "plateau at ~1.5 M tx/s, got {t16:.2}");
+        assert!(
+            t16 > 1.0 && t16 < 2.2,
+            "plateau at ~1.5 M tx/s, got {t16:.2}"
+        );
     }
 
     #[test]
@@ -211,10 +234,16 @@ mod tests {
         let m = AltixParams::paper_mmtimer();
         let c1 = simulate(1, 10, c, params()).mtx_per_sec;
         let m1 = simulate(1, 10, m, params()).mtx_per_sec;
-        assert!(c1 > m1, "single-threaded: MMTimer's read cost hurts ({c1:.2} vs {m1:.2})");
+        assert!(
+            c1 > m1,
+            "single-threaded: MMTimer's read cost hurts ({c1:.2} vs {m1:.2})"
+        );
         let c16 = simulate(16, 10, c, params()).mtx_per_sec;
         let m16 = simulate(16, 10, m, params()).mtx_per_sec;
-        assert!(m16 > 2.5 * c16, "16 CPUs: clock must win big ({m16:.2} vs {c16:.2})");
+        assert!(
+            m16 > 2.5 * c16,
+            "16 CPUs: clock must win big ({m16:.2} vs {c16:.2})"
+        );
     }
 
     #[test]
@@ -223,10 +252,10 @@ mod tests {
         // transactions get larger".
         let c = AltixParams::paper_counter();
         let m = AltixParams::paper_mmtimer();
-        let ratio_10 = simulate(16, 10, m, params()).mtx_per_sec
-            / simulate(16, 10, c, params()).mtx_per_sec;
-        let ratio_100 = simulate(16, 100, m, params()).mtx_per_sec
-            / simulate(16, 100, c, params()).mtx_per_sec;
+        let ratio_10 =
+            simulate(16, 10, m, params()).mtx_per_sec / simulate(16, 10, c, params()).mtx_per_sec;
+        let ratio_100 =
+            simulate(16, 100, m, params()).mtx_per_sec / simulate(16, 100, c, params()).mtx_per_sec;
         assert!(
             ratio_100 < ratio_10,
             "clock advantage must shrink with tx size ({ratio_10:.2} -> {ratio_100:.2})"

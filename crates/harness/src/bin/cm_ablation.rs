@@ -15,10 +15,18 @@ fn run_policy(cm: impl ContentionManager, threads: usize) -> (f64, f64) {
     let window = measure_window(250);
     let wl = BankWorkload::new(
         Stm::with_cm(PerfectClock::new(), StmConfig::default(), cm),
-        BankConfig { accounts: 8, initial: 1_000, audit_percent: 0 },
+        BankConfig {
+            accounts: 8,
+            initial: 1_000,
+            audit_percent: 0,
+        },
     );
     let out = run_for(threads, window, |i| wl.worker(i));
-    assert_eq!(wl.quiescent_total(), wl.expected_total(), "invariant broken!");
+    assert_eq!(
+        wl.quiescent_total(),
+        wl.expected_total(),
+        "invariant broken!"
+    );
     (out.tx_per_sec(), out.abort_ratio())
 }
 

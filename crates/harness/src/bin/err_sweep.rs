@@ -21,10 +21,20 @@ fn main() {
     let threads = 4usize;
     let devs_ns: [u64; 5] = [0, 1_000, 10_000, 100_000, 1_000_000];
 
-    for (label, versions) in [("multi-version (8)", 8usize), ("single-version (1)", 1usize)] {
+    for (label, versions) in [
+        ("multi-version (8)", 8usize),
+        ("single-version (1)", 1usize),
+    ] {
         let mut t = Table::new(
             format!("EXP-ERR: bank workload on external clocks — {label}"),
-            &["dev (us)", "tx/s", "aborts/commit", "snapshot", "no-version", "validation"],
+            &[
+                "dev (us)",
+                "tx/s",
+                "aborts/commit",
+                "snapshot",
+                "no-version",
+                "validation",
+            ],
         );
         for &dev in &devs_ns {
             let tb = ExternalClock::with_policy(dev, OffsetPolicy::Alternating);
@@ -34,12 +44,17 @@ fn main() {
             cfg.extend_on_read = true;
             let wl = BankWorkload::new(
                 Stm::with_config(tb, cfg),
-                BankConfig { accounts: 48, initial: 1_000, audit_percent: 30 },
+                BankConfig {
+                    accounts: 48,
+                    initial: 1_000,
+                    audit_percent: 30,
+                },
             );
             // Collect abort breakdowns through per-worker stats.
             let stats = std::sync::Mutex::new(lsa_stm::TxnStats::default());
-            let out = run_for(threads, window, |i| {
-                StatsTap { inner: wl.worker(i), sink: &stats }
+            let out = run_for(threads, window, |i| StatsTap {
+                inner: wl.worker(i),
+                sink: &stats,
             });
             let agg = *stats.lock().unwrap();
             t.row(vec![
@@ -50,7 +65,11 @@ fn main() {
                 agg.aborts_for(AbortReason::NoVersion).to_string(),
                 agg.aborts_for(AbortReason::Validation).to_string(),
             ]);
-            assert_eq!(wl.quiescent_total(), wl.expected_total(), "invariant broken!");
+            assert_eq!(
+                wl.quiescent_total(),
+                wl.expected_total(),
+                "invariant broken!"
+            );
         }
         t.print();
     }
@@ -61,9 +80,12 @@ fn main() {
     );
 }
 
-/// Wraps a bank worker and merges its stats into a sink when dropped.
+/// Wraps an LSA-RT bank worker and merges its *native* stats (with the
+/// abort-reason breakdown the engine-generic surface deliberately omits)
+/// into a sink when dropped. Reaches the native `TxnStats` through
+/// [`lsa_workloads::BankWorker::handle`].
 struct StatsTap<'a, B: lsa_time::TimeBase> {
-    inner: lsa_workloads::BankWorker<B>,
+    inner: lsa_workloads::BankWorker<Stm<B>>,
     sink: &'a std::sync::Mutex<lsa_stm::TxnStats>,
 }
 
@@ -74,12 +96,12 @@ impl<B: lsa_time::TimeBase> lsa_harness::BenchWorker for StatsTap<'_, B> {
 
     fn totals(&self) -> (u64, u64) {
         let s = self.inner.stats();
-        (s.total_commits(), s.total_aborts())
+        (s.total_commits(), s.aborts)
     }
 }
 
 impl<B: lsa_time::TimeBase> Drop for StatsTap<'_, B> {
     fn drop(&mut self) {
-        self.sink.lock().unwrap().merge(self.inner.stats());
+        self.sink.lock().unwrap().merge(self.inner.handle().stats());
     }
 }

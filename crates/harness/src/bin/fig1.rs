@@ -41,7 +41,12 @@ fn main() {
     let rounds = measure(&tb, &cfg);
     let mut t = Table::new(
         "Figure 1a: MMTimer synchronization errors and offsets (ticks @ 20 MHz)",
-        &["round", "max(abs(offset))", "max(error)", "max(error+abs(offset))"],
+        &[
+            "round",
+            "max(abs(offset))",
+            "max(error)",
+            "max(error+abs(offset))",
+        ],
     );
     for r in rounds.iter().step_by((rounds.len() / 20).max(1)) {
         t.row(vec![
@@ -59,7 +64,11 @@ fn main() {
     );
     println!(
         "paper's observation to verify: offsets masked by errors -> {}\n",
-        if s.worst_abs_offset <= s.worst_error { "HOLDS" } else { "VIOLATED" }
+        if s.worst_abs_offset <= s.worst_error {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
 
     // --- Run 2: externally synchronized clocks with injected offsets. ---
@@ -71,10 +80,16 @@ fn main() {
         format!("Figure 1b: externally synchronized clocks, dev = {dev_ns} ns (values in ns)"),
         &["metric", "value"],
     );
-    t.row(vec!["worst max(abs(offset))".into(), s.worst_abs_offset.to_string()]);
+    t.row(vec![
+        "worst max(abs(offset))".into(),
+        s.worst_abs_offset.to_string(),
+    ]);
     t.row(vec!["worst max(error)".into(), s.worst_error.to_string()]);
     t.row(vec!["bound estimate".into(), s.bound_estimate.to_string()]);
-    t.row(vec!["injected bound (2*dev)".into(), (2 * dev_ns).to_string()]);
+    t.row(vec![
+        "injected bound (2*dev)".into(),
+        (2 * dev_ns).to_string(),
+    ]);
     t.print();
 
     // --- Run 3: software clock synchronization (deterministic simulator). ---

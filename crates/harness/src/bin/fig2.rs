@@ -45,13 +45,19 @@ fn modeled_altix() {
 }
 
 fn real_threads() {
-    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!(
         "FIG2 (real threads on this host: {host} hardware threads; \
          points beyond {host} threads are oversubscribed)\n"
     );
     let window = measure_window(300);
-    let threads: Vec<usize> = THREADS.iter().copied().filter(|&t| t <= host.max(2) * 2).collect();
+    let threads: Vec<usize> = THREADS
+        .iter()
+        .copied()
+        .filter(|&t| t <= host.max(2) * 2)
+        .collect();
     for &accesses in &PANELS {
         let mut t = Table::new(
             format!("Figure 2 (real) panel: {accesses} accesses — 10^6 tx/s"),
@@ -65,8 +71,7 @@ fn real_threads() {
             let counter_wl =
                 DisjointWorkload::new(Stm::new(NumaCounter::new(NumaModel::altix())), n, cfg);
             let c = run_for(n, window, |i| counter_wl.worker(i));
-            let clock_wl =
-                DisjointWorkload::new(Stm::new(HardwareClock::mmtimer()), n, cfg);
+            let clock_wl = DisjointWorkload::new(Stm::new(HardwareClock::mmtimer()), n, cfg);
             let m = run_for(n, window, |i| clock_wl.worker(i));
             t.row(vec![
                 n.to_string(),

@@ -1,0 +1,84 @@
+//! **matrix** — the cross-engine sweep: one workload over every engine ×
+//! time-base combination in the registry, from a single engine-generic code
+//! path.
+//!
+//! ```sh
+//! cargo run --release -p lsa-harness --bin matrix            # bank workload
+//! cargo run --release -p lsa-harness --bin matrix -- disjoint
+//! cargo run --release -p lsa-harness --bin matrix -- bank --threads 8
+//! ```
+//!
+//! Honours `LSA_MEASURE_MS` (per-point window) and `LSA_CSV=1` like every
+//! harness binary. The bank invariant is asserted after every cell, so this
+//! doubles as a cross-engine consistency smoke test.
+
+use lsa_harness::registry::{default_registry, Workload};
+use lsa_harness::{f3, measure_window, Table};
+use lsa_workloads::{BankConfig, DisjointConfig};
+
+fn parse_args() -> (Workload, usize) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workload = Workload::Bank(BankConfig::default());
+    let mut threads = std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(2);
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "bank" => workload = Workload::Bank(BankConfig::default()),
+            "disjoint" => workload = Workload::Disjoint(DisjointConfig::default()),
+            "--threads" => {
+                i += 1;
+                threads = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("usage: matrix [bank|disjoint] [--threads N]   (--threads needs a number)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            other => {
+                eprintln!("usage: matrix [bank|disjoint] [--threads N]   (got {other:?})");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    (workload, threads.max(1))
+}
+
+fn main() {
+    let (workload, threads) = parse_args();
+    let window = measure_window(200);
+    let registry = default_registry();
+
+    println!(
+        "MATRIX: {} workload, {} threads, {} ms/point, {} engine x time-base cells\n",
+        workload.name(),
+        threads,
+        window.as_millis(),
+        registry.len()
+    );
+
+    let mut t = Table::new(
+        format!(
+            "{} workload — throughput by engine and time base",
+            workload.name()
+        ),
+        &["engine", "time base", "tx/s", "aborts/commit"],
+    );
+    for entry in &registry {
+        let out = entry.run(&workload, threads, window);
+        t.row(vec![
+            entry.engine.to_string(),
+            entry.time_base.to_string(),
+            format!("{:.0}", out.tx_per_sec()),
+            f3(out.abort_ratio()),
+        ]);
+    }
+    t.print();
+    println!(
+        "every cell ran the SAME engine-generic workload code; invariants were \
+         asserted after each run (a new engine is one TxnEngine impl away)."
+    );
+}

@@ -68,20 +68,32 @@ fn main() {
     // --- Figure 1 claim: MMTimer offsets masked by measurement error. ---
     let rounds = measure(
         &HardwareClock::mmtimer_free(),
-        &SyncMeasureConfig { probes: 2, rounds: 10, round_interval: Duration::from_millis(2) },
+        &SyncMeasureConfig {
+            probes: 2,
+            rounds: 10,
+            round_interval: Duration::from_millis(2),
+        },
     );
     let s = summarize(&rounds);
     c.check(
         "Fig1: synchronized clock's offsets stay below measurement error",
         s.worst_abs_offset <= s.worst_error,
-        format!("offset {} <= error {} (ticks)", s.worst_abs_offset, s.worst_error),
+        format!(
+            "offset {} <= error {} (ticks)",
+            s.worst_abs_offset, s.worst_error
+        ),
     );
 
     // --- Real-threads claim: counter contention is real on this host too. ---
     let window = measure_window(150);
-    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     if host >= 2 {
-        let cfg = DisjointConfig { objects_per_thread: 64, accesses_per_tx: 10 };
+        let cfg = DisjointConfig {
+            objects_per_thread: 64,
+            accesses_per_tx: 10,
+        };
         let wl = DisjointWorkload::new(Stm::new(SharedCounter::new()), 2, cfg);
         let counter2 = run_for(2, window, |i| wl.worker(i));
         c.check(
@@ -96,7 +108,11 @@ fn main() {
         let tb = ExternalClock::with_policy(dev, OffsetPolicy::Alternating);
         let wl = BankWorkload::new(
             Stm::with_config(tb, StmConfig::multi_version(8)),
-            BankConfig { accounts: 32, initial: 100, audit_percent: 30 },
+            BankConfig {
+                accounts: 32,
+                initial: 100,
+                audit_percent: 30,
+            },
         );
         let out = run_for(2, window, |i| wl.worker(i));
         let consistent = wl.quiescent_total() == wl.expected_total();

@@ -58,22 +58,24 @@ fn bench_base<B: TimeBase>(tb: &B, threads: usize, new_ts: bool) -> f64 {
 }
 
 fn main() {
-    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let thread_counts: Vec<usize> = [1usize, 2, 4].into_iter().filter(|&t| t <= host * 2).collect();
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let thread_counts: Vec<usize> = [1usize, 2, 4]
+        .into_iter()
+        .filter(|&t| t <= host * 2)
+        .collect();
 
     for (op, new_ts) in [("getTime", false), ("getNewTS", true)] {
-        let mut t = Table::new(
-            format!("EXP-TB: {op} cost (ns/op per thread)"),
-            &{
-                let mut h = vec!["time base"];
-                h.extend(thread_counts.iter().map(|tc| match tc {
-                    1 => "1 thr",
-                    2 => "2 thr",
-                    _ => "4 thr",
-                }));
-                h
-            },
-        );
+        let mut t = Table::new(format!("EXP-TB: {op} cost (ns/op per thread)"), &{
+            let mut h = vec!["time base"];
+            h.extend(thread_counts.iter().map(|tc| match tc {
+                1 => "1 thr",
+                2 => "2 thr",
+                _ => "4 thr",
+            }));
+            h
+        });
         type BaseBench = Box<dyn Fn(usize) -> f64>;
         let bases: Vec<(&str, BaseBench)> = vec![
             ("shared-counter", {

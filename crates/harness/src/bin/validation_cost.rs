@@ -25,7 +25,14 @@ const REPS: usize = 300;
 fn main() {
     let mut t = Table::new(
         "EXP-VAL: read-only scan of n objects, ns per scanned object (single thread)",
-        &["n", "lsa-rt", "val-always", "val-cc(quiescent)", "entries/scan always", "entries/scan cc"],
+        &[
+            "n",
+            "lsa-rt",
+            "val-always",
+            "val-cc(quiescent)",
+            "entries/scan always",
+            "entries/scan cc",
+        ],
     );
 
     for &n in &SCAN_SIZES {

@@ -11,11 +11,13 @@
 //! | `validation_cost` | §1 validation-vs-time-based cost (EXP-VAL) |
 //! | `cm_ablation` | §2.3 contention-manager ablation (EXP-CM) |
 //! | `paper_check` | one PASS/FAIL line per qualitative claim (CI smoke test) |
+//! | `matrix` | workload × engine × time-base sweep from the [`registry`] |
 //!
 //! Shared infrastructure: [`runner`] (thread orchestration and throughput),
-//! [`table`] (text/CSV output), [`altix_sim`] (the discrete-event model of
-//! the paper's 16-CPU ccNUMA testbed — the documented substitution for
-//! hardware this reproduction does not have).
+//! [`registry`] (the engine × time-base matrix, engine-generic via
+//! [`lsa_engine::TxnEngine`]), [`table`] (text/CSV output), [`altix_sim`]
+//! (the discrete-event model of the paper's 16-CPU ccNUMA testbed — the
+//! documented substitution for hardware this reproduction does not have).
 //!
 //! Every binary honours `LSA_MEASURE_MS` (per-point measurement window) and
 //! `LSA_CSV=1` (machine-readable output).
@@ -24,9 +26,11 @@
 #![deny(unsafe_code)]
 
 pub mod altix_sim;
+pub mod registry;
 pub mod runner;
 pub mod table;
 
 pub use altix_sim::{simulate, AltixParams, SimPoint, SimTimeBase};
+pub use registry::{default_registry, run_workload, EngineEntry, Workload};
 pub use runner::{measure_window, run_for, run_steps, BenchWorker, RunOutcome};
 pub use table::{f2, f3, Table};

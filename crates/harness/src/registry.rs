@@ -1,0 +1,205 @@
+//! The engine registry: every workload × engine × time-base combination the
+//! harness can drive, behind one uniform interface.
+//!
+//! Before the `TxnEngine` refactor each experiment binary hand-wired its own
+//! engine setup; adding an engine meant touching every `bin/*.rs`. Now an
+//! engine × time-base combination is one [`EngineEntry`] constructed from a
+//! factory closure, and every entry can run every [`Workload`] through the
+//! same engine-generic runner ([`run_workload`]). The `matrix` binary prints
+//! the full sweep; tests and future experiments can filter the registry.
+
+use crate::runner::{run_for, RunOutcome};
+use lsa_baseline::{Tl2Stm, ValidationMode, ValidationStm};
+use lsa_engine::TxnEngine;
+use lsa_stm::{Stm, StmConfig};
+use lsa_time::counter::{SharedCounter, Tl2Counter};
+use lsa_time::external::{ExternalClock, OffsetPolicy};
+use lsa_time::hardware::HardwareClock;
+use lsa_time::perfect::PerfectClock;
+use lsa_workloads::{BankConfig, BankWorkload, DisjointConfig, DisjointWorkload};
+use std::time::Duration;
+
+/// A workload selection with its parameters.
+#[derive(Clone, Copy, Debug)]
+pub enum Workload {
+    /// Transfers + read-only audits ([`lsa_workloads::bank`]). The runner
+    /// asserts the invariant total after every run.
+    Bank(BankConfig),
+    /// The §4.2 disjoint-update workload ([`lsa_workloads::disjoint`]).
+    Disjoint(DisjointConfig),
+}
+
+impl Workload {
+    /// Short name for tables and CLI parsing.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::Bank(_) => "bank",
+            Workload::Disjoint(_) => "disjoint",
+        }
+    }
+}
+
+/// Run `workload` on `engine` with `threads` workers for `window`.
+///
+/// This is the single engine-generic entry point every registry entry and
+/// experiment shares: one monomorphization per engine type, zero per-engine
+/// harness code.
+pub fn run_workload<E: TxnEngine>(
+    engine: E,
+    workload: &Workload,
+    threads: usize,
+    window: Duration,
+) -> RunOutcome {
+    match workload {
+        Workload::Bank(cfg) => {
+            let wl = BankWorkload::new(engine, *cfg);
+            let out = run_for(threads, window, |i| wl.worker(i));
+            assert_eq!(
+                wl.quiescent_total(),
+                wl.expected_total(),
+                "bank invariant broken on {}",
+                wl.engine().engine_name()
+            );
+            out
+        }
+        Workload::Disjoint(cfg) => {
+            let wl = DisjointWorkload::new(engine, threads, *cfg);
+            let out = run_for(threads, window, |i| wl.worker(i));
+            assert_eq!(
+                wl.total(),
+                out.commits * cfg.accesses_per_tx as u64,
+                "disjoint accounting broken on {}",
+                wl.engine().engine_name()
+            );
+            out
+        }
+    }
+}
+
+/// Type-erased runner stored in an [`EngineEntry`].
+type EntryRunner = Box<dyn Fn(&Workload, usize, Duration) -> RunOutcome + Send + Sync>;
+
+/// One engine × time-base combination, ready to run any [`Workload`].
+pub struct EngineEntry {
+    /// Engine family, e.g. `"lsa-rt"`.
+    pub engine: &'static str,
+    /// Time base (or mode for the validation engine), e.g. `"mmtimer-free"`.
+    pub time_base: &'static str,
+    run: EntryRunner,
+}
+
+impl EngineEntry {
+    /// Build an entry from an engine factory. A fresh engine is constructed
+    /// per run so successive runs never share state.
+    pub fn new<E, F>(engine: &'static str, time_base: &'static str, factory: F) -> Self
+    where
+        E: TxnEngine,
+        F: Fn() -> E + Send + Sync + 'static,
+    {
+        EngineEntry {
+            engine,
+            time_base,
+            run: Box::new(move |wl, threads, window| run_workload(factory(), wl, threads, window)),
+        }
+    }
+
+    /// `engine(time_base)` label for output.
+    pub fn label(&self) -> String {
+        format!("{}({})", self.engine, self.time_base)
+    }
+
+    /// Run `workload` on a freshly constructed engine.
+    pub fn run(&self, workload: &Workload, threads: usize, window: Duration) -> RunOutcome {
+        (self.run)(workload, threads, window)
+    }
+}
+
+/// The default registry: LSA-RT, TL2 and the validation STM, each on every
+/// time base (or mode) it supports — the cross-engine design-space matrix of
+/// the paper's §1.2.
+pub fn default_registry() -> Vec<EngineEntry> {
+    vec![
+        EngineEntry::new(
+            "lsa-rt",
+            "shared-counter",
+            || Stm::new(SharedCounter::new()),
+        ),
+        EngineEntry::new("lsa-rt", "tl2-counter", || Stm::new(Tl2Counter::new())),
+        EngineEntry::new("lsa-rt", "perfect", || Stm::new(PerfectClock::new())),
+        EngineEntry::new("lsa-rt", "mmtimer-free", || {
+            Stm::new(HardwareClock::mmtimer_free())
+        }),
+        EngineEntry::new("lsa-rt", "external-10us", || {
+            Stm::with_config(
+                ExternalClock::with_policy(10_000, OffsetPolicy::Alternating),
+                StmConfig::multi_version(8),
+            )
+        }),
+        EngineEntry::new(
+            "tl2",
+            "shared-counter",
+            || Tl2Stm::new(SharedCounter::new()),
+        ),
+        EngineEntry::new("tl2", "perfect", || Tl2Stm::new(PerfectClock::new())),
+        EngineEntry::new("tl2", "mmtimer-free", || {
+            Tl2Stm::new(HardwareClock::mmtimer_free())
+        }),
+        EngineEntry::new("validation", "always", || {
+            ValidationStm::new(ValidationMode::Always)
+        }),
+        EngineEntry::new("validation", "commit-counter", || {
+            ValidationStm::new(ValidationMode::CommitCounter)
+        }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_spans_three_engines_and_multiple_time_bases() {
+        let reg = default_registry();
+        let engines: std::collections::BTreeSet<_> = reg.iter().map(|e| e.engine).collect();
+        assert!(
+            engines.len() >= 3,
+            "need >= 3 engine families, got {engines:?}"
+        );
+        let lsa_bases = reg.iter().filter(|e| e.engine == "lsa-rt").count();
+        let tl2_bases = reg.iter().filter(|e| e.engine == "tl2").count();
+        assert!(
+            lsa_bases >= 2 && tl2_bases >= 2,
+            "need >= 2 time bases per engine"
+        );
+    }
+
+    #[test]
+    fn every_entry_runs_the_bank_workload() {
+        let wl = Workload::Bank(BankConfig {
+            accounts: 8,
+            initial: 100,
+            audit_percent: 25,
+        });
+        for entry in default_registry() {
+            let out = entry.run(&wl, 2, Duration::from_millis(10));
+            assert!(
+                out.commits > 0,
+                "{} committed nothing on the bank workload",
+                entry.label()
+            );
+        }
+    }
+
+    #[test]
+    fn every_entry_runs_the_disjoint_workload() {
+        let wl = Workload::Disjoint(DisjointConfig {
+            objects_per_thread: 16,
+            accesses_per_tx: 4,
+        });
+        for entry in default_registry() {
+            let out = entry.run(&wl, 2, Duration::from_millis(5));
+            assert!(out.commits > 0, "{} committed nothing", entry.label());
+            assert_eq!(out.aborts, 0, "{} aborted on disjoint work", entry.label());
+        }
+    }
+}

@@ -94,7 +94,13 @@ where
         (start.elapsed(), results)
     });
 
-    let mut outcome = RunOutcome { threads, elapsed, steps: 0, commits: 0, aborts: 0 };
+    let mut outcome = RunOutcome {
+        threads,
+        elapsed,
+        steps: 0,
+        commits: 0,
+        aborts: 0,
+    };
     for (steps, commits, aborts) in per_thread {
         outcome.steps += steps;
         outcome.commits += commits;
@@ -132,7 +138,13 @@ where
     });
     let elapsed = start.elapsed();
 
-    let mut outcome = RunOutcome { threads, elapsed, steps: 0, commits: 0, aborts: 0 };
+    let mut outcome = RunOutcome {
+        threads,
+        elapsed,
+        steps: 0,
+        commits: 0,
+        aborts: 0,
+    };
     for (steps, commits, aborts) in per_thread {
         outcome.steps += steps;
         outcome.commits += commits;
@@ -151,28 +163,29 @@ pub fn measure_window(default_ms: u64) -> Duration {
     Duration::from_millis(ms.max(1))
 }
 
-// Blanket adapters so workload workers plug straight into the runner.
-use lsa_time::TimeBase;
+// Blanket adapters so workload workers plug straight into the runner — on
+// ANY engine, thanks to the `TxnEngine` abstraction.
+use lsa_engine::TxnEngine;
 
-impl<B: TimeBase> BenchWorker for lsa_workloads::DisjointWorker<B> {
+impl<E: TxnEngine> BenchWorker for lsa_workloads::DisjointWorker<E> {
     fn step(&mut self) {
         lsa_workloads::DisjointWorker::step(self);
     }
 
     fn totals(&self) -> (u64, u64) {
         let s = self.stats();
-        (s.total_commits(), s.total_aborts())
+        (s.total_commits(), s.aborts)
     }
 }
 
-impl<B: TimeBase> BenchWorker for lsa_workloads::BankWorker<B> {
+impl<E: TxnEngine> BenchWorker for lsa_workloads::BankWorker<E> {
     fn step(&mut self) {
         lsa_workloads::BankWorker::step(self);
     }
 
     fn totals(&self) -> (u64, u64) {
         let s = self.stats();
-        (s.total_commits(), s.total_aborts())
+        (s.total_commits(), s.aborts)
     }
 }
 
@@ -188,7 +201,10 @@ mod tests {
         let wl = DisjointWorkload::new(
             Stm::new(SharedCounter::new()),
             2,
-            DisjointConfig { objects_per_thread: 32, accesses_per_tx: 4 },
+            DisjointConfig {
+                objects_per_thread: 32,
+                accesses_per_tx: 4,
+            },
         );
         let out = run_steps(2, 100, |i| wl.worker(i));
         assert_eq!(out.steps, 200);
@@ -202,7 +218,10 @@ mod tests {
         let wl = DisjointWorkload::new(
             Stm::new(SharedCounter::new()),
             1,
-            DisjointConfig { objects_per_thread: 16, accesses_per_tx: 2 },
+            DisjointConfig {
+                objects_per_thread: 16,
+                accesses_per_tx: 2,
+            },
         );
         let out = run_for(1, Duration::from_millis(30), |i| wl.worker(i));
         assert!(out.commits > 0, "some transactions must commit in 30 ms");

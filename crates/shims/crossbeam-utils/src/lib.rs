@@ -1,0 +1,75 @@
+//! Workspace-local stand-in for the `crossbeam-utils` crate.
+//!
+//! This build environment is offline; the workspace only uses
+//! [`CachePadded`], so that is all this shim provides. The alignment (128
+//! bytes) matches crossbeam's choice for x86_64 (two 64-byte lines, covering
+//! adjacent-line prefetchers) and is a correct, if occasionally conservative,
+//! choice elsewhere.
+
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to 128 bytes so that it occupies its own cache
+/// line(s), preventing false sharing between adjacent atomics.
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Pad `value` to its own cache line.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Consume the padding wrapper, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CachePadded")
+            .field("value", &self.value)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn is_aligned_and_derefs() {
+        let p = CachePadded::new(AtomicU64::new(7));
+        assert_eq!(std::mem::align_of_val(&p), 128);
+        assert_eq!(p.load(Ordering::Relaxed), 7);
+        p.store(9, Ordering::Relaxed);
+        assert_eq!(p.into_inner().into_inner(), 9);
+    }
+}

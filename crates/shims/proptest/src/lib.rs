@@ -1,0 +1,174 @@
+//! Workspace-local stand-in for the `proptest` crate.
+//!
+//! This build environment is offline, so the real `proptest` cannot be
+//! fetched. This shim implements the subset the workspace's property tests
+//! use: the [`proptest!`] macro (both `arg: Type` and `arg in strategy`
+//! parameter forms, with an optional `#![proptest_config(..)]` header),
+//! [`Strategy`](strategy::Strategy) with `prop_map`, range / tuple /
+//! [`Just`](strategy::Just) / [`prop_oneof!`] / `prop::collection::vec`
+//! strategies, `any::<T>()`, and the `prop_assert!` / `prop_assert_eq!`
+//! macros.
+//!
+//! Differences from real proptest: cases are generated from a deterministic
+//! per-test seed (override with `PROPTEST_SEED`), and failing cases are
+//! reported but **not shrunk**.
+
+#![deny(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// The crate re-exported under the name `prop`, so `prop::collection::…`
+    /// paths work exactly like with the real crate.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// The test-defining macro. Wraps each contained `fn` into a `#[test]` that
+/// runs the body over `ProptestConfig::cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: munches one `fn` at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = ($cfg:expr);) => {};
+    // `arg in strategy` form.
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for case in 0..cfg.cases {
+                $(let $arg =
+                    $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { { $body } ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name), case + 1, cfg.cases, e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+    // `arg: Type` form (sugar for `arg in any::<Type>()`).
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident : $ty:ty),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            cfg = ($cfg);
+            $(#[$meta])*
+            fn $name($($arg in $crate::arbitrary::any::<$ty>()),+) $body
+            $($rest)*
+        }
+    };
+}
+
+/// Non-fatal-to-the-process assertion: returns a
+/// [`TestCaseError`](test_runner::TestCaseError) from the test body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, $($fmt)*);
+    }};
+}
+
+/// Picks uniformly between several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::boxed_option($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn typed_args(a: u64, b: bool) {
+            if b {
+                prop_assert!(a == a, "reflexivity");
+            }
+            prop_assert_eq!(a.wrapping_add(1).wrapping_sub(1), a);
+        }
+
+        #[test]
+        fn strategy_args(x in 10u64..20, v in prop::collection::vec(0u32..3, 2..5)) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 3));
+        }
+
+        #[test]
+        fn mapped_and_oneof(
+            y in (0u64..5, 0u64..5).prop_map(|(a, b)| a * 10 + b),
+            z in prop_oneof![Just(99u32), 0u32..4],
+        ) {
+            prop_assert!(y <= 44);
+            prop_assert!(z == 99 || z < 4);
+        }
+
+        #[test]
+        fn open_range(t in 1u64..) {
+            prop_assert!(t >= 1);
+        }
+    }
+}

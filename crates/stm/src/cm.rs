@@ -272,8 +272,14 @@ mod tests {
 
     #[test]
     fn aggressive_always_kills() {
-        assert_eq!(Aggressive.resolve(&st(1), &st(2), 0), Resolution::AbortOther);
-        assert_eq!(Aggressive.resolve(&st(1), &st(2), 99), Resolution::AbortOther);
+        assert_eq!(
+            Aggressive.resolve(&st(1), &st(2), 0),
+            Resolution::AbortOther
+        );
+        assert_eq!(
+            Aggressive.resolve(&st(1), &st(2), 99),
+            Resolution::AbortOther
+        );
     }
 
     #[test]

@@ -44,18 +44,28 @@ impl Default for StmConfig {
 impl StmConfig {
     /// TL2-like operating mode: single version, no read extensions.
     pub fn single_version() -> Self {
-        StmConfig { max_versions: 1, extend_on_read: false, ..Default::default() }
+        StmConfig {
+            max_versions: 1,
+            extend_on_read: false,
+            ..Default::default()
+        }
     }
 
     /// Multi-version mode with `n` retained versions.
     pub fn multi_version(n: usize) -> Self {
-        StmConfig { max_versions: n.max(1), ..Default::default() }
+        StmConfig {
+            max_versions: n.max(1),
+            ..Default::default()
+        }
     }
 
     /// Snapshot-isolation mode (TRANSACT'06 extension): multi-version with
     /// commit-time read validation disabled.
     pub fn snapshot_isolation() -> Self {
-        StmConfig { snapshot_isolation: true, ..Default::default() }
+        StmConfig {
+            snapshot_isolation: true,
+            ..Default::default()
+        }
     }
 }
 

@@ -1,0 +1,159 @@
+//! [`lsa_engine::TxnEngine`] implementation for the LSA-RT runtime.
+//!
+//! This is the glue that lets every engine-generic workload and experiment
+//! (see `lsa-workloads`, `lsa-harness`) run on LSA-RT: [`Stm`] is the engine,
+//! [`ThreadHandle`] the per-thread handle, [`Txn`] the in-transaction view.
+//! The impls are thin delegations — the generic surface adds no overhead
+//! beyond what the native API already does (the `atomically` closure is
+//! monomorphized per call site either way).
+
+use crate::error::Abort;
+use crate::lsa::Txn;
+use crate::object::TVar;
+use crate::stats::TxnStats;
+use crate::stm::{Stm, ThreadHandle};
+use lsa_engine::{EngineHandle, EngineResult, EngineStats, TxnEngine, TxnOps};
+use lsa_time::TimeBase;
+use std::sync::Arc;
+
+fn to_engine_stats(s: &TxnStats) -> EngineStats {
+    EngineStats {
+        commits: s.commits,
+        ro_commits: s.ro_commits,
+        aborts: s.total_aborts(),
+        retries: s.retries,
+        reads: s.reads,
+        writes: s.writes,
+    }
+}
+
+impl<B: TimeBase> TxnEngine for Stm<B> {
+    type Abort = Abort;
+    type Var<T: Send + Sync + 'static> = TVar<T, B::Ts>;
+    type Handle = ThreadHandle<B>;
+
+    fn new_var<T: Send + Sync + 'static>(&self, value: T) -> TVar<T, B::Ts> {
+        self.new_tvar(value)
+    }
+
+    fn register(&self) -> ThreadHandle<B> {
+        Stm::register(self)
+    }
+
+    fn engine_name(&self) -> String {
+        format!("lsa-rt({})", self.time_base().name())
+    }
+
+    fn peek<T: Send + Sync + 'static>(var: &TVar<T, B::Ts>) -> Arc<T> {
+        var.snapshot_latest()
+    }
+}
+
+impl<B: TimeBase> EngineHandle for ThreadHandle<B> {
+    type Engine = Stm<B>;
+    type Txn<'t>
+        = Txn<'t, B>
+    where
+        Self: 't;
+
+    fn atomically<R, F>(&mut self, body: F) -> R
+    where
+        F: for<'t> FnMut(&mut Txn<'t, B>) -> EngineResult<R, Stm<B>>,
+    {
+        ThreadHandle::atomically(self, body)
+    }
+
+    fn engine_stats(&self) -> EngineStats {
+        to_engine_stats(self.stats())
+    }
+
+    fn take_engine_stats(&mut self) -> EngineStats {
+        to_engine_stats(&self.take_stats())
+    }
+}
+
+impl<B: TimeBase> TxnOps for Txn<'_, B> {
+    type Engine = Stm<B>;
+
+    fn read<T: Send + Sync + 'static>(
+        &mut self,
+        var: &TVar<T, B::Ts>,
+    ) -> EngineResult<Arc<T>, Stm<B>> {
+        Txn::read(self, var)
+    }
+
+    fn write<T: Send + Sync + 'static>(
+        &mut self,
+        var: &TVar<T, B::Ts>,
+        value: T,
+    ) -> EngineResult<(), Stm<B>> {
+        Txn::write(self, var, value)
+    }
+
+    fn modify<T: Send + Sync + 'static>(
+        &mut self,
+        var: &TVar<T, B::Ts>,
+        f: impl FnOnce(&T) -> T,
+    ) -> EngineResult<(), Stm<B>> {
+        Txn::modify(self, var, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsa_time::counter::SharedCounter;
+    use lsa_time::hardware::HardwareClock;
+
+    /// A fully generic transaction exercised through the trait surface only.
+    fn generic_double<E: TxnEngine>(engine: &E) -> i64 {
+        let v = engine.new_var(21i64);
+        let mut h = engine.register();
+        h.atomically(|tx| {
+            let cur = *tx.read(&v)?;
+            tx.write(&v, cur * 2)?;
+            tx.modify(&v, |x| *x)?;
+            tx.read(&v).map(|x| *x)
+        })
+    }
+
+    #[test]
+    fn lsa_rt_is_a_txn_engine() {
+        let stm = Stm::new(SharedCounter::new());
+        assert_eq!(generic_double(&stm), 42);
+        assert_eq!(stm.engine_name(), "lsa-rt(shared-counter)");
+        let stm = Stm::new(HardwareClock::mmtimer_free());
+        assert_eq!(generic_double(&stm), 42);
+        assert!(stm.engine_name().starts_with("lsa-rt(mmtimer"));
+    }
+
+    #[test]
+    fn engine_stats_mirror_native_stats() {
+        let stm = Stm::new(SharedCounter::new());
+        let v = stm.new_tvar(0u64);
+        let mut h = Stm::register(&stm);
+        for _ in 0..5 {
+            ThreadHandle::atomically(&mut h, |tx| tx.modify(&v, |x| x + 1));
+        }
+        let _ = ThreadHandle::atomically(&mut h, |tx| tx.read(&v).map(|x| *x));
+        let es = h.engine_stats();
+        let native = *h.stats();
+        assert_eq!(es.commits, native.commits);
+        assert_eq!(es.ro_commits, native.ro_commits);
+        assert_eq!(es.aborts, native.total_aborts());
+        assert_eq!(es.reads, native.reads);
+        assert_eq!(es.writes, native.writes);
+        assert_eq!(es.commits, 5);
+        assert_eq!(es.ro_commits, 1);
+        let taken = h.take_engine_stats();
+        assert_eq!(taken, es);
+        assert_eq!(h.engine_stats(), EngineStats::default());
+    }
+
+    #[test]
+    fn peek_matches_snapshot_latest() {
+        let stm = Stm::new(SharedCounter::new());
+        let v = stm.new_tvar(7i32);
+        assert_eq!(*<Stm<SharedCounter> as TxnEngine>::peek(&v), 7);
+    }
+}

@@ -47,6 +47,7 @@
 
 pub mod cm;
 pub mod config;
+pub mod engine;
 pub mod error;
 pub mod lsa;
 pub mod object;

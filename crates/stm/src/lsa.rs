@@ -248,10 +248,7 @@ impl<'h, B: TimeBase> Txn<'h, B> {
 
     /// `Open(T, o, read)` — Algorithm 2 lines 25–33 plus the `getVersion`
     /// retry loop of Algorithm 3.
-    pub fn read<T: Send + Sync + 'static>(
-        &mut self,
-        var: &TVar<T, B::Ts>,
-    ) -> TxResult<Arc<T>> {
+    pub fn read<T: Send + Sync + 'static>(&mut self, var: &TVar<T, B::Ts>) -> TxResult<Arc<T>> {
         self.check_alive()?;
         self.stats.reads += 1;
         self.shared.cm().add_op();
@@ -342,7 +339,10 @@ impl<'h, B: TimeBase> Txn<'h, B> {
         value: T,
     ) -> TxResult<()> {
         self.open_write(var)?;
-        if !var.object().set_spec_value(self.shared.id(), Arc::new(value)) {
+        if !var
+            .object()
+            .set_spec_value(self.shared.id(), Arc::new(value))
+        {
             return Err(self.do_abort(AbortReason::Killed));
         }
         Ok(())
@@ -367,10 +367,7 @@ impl<'h, B: TimeBase> Txn<'h, B> {
         self.write(var, f(&current))
     }
 
-    fn open_write<T: Send + Sync + 'static>(
-        &mut self,
-        var: &TVar<T, B::Ts>,
-    ) -> TxResult<()> {
+    fn open_write<T: Send + Sync + 'static>(&mut self, var: &TVar<T, B::Ts>) -> TxResult<()> {
         self.check_alive()?;
         let id = var.id();
         if self.write_set.contains_key(&id) {
@@ -383,7 +380,12 @@ impl<'h, B: TimeBase> Txn<'h, B> {
         let mut spins = 0u32;
         loop {
             match var.object().try_write(&self.shared) {
-                WriteAttempt::Registered { base_value: _, base_meta, base_lower, spec_meta } => {
+                WriteAttempt::Registered {
+                    base_value: _,
+                    base_meta,
+                    base_lower,
+                    spec_meta,
+                } => {
                     self.is_update = true;
                     self.write_set
                         .insert(id, Arc::clone(var.object()) as Arc<dyn AnyObject<B::Ts>>);
@@ -459,8 +461,10 @@ impl<'h, B: TimeBase> Txn<'h, B> {
         self.observed = self.observed.join(now);
         self.range.set_upper(now);
         for i in 0..self.read_set.len() {
-            let (obj, meta) =
-                (Arc::clone(&self.read_set[i].obj), Arc::clone(&self.read_set[i].meta));
+            let (obj, meta) = (
+                Arc::clone(&self.read_set[i].obj),
+                Arc::clone(&self.read_set[i].meta),
+            );
             let ub = prelim_resolved(self.clock, obj.as_ref(), &meta, now, &self.shared);
             self.range.restrict_upper(ub);
         }
@@ -509,7 +513,10 @@ impl<'h, B: TimeBase> Txn<'h, B> {
         if !self.is_update {
             // Read-only: the snapshot is consistent by construction —
             // validation is unnecessary (lines 36–37).
-            if self.shared.transition(TxnStatus::Active, TxnStatus::Committed) {
+            if self
+                .shared
+                .transition(TxnStatus::Active, TxnStatus::Committed)
+            {
                 self.finished = true;
                 self.stats.ro_commits += 1;
                 self.cm.on_commit(self.shared.cm());
@@ -521,8 +528,13 @@ impl<'h, B: TimeBase> Txn<'h, B> {
         // Publish the read set for helpers *before* becoming visible as
         // committing: any thread that observes `Committing` finds the
         // context.
-        self.shared.publish_ctx(CommitCtx { entries: self.read_set.clone() });
-        if !self.shared.transition(TxnStatus::Active, TxnStatus::Committing) {
+        self.shared.publish_ctx(CommitCtx {
+            entries: self.read_set.clone(),
+        });
+        if !self
+            .shared
+            .transition(TxnStatus::Active, TxnStatus::Committing)
+        {
             return Err(self.do_abort(AbortReason::Killed));
         }
         // Tentative commit time; the first setter wins (lines 41–42). The
@@ -535,12 +547,14 @@ impl<'h, B: TimeBase> Txn<'h, B> {
         // validation — the snapshot was consistent when read, and visible
         // writes already exclude write-write conflicts. Serializable mode
         // runs Algorithm 2 lines 43–48.
-        let valid = self.cfg.snapshot_isolation
-            || validate(self.clock, &self.read_set, ct, &self.shared);
+        let valid =
+            self.cfg.snapshot_isolation || validate(self.clock, &self.read_set, ct, &self.shared);
         if valid {
-            self.shared.transition(TxnStatus::Committing, TxnStatus::Committed);
+            self.shared
+                .transition(TxnStatus::Committing, TxnStatus::Committed);
         } else {
-            self.shared.transition(TxnStatus::Committing, TxnStatus::Aborted);
+            self.shared
+                .transition(TxnStatus::Committing, TxnStatus::Aborted);
         }
         // Either our transition won or a helper finalized first; the status
         // is now final either way.
@@ -574,7 +588,8 @@ impl<'h, B: TimeBase> Txn<'h, B> {
     /// `Abort(T)` — Algorithm 2 lines 53–59 (the owner-side path).
     fn do_abort(&mut self, reason: AbortReason) -> Abort {
         if !self.finished {
-            self.shared.transition(TxnStatus::Active, TxnStatus::Aborted);
+            self.shared
+                .transition(TxnStatus::Active, TxnStatus::Aborted);
             // (Committing is never current here: the commit path finalizes
             // itself before returning.)
             debug_assert!(self.shared.status().is_final());
@@ -601,7 +616,8 @@ impl<B: TimeBase> Drop for Txn<'_, B> {
     fn drop(&mut self) {
         // A panicking body must not leave a zombie writer registered.
         if !self.finished {
-            self.shared.transition(TxnStatus::Active, TxnStatus::Aborted);
+            self.shared
+                .transition(TxnStatus::Active, TxnStatus::Aborted);
             if self.shared.status().is_final() {
                 self.finalize_cleanup();
             }

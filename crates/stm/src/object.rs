@@ -15,8 +15,8 @@
 //! time base. Global coordination happens **only** through the time base —
 //! preserving the phenomenon the paper measures.
 
-use crate::txn_shared::TxnShared;
 use crate::status::TxnStatus;
+use crate::txn_shared::TxnShared;
 use crate::version::VersionMeta;
 use lsa_time::{Timestamp, ValidityRange};
 use parking_lot::RwLock;
@@ -129,7 +129,10 @@ impl<T: Send + Sync + 'static, Ts: Timestamp> TObject<T, Ts> {
         TObject {
             id,
             max_versions,
-            inner: RwLock::new(ObjInner { committed, spec: None }),
+            inner: RwLock::new(ObjInner {
+                committed,
+                spec: None,
+            }),
         }
     }
 
@@ -137,7 +140,15 @@ impl<T: Send + Sync + 'static, Ts: Timestamp> TObject<T, Ts> {
     /// debugging; *not* transactionally consistent with anything else).
     pub fn snapshot_latest(&self) -> Arc<T> {
         self.fold_resolved();
-        Arc::clone(&self.inner.read().committed.front().expect("non-empty").value)
+        Arc::clone(
+            &self
+                .inner
+                .read()
+                .committed
+                .front()
+                .expect("non-empty")
+                .value,
+        )
     }
 
     /// Number of committed versions currently retained.
@@ -165,9 +176,7 @@ impl<T: Send + Sync + 'static, Ts: Timestamp> TObject<T, Ts> {
         if let Some(spec) = &inner.spec {
             match spec.writer.status() {
                 TxnStatus::Committed | TxnStatus::Aborted => return ReadAttempt::NeedFold,
-                TxnStatus::Committing => {
-                    return ReadAttempt::NeedHelp(Arc::clone(&spec.writer))
-                }
+                TxnStatus::Committing => return ReadAttempt::NeedHelp(Arc::clone(&spec.writer)),
                 TxnStatus::Active => {} // invisible to readers
             }
         }
@@ -214,14 +223,10 @@ impl<T: Send + Sync + 'static, Ts: Timestamp> TObject<T, Ts> {
             match &inner.spec {
                 None => break,
                 Some(spec) => match spec.writer.status() {
-                    TxnStatus::Active | TxnStatus::Committing
-                        if spec.writer.id() == me.id() =>
-                    {
+                    TxnStatus::Active | TxnStatus::Committing if spec.writer.id() == me.id() => {
                         return WriteAttempt::AlreadyWriter;
                     }
-                    TxnStatus::Active => {
-                        return WriteAttempt::Conflict(Arc::clone(&spec.writer))
-                    }
+                    TxnStatus::Active => return WriteAttempt::Conflict(Arc::clone(&spec.writer)),
                     TxnStatus::Committing => {
                         return WriteAttempt::NeedHelp(Arc::clone(&spec.writer))
                     }
@@ -240,7 +245,12 @@ impl<T: Send + Sync + 'static, Ts: Timestamp> TObject<T, Ts> {
             meta: Arc::clone(&spec_meta),
             writer: Arc::clone(me),
         });
-        WriteAttempt::Registered { base_value, base_meta, base_lower, spec_meta }
+        WriteAttempt::Registered {
+            base_value,
+            base_meta,
+            base_lower,
+            spec_meta,
+        }
     }
 
     /// Replace the speculative payload (the transaction's pending write).
@@ -297,7 +307,10 @@ impl<T: Send + Sync + 'static, Ts: Timestamp> TObject<T, Ts> {
                     );
                     prev.meta.set_upper(ct.prior());
                 }
-                inner.committed.push_front(Committed { value: spec.value, meta: spec.meta });
+                inner.committed.push_front(Committed {
+                    value: spec.value,
+                    meta: spec.meta,
+                });
                 while inner.committed.len() > max_versions {
                     // Only superseded versions (fixed upper) can sit behind
                     // the head, so pruning never erases live range info —
@@ -318,7 +331,11 @@ impl<T: Send + Sync + 'static, Ts: Timestamp> AnyObject<Ts> for TObject<T, Ts> {
     }
 
     fn current_writer(&self) -> Option<Arc<TxnShared<Ts>>> {
-        self.inner.read().spec.as_ref().map(|s| Arc::clone(&s.writer))
+        self.inner
+            .read()
+            .spec
+            .as_ref()
+            .map(|s| Arc::clone(&s.writer))
     }
 
     fn fold_resolved(&self) {
@@ -342,7 +359,9 @@ pub struct TVar<T, Ts: Timestamp> {
 
 impl<T, Ts: Timestamp> Clone for TVar<T, Ts> {
     fn clone(&self) -> Self {
-        TVar { obj: Arc::clone(&self.obj) }
+        TVar {
+            obj: Arc::clone(&self.obj),
+        }
     }
 }
 
@@ -419,7 +438,11 @@ mod tests {
         let o = obj(4);
         let t = txn(100);
         let spec_meta = match o.try_write(&t) {
-            WriteAttempt::Registered { spec_meta, base_lower, .. } => {
+            WriteAttempt::Registered {
+                spec_meta,
+                base_lower,
+                ..
+            } => {
                 assert_eq!(base_lower, 0);
                 spec_meta
             }
@@ -546,7 +569,10 @@ mod tests {
         assert!(matches!(o.try_write(&t), WriteAttempt::Registered { .. }));
         assert!(o.set_spec_value(t.id(), Arc::new(1234)));
         assert_eq!(*o.read_spec_value(t.id()).unwrap(), 1234);
-        assert!(o.read_spec_value(555).is_none(), "only the writer reads its spec");
+        assert!(
+            o.read_spec_value(555).is_none(),
+            "only the writer reads its spec"
+        );
     }
 
     #[test]

@@ -127,9 +127,18 @@ mod tests {
 
     #[test]
     fn merge_adds_everything() {
-        let mut a = TxnStats { commits: 2, reads: 10, ..Default::default() };
+        let mut a = TxnStats {
+            commits: 2,
+            reads: 10,
+            ..Default::default()
+        };
         a.record_abort(AbortReason::Snapshot);
-        let mut b = TxnStats { commits: 3, ro_commits: 1, reads: 5, ..Default::default() };
+        let mut b = TxnStats {
+            commits: 3,
+            ro_commits: 1,
+            reads: 5,
+            ..Default::default()
+        };
         b.record_abort(AbortReason::Snapshot);
         b.record_abort(AbortReason::Killed);
         a.merge(&b);
@@ -152,7 +161,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let mut s = TxnStats { commits: 1, ..Default::default() };
+        let mut s = TxnStats {
+            commits: 1,
+            ..Default::default()
+        };
         s.record_abort(AbortReason::NoVersion);
         let txt = s.to_string();
         assert!(txt.contains("commits=1"));

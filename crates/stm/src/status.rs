@@ -94,7 +94,10 @@ mod tests {
         let s = AtomicStatus::new();
         assert!(s.transition(TxnStatus::Active, TxnStatus::Committing));
         assert_eq!(s.load(), TxnStatus::Committing);
-        assert!(!s.transition(TxnStatus::Active, TxnStatus::Aborted), "stale from");
+        assert!(
+            !s.transition(TxnStatus::Active, TxnStatus::Aborted),
+            "stale from"
+        );
         assert!(s.transition(TxnStatus::Committing, TxnStatus::Committed));
         assert!(s.load().is_final());
     }
@@ -108,7 +111,11 @@ mod tests {
                 .map(|i| {
                     let s = &s;
                     scope.spawn(move || {
-                        let to = if i % 2 == 0 { TxnStatus::Committed } else { TxnStatus::Aborted };
+                        let to = if i % 2 == 0 {
+                            TxnStatus::Committed
+                        } else {
+                            TxnStatus::Aborted
+                        };
                         s.transition(TxnStatus::Committing, to) as usize
                     })
                 })

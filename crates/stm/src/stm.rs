@@ -55,7 +55,9 @@ pub struct Stm<B: TimeBase> {
 
 impl<B: TimeBase> Clone for Stm<B> {
     fn clone(&self) -> Self {
-        Stm { inner: Arc::clone(&self.inner) }
+        Stm {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -172,10 +174,7 @@ impl<B: TimeBase> ThreadHandle<B> {
     /// through the provided [`Txn`] and propagate [`crate::error::Abort`]
     /// errors with `?` — the loop re-executes it from scratch after an abort
     /// (any side effects outside the STM must therefore be idempotent).
-    pub fn atomically<R>(
-        &mut self,
-        mut body: impl FnMut(&mut Txn<'_, B>) -> TxResult<R>,
-    ) -> R {
+    pub fn atomically<R>(&mut self, mut body: impl FnMut(&mut Txn<'_, B>) -> TxResult<R>) -> R {
         let needs_birth = self.stm.inner.cm.needs_birth();
         let mut birth = 0u64;
         let mut carried_ops = 0u64;

@@ -181,7 +181,9 @@ mod tests {
     fn ctx_lifecycle() {
         let t: TxnShared<u64> = TxnShared::new(7);
         assert!(t.ctx().is_none());
-        t.publish_ctx(CommitCtx { entries: Vec::new() });
+        t.publish_ctx(CommitCtx {
+            entries: Vec::new(),
+        });
         assert!(t.ctx().is_some());
         t.transition(TxnStatus::Active, TxnStatus::Committing);
         t.transition(TxnStatus::Committing, TxnStatus::Committed);

@@ -27,7 +27,10 @@ pub struct VersionMeta<Ts: Timestamp> {
 impl<Ts: Timestamp> VersionMeta<Ts> {
     /// Metadata for a speculative version: both bounds unknown.
     pub fn speculative() -> Self {
-        VersionMeta { lower: OnceLock::new(), upper: OnceLock::new() }
+        VersionMeta {
+            lower: OnceLock::new(),
+            upper: OnceLock::new(),
+        }
     }
 
     /// Metadata for an already-committed version with a known lower bound

@@ -15,8 +15,7 @@ fn bank_invariant_holds<B: TimeBase>(tb: B, threads: usize, transfers: usize) {
     const ACCOUNTS: usize = 16;
     const INITIAL: i64 = 1000;
     let stm = Stm::new(tb);
-    let accounts: Vec<TVar<i64, B::Ts>> =
-        (0..ACCOUNTS).map(|_| stm.new_tvar(INITIAL)).collect();
+    let accounts: Vec<TVar<i64, B::Ts>> = (0..ACCOUNTS).map(|_| stm.new_tvar(INITIAL)).collect();
 
     std::thread::scope(|s| {
         // Transfer threads.
@@ -120,9 +119,9 @@ fn disjoint_counters_all_increments_survive() {
         .map(|_| (0..PER).map(|_| stm.new_tvar(0u64)).collect())
         .collect();
     std::thread::scope(|s| {
-        for t in 0..THREADS {
+        for mine in &vars {
             let stm = stm.clone();
-            let mine = vars[t].clone();
+            let mine = mine.clone();
             s.spawn(move || {
                 let mut h = stm.register();
                 for i in 0..INCS {
@@ -169,7 +168,11 @@ fn aggressive_and_suicide_cms_still_correct() {
             "aggressive" => Stm::with_cm(PerfectClock::new(), StmConfig::default(), Aggressive),
             "suicide" => Stm::with_cm(PerfectClock::new(), StmConfig::default(), Suicide),
             "karma" => Stm::with_cm(PerfectClock::new(), StmConfig::default(), Karma),
-            _ => Stm::with_cm(PerfectClock::new(), StmConfig::default(), TimestampCm::default()),
+            _ => Stm::with_cm(
+                PerfectClock::new(),
+                StmConfig::default(),
+                TimestampCm::default(),
+            ),
         };
         let v = stm.new_tvar(0u64);
         std::thread::scope(|s| {

@@ -27,7 +27,9 @@ fn stuck_committing_writer(
         WriteAttempt::Registered { spec_meta, .. } => spec_meta,
         _ => panic!("fresh object must register"),
     };
-    assert!(var.object_for_tests().set_spec_value(writer.id(), Arc::new(value)));
+    assert!(var
+        .object_for_tests()
+        .set_spec_value(writer.id(), Arc::new(value)));
     writer.publish_ctx(CommitCtx {
         entries: vec![CtxEntry {
             obj: Arc::clone(var.object_for_tests()) as Arc<dyn lsa_stm::object::AnyObject<u64>>,
@@ -52,7 +54,10 @@ fn reader_helps_stuck_committer_and_sees_its_write() {
     let seen = h.atomically(|tx| tx.read(&var).map(|v| *v));
     assert_eq!(seen, 42, "reader must observe the helped commit");
     assert_eq!(writer.status(), TxnStatus::Committed);
-    assert!(writer.ct().is_some(), "a helper set the commit time from its clock");
+    assert!(
+        writer.ct().is_some(),
+        "a helper set the commit time from its clock"
+    );
     assert!(h.stats().helps >= 1, "the help must be accounted");
 }
 
@@ -64,7 +69,11 @@ fn writer_helps_stuck_committer_before_taking_over() {
 
     let mut h = stm.register();
     h.atomically(|tx| tx.modify(&var, |v| v * 10));
-    assert_eq!(*var.snapshot_latest(), 70, "helped commit (7) then ours (×10)");
+    assert_eq!(
+        *var.snapshot_latest(),
+        70,
+        "helped commit (7) then ours (×10)"
+    );
     assert_eq!(writer.status(), TxnStatus::Committed);
 }
 
@@ -103,7 +112,11 @@ fn killed_writer_mid_transaction_retries_cleanly() {
         // The very next operation must notice the kill and abort.
         tx.read(&var).map(|v| *v)
     });
-    assert_eq!(*var.snapshot_latest(), 1, "retry applied the increment once");
+    assert_eq!(
+        *var.snapshot_latest(),
+        1,
+        "retry applied the increment once"
+    );
     assert_eq!(h.stats().aborts_for(AbortReason::Killed), 1);
     assert_eq!(h.stats().commits, 1);
 }
@@ -119,7 +132,8 @@ fn aborted_stuck_writer_is_discarded_by_next_accessor() {
         var.object_for_tests().try_write(&writer),
         WriteAttempt::Registered { .. }
     ));
-    var.object_for_tests().set_spec_value(writer.id(), Arc::new(666));
+    var.object_for_tests()
+        .set_spec_value(writer.id(), Arc::new(666));
     assert!(writer.transition(TxnStatus::Active, TxnStatus::Aborted));
 
     let mut h = stm.register();
@@ -148,5 +162,9 @@ fn two_helpers_race_exactly_one_commit() {
     });
     assert_eq!(writer.status(), TxnStatus::Committed);
     assert_eq!(*var.snapshot_latest(), 1234);
-    assert_eq!(var.version_count(), 2, "initial + exactly one helped commit");
+    assert_eq!(
+        var.version_count(),
+        2,
+        "initial + exactly one helped commit"
+    );
 }

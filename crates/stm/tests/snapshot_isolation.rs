@@ -71,7 +71,10 @@ fn serializable_mode_prevents_write_skew() {
     // instant: total stays >= 1 in every run.
     for _ in 0..50 {
         let total = write_skew(StmConfig::default());
-        assert!(total >= 1, "write skew slipped through serializable mode: {total}");
+        assert!(
+            total >= 1,
+            "write skew slipped through serializable mode: {total}"
+        );
     }
 }
 
@@ -88,7 +91,10 @@ fn si_mode_admits_write_skew_eventually() {
             break;
         }
     }
-    assert!(skewed, "SI mode never exhibited write skew — validation still on?");
+    assert!(
+        skewed,
+        "SI mode never exhibited write skew — validation still on?"
+    );
 }
 
 #[test]

@@ -74,8 +74,15 @@ fn reader_aborts_when_snapshot_needs_pruned_history_of_read_object() {
     // Only consistent combinations may surface: (0,0) pre-update snapshot —
     // impossible in single-version mode once `b`'s old version is gone — or
     // (1,1) after retry.
-    assert_eq!((va, vb), (1, 1), "retry must land on the post-update snapshot");
-    assert!(reader.stats().total_aborts() >= 1, "first attempt had to abort");
+    assert_eq!(
+        (va, vb),
+        (1, 1),
+        "retry must land on the post-update snapshot"
+    );
+    assert!(
+        reader.stats().total_aborts() >= 1,
+        "first attempt had to abort"
+    );
 }
 
 #[test]
@@ -121,5 +128,8 @@ fn version_count_is_bounded_under_concurrency() {
         }
     });
     assert_eq!(*v.snapshot_latest(), 8_000);
-    assert!(v.version_count() <= 4, "pruning must keep the chain bounded");
+    assert!(
+        v.version_count() <= 4,
+        "pruning must keep the chain bounded"
+    );
 }

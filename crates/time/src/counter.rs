@@ -192,7 +192,6 @@ impl ThreadClock for Tl2CounterClock {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::base::{ThreadClock as _, TimeBase as _};
 
     #[test]
     fn counter_starts_above_zero() {
@@ -234,11 +233,18 @@ mod tests {
                     s.spawn(move || (0..per).map(|_| clk.get_new_ts()).collect::<Vec<_>>())
                 })
                 .collect();
-            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
         });
         all.sort_unstable();
         all.dedup();
-        assert_eq!(all.len(), threads * per, "plain counter timestamps are unique");
+        assert_eq!(
+            all.len(),
+            threads * per,
+            "plain counter timestamps are unique"
+        );
     }
 
     #[test]

@@ -94,9 +94,15 @@ impl Timestamp for ExtTimestamp {
         } else if other.ge(self) {
             other
         } else if self.upper_ns() > other.upper_ns() {
-            ExtTimestamp { cid: ClockId::UNDEFINED, ..self }
+            ExtTimestamp {
+                cid: ClockId::UNDEFINED,
+                ..self
+            }
         } else {
-            ExtTimestamp { cid: ClockId::UNDEFINED, ..other }
+            ExtTimestamp {
+                cid: ClockId::UNDEFINED,
+                ..other
+            }
         }
     }
 
@@ -108,15 +114,24 @@ impl Timestamp for ExtTimestamp {
         } else if other.ge(self) {
             self
         } else if self.lower_ns() < other.lower_ns() {
-            ExtTimestamp { cid: ClockId::UNDEFINED, ..self }
+            ExtTimestamp {
+                cid: ClockId::UNDEFINED,
+                ..self
+            }
         } else {
-            ExtTimestamp { cid: ClockId::UNDEFINED, ..other }
+            ExtTimestamp {
+                cid: ClockId::UNDEFINED,
+                ..other
+            }
         }
     }
 
     #[inline]
     fn prior(self) -> Self {
-        ExtTimestamp { ts: self.ts.saturating_sub(1), ..self }
+        ExtTimestamp {
+            ts: self.ts.saturating_sub(1),
+            ..self
+        }
     }
 
     #[inline]
@@ -130,7 +145,11 @@ impl Timestamp for ExtTimestamp {
         // (cross-clock comparison needs t.lower_ns() >= 0) and
         // `origin.ge(t)` never holds for t produced by a clock (all readings
         // sit above EPOCH_OFFSET_NS).
-        ExtTimestamp { ts: 0, cid: ClockId::UNDEFINED, dev: 0 }
+        ExtTimestamp {
+            ts: 0,
+            cid: ClockId::UNDEFINED,
+            dev: 0,
+        }
     }
 }
 
@@ -342,7 +361,10 @@ mod tests {
     fn undefined_cid_always_uses_deviation() {
         let a = ts(100, u32::MAX, 10); // undefined
         let b = ts(100, u32::MAX, 10);
-        assert!(!a.ge(b), "same values but undefined cid: not comparable exactly");
+        assert!(
+            !a.ge(b),
+            "same values but undefined cid: not comparable exactly"
+        );
     }
 
     #[test]
@@ -383,7 +405,11 @@ mod tests {
 
     #[test]
     fn handles_get_bounded_offsets() {
-        for policy in [OffsetPolicy::Spread, OffsetPolicy::Alternating, OffsetPolicy::Zero] {
+        for policy in [
+            OffsetPolicy::Spread,
+            OffsetPolicy::Alternating,
+            OffsetPolicy::Zero,
+        ] {
             let tb = ExternalClock::with_policy(1000, policy);
             for _ in 0..16 {
                 let h = tb.register_thread();

@@ -87,7 +87,10 @@ impl TimeBase for HardwareClock {
     type Clock = HardwareClockHandle;
 
     fn register_thread(&self) -> HardwareClockHandle {
-        HardwareClockHandle { clock: *self, last: 0 }
+        HardwareClockHandle {
+            clock: *self,
+            last: 0,
+        }
     }
 
     fn name(&self) -> &'static str {

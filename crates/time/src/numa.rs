@@ -42,13 +42,19 @@ pub struct NumaModel {
 impl NumaModel {
     /// Altix-3700-like parameters: ~600 ns remote transfer, ~5 ns local hit.
     pub fn altix() -> Self {
-        NumaModel { remote_ns: 600, local_ns: 5 }
+        NumaModel {
+            remote_ns: 600,
+            local_ns: 5,
+        }
     }
 
     /// A free interconnect (turns [`NumaCounter`] into a plain
     /// [`crate::counter::SharedCounter`] with extra bookkeeping) — for tests.
     pub fn free() -> Self {
-        NumaModel { remote_ns: 0, local_ns: 0 }
+        NumaModel {
+            remote_ns: 0,
+            local_ns: 0,
+        }
     }
 }
 
@@ -186,7 +192,10 @@ mod tests {
 
     #[test]
     fn single_thread_pays_remote_only_once() {
-        let model = NumaModel { remote_ns: 50_000, local_ns: 0 };
+        let model = NumaModel {
+            remote_ns: 50_000,
+            local_ns: 0,
+        };
         let tb = NumaCounter::new(model);
         let mut c = tb.register_thread();
         c.get_new_ts(); // first access: one RFO miss
@@ -205,7 +214,10 @@ mod tests {
 
     #[test]
     fn alternating_writers_pay_remote_every_time() {
-        let model = NumaModel { remote_ns: 10_000, local_ns: 0 };
+        let model = NumaModel {
+            remote_ns: 10_000,
+            local_ns: 0,
+        };
         let tb = NumaCounter::new(model);
         let mut a = tb.register_thread();
         let mut b = tb.register_thread();
@@ -219,7 +231,10 @@ mod tests {
 
     #[test]
     fn reader_misses_after_every_remote_write() {
-        let model = NumaModel { remote_ns: 1_000, local_ns: 0 };
+        let model = NumaModel {
+            remote_ns: 1_000,
+            local_ns: 0,
+        };
         let tb = NumaCounter::new(model);
         let mut writer = tb.register_thread();
         let mut reader = tb.register_thread();
@@ -244,7 +259,10 @@ mod tests {
                     s.spawn(move || (0..5_000).map(|_| c.get_new_ts()).collect::<Vec<_>>())
                 })
                 .collect();
-            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
         });
         all.sort_unstable();
         all.dedup();

@@ -102,7 +102,11 @@ mod tests {
         let mut c = tb.register_thread();
         let mut last = c.get_time();
         for i in 0..1000 {
-            let t = if i % 2 == 0 { c.get_new_ts() } else { c.get_time() };
+            let t = if i % 2 == 0 {
+                c.get_new_ts()
+            } else {
+                c.get_time()
+            };
             if i % 2 == 0 {
                 assert!(t > last, "getNewTS must be strictly greater");
             } else {
@@ -119,12 +123,9 @@ mod tests {
         let tb = PerfectClock::new();
         let mut main = tb.register_thread();
         let t0 = main.get_new_ts();
-        let t1 = std::thread::spawn({
-            let tb = tb;
-            move || {
-                let mut c = tb.register_thread();
-                c.get_new_ts()
-            }
+        let t1 = std::thread::spawn(move || {
+            let mut c = tb.register_thread();
+            c.get_new_ts()
         })
         .join()
         .unwrap();

@@ -34,7 +34,10 @@ impl<Ts: Timestamp> ValidityRange<Ts> {
     /// A fully bounded range `[lower, upper]`.
     #[inline]
     pub fn bounded(lower: Ts, upper: Ts) -> Self {
-        ValidityRange { lower, upper: Some(upper) }
+        ValidityRange {
+            lower,
+            upper: Some(upper),
+        }
     }
 
     /// Raise the lower bound: `⌊R⌋ ← max(⌊R⌋, ts)` (Algorithm 2 line 28).

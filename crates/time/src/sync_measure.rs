@@ -154,7 +154,12 @@ pub fn measure<B: TimeBase>(tb: &B, cfg: &SyncMeasureConfig) -> Vec<RoundResult>
                     max_error = max_error.max(err);
                     max_sum = max_sum.max(err + off.abs());
                 }
-                RoundResult { round, max_abs_offset, max_error, max_err_plus_abs_offset: max_sum }
+                RoundResult {
+                    round,
+                    max_abs_offset,
+                    max_error,
+                    max_err_plus_abs_offset: max_sum,
+                }
             })
             .collect()
     })
@@ -248,8 +253,18 @@ mod tests {
     #[test]
     fn summarize_takes_maxima() {
         let rounds = vec![
-            RoundResult { round: 0, max_abs_offset: 3, max_error: 9, max_err_plus_abs_offset: 12 },
-            RoundResult { round: 1, max_abs_offset: 7, max_error: 2, max_err_plus_abs_offset: 8 },
+            RoundResult {
+                round: 0,
+                max_abs_offset: 3,
+                max_error: 9,
+                max_err_plus_abs_offset: 12,
+            },
+            RoundResult {
+                round: 1,
+                max_abs_offset: 7,
+                max_error: 2,
+                max_err_plus_abs_offset: 8,
+            },
         ];
         let s = summarize(&rounds);
         assert_eq!(s.worst_abs_offset, 7);

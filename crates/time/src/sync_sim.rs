@@ -173,10 +173,17 @@ pub fn simulate(cfg: &SyncSimConfig) -> SimOutcome {
         }
 
         worst = worst.max(max_abs_offset_us + max_error_us);
-        rounds.push(SimRound { round, max_abs_offset_us, max_error_us });
+        rounds.push(SimRound {
+            round,
+            max_abs_offset_us,
+            max_error_us,
+        });
     }
 
-    SimOutcome { rounds, achievable_dev_us: worst }
+    SimOutcome {
+        rounds,
+        achievable_dev_us: worst,
+    }
 }
 
 /// Convenience: the `dev` (in **nanoseconds**, ready for

@@ -35,9 +35,7 @@ use core::fmt::Debug;
 /// Implementations must be cheap to copy (timestamps are passed by value
 /// throughout the STM hot path) and must satisfy the algebraic laws
 /// documented on each method.
-pub trait Timestamp:
-    Copy + Clone + Debug + PartialEq + Send + Sync + 'static
-{
+pub trait Timestamp: Copy + Clone + Debug + PartialEq + Send + Sync + 'static {
     /// The paper's `t1 ≽ t2` ("guaranteed later than or equal"): returns
     /// `true` iff it is guaranteed that `other` was read no later than
     /// `self`.

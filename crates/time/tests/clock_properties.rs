@@ -17,7 +17,11 @@ fn check_thread_contract<B: TimeBase>(tb: &B, pattern: &[bool]) {
     let mut clock = tb.register_thread();
     let mut last: Option<B::Ts> = None;
     for &new_ts in pattern {
-        let t = if new_ts { clock.get_new_ts() } else { clock.get_time() };
+        let t = if new_ts {
+            clock.get_new_ts()
+        } else {
+            clock.get_time()
+        };
         if let Some(prev) = last {
             assert!(t.ge(prev), "monotonicity violated: {t:?} after {prev:?}");
             if new_ts {
@@ -132,7 +136,10 @@ fn get_new_ts_exceeds_invocation_time() {
     check(&SharedCounter::new());
     check(&PerfectClock::new());
     check(&HardwareClock::mmtimer_free());
-    check(&ExternalClock::with_policy(50_000, OffsetPolicy::Alternating));
+    check(&ExternalClock::with_policy(
+        50_000,
+        OffsetPolicy::Alternating,
+    ));
 
     // Strong form for u64 bases: strictly greater.
     let tb = PerfectClock::new();
@@ -141,7 +148,10 @@ fn get_new_ts_exceeds_invocation_time() {
     for _ in 0..200 {
         let before = a.get_time();
         let fresh = b.get_new_ts();
-        assert!(fresh > before, "getNewTS {fresh} must exceed prior reading {before}");
+        assert!(
+            fresh > before,
+            "getNewTS {fresh} must exceed prior reading {before}"
+        );
     }
     let tb = SharedCounter::new();
     let mut a = tb.register_thread();

@@ -7,10 +7,13 @@
 //! and audits of all accounts are exactly the long read-only transactions for
 //! which multi-version LSA shines and for which synchronization errors
 //! matter (§4.3, EXP-ERR).
+//!
+//! The workload is generic over its [`TxnEngine`], so the same transfers and
+//! audits run on LSA-RT, TL2 and the validation STM (the engine matrix the
+//! harness sweeps).
 
 use crate::rng::FastRng;
-use lsa_stm::{Stm, TVar, ThreadHandle, TxnStats};
-use lsa_time::TimeBase;
+use lsa_engine::{EngineHandle, EngineStats, EngineVar, TxnEngine, TxnOps};
 
 /// Parameters of the bank workload.
 #[derive(Clone, Copy, Debug)]
@@ -25,29 +28,39 @@ pub struct BankConfig {
 
 impl Default for BankConfig {
     fn default() -> Self {
-        BankConfig { accounts: 64, initial: 1_000, audit_percent: 20 }
+        BankConfig {
+            accounts: 64,
+            initial: 1_000,
+            audit_percent: 20,
+        }
     }
 }
 
 /// Shared state of the bank workload.
-pub struct BankWorkload<B: TimeBase> {
-    stm: Stm<B>,
+pub struct BankWorkload<E: TxnEngine> {
+    engine: E,
     cfg: BankConfig,
-    accounts: Vec<TVar<i64, B::Ts>>,
+    accounts: Vec<EngineVar<E, i64>>,
 }
 
-impl<B: TimeBase> BankWorkload<B> {
-    /// Create the bank on `stm`.
-    pub fn new(stm: Stm<B>, cfg: BankConfig) -> Self {
+impl<E: TxnEngine> BankWorkload<E> {
+    /// Create the bank on `engine`.
+    pub fn new(engine: E, cfg: BankConfig) -> Self {
         assert!(cfg.accounts >= 2);
         assert!(cfg.audit_percent <= 100);
-        let accounts = (0..cfg.accounts).map(|_| stm.new_tvar(cfg.initial)).collect();
-        BankWorkload { stm, cfg, accounts }
+        let accounts = (0..cfg.accounts)
+            .map(|_| engine.new_var(cfg.initial))
+            .collect();
+        BankWorkload {
+            engine,
+            cfg,
+            accounts,
+        }
     }
 
-    /// The underlying runtime.
-    pub fn stm(&self) -> &Stm<B> {
-        &self.stm
+    /// The underlying engine.
+    pub fn engine(&self) -> &E {
+        &self.engine
     }
 
     /// The invariant total.
@@ -57,13 +70,13 @@ impl<B: TimeBase> BankWorkload<B> {
 
     /// Quiescent total (non-transactional; call when no workers run).
     pub fn quiescent_total(&self) -> i64 {
-        self.accounts.iter().map(|a| *a.snapshot_latest()).sum()
+        self.accounts.iter().map(|a| *E::peek(a)).sum()
     }
 
     /// Build the worker for thread `tid`.
-    pub fn worker(&self, tid: usize) -> BankWorker<B> {
+    pub fn worker(&self, tid: usize) -> BankWorker<E> {
         BankWorker {
-            handle: self.stm.register(),
+            handle: self.engine.register(),
             accounts: self.accounts.clone(),
             cfg: self.cfg,
             rng: FastRng::new(0xBA2C + tid as u64),
@@ -73,15 +86,15 @@ impl<B: TimeBase> BankWorkload<B> {
 }
 
 /// Per-thread bank worker.
-pub struct BankWorker<B: TimeBase> {
-    handle: ThreadHandle<B>,
-    accounts: Vec<TVar<i64, B::Ts>>,
+pub struct BankWorker<E: TxnEngine> {
+    handle: E::Handle,
+    accounts: Vec<EngineVar<E, i64>>,
     cfg: BankConfig,
     rng: FastRng,
     audit_failures: u64,
 }
 
-impl<B: TimeBase> BankWorker<B> {
+impl<E: TxnEngine> BankWorker<E> {
     /// Run one transaction: an audit with probability `audit_percent`,
     /// otherwise a transfer between two distinct random accounts.
     pub fn step(&mut self) {
@@ -121,33 +134,39 @@ impl<B: TimeBase> BankWorker<B> {
         self.audit_failures
     }
 
-    /// Accumulated statistics.
-    pub fn stats(&self) -> &TxnStats {
-        self.handle.stats()
+    /// Accumulated statistics on the engine-shared surface.
+    pub fn stats(&self) -> EngineStats {
+        self.handle.engine_stats()
     }
 
     /// Take (and reset) statistics.
-    pub fn take_stats(&mut self) -> TxnStats {
-        self.handle.take_stats()
+    pub fn take_stats(&mut self) -> EngineStats {
+        self.handle.take_engine_stats()
+    }
+
+    /// The underlying engine handle, for engine-specific introspection
+    /// (e.g. LSA-RT abort-reason breakdowns).
+    pub fn handle(&self) -> &E::Handle {
+        &self.handle
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lsa_stm::StmConfig;
+    use lsa_baseline::{Tl2Stm, ValidationMode, ValidationStm};
+    use lsa_stm::{Stm, StmConfig};
     use lsa_time::counter::SharedCounter;
     use lsa_time::external::{ExternalClock, OffsetPolicy};
 
-    #[test]
-    fn invariant_survives_concurrency() {
-        let wl = BankWorkload::new(Stm::new(SharedCounter::new()), BankConfig::default());
+    fn run_invariant<E: TxnEngine>(engine: E, cfg: BankConfig, steps: u64) {
+        let wl = BankWorkload::new(engine, cfg);
         let failures: u64 = std::thread::scope(|s| {
             let handles: Vec<_> = (0..4)
                 .map(|t| {
                     let mut w = wl.worker(t);
                     s.spawn(move || {
-                        for _ in 0..1_000 {
+                        for _ in 0..steps {
                             w.step();
                         }
                         w.audit_failures()
@@ -161,37 +180,47 @@ mod tests {
     }
 
     #[test]
+    fn invariant_survives_concurrency() {
+        run_invariant(Stm::new(SharedCounter::new()), BankConfig::default(), 1_000);
+    }
+
+    #[test]
+    fn invariant_survives_concurrency_on_every_engine() {
+        let cfg = BankConfig {
+            accounts: 16,
+            initial: 500,
+            audit_percent: 25,
+        };
+        run_invariant(Tl2Stm::new(SharedCounter::new()), cfg, 500);
+        run_invariant(ValidationStm::new(ValidationMode::CommitCounter), cfg, 500);
+        run_invariant(ValidationStm::new(ValidationMode::Always), cfg, 300);
+    }
+
+    #[test]
     fn invariant_survives_clock_uncertainty() {
         // Large injected deviation: validity gaps of 2·dev shrink snapshots
         // (more aborts) but must never break consistency.
         let tb = ExternalClock::with_policy(100_000, OffsetPolicy::Alternating);
-        let wl = BankWorkload::new(
+        run_invariant(
             Stm::with_config(tb, StmConfig::multi_version(8)),
-            BankConfig { accounts: 16, initial: 500, audit_percent: 30 },
+            BankConfig {
+                accounts: 16,
+                initial: 500,
+                audit_percent: 30,
+            },
+            500,
         );
-        let failures: u64 = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..4)
-                .map(|t| {
-                    let mut w = wl.worker(t);
-                    s.spawn(move || {
-                        for _ in 0..500 {
-                            w.step();
-                        }
-                        w.audit_failures()
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).sum()
-        });
-        assert_eq!(failures, 0);
-        assert_eq!(wl.quiescent_total(), wl.expected_total());
     }
 
     #[test]
     fn audit_percent_100_is_read_only() {
         let wl = BankWorkload::new(
             Stm::new(SharedCounter::new()),
-            BankConfig { accounts: 8, initial: 10, audit_percent: 100 },
+            BankConfig {
+                accounts: 8,
+                initial: 10,
+                audit_percent: 100,
+            },
         );
         let mut w = wl.worker(0);
         for _ in 0..50 {

@@ -4,27 +4,27 @@
 //! small-read-set counterpoint to the linked list. With many buckets the
 //! workload approaches the paper's disjoint-update regime — time-base
 //! overhead dominates; with few buckets it turns into a contention benchmark.
+//! Generic over the [`TxnEngine`] like every workload here.
 
-use lsa_stm::{Stm, TVar, ThreadHandle};
-use lsa_time::TimeBase;
+use lsa_engine::{EngineHandle, EngineVar, TxnEngine, TxnOps};
 
 /// A fixed-bucket transactional hash set of `i64` keys.
-pub struct HashSetT<B: TimeBase> {
-    stm: Stm<B>,
-    buckets: Vec<TVar<Vec<i64>, B::Ts>>,
+pub struct HashSetT<E: TxnEngine> {
+    engine: E,
+    buckets: Vec<EngineVar<E, Vec<i64>>>,
 }
 
-impl<B: TimeBase> HashSetT<B> {
-    /// Empty set with `buckets` buckets.
-    pub fn new(stm: Stm<B>, buckets: usize) -> Self {
+impl<E: TxnEngine> HashSetT<E> {
+    /// Empty set with `buckets` buckets on `engine`.
+    pub fn new(engine: E, buckets: usize) -> Self {
         assert!(buckets >= 1);
-        let buckets = (0..buckets).map(|_| stm.new_tvar(Vec::new())).collect();
-        HashSetT { stm, buckets }
+        let buckets = (0..buckets).map(|_| engine.new_var(Vec::new())).collect();
+        HashSetT { engine, buckets }
     }
 
-    /// The underlying runtime.
-    pub fn stm(&self) -> &Stm<B> {
-        &self.stm
+    /// The underlying engine.
+    pub fn engine(&self) -> &E {
+        &self.engine
     }
 
     /// Number of buckets.
@@ -33,14 +33,14 @@ impl<B: TimeBase> HashSetT<B> {
     }
 
     #[inline]
-    fn bucket_of(&self, key: i64) -> &TVar<Vec<i64>, B::Ts> {
+    fn bucket_of(&self, key: i64) -> &EngineVar<E, Vec<i64>> {
         // Fibonacci hashing of the key into a bucket index.
         let h = (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         &self.buckets[(h % self.buckets.len() as u64) as usize]
     }
 
     /// Insert `key`; returns `false` if already present.
-    pub fn insert(&self, h: &mut ThreadHandle<B>, key: i64) -> bool {
+    pub fn insert(&self, h: &mut E::Handle, key: i64) -> bool {
         let bucket = self.bucket_of(key);
         h.atomically(|tx| {
             let cur = tx.read(bucket)?;
@@ -55,7 +55,7 @@ impl<B: TimeBase> HashSetT<B> {
     }
 
     /// Remove `key`; returns `false` if absent.
-    pub fn remove(&self, h: &mut ThreadHandle<B>, key: i64) -> bool {
+    pub fn remove(&self, h: &mut E::Handle, key: i64) -> bool {
         let bucket = self.bucket_of(key);
         h.atomically(|tx| {
             let cur = tx.read(bucket)?;
@@ -72,13 +72,13 @@ impl<B: TimeBase> HashSetT<B> {
     }
 
     /// Membership test.
-    pub fn contains(&self, h: &mut ThreadHandle<B>, key: i64) -> bool {
+    pub fn contains(&self, h: &mut E::Handle, key: i64) -> bool {
         let bucket = self.bucket_of(key);
         h.atomically(|tx| Ok(tx.read(bucket)?.contains(&key)))
     }
 
     /// Total number of keys (read-only snapshot across every bucket).
-    pub fn len(&self, h: &mut ThreadHandle<B>) -> usize {
+    pub fn len(&self, h: &mut E::Handle) -> usize {
         h.atomically(|tx| {
             let mut n = 0;
             for b in &self.buckets {
@@ -89,7 +89,7 @@ impl<B: TimeBase> HashSetT<B> {
     }
 
     /// Whether the set is empty.
-    pub fn is_empty(&self, h: &mut ThreadHandle<B>) -> bool {
+    pub fn is_empty(&self, h: &mut E::Handle) -> bool {
         self.len(h) == 0
     }
 }
@@ -98,13 +98,14 @@ impl<B: TimeBase> HashSetT<B> {
 mod tests {
     use super::*;
     use crate::rng::FastRng;
+    use lsa_baseline::{Tl2Stm, ValidationMode, ValidationStm};
+    use lsa_stm::Stm;
     use lsa_time::counter::SharedCounter;
     use std::collections::BTreeSet;
 
-    #[test]
-    fn sequential_matches_btreeset() {
-        let set = HashSetT::new(Stm::new(SharedCounter::new()), 16);
-        let mut h = set.stm().clone().register();
+    fn sequential_matches_reference<E: TxnEngine>(engine: E) {
+        let set = HashSetT::new(engine.clone(), 16);
+        let mut h = engine.register();
         let mut reference = BTreeSet::new();
         let mut rng = FastRng::new(5);
         for _ in 0..500 {
@@ -119,20 +120,32 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_distinct_keys_all_present() {
-        let set = HashSetT::new(Stm::new(SharedCounter::new()), 8);
+    fn sequential_matches_btreeset() {
+        sequential_matches_reference(Stm::new(SharedCounter::new()));
+    }
+
+    #[test]
+    fn sequential_matches_btreeset_on_every_engine() {
+        sequential_matches_reference(Tl2Stm::new(SharedCounter::new()));
+        sequential_matches_reference(ValidationStm::new(ValidationMode::Always));
+        sequential_matches_reference(ValidationStm::new(ValidationMode::CommitCounter));
+    }
+
+    fn concurrent_distinct_keys<E: TxnEngine>(engine: E) {
+        let set = HashSetT::new(engine.clone(), 8);
         std::thread::scope(|s| {
             for t in 0..4i64 {
                 let set = &set;
+                let engine = engine.clone();
                 s.spawn(move || {
-                    let mut h = set.stm().clone().register();
+                    let mut h = engine.register();
                     for k in 0..100 {
                         assert!(set.insert(&mut h, t * 1_000 + k));
                     }
                 });
             }
         });
-        let mut h = set.stm().clone().register();
+        let mut h = engine.register();
         assert_eq!(set.len(&mut h), 400);
         for t in 0..4i64 {
             for k in 0..100 {
@@ -142,20 +155,32 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_distinct_keys_all_present() {
+        concurrent_distinct_keys(Stm::new(SharedCounter::new()));
+    }
+
+    #[test]
+    fn concurrent_distinct_keys_all_present_tl2() {
+        concurrent_distinct_keys(Tl2Stm::new(SharedCounter::new()));
+    }
+
+    #[test]
     fn single_bucket_contention_is_correct() {
-        let set = HashSetT::new(Stm::new(SharedCounter::new()), 1);
+        let engine = Stm::new(SharedCounter::new());
+        let set = HashSetT::new(engine.clone(), 1);
         std::thread::scope(|s| {
             for t in 0..4i64 {
                 let set = &set;
+                let engine = engine.clone();
                 s.spawn(move || {
-                    let mut h = set.stm().clone().register();
+                    let mut h = engine.register();
                     for k in 0..50 {
                         set.insert(&mut h, t * 100 + k);
                     }
                 });
             }
         });
-        let mut h = set.stm().clone().register();
+        let mut h = engine.register();
         assert_eq!(set.len(&mut h), 200);
     }
 }

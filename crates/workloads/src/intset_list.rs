@@ -6,53 +6,72 @@
 //! consistency costs visible and that rewards time-based STMs (O(1) per
 //! access) over validation-based ones (O(n) per access).
 //!
-//! Nodes are immutable values in [`TVar`]s linked through `Option<TVar>`;
+//! Nodes are immutable values in engine vars linked through `Option<Var>`;
 //! updates replace a node's value functionally (its key stays, its `next`
 //! changes), so concurrent snapshot readers keep traversing their own
-//! consistent version of the list.
+//! consistent version of the list. The structure is generic over the
+//! [`TxnEngine`], which is exactly what makes the validation-cost comparison
+//! (EXP-VAL) an apples-to-apples sweep.
 
-use lsa_stm::{Stm, TVar, ThreadHandle, TxResult, Txn};
-use lsa_time::{TimeBase, Timestamp};
+use lsa_engine::{EngineAbort, EngineHandle, EngineVar, TxnEngine, TxnOps};
+use std::sync::Arc;
 
 /// One list node: a key and the link to the next node.
-#[derive(Clone)]
-pub struct Node<Ts: Timestamp> {
+pub struct Node<E: TxnEngine> {
     key: i64,
-    next: Option<TVar<Node<Ts>, Ts>>,
+    next: Option<EngineVar<E, Node<E>>>,
+}
+
+impl<E: TxnEngine> Clone for Node<E> {
+    fn clone(&self) -> Self {
+        Node {
+            key: self.key,
+            next: self.next.clone(),
+        }
+    }
 }
 
 /// A sorted linked-list set of `i64` keys (head/tail sentinels at ±∞).
-pub struct IntSetList<B: TimeBase> {
-    stm: Stm<B>,
-    head: TVar<Node<B::Ts>, B::Ts>,
+pub struct IntSetList<E: TxnEngine> {
+    engine: E,
+    head: EngineVar<E, Node<E>>,
 }
 
-impl<B: TimeBase> IntSetList<B> {
-    /// Empty set on `stm`.
-    pub fn new(stm: Stm<B>) -> Self {
-        let tail = stm.new_tvar(Node { key: i64::MAX, next: None });
-        let head = stm.new_tvar(Node { key: i64::MIN, next: Some(tail) });
-        IntSetList { stm, head }
+impl<E: TxnEngine> IntSetList<E> {
+    /// Empty set on `engine`.
+    pub fn new(engine: E) -> Self {
+        let tail = engine.new_var(Node {
+            key: i64::MAX,
+            next: None,
+        });
+        let head = engine.new_var(Node {
+            key: i64::MIN,
+            next: Some(tail),
+        });
+        IntSetList { engine, head }
     }
 
-    /// The underlying runtime.
-    pub fn stm(&self) -> &Stm<B> {
-        &self.stm
+    /// The underlying engine.
+    pub fn engine(&self) -> &E {
+        &self.engine
     }
 
     /// Locate `key`: returns (node-var of the last node with a smaller key,
     /// its value, node-var of the first node with key ≥ `key`, its value).
     #[allow(clippy::type_complexity)]
-    fn locate(
+    fn locate<O: TxnOps<Engine = E>>(
         &self,
-        tx: &mut Txn<'_, B>,
+        tx: &mut O,
         key: i64,
-    ) -> TxResult<(
-        TVar<Node<B::Ts>, B::Ts>,
-        std::sync::Arc<Node<B::Ts>>,
-        TVar<Node<B::Ts>, B::Ts>,
-        std::sync::Arc<Node<B::Ts>>,
-    )> {
+    ) -> Result<
+        (
+            EngineVar<E, Node<E>>,
+            Arc<Node<E>>,
+            EngineVar<E, Node<E>>,
+            Arc<Node<E>>,
+        ),
+        EngineAbort<E>,
+    > {
         let mut prev_var = self.head.clone();
         let mut prev = tx.read(&prev_var)?;
         loop {
@@ -70,21 +89,33 @@ impl<B: TimeBase> IntSetList<B> {
     }
 
     /// Insert `key`; returns `false` if it was already present.
-    pub fn insert(&self, h: &mut ThreadHandle<B>, key: i64) -> bool {
-        assert!(key > i64::MIN && key < i64::MAX, "sentinel keys are reserved");
+    pub fn insert(&self, h: &mut E::Handle, key: i64) -> bool {
+        assert!(
+            key > i64::MIN && key < i64::MAX,
+            "sentinel keys are reserved"
+        );
         h.atomically(|tx| {
             let (prev_var, prev, cur_var, cur) = self.locate(tx, key)?;
             if cur.key == key {
                 return Ok(false);
             }
-            let new_var = self.stm.new_tvar(Node { key, next: Some(cur_var) });
-            tx.write(&prev_var, Node { key: prev.key, next: Some(new_var) })?;
+            let new_var = self.engine.new_var(Node {
+                key,
+                next: Some(cur_var),
+            });
+            tx.write(
+                &prev_var,
+                Node {
+                    key: prev.key,
+                    next: Some(new_var),
+                },
+            )?;
             Ok(true)
         })
     }
 
     /// Remove `key`; returns `false` if it was absent.
-    pub fn remove(&self, h: &mut ThreadHandle<B>, key: i64) -> bool {
+    pub fn remove(&self, h: &mut E::Handle, key: i64) -> bool {
         h.atomically(|tx| {
             let (prev_var, prev, cur_var, cur) = self.locate(tx, key)?;
             if cur.key != key {
@@ -92,14 +123,26 @@ impl<B: TimeBase> IntSetList<B> {
             }
             // Open the victim for writing too: concurrent inserts *after*
             // `cur` would otherwise modify a node we just unlinked.
-            tx.write(&cur_var, Node { key: cur.key, next: cur.next.clone() })?;
-            tx.write(&prev_var, Node { key: prev.key, next: cur.next.clone() })?;
+            tx.write(
+                &cur_var,
+                Node {
+                    key: cur.key,
+                    next: cur.next.clone(),
+                },
+            )?;
+            tx.write(
+                &prev_var,
+                Node {
+                    key: prev.key,
+                    next: cur.next.clone(),
+                },
+            )?;
             Ok(true)
         })
     }
 
     /// Membership test (read-only transaction).
-    pub fn contains(&self, h: &mut ThreadHandle<B>, key: i64) -> bool {
+    pub fn contains(&self, h: &mut E::Handle, key: i64) -> bool {
         h.atomically(|tx| {
             let (_, _, _, cur) = self.locate(tx, key)?;
             Ok(cur.key == key)
@@ -107,7 +150,7 @@ impl<B: TimeBase> IntSetList<B> {
     }
 
     /// Number of keys (read-only full traversal).
-    pub fn len(&self, h: &mut ThreadHandle<B>) -> usize {
+    pub fn len(&self, h: &mut E::Handle) -> usize {
         h.atomically(|tx| {
             let mut n = 0usize;
             let mut var = self.head.clone();
@@ -127,12 +170,12 @@ impl<B: TimeBase> IntSetList<B> {
     }
 
     /// Whether the set is empty.
-    pub fn is_empty(&self, h: &mut ThreadHandle<B>) -> bool {
+    pub fn is_empty(&self, h: &mut E::Handle) -> bool {
         self.len(h) == 0
     }
 
     /// Collect all keys in order (read-only snapshot).
-    pub fn to_vec(&self, h: &mut ThreadHandle<B>) -> Vec<i64> {
+    pub fn to_vec(&self, h: &mut E::Handle) -> Vec<i64> {
         h.atomically(|tx| {
             let mut keys = Vec::new();
             let mut var = self.head.clone();
@@ -156,14 +199,15 @@ impl<B: TimeBase> IntSetList<B> {
 mod tests {
     use super::*;
     use crate::rng::FastRng;
+    use lsa_baseline::{Tl2Stm, ValidationMode, ValidationStm};
+    use lsa_stm::Stm;
     use lsa_time::counter::SharedCounter;
     use lsa_time::perfect::PerfectClock;
     use std::collections::BTreeSet;
 
-    #[test]
-    fn sequential_matches_btreeset() {
-        let set = IntSetList::new(Stm::new(SharedCounter::new()));
-        let mut h = set.stm().clone().register();
+    fn sequential_matches_reference<E: TxnEngine>(engine: E) {
+        let set = IntSetList::new(engine.clone());
+        let mut h = engine.register();
         let mut reference = BTreeSet::new();
         let mut rng = FastRng::new(77);
         for _ in 0..400 {
@@ -175,7 +219,22 @@ mod tests {
             }
         }
         assert_eq!(set.len(&mut h), reference.len());
-        assert_eq!(set.to_vec(&mut h), reference.iter().copied().collect::<Vec<_>>());
+        assert_eq!(
+            set.to_vec(&mut h),
+            reference.iter().copied().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn sequential_matches_btreeset() {
+        sequential_matches_reference(Stm::new(SharedCounter::new()));
+    }
+
+    #[test]
+    fn sequential_matches_btreeset_on_every_engine() {
+        sequential_matches_reference(Tl2Stm::new(SharedCounter::new()));
+        sequential_matches_reference(ValidationStm::new(ValidationMode::Always));
+        sequential_matches_reference(ValidationStm::new(ValidationMode::CommitCounter));
     }
 
     #[test]
@@ -185,7 +244,7 @@ mod tests {
             for t in 0..4 {
                 let set = &set;
                 s.spawn(move || {
-                    let mut h = set.stm().clone().register();
+                    let mut h = set.engine().register();
                     let mut rng = FastRng::new(t as u64 + 1);
                     for _ in 0..300 {
                         let key = rng.range(0, 40);
@@ -198,7 +257,7 @@ mod tests {
                 });
             }
         });
-        let mut h = set.stm().clone().register();
+        let mut h = set.engine().register();
         let keys = set.to_vec(&mut h);
         let mut sorted = keys.clone();
         sorted.sort_unstable();
@@ -213,15 +272,33 @@ mod tests {
             for t in 0..4i64 {
                 let set = &set;
                 s.spawn(move || {
-                    let mut h = set.stm().clone().register();
+                    let mut h = set.engine().register();
                     for k in 0..50 {
                         assert!(set.insert(&mut h, t * 1000 + k));
                     }
                 });
             }
         });
-        let mut h = set.stm().clone().register();
+        let mut h = set.engine().register();
         assert_eq!(set.len(&mut h), 200);
+    }
+
+    #[test]
+    fn concurrent_inserts_all_land_on_tl2() {
+        let set = IntSetList::new(Tl2Stm::new(SharedCounter::new()));
+        std::thread::scope(|s| {
+            for t in 0..4i64 {
+                let set = &set;
+                s.spawn(move || {
+                    let mut h = set.engine().register();
+                    for k in 0..40 {
+                        assert!(set.insert(&mut h, t * 1000 + k));
+                    }
+                });
+            }
+        });
+        let mut h = set.engine().register();
+        assert_eq!(set.len(&mut h), 160);
     }
 
     #[test]
@@ -229,14 +306,14 @@ mod tests {
         // The remove() write to the victim node forces conflicts with
         // inserts that would otherwise link behind an unlinked node.
         let set = IntSetList::new(Stm::new(PerfectClock::new()));
-        let mut h = set.stm().clone().register();
+        let mut h = set.engine().register();
         for k in [10, 20, 30] {
             set.insert(&mut h, k);
         }
         std::thread::scope(|s| {
             let set_a = &set;
             s.spawn(move || {
-                let mut h = set_a.stm().clone().register();
+                let mut h = set_a.engine().register();
                 for _ in 0..200 {
                     set_a.remove(&mut h, 20);
                     set_a.insert(&mut h, 20);
@@ -244,7 +321,7 @@ mod tests {
             });
             let set_b = &set;
             s.spawn(move || {
-                let mut h = set_b.stm().clone().register();
+                let mut h = set_b.engine().register();
                 for _ in 0..200 {
                     set_b.insert(&mut h, 25);
                     set_b.remove(&mut h, 25);

@@ -10,6 +10,10 @@
 //! * [`skiplist`] — skip-list set: O(log n) traversals, medium read sets,
 //! * [`hashset`] — bucketed hash set: short transactions, tunable contention,
 //! * [`rng`] — cheap deterministic randomness for workload threads.
+//!
+//! Every workload is generic over its engine ([`lsa_engine::TxnEngine`]):
+//! the same code runs on LSA-RT, TL2 and the validation STM, which is what
+//! lets the harness sweep the full workload × engine × time-base matrix.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -21,7 +25,7 @@ pub mod intset_list;
 pub mod rng;
 pub mod skiplist;
 
-pub use bank::{BankConfig, BankWorkload, BankWorker};
+pub use bank::{BankConfig, BankWorker, BankWorkload};
 pub use disjoint::{DisjointConfig, DisjointWorker, DisjointWorkload};
 pub use hashset::HashSetT;
 pub use intset_list::IntSetList;

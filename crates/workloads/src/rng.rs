@@ -13,7 +13,11 @@ pub struct FastRng(u64);
 impl FastRng {
     /// Seeded generator. A zero seed is mapped to a fixed non-zero value.
     pub fn new(seed: u64) -> Self {
-        FastRng(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed })
+        FastRng(if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        })
     }
 
     /// Next raw 64-bit value.

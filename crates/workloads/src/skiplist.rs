@@ -5,52 +5,64 @@
 //! sets and conflicts concentrate on the upper levels. Deterministic tower
 //! heights (drawn from a seeded RNG at insert time) keep runs reproducible.
 //!
-//! Each node's forward pointers live in a single [`TVar`] holding an
+//! Each node's forward pointers live in a single engine var holding an
 //! immutable `Tower` (a small vector of successor links); updates replace
 //! whole towers functionally, which keeps concurrent snapshot readers on
 //! consistent versions — the same pattern as the linked list, generalized to
-//! multiple levels.
+//! multiple levels. Generic over the [`TxnEngine`] like every workload here.
 
 use crate::rng::FastRng;
-use lsa_stm::{Stm, TVar, ThreadHandle, TxResult, Txn};
-use lsa_time::{TimeBase, Timestamp};
+use lsa_engine::{EngineAbort, EngineHandle, EngineVar, TxnEngine, TxnOps};
 use std::sync::Arc;
 
 /// Maximum tower height (enough for millions of keys at p = 1/2).
 pub const MAX_LEVEL: usize = 16;
 
 /// A node's payload: its key plus one successor link per level.
-#[derive(Clone)]
-pub struct Tower<Ts: Timestamp> {
+pub struct Tower<E: TxnEngine> {
     key: i64,
     /// `next[l]` is the successor at level `l`; `None` = list end.
-    next: Vec<Option<NodeRef<Ts>>>,
+    next: Vec<Option<NodeRef<E>>>,
 }
 
-type NodeRef<Ts> = Arc<SkipNode<Ts>>;
+impl<E: TxnEngine> Clone for Tower<E> {
+    fn clone(&self) -> Self {
+        Tower {
+            key: self.key,
+            next: self.next.clone(),
+        }
+    }
+}
+
+type NodeRef<E> = Arc<SkipNode<E>>;
 
 /// A skip-list node: an immutable identity wrapping the transactional tower.
-pub struct SkipNode<Ts: Timestamp> {
-    tower: TVar<Tower<Ts>, Ts>,
+pub struct SkipNode<E: TxnEngine> {
+    tower: EngineVar<E, Tower<E>>,
 }
 
 /// A sorted skip-list set of `i64` keys with transactional operations.
-pub struct SkipListSet<B: TimeBase> {
-    stm: Stm<B>,
-    head: NodeRef<B::Ts>,
+pub struct SkipListSet<E: TxnEngine> {
+    engine: E,
+    head: NodeRef<E>,
 }
 
-impl<B: TimeBase> SkipListSet<B> {
-    /// Empty set on `stm`.
-    pub fn new(stm: Stm<B>) -> Self {
-        let head_tower = Tower { key: i64::MIN, next: vec![None; MAX_LEVEL] };
-        let head = Arc::new(SkipNode { tower: stm.new_tvar(head_tower) });
-        SkipListSet { stm, head }
+impl<E: TxnEngine> SkipListSet<E> {
+    /// Empty set on `engine`.
+    pub fn new(engine: E) -> Self {
+        let head_tower = Tower {
+            key: i64::MIN,
+            next: vec![None; MAX_LEVEL],
+        };
+        let head = Arc::new(SkipNode {
+            tower: engine.new_var(head_tower),
+        });
+        SkipListSet { engine, head }
     }
 
-    /// The underlying runtime.
-    pub fn stm(&self) -> &Stm<B> {
-        &self.stm
+    /// The underlying engine.
+    pub fn engine(&self) -> &E {
+        &self.engine
     }
 
     /// Deterministic tower height for the `n`-th insert of a given seed
@@ -66,22 +78,20 @@ impl<B: TimeBase> SkipListSet<B> {
     /// Find, per level, the last node with `key < target` (the update path).
     /// Returns `(preds, preds_towers, successor_at_level_0)`.
     #[allow(clippy::type_complexity)]
-    fn find_preds(
+    fn find_preds<O: TxnOps<Engine = E>>(
         &self,
-        tx: &mut Txn<'_, B>,
+        tx: &mut O,
         target: i64,
-    ) -> TxResult<(
-        Vec<NodeRef<B::Ts>>,
-        Vec<Arc<Tower<B::Ts>>>,
-        Option<NodeRef<B::Ts>>,
-    )> {
-        let mut preds: Vec<NodeRef<B::Ts>> = Vec::with_capacity(MAX_LEVEL);
-        let mut towers: Vec<Arc<Tower<B::Ts>>> = Vec::with_capacity(MAX_LEVEL);
+    ) -> Result<(Vec<NodeRef<E>>, Vec<Arc<Tower<E>>>, Option<NodeRef<E>>), EngineAbort<E>> {
+        let mut preds: Vec<NodeRef<E>> = Vec::with_capacity(MAX_LEVEL);
+        let mut towers: Vec<Arc<Tower<E>>> = Vec::with_capacity(MAX_LEVEL);
         let mut node = Arc::clone(&self.head);
         let mut tower = tx.read(&node.tower)?;
         for level in (0..MAX_LEVEL).rev() {
             loop {
-                let Some(next) = tower.next[level].clone() else { break };
+                let Some(next) = tower.next[level].clone() else {
+                    break;
+                };
                 let next_tower = tx.read(&next.tower)?;
                 if next_tower.key < target {
                     node = next;
@@ -101,7 +111,7 @@ impl<B: TimeBase> SkipListSet<B> {
 
     /// Insert `key`; returns `false` if already present. `rng` drives the
     /// tower height (pass a per-thread [`FastRng`]).
-    pub fn insert(&self, h: &mut ThreadHandle<B>, rng: &mut FastRng, key: i64) -> bool {
+    pub fn insert(&self, h: &mut E::Handle, rng: &mut FastRng, key: i64) -> bool {
         assert!(key > i64::MIN && key < i64::MAX, "sentinel keys reserved");
         let height = Self::height(rng);
         h.atomically(|tx| {
@@ -118,7 +128,7 @@ impl<B: TimeBase> SkipListSet<B> {
                 next[level] = towers[level].next[level].clone();
             }
             let new_node = Arc::new(SkipNode {
-                tower: self.stm.new_tvar(Tower { key, next }),
+                tower: self.engine.new_var(Tower { key, next }),
             });
             // Splice into every level it occupies (deduplicating writes when
             // one pred covers several levels).
@@ -133,7 +143,7 @@ impl<B: TimeBase> SkipListSet<B> {
     }
 
     /// Remove `key`; returns `false` if absent.
-    pub fn remove(&self, h: &mut ThreadHandle<B>, key: i64) -> bool {
+    pub fn remove(&self, h: &mut E::Handle, key: i64) -> bool {
         h.atomically(|tx| {
             let (preds, _towers, succ) = self.find_preds(tx, key)?;
             let Some(victim) = succ else { return Ok(false) };
@@ -159,7 +169,7 @@ impl<B: TimeBase> SkipListSet<B> {
     }
 
     /// Membership test (read-only transaction).
-    pub fn contains(&self, h: &mut ThreadHandle<B>, key: i64) -> bool {
+    pub fn contains(&self, h: &mut E::Handle, key: i64) -> bool {
         h.atomically(|tx| {
             let (_, _, succ) = self.find_preds(tx, key)?;
             match succ {
@@ -170,7 +180,7 @@ impl<B: TimeBase> SkipListSet<B> {
     }
 
     /// All keys in ascending order (one read-only snapshot).
-    pub fn to_vec(&self, h: &mut ThreadHandle<B>) -> Vec<i64> {
+    pub fn to_vec(&self, h: &mut E::Handle) -> Vec<i64> {
         h.atomically(|tx| {
             let mut keys = Vec::new();
             let mut cursor = tx.read(&self.head.tower)?.next[0].clone();
@@ -184,12 +194,12 @@ impl<B: TimeBase> SkipListSet<B> {
     }
 
     /// Number of keys (read-only snapshot).
-    pub fn len(&self, h: &mut ThreadHandle<B>) -> usize {
+    pub fn len(&self, h: &mut E::Handle) -> usize {
         self.to_vec(h).len()
     }
 
     /// Whether the set is empty.
-    pub fn is_empty(&self, h: &mut ThreadHandle<B>) -> bool {
+    pub fn is_empty(&self, h: &mut E::Handle) -> bool {
         self.len(h) == 0
     }
 }
@@ -197,14 +207,15 @@ impl<B: TimeBase> SkipListSet<B> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lsa_baseline::{Tl2Stm, ValidationMode, ValidationStm};
+    use lsa_stm::Stm;
     use lsa_time::counter::SharedCounter;
     use lsa_time::perfect::PerfectClock;
     use std::collections::BTreeSet;
 
-    #[test]
-    fn sequential_matches_btreeset() {
-        let set = SkipListSet::new(Stm::new(SharedCounter::new()));
-        let mut h = set.stm().clone().register();
+    fn sequential_matches_reference<E: TxnEngine>(engine: E) {
+        let set = SkipListSet::new(engine.clone());
+        let mut h = engine.register();
         let mut rng = FastRng::new(99);
         let mut height_rng = FastRng::new(7);
         let mut reference = BTreeSet::new();
@@ -219,7 +230,21 @@ mod tests {
                 _ => assert_eq!(set.contains(&mut h, key), reference.contains(&key)),
             }
         }
-        assert_eq!(set.to_vec(&mut h), reference.iter().copied().collect::<Vec<_>>());
+        assert_eq!(
+            set.to_vec(&mut h),
+            reference.iter().copied().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn sequential_matches_btreeset() {
+        sequential_matches_reference(Stm::new(SharedCounter::new()));
+    }
+
+    #[test]
+    fn sequential_matches_btreeset_on_every_engine() {
+        sequential_matches_reference(Tl2Stm::new(SharedCounter::new()));
+        sequential_matches_reference(ValidationStm::new(ValidationMode::CommitCounter));
     }
 
     #[test]
@@ -229,7 +254,7 @@ mod tests {
             for t in 0..4 {
                 let set = &set;
                 s.spawn(move || {
-                    let mut h = set.stm().clone().register();
+                    let mut h = set.engine().register();
                     let mut rng = FastRng::new(t as u64 + 1);
                     let mut hr = FastRng::new(t as u64 + 100);
                     for _ in 0..250 {
@@ -243,7 +268,7 @@ mod tests {
                 });
             }
         });
-        let mut h = set.stm().clone().register();
+        let mut h = set.engine().register();
         let keys = set.to_vec(&mut h);
         let mut sorted = keys.clone();
         sorted.sort_unstable();
@@ -262,7 +287,7 @@ mod tests {
             for t in 0..4i64 {
                 let set = &set;
                 s.spawn(move || {
-                    let mut h = set.stm().clone().register();
+                    let mut h = set.engine().register();
                     let mut hr = FastRng::new(t as u64 + 5);
                     for k in 0..60 {
                         assert!(set.insert(&mut h, &mut hr, t * 1000 + k));
@@ -270,7 +295,7 @@ mod tests {
                 });
             }
         });
-        let mut h = set.stm().clone().register();
+        let mut h = set.engine().register();
         assert_eq!(set.len(&mut h), 240);
     }
 
@@ -278,7 +303,7 @@ mod tests {
     fn towers_never_exceed_max_level() {
         let mut rng = FastRng::new(1);
         for _ in 0..10_000 {
-            let h = SkipListSet::<SharedCounter>::height(&mut rng);
+            let h = SkipListSet::<Stm<SharedCounter>>::height(&mut rng);
             assert!((1..=MAX_LEVEL).contains(&h));
         }
     }
@@ -286,7 +311,7 @@ mod tests {
     #[test]
     fn remove_then_insert_same_key_roundtrips() {
         let set = SkipListSet::new(Stm::new(SharedCounter::new()));
-        let mut h = set.stm().clone().register();
+        let mut h = set.engine().register();
         let mut hr = FastRng::new(3);
         assert!(set.insert(&mut h, &mut hr, 42));
         assert!(set.remove(&mut h, 42));

@@ -18,15 +18,26 @@ use std::time::Duration;
 
 fn main() {
     // 1. What dev can software synchronization achieve?
-    let sim = SyncSimConfig { nodes: 8, max_drift_ppm: 50.0, ..Default::default() };
+    let sim = SyncSimConfig {
+        nodes: 8,
+        max_drift_ppm: 50.0,
+        ..Default::default()
+    };
     let dev_ns = achievable_dev(&sim);
-    println!("software sync simulation says dev = {} us is achievable", dev_ns / 1_000);
+    println!(
+        "software sync simulation says dev = {} us is achievable",
+        dev_ns / 1_000
+    );
 
     // 2-3. Build the ensemble and measure it like Figure 1.
     let tb = ExternalClock::with_policy(dev_ns, OffsetPolicy::Alternating);
     let rounds = measure(
         &tb,
-        &SyncMeasureConfig { probes: 2, rounds: 10, round_interval: Duration::from_millis(2) },
+        &SyncMeasureConfig {
+            probes: 2,
+            rounds: 10,
+            round_interval: Duration::from_millis(2),
+        },
     );
     let s = summarize(&rounds);
     println!(

@@ -13,7 +13,7 @@ use std::time::Instant;
 
 fn list_run(cm_label: &str, stm: Stm<PerfectClock>) {
     let set = IntSetList::new(stm);
-    let mut h = set.stm().clone().register();
+    let mut h = set.engine().register();
     for k in (0..128).step_by(2) {
         set.insert(&mut h, k);
     }
@@ -23,7 +23,7 @@ fn list_run(cm_label: &str, stm: Stm<PerfectClock>) {
             .map(|t| {
                 let set = &set;
                 s.spawn(move || {
-                    let mut h = set.stm().clone().register();
+                    let mut h = set.engine().register();
                     let mut rng = FastRng::new(t as u64 + 42);
                     let ops = 2_000;
                     for _ in 0..ops {
@@ -51,7 +51,10 @@ fn list_run(cm_label: &str, stm: Stm<PerfectClock>) {
     });
     let elapsed = start.elapsed();
     let keys = set.to_vec(&mut h);
-    assert!(keys.windows(2).all(|w| w[0] < w[1]), "list stays sorted+unique");
+    assert!(
+        keys.windows(2).all(|w| w[0] < w[1]),
+        "list stays sorted+unique"
+    );
     println!(
         "{cm_label:>12}: {:>8.0} list-ops/s, {aborts} aborts, {} keys left",
         ops as f64 / elapsed.as_secs_f64(),
@@ -66,10 +69,17 @@ fn main() {
         "aggressive",
         Stm::with_cm(PerfectClock::new(), StmConfig::default(), Aggressive),
     );
-    list_run("karma", Stm::with_cm(PerfectClock::new(), StmConfig::default(), Karma));
+    list_run(
+        "karma",
+        Stm::with_cm(PerfectClock::new(), StmConfig::default(), Karma),
+    );
     list_run(
         "timestamp",
-        Stm::with_cm(PerfectClock::new(), StmConfig::default(), TimestampCm::default()),
+        Stm::with_cm(
+            PerfectClock::new(),
+            StmConfig::default(),
+            TimestampCm::default(),
+        ),
     );
 
     println!("\nhash set (64 buckets), 4 threads:");
@@ -79,7 +89,7 @@ fn main() {
         for t in 0..4i64 {
             let set = &set;
             s.spawn(move || {
-                let mut h = set.stm().clone().register();
+                let mut h = set.engine().register();
                 let mut rng = FastRng::new(t as u64 + 7);
                 for _ in 0..10_000 {
                     let key = rng.range(0, 4_096);
@@ -92,7 +102,7 @@ fn main() {
             });
         }
     });
-    let mut h = set.stm().clone().register();
+    let mut h = set.engine().register();
     println!(
         "   {:>9.0} hash-ops/s, {} keys in the set",
         40_000.0 / start.elapsed().as_secs_f64(),

@@ -59,13 +59,20 @@ fn main() {
                     }
                     Ok(sum)
                 });
-                assert_eq!(total, ACCOUNTS as i64 * INITIAL, "audit {i} saw a torn state!");
+                assert_eq!(
+                    total,
+                    ACCOUNTS as i64 * INITIAL,
+                    "audit {i} saw a torn state!"
+                );
             }
             println!("auditor: 2000 consistent snapshots, {}", thread.stats());
         });
     });
 
     let total: i64 = accounts.iter().map(|a| *a.snapshot_latest()).sum();
-    println!("final total: {total} (expected {})", ACCOUNTS as i64 * INITIAL);
+    println!(
+        "final total: {total} (expected {})",
+        ACCOUNTS as i64 * INITIAL
+    );
     assert_eq!(total, ACCOUNTS as i64 * INITIAL);
 }

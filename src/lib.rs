@@ -9,6 +9,9 @@
 //!
 //! This facade crate re-exports the whole workspace:
 //!
+//! * [`engine`] ([`lsa_engine`]) — the [`TxnEngine`](lsa_engine::TxnEngine)
+//!   trait family: one abstraction over every STM engine here, so workloads
+//!   and experiments run on any engine × time-base combination,
 //! * [`time`] ([`lsa_time`]) — timestamp algebra (Alg. 1/4/5) and every time
 //!   base: shared counter, TL2 counter, perfect clock, simulated MMTimer,
 //!   externally synchronized clocks, ccNUMA-modeled counter, plus the
@@ -17,11 +20,12 @@
 //!   objects, visible writes, lazy snapshot extension, two-phase commit with
 //!   helping, pluggable contention managers,
 //! * [`baseline`] ([`lsa_baseline`]) — TL2-style and validation-based
-//!   comparator STMs (§1.2),
+//!   comparator STMs (§1.2), engines behind the same `TxnEngine` surface,
 //! * [`workloads`] ([`lsa_workloads`]) — the §4.2 disjoint-update workload,
-//!   bank, linked-list/hash-set structures,
-//! * [`harness`] ([`lsa_harness`]) — figure-regenerating experiment binaries
-//!   and the Altix discrete-event model.
+//!   bank, linked-list/skip-list/hash-set structures — all engine-generic,
+//! * [`harness`] ([`lsa_harness`]) — figure-regenerating experiment binaries,
+//!   the engine registry driving the `matrix` sweep, and the Altix
+//!   discrete-event model.
 //!
 //! ## Quick start
 //!
@@ -44,13 +48,23 @@
 #![deny(unsafe_code)]
 
 pub use lsa_baseline as baseline;
+pub use lsa_engine as engine;
 pub use lsa_harness as harness;
 pub use lsa_stm as stm;
 pub use lsa_time as time;
 pub use lsa_workloads as workloads;
 
 /// One-stop imports for applications.
+///
+/// Includes the engine-abstraction traits ([`TxnEngine`](lsa_engine::TxnEngine),
+/// [`EngineHandle`](lsa_engine::EngineHandle), [`TxnOps`](lsa_engine::TxnOps))
+/// so engine-generic code works out of the box. Engine-native inherent
+/// methods keep taking precedence over the identically named trait methods,
+/// so engine-specific code is unaffected.
 pub mod prelude {
+    pub use lsa_engine::{
+        EngineAbort, EngineHandle, EngineResult, EngineStats, EngineVar, TxnEngine, TxnOps,
+    };
     pub use lsa_stm::prelude::*;
     pub use lsa_time::prelude::*;
 }

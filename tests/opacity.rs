@@ -51,7 +51,12 @@ fn run_and_check<B: TimeBase<Ts = u64>>(tb: B, threads: usize, increments: usize
                         Ok((read, read + 1))
                     });
                     let ct = h.last_commit_time().expect("update txn has a CT");
-                    local.push(Record { ct, object, read, wrote });
+                    local.push(Record {
+                        ct,
+                        object,
+                        read,
+                        wrote,
+                    });
                 }
                 log.lock().unwrap().extend(local);
             });
@@ -65,7 +70,7 @@ fn run_and_check<B: TimeBase<Ts = u64>>(tb: B, threads: usize, increments: usize
     // matches the previous write — the committed history equals the
     // sequential history in commit-time order.
     log.sort_by_key(|r| (r.object, r.ct));
-    for object in 0..OBJECTS {
+    for (object, var) in vars.iter().enumerate() {
         let mut expected = 0u64;
         let mut last_ct = 0u64;
         for r in log.iter().filter(|r| r.object == object) {
@@ -85,7 +90,7 @@ fn run_and_check<B: TimeBase<Ts = u64>>(tb: B, threads: usize, increments: usize
             assert_eq!(r.wrote, r.read + 1);
             expected = r.wrote;
         }
-        assert_eq!(*vars[object].snapshot_latest(), expected);
+        assert_eq!(*var.snapshot_latest(), expected);
     }
 }
 
@@ -149,7 +154,7 @@ fn committed_history_is_serializable_external_clock() {
     // instead (read value defines the position), then verify commit times
     // respect the guaranteed order along each chain.
     log.sort_by_key(|&(_, object, read, _)| (object, read));
-    for object in 0..OBJECTS {
+    for (object, var) in vars.iter().enumerate() {
         let entries: Vec<_> = log.iter().filter(|e| e.1 == object).collect();
         for (i, e) in entries.iter().enumerate() {
             assert_eq!(e.2, i as u64, "value chain must be gapless");
@@ -162,6 +167,6 @@ fn committed_history_is_serializable_external_clock() {
                 "later chain position must not be guaranteed-earlier: {ct_a:?} vs {ct_b:?}"
             );
         }
-        assert_eq!(*vars[object].snapshot_latest(), entries.len() as u64);
+        assert_eq!(*var.snapshot_latest(), entries.len() as u64);
     }
 }
