@@ -5,6 +5,7 @@
 //! cross-engine matrix the paper's §1.2 survey motivates. The impls are thin
 //! delegations to the engines' native APIs.
 
+use crate::norec::{NorecAbort, NorecStm, NorecThread, NorecTxn, NorecVar};
 use crate::stats::BaselineStats;
 use crate::tl2::{Tl2Abort, Tl2Result, Tl2Stm, Tl2Thread, Tl2Txn, Tl2Var};
 use crate::validation::{ValAbort, ValThread, ValTxn, ValVar, ValidationMode, ValidationStm};
@@ -20,6 +21,8 @@ fn to_engine_stats(s: &BaselineStats) -> EngineStats {
         retries: s.retries,
         reads: s.reads,
         writes: s.writes,
+        validations: s.validations,
+        revalidation_failures: s.revalidation_failures,
     }
 }
 
@@ -164,6 +167,77 @@ impl TxnOps for ValTxn<'_> {
     }
 }
 
+// --- NOrec ---
+
+impl TxnEngine for NorecStm {
+    type Abort = NorecAbort;
+    type Var<T: Send + Sync + 'static> = NorecVar<T>;
+    type Handle = NorecThread;
+
+    fn new_var<T: Send + Sync + 'static>(&self, value: T) -> NorecVar<T> {
+        NorecStm::new_var(self, value)
+    }
+
+    fn register(&self) -> NorecThread {
+        NorecStm::register(self)
+    }
+
+    fn engine_name(&self) -> String {
+        "norec(seqlock)".into()
+    }
+
+    fn peek<T: Send + Sync + 'static>(var: &NorecVar<T>) -> Arc<T> {
+        var.snapshot_latest()
+    }
+}
+
+impl EngineHandle for NorecThread {
+    type Engine = NorecStm;
+    type Txn<'t>
+        = NorecTxn<'t>
+    where
+        Self: 't;
+
+    fn atomically<R, F>(&mut self, body: F) -> R
+    where
+        F: for<'t> FnMut(&mut NorecTxn<'t>) -> EngineResult<R, NorecStm>,
+    {
+        NorecThread::atomically(self, body)
+    }
+
+    fn engine_stats(&self) -> EngineStats {
+        to_engine_stats(self.stats())
+    }
+
+    fn take_engine_stats(&mut self) -> EngineStats {
+        to_engine_stats(&self.take_stats())
+    }
+}
+
+impl TxnOps for NorecTxn<'_> {
+    type Engine = NorecStm;
+
+    fn read<T: Send + Sync + 'static>(&mut self, var: &NorecVar<T>) -> Result<Arc<T>, NorecAbort> {
+        NorecTxn::read(self, var)
+    }
+
+    fn write<T: Send + Sync + 'static>(
+        &mut self,
+        var: &NorecVar<T>,
+        value: T,
+    ) -> Result<(), NorecAbort> {
+        NorecTxn::write(self, var, value)
+    }
+
+    fn modify<T: Send + Sync + 'static>(
+        &mut self,
+        var: &NorecVar<T>,
+        f: impl FnOnce(&T) -> T,
+    ) -> Result<(), NorecAbort> {
+        NorecTxn::modify(self, var, f)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +265,34 @@ mod tests {
         assert_eq!(stm.engine_name(), "tl2(shared-counter)");
         let stm = Tl2Stm::new(HardwareClock::mmtimer_free());
         assert_eq!(generic_transfer(&stm), (70, 30));
+    }
+
+    #[test]
+    fn norec_is_a_txn_engine() {
+        let stm = NorecStm::new();
+        assert_eq!(generic_transfer(&stm), (70, 30));
+        assert_eq!(stm.engine_name(), "norec(seqlock)");
+        // Value-validation cost is visible on the shared stats surface: a
+        // fresh read after the writer's commit revalidates `v` and fails.
+        let v = stm.new_var(0u64);
+        let v2 = stm.new_var(0u64);
+        let mut h = TxnEngine::register(&stm);
+        let mut w = TxnEngine::register(&stm);
+        let mut first = true;
+        h.atomically(|tx| {
+            tx.read(&v)?;
+            if first {
+                first = false;
+                w.atomically(|tx2| tx2.modify(&v, |x| x + 1));
+            }
+            tx.read(&v2)
+        });
+        let s = h.engine_stats();
+        assert!(s.validations >= 1, "clock movement must trigger validation");
+        assert!(
+            s.revalidation_failures >= 1,
+            "overwritten read must fail it"
+        );
     }
 
     #[test]

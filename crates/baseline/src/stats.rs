@@ -21,6 +21,8 @@ pub struct BaselineStats {
     /// "validation overhead grows linearly with the number of objects a
     /// transaction has read so far" made measurable.
     pub validated_entries: u64,
+    /// Validations that failed and doomed the attempt.
+    pub revalidation_failures: u64,
 }
 
 impl BaselineStats {
@@ -44,6 +46,7 @@ impl BaselineStats {
         self.retries += other.retries;
         self.validations += other.validations;
         self.validated_entries += other.validated_entries;
+        self.revalidation_failures += other.revalidation_failures;
     }
 }
 

@@ -355,6 +355,8 @@ impl<B: TimeBase<Ts = u64>> Tl2Txn<'_, B> {
         // Validate the read set: still unlocked-by-others and not newer than
         // rv. (The TL2 fast path `wv == rv + 1` is counter-specific; we keep
         // the general path so all time bases behave uniformly.)
+        self.stats.validations += 1;
+        self.stats.validated_entries += self.reads.len() as u64;
         for r in &self.reads {
             let w = (r.sample)();
             // The version check applies to every read entry — including
@@ -367,6 +369,7 @@ impl<B: TimeBase<Ts = u64>> Tl2Txn<'_, B> {
                 for &(j, old) in &locked {
                     self.writes[j].revert(old);
                 }
+                self.stats.revalidation_failures += 1;
                 self.stats.record_abort();
                 return Err(Tl2Abort::Validation);
             }

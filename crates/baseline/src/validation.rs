@@ -218,7 +218,11 @@ impl ValTxn<'_> {
         self.validations += 1;
         self.stats.validations += 1;
         self.stats.validated_entries += self.reads.len() as u64;
-        self.reads.iter().all(|r| r.still_valid())
+        let ok = self.reads.iter().all(|r| r.still_valid());
+        if !ok {
+            self.stats.revalidation_failures += 1;
+        }
+        ok
     }
 
     /// Validate if the mode calls for it (on every access, or when the commit

@@ -1,92 +1,122 @@
-//! LSA-RT primitive-cost ablations: read-only vs update commits, extension
-//! cost, TL2 comparison, and the contention-manager hot path — the
-//! design-choice ablations DESIGN.md calls out.
+//! STM primitive-cost comparison across ALL engines, plus LSA-RT-specific
+//! ablations (extension and version-depth) — the design-choice ablations
+//! DESIGN.md calls out.
+//!
+//! The cross-engine groups use ONE generic criterion body per transaction
+//! shape, driven through the [`TxnEngine`] surface: adding an engine to the
+//! lists below (or a new shape) is one line, exactly like the harness
+//! registry — the first ROADMAP bench item ("engine-generic benches") done.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lsa_baseline::Tl2Stm;
-use lsa_bench::stm_with_vars;
+use lsa_baseline::{NorecStm, Tl2Stm, ValidationMode, ValidationStm};
+use lsa_engine::{EngineHandle, EngineVar, TxnEngine, TxnOps};
 use lsa_stm::{Stm, StmConfig};
 use lsa_time::counter::SharedCounter;
 use lsa_time::hardware::HardwareClock;
 
+/// Benchmark a read-only transaction over `n` variables on any engine.
+fn bench_read_only<E: TxnEngine>(
+    g: &mut criterion::BenchmarkGroup<'_>,
+    label: &str,
+    engine: &E,
+    n: usize,
+) {
+    let vars: Vec<EngineVar<E, u64>> = (0..n).map(|_| engine.new_var(0u64)).collect();
+    let mut h = engine.register();
+    g.bench_function(label, |b| {
+        b.iter(|| {
+            h.atomically(|tx| {
+                let mut s = 0u64;
+                for v in &vars {
+                    s += *tx.read(v)?;
+                }
+                Ok(s)
+            })
+        })
+    });
+}
+
+/// Benchmark an update transaction incrementing `n` variables on any engine.
+fn bench_update<E: TxnEngine>(
+    g: &mut criterion::BenchmarkGroup<'_>,
+    label: &str,
+    engine: &E,
+    n: usize,
+) {
+    let vars: Vec<EngineVar<E, u64>> = (0..n).map(|_| engine.new_var(0u64)).collect();
+    let mut h = engine.register();
+    g.bench_function(label, |b| {
+        b.iter(|| {
+            h.atomically(|tx| {
+                for v in &vars {
+                    tx.modify(v, |x| x + 1)?;
+                }
+                Ok(())
+            })
+        })
+    });
+}
+
 fn read_only_txn(c: &mut Criterion) {
     let mut g = c.benchmark_group("stm-ops/read-only-10");
-    let (stm, vars) = stm_with_vars(SharedCounter::new(), 10);
-    let mut h = stm.register();
-    g.bench_function("lsa-rt/counter", |b| {
-        b.iter(|| {
-            h.atomically(|tx| {
-                let mut s = 0u64;
-                for v in &vars {
-                    s += *tx.read(v)?;
-                }
-                Ok(s)
-            })
-        })
-    });
-    let (stm, vars) = stm_with_vars(HardwareClock::mmtimer_free(), 10);
-    let mut h = stm.register();
-    g.bench_function("lsa-rt/mmtimer-free", |b| {
-        b.iter(|| {
-            h.atomically(|tx| {
-                let mut s = 0u64;
-                for v in &vars {
-                    s += *tx.read(v)?;
-                }
-                Ok(s)
-            })
-        })
-    });
-    let tl2 = Tl2Stm::new(SharedCounter::new());
-    let tvars: Vec<_> = (0..10).map(|_| tl2.new_var(0u64)).collect();
-    let mut th = tl2.register();
-    g.bench_function("tl2/counter", |b| {
-        b.iter(|| {
-            th.atomically(|tx| {
-                let mut s = 0u64;
-                for v in &tvars {
-                    s += *tx.read(v)?;
-                }
-                Ok(s)
-            })
-        })
-    });
+    bench_read_only(
+        &mut g,
+        "lsa-rt/counter",
+        &Stm::new(SharedCounter::new()),
+        10,
+    );
+    bench_read_only(
+        &mut g,
+        "lsa-rt/mmtimer-free",
+        &Stm::new(HardwareClock::mmtimer_free()),
+        10,
+    );
+    bench_read_only(
+        &mut g,
+        "tl2/counter",
+        &Tl2Stm::new(SharedCounter::new()),
+        10,
+    );
+    bench_read_only(
+        &mut g,
+        "validation/always",
+        &ValidationStm::new(ValidationMode::Always),
+        10,
+    );
+    bench_read_only(
+        &mut g,
+        "validation/commit-counter",
+        &ValidationStm::new(ValidationMode::CommitCounter),
+        10,
+    );
+    bench_read_only(&mut g, "norec/seqlock", &NorecStm::new(), 10);
     g.finish();
 }
 
 fn update_txn(c: &mut Criterion) {
     let mut g = c.benchmark_group("stm-ops/update-4");
-    let (stm, vars) = stm_with_vars(SharedCounter::new(), 4);
-    let mut h = stm.register();
-    g.bench_function("lsa-rt/counter", |b| {
-        b.iter(|| {
-            h.atomically(|tx| {
-                for v in &vars {
-                    tx.modify(v, |x| x + 1)?;
-                }
-                Ok(())
-            })
-        })
-    });
-    let tl2 = Tl2Stm::new(SharedCounter::new());
-    let tvars: Vec<_> = (0..4).map(|_| tl2.new_var(0u64)).collect();
-    let mut th = tl2.register();
-    g.bench_function("tl2/counter", |b| {
-        b.iter(|| {
-            th.atomically(|tx| {
-                for v in &tvars {
-                    tx.modify(v, |x| x + 1)?;
-                }
-                Ok(())
-            })
-        })
-    });
+    bench_update(&mut g, "lsa-rt/counter", &Stm::new(SharedCounter::new()), 4);
+    bench_update(
+        &mut g,
+        "lsa-rt/mmtimer-free",
+        &Stm::new(HardwareClock::mmtimer_free()),
+        4,
+    );
+    bench_update(&mut g, "tl2/counter", &Tl2Stm::new(SharedCounter::new()), 4);
+    bench_update(
+        &mut g,
+        "validation/commit-counter",
+        &ValidationStm::new(ValidationMode::CommitCounter),
+        4,
+    );
+    bench_update(&mut g, "norec/seqlock", &NorecStm::new(), 4);
     g.finish();
 }
 
 fn extension_ablation(c: &mut Criterion) {
     // Extension cost grows with read-set size: measure an update transaction
     // that first reads n objects, forcing one extension at open-for-write.
+    // (LSA-RT-specific: extension is a native configuration knob.)
     let mut g = c.benchmark_group("stm-ops/extend");
     for &n in &[4usize, 32] {
         for (label, extend) in [("extend-on", true), ("extend-off", false)] {
@@ -115,7 +145,7 @@ fn extension_ablation(c: &mut Criterion) {
 
 fn version_depth_ablation(c: &mut Criterion) {
     // Multi-version chains cost memory and fold work; measure update cost at
-    // different retained-version depths.
+    // different retained-version depths. (LSA-RT-specific.)
     let mut g = c.benchmark_group("stm-ops/version-depth");
     for &depth in &[1usize, 8, 32] {
         let stm = Stm::with_config(SharedCounter::new(), StmConfig::multi_version(depth));

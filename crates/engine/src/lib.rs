@@ -47,6 +47,8 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod conformance;
+
 use std::fmt;
 use std::sync::Arc;
 
@@ -168,6 +170,15 @@ pub struct EngineStats {
     pub reads: u64,
     /// Transactional object writes.
     pub writes: u64,
+    /// Full read-set (re)validations performed. For value-based engines
+    /// (NOrec, the validation STM) this is the dominant consistency cost;
+    /// for time-based engines it counts snapshot extensions / commit-time
+    /// read-set checks. Zero means consistency was established by
+    /// timestamps alone.
+    pub validations: u64,
+    /// Revalidations that failed and doomed the attempt — the conflicts the
+    /// validation work actually caught.
+    pub revalidation_failures: u64,
 }
 
 impl EngineStats {
@@ -186,6 +197,17 @@ impl EngineStats {
         }
     }
 
+    /// Full read-set validations per commit (0 when nothing committed) —
+    /// the value-validation cost metric the harness reports per engine.
+    pub fn validations_per_commit(&self) -> f64 {
+        let c = self.total_commits();
+        if c == 0 {
+            0.0
+        } else {
+            self.validations as f64 / c as f64
+        }
+    }
+
     /// Merge another thread's counters into this one.
     pub fn merge(&mut self, other: &EngineStats) {
         self.commits += other.commits;
@@ -194,6 +216,8 @@ impl EngineStats {
         self.retries += other.retries;
         self.reads += other.reads;
         self.writes += other.writes;
+        self.validations += other.validations;
+        self.revalidation_failures += other.revalidation_failures;
     }
 }
 
@@ -201,13 +225,16 @@ impl fmt::Display for EngineStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "commits={} (ro={}) aborts={} retries={} reads={} writes={}",
+            "commits={} (ro={}) aborts={} retries={} reads={} writes={} \
+             validations={} (failed={})",
             self.total_commits(),
             self.ro_commits,
             self.aborts,
             self.retries,
             self.reads,
-            self.writes
+            self.writes,
+            self.validations,
+            self.revalidation_failures
         )
     }
 }
@@ -227,13 +254,19 @@ mod tests {
             commits: 2,
             ro_commits: 4,
             aborts: 3,
+            validations: 6,
+            revalidation_failures: 2,
             ..Default::default()
         };
         a.merge(&b);
         assert_eq!(a.total_commits(), 8);
         assert_eq!(a.aborts, 4);
         assert_eq!(a.abort_ratio(), 0.5);
+        assert_eq!(a.validations, 6);
+        assert_eq!(a.revalidation_failures, 2);
+        assert_eq!(a.validations_per_commit(), 0.75);
         assert!(a.to_string().contains("commits=8"));
+        assert!(a.to_string().contains("validations=6 (failed=2)"));
     }
 
     #[test]
@@ -243,5 +276,6 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(s.abort_ratio(), 0.0);
+        assert_eq!(s.validations_per_commit(), 0.0);
     }
 }

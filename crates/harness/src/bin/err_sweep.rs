@@ -94,9 +94,8 @@ impl<B: lsa_time::TimeBase> lsa_harness::BenchWorker for StatsTap<'_, B> {
         self.inner.step();
     }
 
-    fn totals(&self) -> (u64, u64) {
-        let s = self.inner.stats();
-        (s.total_commits(), s.aborts)
+    fn worker_stats(&self) -> lsa_engine::EngineStats {
+        self.inner.stats()
     }
 }
 

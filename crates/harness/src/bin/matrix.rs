@@ -65,7 +65,14 @@ fn main() {
             "{} workload — throughput by engine and time base",
             workload.name()
         ),
-        &["engine", "time base", "tx/s", "aborts/commit"],
+        &[
+            "engine",
+            "time base",
+            "tx/s",
+            "aborts/commit",
+            "validations/commit",
+            "reval failures",
+        ],
     );
     for entry in &registry {
         let out = entry.run(&workload, threads, window);
@@ -74,6 +81,8 @@ fn main() {
             entry.time_base.to_string(),
             format!("{:.0}", out.tx_per_sec()),
             f3(out.abort_ratio()),
+            f3(out.stats.validations_per_commit()),
+            out.stats.revalidation_failures.to_string(),
         ]);
     }
     t.print();

@@ -98,8 +98,12 @@ fn main() {
         let counter2 = run_for(2, window, |i| wl.worker(i));
         c.check(
             "Real threads: disjoint workload commits without conflicts",
-            counter2.aborts == 0 && counter2.commits > 0,
-            format!("{} commits, {} aborts", counter2.commits, counter2.aborts),
+            counter2.aborts() == 0 && counter2.commits() > 0,
+            format!(
+                "{} commits, {} aborts",
+                counter2.commits(),
+                counter2.aborts()
+            ),
         );
     }
 

@@ -9,7 +9,7 @@
 //! the full sweep; tests and future experiments can filter the registry.
 
 use crate::runner::{run_for, RunOutcome};
-use lsa_baseline::{Tl2Stm, ValidationMode, ValidationStm};
+use lsa_baseline::{NorecStm, Tl2Stm, ValidationMode, ValidationStm};
 use lsa_engine::TxnEngine;
 use lsa_stm::{Stm, StmConfig};
 use lsa_time::counter::{SharedCounter, Tl2Counter};
@@ -67,7 +67,7 @@ pub fn run_workload<E: TxnEngine>(
             let out = run_for(threads, window, |i| wl.worker(i));
             assert_eq!(
                 wl.total(),
-                out.commits * cfg.accesses_per_tx as u64,
+                out.commits() * cfg.accesses_per_tx as u64,
                 "disjoint accounting broken on {}",
                 wl.engine().engine_name()
             );
@@ -86,6 +86,7 @@ pub struct EngineEntry {
     /// Time base (or mode for the validation engine), e.g. `"mmtimer-free"`.
     pub time_base: &'static str,
     run: EntryRunner,
+    conformance: Box<dyn Fn() + Send + Sync>,
 }
 
 impl EngineEntry {
@@ -96,10 +97,15 @@ impl EngineEntry {
         E: TxnEngine,
         F: Fn() -> E + Send + Sync + 'static,
     {
+        let factory = std::sync::Arc::new(factory);
+        let run_factory = std::sync::Arc::clone(&factory);
         EngineEntry {
             engine,
             time_base,
-            run: Box::new(move |wl, threads, window| run_workload(factory(), wl, threads, window)),
+            run: Box::new(move |wl, threads, window| {
+                run_workload(run_factory(), wl, threads, window)
+            }),
+            conformance: Box::new(move || lsa_engine::conformance::full_suite(&factory())),
         }
     }
 
@@ -112,11 +118,19 @@ impl EngineEntry {
     pub fn run(&self, workload: &Workload, threads: usize, window: Duration) -> RunOutcome {
         (self.run)(workload, threads, window)
     }
+
+    /// Run the engine-generic conformance suite
+    /// ([`lsa_engine::conformance::full_suite`]) on a freshly constructed
+    /// engine. Panics on any violation — every entry added to the registry
+    /// inherits the full correctness suite through this hook.
+    pub fn run_conformance(&self) {
+        (self.conformance)()
+    }
 }
 
-/// The default registry: LSA-RT, TL2 and the validation STM, each on every
-/// time base (or mode) it supports — the cross-engine design-space matrix of
-/// the paper's §1.2.
+/// The default registry: LSA-RT, TL2, the validation STM and NOrec, each on
+/// every time base (or mode) it supports — the cross-engine design-space
+/// matrix of the paper's §1.2, value-based validation included.
 pub fn default_registry() -> Vec<EngineEntry> {
     vec![
         EngineEntry::new(
@@ -150,6 +164,7 @@ pub fn default_registry() -> Vec<EngineEntry> {
         EngineEntry::new("validation", "commit-counter", || {
             ValidationStm::new(ValidationMode::CommitCounter)
         }),
+        EngineEntry::new("norec", "seqlock", NorecStm::new),
     ]
 }
 
@@ -158,12 +173,16 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_spans_three_engines_and_multiple_time_bases() {
+    fn registry_spans_four_engines_and_multiple_time_bases() {
         let reg = default_registry();
         let engines: std::collections::BTreeSet<_> = reg.iter().map(|e| e.engine).collect();
         assert!(
-            engines.len() >= 3,
-            "need >= 3 engine families, got {engines:?}"
+            engines.len() >= 4,
+            "need >= 4 engine families, got {engines:?}"
+        );
+        assert!(
+            engines.contains("norec"),
+            "value-validation engine missing from the registry"
         );
         let lsa_bases = reg.iter().filter(|e| e.engine == "lsa-rt").count();
         let tl2_bases = reg.iter().filter(|e| e.engine == "tl2").count();
@@ -183,7 +202,7 @@ mod tests {
         for entry in default_registry() {
             let out = entry.run(&wl, 2, Duration::from_millis(10));
             assert!(
-                out.commits > 0,
+                out.commits() > 0,
                 "{} committed nothing on the bank workload",
                 entry.label()
             );
@@ -198,8 +217,13 @@ mod tests {
         });
         for entry in default_registry() {
             let out = entry.run(&wl, 2, Duration::from_millis(5));
-            assert!(out.commits > 0, "{} committed nothing", entry.label());
-            assert_eq!(out.aborts, 0, "{} aborted on disjoint work", entry.label());
+            assert!(out.commits() > 0, "{} committed nothing", entry.label());
+            assert_eq!(
+                out.aborts(),
+                0,
+                "{} aborted on disjoint work",
+                entry.label()
+            );
         }
     }
 }

@@ -5,6 +5,7 @@
 //! duration, collect per-thread statistics. Workers are built *before* the
 //! barrier so allocation and registration never pollute the measured window.
 
+use lsa_engine::EngineStats;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
@@ -14,11 +15,12 @@ use std::time::{Duration, Instant};
 pub trait BenchWorker: Send {
     /// Execute one unit of work.
     fn step(&mut self);
-    /// `(commits, aborts)` accumulated so far.
-    fn totals(&self) -> (u64, u64);
+    /// Statistics accumulated so far, on the engine-shared surface.
+    fn worker_stats(&self) -> EngineStats;
 }
 
-/// Outcome of a timed run.
+/// Outcome of a timed run. Commit/abort totals are views over the single
+/// source of truth, the merged [`EngineStats`].
 #[derive(Clone, Copy, Debug)]
 pub struct RunOutcome {
     /// Worker thread count.
@@ -27,16 +29,24 @@ pub struct RunOutcome {
     pub elapsed: Duration,
     /// Total steps executed.
     pub steps: u64,
-    /// Total committed transactions.
-    pub commits: u64,
-    /// Total aborted attempts.
-    pub aborts: u64,
+    /// Full merged per-thread statistics (validation cost included).
+    pub stats: EngineStats,
 }
 
 impl RunOutcome {
+    /// Total committed transactions (update + read-only).
+    pub fn commits(&self) -> u64 {
+        self.stats.total_commits()
+    }
+
+    /// Total aborted attempts.
+    pub fn aborts(&self) -> u64 {
+        self.stats.aborts
+    }
+
     /// Committed transactions per second.
     pub fn tx_per_sec(&self) -> f64 {
-        self.commits as f64 / self.elapsed.as_secs_f64()
+        self.commits() as f64 / self.elapsed.as_secs_f64()
     }
 
     /// Committed transactions per second, in millions (the paper's Figure 2
@@ -47,10 +57,10 @@ impl RunOutcome {
 
     /// Aborts per commit.
     pub fn abort_ratio(&self) -> f64 {
-        if self.commits == 0 {
+        if self.commits() == 0 {
             0.0
         } else {
-            self.aborts as f64 / self.commits as f64
+            self.aborts() as f64 / self.commits() as f64
         }
     }
 }
@@ -78,8 +88,7 @@ where
                         worker.step();
                         steps += 1;
                     }
-                    let (commits, aborts) = worker.totals();
-                    (steps, commits, aborts)
+                    (steps, worker.worker_stats())
                 })
             })
             .collect();
@@ -94,17 +103,19 @@ where
         (start.elapsed(), results)
     });
 
+    aggregate(threads, elapsed, per_thread)
+}
+
+fn aggregate(threads: usize, elapsed: Duration, per_thread: Vec<(u64, EngineStats)>) -> RunOutcome {
     let mut outcome = RunOutcome {
         threads,
         elapsed,
         steps: 0,
-        commits: 0,
-        aborts: 0,
+        stats: EngineStats::default(),
     };
-    for (steps, commits, aborts) in per_thread {
+    for (steps, stats) in per_thread {
         outcome.steps += steps;
-        outcome.commits += commits;
-        outcome.aborts += aborts;
+        outcome.stats.merge(&stats);
     }
     outcome
 }
@@ -119,7 +130,7 @@ where
     assert!(threads >= 1);
     let barrier = Barrier::new(threads);
     let start = Instant::now();
-    let per_thread: Vec<(u64, u64, u64)> = std::thread::scope(|s| {
+    let per_thread: Vec<(u64, EngineStats)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|i| {
                 let barrier = &barrier;
@@ -129,8 +140,7 @@ where
                     for _ in 0..steps_per_thread {
                         worker.step();
                     }
-                    let (commits, aborts) = worker.totals();
-                    (steps_per_thread, commits, aborts)
+                    (steps_per_thread, worker.worker_stats())
                 })
             })
             .collect();
@@ -138,19 +148,7 @@ where
     });
     let elapsed = start.elapsed();
 
-    let mut outcome = RunOutcome {
-        threads,
-        elapsed,
-        steps: 0,
-        commits: 0,
-        aborts: 0,
-    };
-    for (steps, commits, aborts) in per_thread {
-        outcome.steps += steps;
-        outcome.commits += commits;
-        outcome.aborts += aborts;
-    }
-    outcome
+    aggregate(threads, elapsed, per_thread)
 }
 
 /// Duration knob shared by the figure binaries: `LSA_MEASURE_MS` overrides
@@ -172,9 +170,8 @@ impl<E: TxnEngine> BenchWorker for lsa_workloads::DisjointWorker<E> {
         lsa_workloads::DisjointWorker::step(self);
     }
 
-    fn totals(&self) -> (u64, u64) {
-        let s = self.stats();
-        (s.total_commits(), s.aborts)
+    fn worker_stats(&self) -> EngineStats {
+        self.stats()
     }
 }
 
@@ -183,9 +180,8 @@ impl<E: TxnEngine> BenchWorker for lsa_workloads::BankWorker<E> {
         lsa_workloads::BankWorker::step(self);
     }
 
-    fn totals(&self) -> (u64, u64) {
-        let s = self.stats();
-        (s.total_commits(), s.aborts)
+    fn worker_stats(&self) -> EngineStats {
+        self.stats()
     }
 }
 
@@ -208,8 +204,8 @@ mod tests {
         );
         let out = run_steps(2, 100, |i| wl.worker(i));
         assert_eq!(out.steps, 200);
-        assert_eq!(out.commits, 200);
-        assert_eq!(out.aborts, 0);
+        assert_eq!(out.commits(), 200);
+        assert_eq!(out.aborts(), 0);
         assert_eq!(wl.total(), 200 * 4);
     }
 
@@ -224,10 +220,10 @@ mod tests {
             },
         );
         let out = run_for(1, Duration::from_millis(30), |i| wl.worker(i));
-        assert!(out.commits > 0, "some transactions must commit in 30 ms");
+        assert!(out.commits() > 0, "some transactions must commit in 30 ms");
         assert!(out.elapsed >= Duration::from_millis(30));
         assert!(out.tx_per_sec() > 0.0);
-        assert_eq!(out.commits, out.steps, "no aborts in disjoint workload");
+        assert_eq!(out.commits(), out.steps, "no aborts in disjoint workload");
     }
 
     #[test]

@@ -24,6 +24,11 @@ fn to_engine_stats(s: &TxnStats) -> EngineStats {
         retries: s.retries,
         reads: s.reads,
         writes: s.writes,
+        // LSA-RT's equivalent of a read-set revalidation is a validity-range
+        // extension (Algorithm 3 lines 1–6); a commit-time validation that
+        // fails surfaces as a `Validation` abort.
+        validations: s.extensions,
+        revalidation_failures: s.aborts_for(crate::error::AbortReason::Validation),
     }
 }
 

@@ -1,13 +1,15 @@
 //! Cross-engine consistency through the `TxnEngine` abstraction: ONE generic
-//! schedule runs on LSA-RT, TL2 and the validation STM, and all engines must
-//! agree — single-threaded on exact final states, concurrently on the
-//! preserved invariants.
+//! schedule runs on LSA-RT, TL2, the validation STM and NOrec, and all
+//! engines must agree — single-threaded on exact final states, concurrently
+//! on the preserved invariants.
 //!
 //! Before the engine-abstraction refactor this file repeated the same
 //! transfer loop once per engine with engine-specific types; now each test is
-//! a single generic function plus one line per engine.
+//! a single generic function plus one line per engine. Engine names are
+//! printed as each schedule runs, so `cargo test --test cross_engine --
+//! --nocapture` shows exactly which engine a failure belongs to.
 
-use lsa_rt::baseline::{Tl2Stm, ValidationMode, ValidationStm};
+use lsa_rt::baseline::{NorecStm, Tl2Stm, ValidationMode, ValidationStm};
 use lsa_rt::prelude::*;
 use lsa_rt::time::counter::SharedCounter;
 use lsa_rt::workloads::FastRng;
@@ -17,6 +19,7 @@ const N: usize = 10;
 /// The deterministic transfer schedule, engine-generic: same seed, same
 /// transfer sequence on every engine. Returns the final balances.
 fn run_schedule<E: TxnEngine>(engine: &E, steps: usize) -> Vec<i64> {
+    println!("cross-engine schedule: {}", engine.engine_name());
     let vars: Vec<EngineVar<E, i64>> = (0..N).map(|_| engine.new_var(1_000i64)).collect();
     let mut h = engine.register();
     let mut rng = FastRng::new(4242);
@@ -46,6 +49,7 @@ fn single_threaded_engines_agree() {
     let tl2 = run_schedule(&Tl2Stm::new(SharedCounter::new()), STEPS);
     let val_always = run_schedule(&ValidationStm::new(ValidationMode::Always), STEPS);
     let val_cc = run_schedule(&ValidationStm::new(ValidationMode::CommitCounter), STEPS);
+    let norec = run_schedule(&NorecStm::new(), STEPS);
 
     assert_eq!(lsa, lsa_rt_clock, "LSA-RT diverged across time bases");
     assert_eq!(lsa, tl2, "LSA-RT and TL2 diverged");
@@ -54,6 +58,7 @@ fn single_threaded_engines_agree() {
         lsa, val_cc,
         "LSA-RT and validation(commit-counter) diverged"
     );
+    assert_eq!(lsa, norec, "LSA-RT and NOrec diverged");
     assert_eq!(lsa.iter().sum::<i64>(), N as i64 * 1_000);
 }
 
@@ -63,6 +68,10 @@ fn concurrent_invariant<E: TxnEngine>(engine: &E) {
     const THREADS: usize = 4;
     const STEPS: usize = 1_200;
 
+    println!(
+        "cross-engine concurrent invariant: {}",
+        engine.engine_name()
+    );
     let vars: Vec<EngineVar<E, i64>> = (0..ACCOUNTS).map(|_| engine.new_var(100i64)).collect();
     std::thread::scope(|s| {
         for t in 0..THREADS {
@@ -101,6 +110,7 @@ fn concurrent_engines_preserve_invariants() {
     concurrent_invariant(&Stm::new(SharedCounter::new()));
     concurrent_invariant(&Tl2Stm::new(SharedCounter::new()));
     concurrent_invariant(&ValidationStm::new(ValidationMode::CommitCounter));
+    concurrent_invariant(&NorecStm::new());
 }
 
 /// LSA-RT on every time base agrees with the sequential expectation when
@@ -146,4 +156,5 @@ fn all_time_bases_agree_on_disjoint_work() {
     // The same loop also runs unchanged on the other engine families.
     assert_eq!(run(Tl2Stm::new(SharedCounter::new())), 2_000);
     assert_eq!(run(ValidationStm::new(ValidationMode::Always)), 2_000);
+    assert_eq!(run(NorecStm::new()), 2_000);
 }

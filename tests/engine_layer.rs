@@ -3,7 +3,7 @@
 //! the engine-generic statistics surface and the harness's `RunOutcome`
 //! totals.
 
-use lsa_rt::baseline::{Tl2Stm, ValidationMode, ValidationStm};
+use lsa_rt::baseline::{NorecStm, Tl2Stm, ValidationMode, ValidationStm};
 use lsa_rt::harness::{run_steps, RunOutcome, Workload};
 use lsa_rt::prelude::*;
 use lsa_rt::time::counter::SharedCounter;
@@ -63,6 +63,11 @@ fn bank_audit_invariant_validation() {
     bank_audit_invariant(ValidationStm::new(ValidationMode::CommitCounter));
 }
 
+#[test]
+fn bank_audit_invariant_norec() {
+    bank_audit_invariant(NorecStm::new());
+}
+
 /// `EngineStats` (per-worker, engine-generic) must agree with the
 /// `RunOutcome` the harness aggregates, and with ground truth: on the
 /// disjoint workload every step is exactly one update commit.
@@ -82,11 +87,15 @@ fn stats_agree_with_run_outcome<E: TxnEngine>(engine: E) {
     let out: RunOutcome = run_steps(THREADS, STEPS, |i| wl.worker(i));
     let expected = THREADS as u64 * STEPS;
     assert_eq!(out.steps, expected, "{name}: steps miscounted");
-    assert_eq!(out.commits, expected, "{name}: RunOutcome commits != steps");
-    assert_eq!(out.aborts, 0, "{name}: disjoint work aborted");
+    assert_eq!(
+        out.commits(),
+        expected,
+        "{name}: RunOutcome commits != steps"
+    );
+    assert_eq!(out.aborts(), 0, "{name}: disjoint work aborted");
     assert_eq!(
         wl.total(),
-        out.commits * K as u64,
+        out.commits() * K as u64,
         "{name}: committed increments don't match RunOutcome commits"
     );
 
@@ -119,6 +128,7 @@ fn stats_agree_with_run_outcome_all_engines() {
     stats_agree_with_run_outcome(Stm::new(SharedCounter::new()));
     stats_agree_with_run_outcome(Tl2Stm::new(SharedCounter::new()));
     stats_agree_with_run_outcome(ValidationStm::new(ValidationMode::CommitCounter));
+    stats_agree_with_run_outcome(NorecStm::new());
 }
 
 /// The registry's engine-generic runner reports the same totals the
@@ -133,6 +143,6 @@ fn registry_outcomes_match_workload_accounting() {
     for entry in lsa_rt::harness::default_registry() {
         // run_workload itself asserts total == commits * k after the run.
         let out = entry.run(&wl, 2, Duration::from_millis(5));
-        assert!(out.commits > 0, "{} made no progress", entry.label());
+        assert!(out.commits() > 0, "{} made no progress", entry.label());
     }
 }

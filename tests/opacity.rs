@@ -1,15 +1,26 @@
 //! Offline serializability/opacity checking of committed histories.
 //!
-//! Every committed update transaction records `(commit_time, per-object:
-//! value-read, value-written)`. Afterwards the log is checked against the
-//! commit-time order the time base defines:
+//! Two layers:
 //!
-//! * per object, commit times are strictly increasing (no two conflicting
-//!   commits share a timestamp — §2.3 allows equal commit times only for
-//!   non-conflicting transactions);
-//! * per object, the value each transaction *read* equals the value the
-//!   previous committer (in commit-time order) *wrote* — i.e. the committed
-//!   history is exactly the sequential history at commit-time order.
+//! 1. **Engine-generic** (every engine in the harness registry, NOrec
+//!    included): the conformance suite of [`lsa_engine::conformance`] —
+//!    value-chain serializability, audit-snapshot consistency and the
+//!    differential models — runs per registry entry through its
+//!    `run_conformance` hook. Commit timestamps are engine-private, so the
+//!    generic check uses the per-object *value chain* as the witness of
+//!    commit order instead.
+//!
+//! 2. **LSA-specific**: every committed update transaction records
+//!    `(commit_time, per-object: value-read, value-written)`, and the log is
+//!    checked against the commit-time order the time base defines:
+//!
+//!    * per object, commit times are strictly increasing (no two conflicting
+//!      commits share a timestamp — §2.3 allows equal commit times only for
+//!      non-conflicting transactions);
+//!    * per object, the value each transaction *read* equals the value the
+//!      previous committer (in commit-time order) *wrote* — i.e. the
+//!      committed history is exactly the sequential history at commit-time
+//!      order.
 
 use lsa_rt::prelude::*;
 use lsa_rt::time::counter::SharedCounter;
@@ -91,6 +102,17 @@ fn run_and_check<B: TimeBase<Ts = u64>>(tb: B, threads: usize, increments: usize
             expected = r.wrote;
         }
         assert_eq!(*var.snapshot_latest(), expected);
+    }
+}
+
+/// The engine-generic conformance suite over EVERY engine in the registry —
+/// not just LSA-RT with hand-picked time bases. A new registry entry is
+/// covered automatically; run with `--nocapture` to see per-engine progress.
+#[test]
+fn conformance_suite_passes_on_every_registry_engine() {
+    for entry in lsa_rt::harness::default_registry() {
+        println!("conformance: {}", entry.label());
+        entry.run_conformance();
     }
 }
 
