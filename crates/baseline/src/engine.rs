@@ -23,6 +23,8 @@ fn to_engine_stats(s: &BaselineStats) -> EngineStats {
         writes: s.writes,
         validations: s.validations,
         revalidation_failures: s.revalidation_failures,
+        validated_entries: s.validated_entries,
+        shared_commit_ts: s.shared_cts,
     }
 }
 

@@ -23,6 +23,12 @@ pub struct BaselineStats {
     pub validated_entries: u64,
     /// Validations that failed and doomed the attempt.
     pub revalidation_failures: u64,
+    /// Commit timestamps adopted from a concurrent committer through the
+    /// time base's arbitration (TL2 engine on GV4/GV5/block bases).
+    pub shared_cts: u64,
+    /// Commits that skipped read-set validation because the arbitration
+    /// proved exclusivity (TL2's `wv == rv + 1` fast path).
+    pub fastpath_commits: u64,
 }
 
 impl BaselineStats {
@@ -47,6 +53,8 @@ impl BaselineStats {
         self.validations += other.validations;
         self.validated_entries += other.validated_entries;
         self.revalidation_failures += other.revalidation_failures;
+        self.shared_cts += other.shared_cts;
+        self.fastpath_commits += other.fastpath_commits;
     }
 }
 

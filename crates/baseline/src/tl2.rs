@@ -17,11 +17,23 @@
 //! * **read**: sample the object's versioned lock, read the payload, resample
 //!   — retry on a concurrent writer, abort if the version is newer than `rv`.
 //! * **commit** (writers): lock the write set (bounded spinning, abort on
-//!   timeout — deadlock avoidance), `wv ← getNewTS()`, validate the read set,
-//!   publish payloads, release locks stamping version `wv`.
+//!   timeout — deadlock avoidance), `wv ← acquireCommitTS(rv)` through the
+//!   time base's commit-arbitration protocol, validate the read set, publish
+//!   payloads, release locks stamping version `wv`.
+//!
+//! The commit timestamp goes through [`ThreadClock::acquire_commit_ts`]
+//! rather than bare `get_new_ts`, which surfaces the base's arbitration
+//! outcome: on GV4/GV5/block bases a [`CommitTs::Shared`] value was adopted
+//! from a concurrent committer (safe here because `wv` is acquired *after*
+//! all write locks are held — any reader whose `rv` admits our versions
+//! started after the locks, so it either sees all our writes or aborts), and
+//! an exclusively owned `wv == rv + 1` proves no other transaction committed
+//! since `rv`, so read-set validation can be skipped entirely — TL2's
+//! classic fast path, now sound on every time base that reports
+//! exclusivity.
 
 use crate::stats::BaselineStats;
-use lsa_time::{ThreadClock, TimeBase};
+use lsa_time::{CommitTs, ThreadClock, TimeBase};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -275,7 +287,11 @@ impl<B: TimeBase<Ts = u64>> Tl2Txn<'_, B> {
             }
             if VLock::version(w1) > self.rv {
                 // §1.2: "an object can only be read if the most recent update
-                // to the object is before the start time".
+                // to the object is before the start time". Feed the too-new
+                // stamp back to the clock: lazy bases (GV5) fold it into
+                // their freshness state so ONE abort catches the retry up,
+                // however far the versions ran ahead of the counter.
+                self.clock.observe_ts(VLock::version(w1));
                 return Err(Tl2Abort::ReadTooNew);
             }
             let inner = Arc::clone(&var.inner);
@@ -350,28 +366,44 @@ impl<B: TimeBase<Ts = u64>> Tl2Txn<'_, B> {
                 }
             }
         }
-        // Acquire the write version *after* locking (TL2 ordering).
-        let wv = self.clock.get_new_ts();
-        // Validate the read set: still unlocked-by-others and not newer than
-        // rv. (The TL2 fast path `wv == rv + 1` is counter-specific; we keep
-        // the general path so all time bases behave uniformly.)
-        self.stats.validations += 1;
-        self.stats.validated_entries += self.reads.len() as u64;
-        for r in &self.reads {
-            let w = (r.sample)();
-            // The version check applies to every read entry — including
-            // objects we also wrote (we hold their lock, but a concurrent
-            // committer may have updated them between our read and our lock
-            // acquisition, which would make our pending write a lost update).
-            // The lock-freedom check applies only to locks we do not own.
-            let owned = self.write_ids.contains_key(&r.var_id);
-            if VLock::version(w) > self.rv || (!owned && VLock::is_locked(w)) {
-                for &(j, old) in &locked {
-                    self.writes[j].revert(old);
+        // Acquire the write version *after* locking (TL2 ordering) through
+        // the commit-arbitration protocol, anchored at our read version.
+        let arbitrated = self.clock.acquire_commit_ts(self.rv);
+        if arbitrated.is_shared() {
+            self.stats.shared_cts += 1;
+        }
+        let wv = arbitrated.ts();
+        // TL2's fast path: an *exclusively owned* `wv == rv + 1` proves no
+        // transaction committed between our start and our locks, so the
+        // read set cannot have changed — skip validation. Exclusivity is
+        // exactly what makes this sound on every base: a Shared value (GV4
+        // adoption) at rv + 1 would mean someone else committed there.
+        if matches!(arbitrated, CommitTs::Exclusive(v) if v == self.rv + 1) {
+            self.stats.fastpath_commits += 1;
+        } else {
+            // General path: validate the read set — still unlocked-by-others
+            // and not newer than rv.
+            self.stats.validations += 1;
+            self.stats.validated_entries += self.reads.len() as u64;
+            for r in &self.reads {
+                let w = (r.sample)();
+                // The version check applies to every read entry — including
+                // objects we also wrote (we hold their lock, but a concurrent
+                // committer may have updated them between our read and our lock
+                // acquisition, which would make our pending write a lost update).
+                // The lock-freedom check applies only to locks we do not own.
+                let owned = self.write_ids.contains_key(&r.var_id);
+                if VLock::version(w) > self.rv || (!owned && VLock::is_locked(w)) {
+                    if VLock::version(w) > self.rv {
+                        self.clock.observe_ts(VLock::version(w));
+                    }
+                    for &(j, old) in &locked {
+                        self.writes[j].revert(old);
+                    }
+                    self.stats.revalidation_failures += 1;
+                    self.stats.record_abort();
+                    return Err(Tl2Abort::Validation);
                 }
-                self.stats.revalidation_failures += 1;
-                self.stats.record_abort();
-                return Err(Tl2Abort::Validation);
             }
         }
         for w in &self.writes {
@@ -423,6 +455,9 @@ impl<B: TimeBase<Ts = u64>> Tl2Thread<B> {
                     self.stats.record_abort();
                 }
             }
+            // Abort feedback: GV5-style bases advance the clock on aborts so
+            // the retry's rv can reach the versions that caused the abort.
+            self.clock.note_abort();
             self.stats.retries += 1;
             for _ in 0..(1u64 << backoff.min(10)) {
                 std::hint::spin_loop();
@@ -473,6 +508,70 @@ mod tests {
     #[test]
     fn concurrent_transfers_preserve_total_mmtimer() {
         concurrent_transfers_preserve_total(Tl2Stm::new(HardwareClock::mmtimer_free()));
+    }
+
+    #[test]
+    fn concurrent_transfers_preserve_total_gv4() {
+        use lsa_time::counter::Gv4Counter;
+        concurrent_transfers_preserve_total(Tl2Stm::new(Gv4Counter::new()));
+    }
+
+    #[test]
+    fn concurrent_transfers_preserve_total_gv5() {
+        use lsa_time::counter::Gv5Counter;
+        concurrent_transfers_preserve_total(Tl2Stm::new(Gv5Counter::new()));
+    }
+
+    #[test]
+    fn concurrent_transfers_preserve_total_block() {
+        use lsa_time::counter::BlockCounter;
+        concurrent_transfers_preserve_total(Tl2Stm::new(BlockCounter::new(16)));
+    }
+
+    #[test]
+    fn uncontended_counter_commits_take_the_fast_path() {
+        // Single thread on an exclusive-arbitration base: every commit gets
+        // wv == rv + 1 Exclusive, so read-set validation is skipped.
+        let stm = Tl2Stm::new(SharedCounter::new());
+        let x = stm.new_var(0u64);
+        let mut h = stm.register();
+        for _ in 0..100 {
+            h.atomically(|tx| tx.modify(&x, |v| v + 1));
+        }
+        assert_eq!(*x.snapshot_latest(), 100);
+        assert_eq!(h.stats().fastpath_commits, 100);
+        assert_eq!(h.stats().validations, 0);
+        assert_eq!(h.stats().shared_cts, 0);
+    }
+
+    #[test]
+    fn gv5_commits_stay_visible_through_abort_bumps() {
+        use lsa_time::counter::Gv5Counter;
+        let tb = Gv5Counter::new();
+        let stm = Tl2Stm::new(tb.clone());
+        let x = stm.new_var(0u64);
+        let mut w = stm.register();
+        for _ in 0..5 {
+            w.atomically(|tx| tx.modify(&x, |v| v + 1));
+        }
+        // GV5 never advances the counter on commit; the writer's own
+        // retries (and this reader's) advance it via note_abort instead.
+        let mut r = stm.register();
+        let v = r.atomically(|tx| tx.read(&x).map(|v| *v));
+        assert_eq!(v, 5);
+        assert!(
+            tb.abort_bumps() >= 1,
+            "catch-up must have gone through abort feedback"
+        );
+        let ws = w.stats();
+        assert_eq!(
+            ws.shared_cts, ws.commits,
+            "every GV5 commit timestamp is shared-class"
+        );
+        assert_eq!(
+            ws.fastpath_commits, 0,
+            "shared wv must never skip validation"
+        );
     }
 
     fn concurrent_transfers_preserve_total<B: TimeBase<Ts = u64>>(stm: Tl2Stm<B>) {

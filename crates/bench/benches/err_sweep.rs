@@ -1,35 +1,33 @@
 //! EXP-ERR as a Criterion bench: single transaction cost on externally
 //! synchronized clocks at different deviation bounds (§4.3), multi- vs
-//! single-version. The full sweep with abort breakdowns is the `err_sweep`
-//! harness binary.
+//! single-version. The full sweep with throughput and abort columns is the
+//! `err_sweep` harness binary.
+//!
+//! Every series is a parameterized registry entry
+//! ([`lsa_harness::registry::lsa_external_entry`]); each iteration is one
+//! two-account transfer from the bank workload — the same engine-generic
+//! worker code the harness sweeps.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lsa_stm::{Stm, StmConfig};
-use lsa_time::external::{ExternalClock, OffsetPolicy};
+use lsa_harness::registry::{lsa_external_entry, Workload};
+use lsa_workloads::BankConfig;
 
 fn transfer_cost(c: &mut Criterion) {
     let mut g = c.benchmark_group("err-sweep/transfer");
     for &dev in &[0u64, 10_000, 1_000_000] {
         for (mode, versions) in [("mv8", 8usize), ("sv1", 1usize)] {
-            let tb = ExternalClock::with_policy(dev, OffsetPolicy::Alternating);
-            let stm = Stm::with_config(tb, StmConfig::multi_version(versions));
-            let a = stm.new_tvar(1_000i64);
-            let b2 = stm.new_tvar(1_000i64);
-            let mut h = stm.register();
+            let entry = lsa_external_entry(dev, versions);
+            let wl = Workload::Bank(BankConfig {
+                accounts: 2,
+                initial: 1_000,
+                audit_percent: 0,
+            });
+            let rig = entry.bench_rig(&wl, 1);
+            let mut w = rig(0);
             g.bench_with_input(
                 BenchmarkId::new(mode, format!("dev{}us", dev / 1_000)),
                 &dev,
-                |b, _| {
-                    b.iter(|| {
-                        h.atomically(|tx| {
-                            let va = *tx.read(&a)?;
-                            let vb = *tx.read(&b2)?;
-                            tx.write(&a, va - 1)?;
-                            tx.write(&b2, vb + 1)?;
-                            Ok(())
-                        })
-                    })
-                },
+                |b, _| b.iter(|| w.step()),
             );
         }
     }

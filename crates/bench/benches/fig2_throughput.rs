@@ -1,32 +1,42 @@
 //! Figure 2 as a Criterion bench: per-transaction latency of the disjoint
-//! update workload (the reciprocal of the figure's throughput axis), for the
-//! shared counter vs the MMTimer, at the paper's three transaction sizes —
-//! plus the discrete-event model evaluating a full 16-CPU curve point.
+//! update workload (the reciprocal of the figure's throughput axis) at the
+//! paper's three transaction sizes — plus the discrete-event model
+//! evaluating a full 16-CPU curve point.
+//!
+//! The real-thread series are **driven from the engine registry**
+//! ([`lsa_harness::registry`]): each cell is looked up by its
+//! `engine(time_base)` coordinates and iterated through the type-erased
+//! `EngineEntry::bench_rig` worker — no hand-wired engine setup. Adding a
+//! series is one coordinate pair below.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lsa_harness::altix_sim::{simulate, AltixParams};
-use lsa_stm::Stm;
-use lsa_time::counter::SharedCounter;
-use lsa_time::hardware::HardwareClock;
-use lsa_workloads::{DisjointConfig, DisjointWorkload};
+use lsa_harness::registry::{default_registry, find_entry, Workload};
+use lsa_workloads::DisjointConfig;
+
+/// The registry cells Figure 2 compares: the contended shared counter
+/// against the scalable MMTimer, plus the batched-block arbitration base.
+const SERIES: [(&str, &str); 3] = [
+    ("lsa-rt", "shared-counter"),
+    ("lsa-rt", "mmtimer-free"),
+    ("lsa-rt", "block64"),
+];
 
 fn real_single_thread(c: &mut Criterion) {
+    let registry = default_registry();
     let mut g = c.benchmark_group("fig2/real-1thread");
     for &k in &[10usize, 50, 100] {
-        let cfg = DisjointConfig {
+        let wl = Workload::Disjoint(DisjointConfig {
             objects_per_thread: (4 * k).max(64),
             accesses_per_tx: k,
-        };
-        let wl = DisjointWorkload::new(Stm::new(SharedCounter::new()), 1, cfg);
-        let mut w = wl.worker(0);
-        g.bench_with_input(BenchmarkId::new("shared-counter", k), &k, |b, _| {
-            b.iter(|| w.step())
         });
-        let wl = DisjointWorkload::new(Stm::new(HardwareClock::mmtimer_free()), 1, cfg);
-        let mut w = wl.worker(0);
-        g.bench_with_input(BenchmarkId::new("mmtimer-free", k), &k, |b, _| {
-            b.iter(|| w.step())
-        });
+        for (engine, tb) in SERIES {
+            let entry = find_entry(&registry, engine, tb)
+                .unwrap_or_else(|| panic!("registry lost the {engine}({tb}) cell"));
+            let rig = entry.bench_rig(&wl, 1);
+            let mut w = rig(0);
+            g.bench_with_input(BenchmarkId::new(tb, k), &k, |b, _| b.iter(|| w.step()));
+        }
     }
     g.finish();
 }

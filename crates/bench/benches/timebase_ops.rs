@@ -3,7 +3,7 @@
 //! `timebase_overhead` harness binary).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use lsa_time::counter::{SharedCounter, Tl2Counter};
+use lsa_time::counter::{BlockCounter, Gv4Counter, Gv5Counter, SharedCounter};
 use lsa_time::external::ExternalClock;
 use lsa_time::hardware::HardwareClock;
 use lsa_time::numa::{NumaCounter, NumaModel};
@@ -19,11 +19,20 @@ fn bench_ops<B: TimeBase>(c: &mut Criterion, name: &str, tb: B) {
     c.bench_function(format!("timebase/{name}/get_new_ts"), |b| {
         b.iter(|| std::hint::black_box(clock.get_new_ts()))
     });
+    let mut clock = tb.register_thread();
+    c.bench_function(format!("timebase/{name}/acquire_commit_ts"), |b| {
+        b.iter(|| {
+            let observed = clock.get_time();
+            std::hint::black_box(clock.acquire_commit_ts(observed).ts())
+        })
+    });
 }
 
 fn all(c: &mut Criterion) {
     bench_ops(c, "shared-counter", SharedCounter::new());
-    bench_ops(c, "tl2-counter", Tl2Counter::new());
+    bench_ops(c, "gv4", Gv4Counter::new());
+    bench_ops(c, "gv5", Gv5Counter::new());
+    bench_ops(c, "block64", BlockCounter::new(64));
     bench_ops(
         c,
         "numa-counter-altix",

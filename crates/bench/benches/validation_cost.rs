@@ -1,47 +1,34 @@
 //! EXP-VAL as a Criterion bench: read-only scans across engines — LSA-RT's
 //! O(1)-per-access reads vs validation-on-every-access (O(n)) vs the RSTM
 //! commit-counter heuristic (§1, §1.2).
+//!
+//! Driven from the engine registry through the generic scan workload
+//! ([`lsa_harness::registry::Workload::Scan`]): each series is a registry
+//! coordinate pair, each iteration one full invariant-checked scan.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lsa_baseline::{ValidationMode, ValidationStm};
-use lsa_bench::stm_with_vars;
-use lsa_time::counter::SharedCounter;
+use lsa_harness::registry::{default_registry, find_entry, Workload};
+use lsa_workloads::ScanConfig;
+
+/// The registry cells EXP-VAL compares, with their series labels.
+const SERIES: [(&str, &str, &str); 4] = [
+    ("lsa-rt", "shared-counter", "lsa-rt"),
+    ("validation", "always", "val-always"),
+    ("validation", "commit-counter", "val-cc"),
+    ("norec", "seqlock", "norec"),
+];
 
 fn scans(c: &mut Criterion) {
+    let registry = default_registry();
     let mut g = c.benchmark_group("validation-cost/scan");
     for &n in &[10usize, 100] {
-        let (stm, vars) = stm_with_vars(SharedCounter::new(), n);
-        let mut h = stm.register();
-        g.bench_with_input(BenchmarkId::new("lsa-rt", n), &n, |b, _| {
-            b.iter(|| {
-                h.atomically(|tx| {
-                    let mut s = 0u64;
-                    for v in &vars {
-                        s += *tx.read(v)?;
-                    }
-                    Ok(s)
-                })
-            })
-        });
-
-        for (label, mode) in [
-            ("val-always", ValidationMode::Always),
-            ("val-cc", ValidationMode::CommitCounter),
-        ] {
-            let vstm = ValidationStm::new(mode);
-            let vvars: Vec<_> = (0..n).map(|i| vstm.new_var(i as u64)).collect();
-            let mut vh = vstm.register();
-            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
-                b.iter(|| {
-                    vh.atomically(|tx| {
-                        let mut s = 0u64;
-                        for v in &vvars {
-                            s += *tx.read(v)?;
-                        }
-                        Ok(s)
-                    })
-                })
-            });
+        let wl = Workload::Scan(ScanConfig { objects: n });
+        for (engine, tb, label) in SERIES {
+            let entry = find_entry(&registry, engine, tb)
+                .unwrap_or_else(|| panic!("registry lost the {engine}({tb}) cell"));
+            let rig = entry.bench_rig(&wl, 1);
+            let mut w = rig(0);
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| b.iter(|| w.step()));
         }
     }
     g.finish();

@@ -179,6 +179,15 @@ pub struct EngineStats {
     /// Revalidations that failed and doomed the attempt — the conflicts the
     /// validation work actually caught.
     pub revalidation_failures: u64,
+    /// Read-set entries examined across all validations — the linear factor
+    /// in validation cost ("the validation overhead grows linearly with the
+    /// number of objects a transaction has read so far", §1).
+    pub validated_entries: u64,
+    /// Commit timestamps adopted from a concurrent committer through the
+    /// time base's arbitration (GV4 pass-on-failed-CAS, GV5 read-derived
+    /// values, block-frontier adoption) instead of being exclusively owned.
+    /// Zero on bases without sharing tricks and on value-based engines.
+    pub shared_commit_ts: u64,
 }
 
 impl EngineStats {
@@ -208,6 +217,16 @@ impl EngineStats {
         }
     }
 
+    /// Shared (adopted) commit timestamps per update commit — how often the
+    /// base's arbitration tricks actually fired (0 when nothing committed).
+    pub fn shared_ts_per_commit(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.shared_commit_ts as f64 / self.commits as f64
+        }
+    }
+
     /// Merge another thread's counters into this one.
     pub fn merge(&mut self, other: &EngineStats) {
         self.commits += other.commits;
@@ -218,6 +237,8 @@ impl EngineStats {
         self.writes += other.writes;
         self.validations += other.validations;
         self.revalidation_failures += other.revalidation_failures;
+        self.validated_entries += other.validated_entries;
+        self.shared_commit_ts += other.shared_commit_ts;
     }
 }
 
@@ -226,7 +247,7 @@ impl fmt::Display for EngineStats {
         write!(
             f,
             "commits={} (ro={}) aborts={} retries={} reads={} writes={} \
-             validations={} (failed={})",
+             validations={} (failed={}, entries={}) shared-ts={}",
             self.total_commits(),
             self.ro_commits,
             self.aborts,
@@ -234,7 +255,9 @@ impl fmt::Display for EngineStats {
             self.reads,
             self.writes,
             self.validations,
-            self.revalidation_failures
+            self.revalidation_failures,
+            self.validated_entries,
+            self.shared_commit_ts
         )
     }
 }
@@ -256,6 +279,8 @@ mod tests {
             aborts: 3,
             validations: 6,
             revalidation_failures: 2,
+            validated_entries: 18,
+            shared_commit_ts: 2,
             ..Default::default()
         };
         a.merge(&b);
@@ -264,9 +289,14 @@ mod tests {
         assert_eq!(a.abort_ratio(), 0.5);
         assert_eq!(a.validations, 6);
         assert_eq!(a.revalidation_failures, 2);
+        assert_eq!(a.validated_entries, 18);
+        assert_eq!(a.shared_commit_ts, 2);
         assert_eq!(a.validations_per_commit(), 0.75);
+        assert_eq!(a.shared_ts_per_commit(), 0.5);
         assert!(a.to_string().contains("commits=8"));
-        assert!(a.to_string().contains("validations=6 (failed=2)"));
+        assert!(a
+            .to_string()
+            .contains("validations=6 (failed=2, entries=18) shared-ts=2"));
     }
 
     #[test]

@@ -8,13 +8,16 @@
 //!
 //! This sweep runs the bank workload (transfers + long read-only audits) on
 //! externally synchronized clocks, sweeping the deviation bound `dev`, in
-//! both multi-version (8) and single-version (1) configurations, and reports
-//! throughput, abort ratio and the abort breakdown.
+//! both multi-version (8) and single-version (1) configurations. Every cell
+//! is a parameterized registry entry
+//! ([`lsa_harness::registry::lsa_external_entry`]) driven through the same
+//! engine-generic runner as the `matrix` binary; the reported columns are
+//! the registry's shared statistics surface (validations = snapshot
+//! extensions for LSA, reval failures = commit-time validation aborts).
 
-use lsa_harness::{f2, f3, measure_window, run_for, Table};
-use lsa_stm::{AbortReason, Stm, StmConfig};
-use lsa_time::external::{ExternalClock, OffsetPolicy};
-use lsa_workloads::{BankConfig, BankWorkload};
+use lsa_harness::registry::{lsa_external_entry, Workload};
+use lsa_harness::{f2, f3, measure_window, Table};
+use lsa_workloads::BankConfig;
 
 fn main() {
     let window = measure_window(250);
@@ -29,47 +32,31 @@ fn main() {
             format!("EXP-ERR: bank workload on external clocks — {label}"),
             &[
                 "dev (us)",
+                "cell",
                 "tx/s",
                 "aborts/commit",
-                "snapshot",
-                "no-version",
-                "validation",
+                "extensions/commit",
+                "validation aborts",
             ],
         );
         for &dev in &devs_ns {
-            let tb = ExternalClock::with_policy(dev, OffsetPolicy::Alternating);
-            let mut cfg = StmConfig::multi_version(versions);
-            // Keep extensions on in both modes so the only variable is the
-            // version history depth.
-            cfg.extend_on_read = true;
-            let wl = BankWorkload::new(
-                Stm::with_config(tb, cfg),
-                BankConfig {
-                    accounts: 48,
-                    initial: 1_000,
-                    audit_percent: 30,
-                },
-            );
-            // Collect abort breakdowns through per-worker stats.
-            let stats = std::sync::Mutex::new(lsa_stm::TxnStats::default());
-            let out = run_for(threads, window, |i| StatsTap {
-                inner: wl.worker(i),
-                sink: &stats,
+            // One parameterized registry entry per cell; the bank invariant
+            // is asserted inside the generic runner after every run.
+            let entry = lsa_external_entry(dev, versions);
+            let wl = Workload::Bank(BankConfig {
+                accounts: 48,
+                initial: 1_000,
+                audit_percent: 30,
             });
-            let agg = *stats.lock().unwrap();
+            let out = entry.run(&wl, threads, window);
             t.row(vec![
                 f2(dev as f64 / 1_000.0),
+                entry.label(),
                 format!("{:.0}", out.tx_per_sec()),
                 f3(out.abort_ratio()),
-                agg.aborts_for(AbortReason::Snapshot).to_string(),
-                agg.aborts_for(AbortReason::NoVersion).to_string(),
-                agg.aborts_for(AbortReason::Validation).to_string(),
+                f3(out.stats.validations_per_commit()),
+                out.stats.revalidation_failures.to_string(),
             ]);
-            assert_eq!(
-                wl.quiescent_total(),
-                wl.expected_total(),
-                "invariant broken!"
-            );
         }
         t.print();
     }
@@ -78,29 +65,4 @@ fn main() {
          configuration suffers on BOTH range ends (old snapshots die sooner), \
          the single-version one only at version beginnings."
     );
-}
-
-/// Wraps an LSA-RT bank worker and merges its *native* stats (with the
-/// abort-reason breakdown the engine-generic surface deliberately omits)
-/// into a sink when dropped. Reaches the native `TxnStats` through
-/// [`lsa_workloads::BankWorker::handle`].
-struct StatsTap<'a, B: lsa_time::TimeBase> {
-    inner: lsa_workloads::BankWorker<Stm<B>>,
-    sink: &'a std::sync::Mutex<lsa_stm::TxnStats>,
-}
-
-impl<B: lsa_time::TimeBase> lsa_harness::BenchWorker for StatsTap<'_, B> {
-    fn step(&mut self) {
-        self.inner.step();
-    }
-
-    fn worker_stats(&self) -> lsa_engine::EngineStats {
-        self.inner.stats()
-    }
-}
-
-impl<B: lsa_time::TimeBase> Drop for StatsTap<'_, B> {
-    fn drop(&mut self) {
-        self.sink.lock().unwrap().merge(self.inner.handle().stats());
-    }
 }

@@ -13,11 +13,9 @@
 //! Output: one table per panel with the same series the paper plots.
 
 use lsa_harness::altix_sim::{simulate, AltixParams};
-use lsa_harness::{f3, measure_window, run_for, Table};
-use lsa_stm::Stm;
-use lsa_time::hardware::HardwareClock;
-use lsa_time::numa::{NumaCounter, NumaModel};
-use lsa_workloads::{DisjointConfig, DisjointWorkload};
+use lsa_harness::registry::{default_registry, find_entry, Workload};
+use lsa_harness::{f3, measure_window, Table};
+use lsa_workloads::DisjointConfig;
 
 const THREADS: [usize; 7] = [1, 2, 4, 6, 8, 12, 16];
 const PANELS: [usize; 3] = [10, 50, 100];
@@ -58,21 +56,25 @@ fn real_threads() {
         .copied()
         .filter(|&t| t <= host.max(2) * 2)
         .collect();
+    // The figure's two series, straight from the engine registry — the same
+    // cells the matrix sweeps, no hand-wired engine setup.
+    let registry = default_registry();
+    let counter = find_entry(&registry, "lsa-rt", "numa-altix")
+        .expect("registry lost the lsa-rt(numa-altix) cell");
+    let mmtimer =
+        find_entry(&registry, "lsa-rt", "mmtimer").expect("registry lost the lsa-rt(mmtimer) cell");
     for &accesses in &PANELS {
         let mut t = Table::new(
             format!("Figure 2 (real) panel: {accesses} accesses — 10^6 tx/s"),
             &["threads", "numa-counter", "mmtimer", "mmtimer/counter"],
         );
         for &n in &threads {
-            let cfg = DisjointConfig {
+            let wl = Workload::Disjoint(DisjointConfig {
                 objects_per_thread: (accesses * 4).max(64),
                 accesses_per_tx: accesses,
-            };
-            let counter_wl =
-                DisjointWorkload::new(Stm::new(NumaCounter::new(NumaModel::altix())), n, cfg);
-            let c = run_for(n, window, |i| counter_wl.worker(i));
-            let clock_wl = DisjointWorkload::new(Stm::new(HardwareClock::mmtimer()), n, cfg);
-            let m = run_for(n, window, |i| clock_wl.worker(i));
+            });
+            let c = counter.run(&wl, n, window);
+            let m = mmtimer.run(&wl, n, window);
             t.row(vec![
                 n.to_string(),
                 f3(c.mtx_per_sec()),

@@ -5,65 +5,103 @@
 //! ```sh
 //! cargo run --release -p lsa-harness --bin matrix            # bank workload
 //! cargo run --release -p lsa-harness --bin matrix -- disjoint
+//! cargo run --release -p lsa-harness --bin matrix -- scan
 //! cargo run --release -p lsa-harness --bin matrix -- bank --threads 8
+//! cargo run --release -p lsa-harness --bin matrix -- bank --timebase gv4
 //! ```
 //!
+//! `--timebase <substr>` keeps only rows whose time-base name contains the
+//! given substring (e.g. `gv` selects the GV4 and GV5 arbitration rows).
 //! Honours `LSA_MEASURE_MS` (per-point window) and `LSA_CSV=1` like every
 //! harness binary. The bank invariant is asserted after every cell, so this
 //! doubles as a cross-engine consistency smoke test.
 
 use lsa_harness::registry::{default_registry, Workload};
 use lsa_harness::{f3, measure_window, Table};
-use lsa_workloads::{BankConfig, DisjointConfig};
+use lsa_workloads::{BankConfig, DisjointConfig, ScanConfig};
 
-fn parse_args() -> (Workload, usize) {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut workload = Workload::Bank(BankConfig::default());
-    let mut threads = std::thread::available_parallelism()
-        .map(|n| n.get().min(4))
-        .unwrap_or(2);
+struct Args {
+    workload: Workload,
+    threads: usize,
+    timebase_filter: Option<String>,
+}
+
+fn usage_exit(context: &str) -> ! {
+    eprintln!("usage: matrix [bank|disjoint|scan] [--threads N] [--timebase SUBSTR]   ({context})");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        workload: Workload::Bank(BankConfig::default()),
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get().min(4))
+            .unwrap_or(2),
+        timebase_filter: None,
+    };
     let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "bank" => workload = Workload::Bank(BankConfig::default()),
-            "disjoint" => workload = Workload::Disjoint(DisjointConfig::default()),
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "bank" => args.workload = Workload::Bank(BankConfig::default()),
+            "disjoint" => args.workload = Workload::Disjoint(DisjointConfig::default()),
+            "scan" => args.workload = Workload::Scan(ScanConfig::default()),
             "--threads" => {
                 i += 1;
-                threads = match args.get(i).and_then(|v| v.parse().ok()) {
+                args.threads = match argv.get(i).and_then(|v| v.parse().ok()) {
                     Some(n) => n,
-                    None => {
-                        eprintln!("usage: matrix [bank|disjoint] [--threads N]   (--threads needs a number)");
-                        std::process::exit(2);
-                    }
+                    None => usage_exit("--threads needs a number"),
                 };
             }
-            other => {
-                eprintln!("usage: matrix [bank|disjoint] [--threads N]   (got {other:?})");
-                std::process::exit(2);
+            "--timebase" => {
+                i += 1;
+                args.timebase_filter = match argv.get(i) {
+                    Some(s) => Some(s.clone()),
+                    None => usage_exit("--timebase needs a substring"),
+                };
             }
+            other => usage_exit(&format!("got {other:?}")),
         }
         i += 1;
     }
-    (workload, threads.max(1))
+    args.threads = args.threads.max(1);
+    args
 }
 
 fn main() {
-    let (workload, threads) = parse_args();
+    let args = parse_args();
     let window = measure_window(200);
-    let registry = default_registry();
+    let registry: Vec<_> = default_registry()
+        .into_iter()
+        .filter(|e| match &args.timebase_filter {
+            Some(f) => e.time_base.contains(f.as_str()),
+            None => true,
+        })
+        .collect();
+    if registry.is_empty() {
+        eprintln!(
+            "no registry rows match --timebase {:?}",
+            args.timebase_filter.as_deref().unwrap_or("")
+        );
+        std::process::exit(2);
+    }
 
     println!(
-        "MATRIX: {} workload, {} threads, {} ms/point, {} engine x time-base cells\n",
-        workload.name(),
-        threads,
+        "MATRIX: {} workload, {} threads, {} ms/point, {} engine x time-base cells{}\n",
+        args.workload.name(),
+        args.threads,
         window.as_millis(),
-        registry.len()
+        registry.len(),
+        match &args.timebase_filter {
+            Some(f) => format!(" (timebase filter: {f:?})"),
+            None => String::new(),
+        }
     );
 
     let mut t = Table::new(
         format!(
             "{} workload — throughput by engine and time base",
-            workload.name()
+            args.workload.name()
         ),
         &[
             "engine",
@@ -72,22 +110,26 @@ fn main() {
             "aborts/commit",
             "validations/commit",
             "reval failures",
+            "shared-ts/commit",
         ],
     );
     for entry in &registry {
-        let out = entry.run(&workload, threads, window);
+        let out = entry.run(&args.workload, args.threads, window);
         t.row(vec![
-            entry.engine.to_string(),
-            entry.time_base.to_string(),
+            entry.engine.clone(),
+            entry.time_base.clone(),
             format!("{:.0}", out.tx_per_sec()),
             f3(out.abort_ratio()),
             f3(out.stats.validations_per_commit()),
             out.stats.revalidation_failures.to_string(),
+            f3(out.stats.shared_ts_per_commit()),
         ]);
     }
     t.print();
     println!(
         "every cell ran the SAME engine-generic workload code; invariants were \
-         asserted after each run (a new engine is one TxnEngine impl away)."
+         asserted after each run (a new engine is one TxnEngine impl away). \
+         shared-ts/commit > 0 marks cells whose time base arbitrated commit \
+         timestamps (GV4/GV5/block adoption)."
     );
 }

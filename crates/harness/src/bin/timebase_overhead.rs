@@ -3,11 +3,13 @@
 //! Tight-loop cost of `getTime` and `getNewTS` for every time base, single-
 //! and multi-threaded. Shows (a) the MMTimer's fixed read cost, (b) the
 //! counter's cheap uncontended operations that degrade under concurrency,
-//! and (c) that the TL2 timestamp-sharing optimization does not change the
-//! picture (the paper: "showed no advantages on our hardware").
+//! and (c) how the commit-arbitration variants shift the cost: GV4 sharing
+//! does not change the picture (the paper: "showed no advantages on our
+//! hardware"), GV5's `getNewTS` is load-only, and the block counter
+//! amortizes reservations behind a published frontier.
 
 use lsa_harness::{f2, measure_window, Table};
-use lsa_time::counter::{SharedCounter, Tl2Counter};
+use lsa_time::counter::{BlockCounter, Gv4Counter, Gv5Counter, SharedCounter};
 use lsa_time::external::ExternalClock;
 use lsa_time::hardware::HardwareClock;
 use lsa_time::numa::{NumaCounter, NumaModel};
@@ -82,8 +84,16 @@ fn main() {
                 let b = SharedCounter::new();
                 Box::new(move |n| bench_base(&b, n, new_ts))
             }),
-            ("tl2-counter", {
-                let b = Tl2Counter::new();
+            ("gv4", {
+                let b = Gv4Counter::new();
+                Box::new(move |n| bench_base(&b, n, new_ts))
+            }),
+            ("gv5", {
+                let b = Gv5Counter::new();
+                Box::new(move |n| bench_base(&b, n, new_ts))
+            }),
+            ("block64", {
+                let b = BlockCounter::new(64);
                 Box::new(move |n| bench_base(&b, n, new_ts))
             }),
             ("numa-counter(altix)", {

@@ -5,88 +5,75 @@
 //! Time-based STMs read consistently at O(1) per access instead.
 //!
 //! Read-only scans over n objects, single-threaded (pure per-access cost,
-//! no conflicts):
+//! no conflicts), driven **from the engine registry** through the generic
+//! [`Workload::Scan`] — the same cells the `matrix` binary sweeps, measured
+//! as ns per scanned object. Expectations:
 //!
-//! * LSA-RT (time-based, invisible reads)       — expect ~linear total cost,
-//! * validation STM, `Always` mode              — expect ~quadratic total cost,
-//! * validation STM, commit-counter heuristic   — linear while quiescent, and
-//!   the `validated entries` column shows the work that reappears as soon as
-//!   any update commits elsewhere (the RSTM caveat the paper quotes).
+//! * time-based engines (LSA-RT, TL2)            — ~flat cost per object,
+//! * validation STM, `Always` mode               — cost grows ~linearly with
+//!   n per object (O(n²) per scan),
+//! * validation STM, commit-counter heuristic    — flat while quiescent (the
+//!   `entries/scan` column shows the revalidation work that reappears as
+//!   soon as any update commits elsewhere — the RSTM caveat the paper
+//!   quotes),
+//! * NOrec                                        — flat while quiescent
+//!   (value validation triggers only on clock movement).
 
-use lsa_baseline::{ValidationMode, ValidationStm};
-use lsa_harness::{f2, Table};
-use lsa_stm::Stm;
-use lsa_time::counter::SharedCounter;
-use std::time::Instant;
+use lsa_harness::registry::{default_registry, find_entry, Workload};
+use lsa_harness::{f2, measure_window, Table};
+use lsa_workloads::ScanConfig;
 
 const SCAN_SIZES: [usize; 5] = [10, 50, 100, 200, 400];
-const REPS: usize = 300;
+
+/// The registry cells this experiment compares, with their column labels.
+const CELLS: [(&str, &str, &str); 5] = [
+    ("lsa-rt", "shared-counter", "lsa-rt"),
+    ("tl2", "shared-counter", "tl2"),
+    ("validation", "always", "val-always"),
+    ("validation", "commit-counter", "val-cc(quiescent)"),
+    ("norec", "seqlock", "norec"),
+];
 
 fn main() {
+    let window = measure_window(60);
+    let registry = default_registry();
+
     let mut t = Table::new(
         "EXP-VAL: read-only scan of n objects, ns per scanned object (single thread)",
-        &[
-            "n",
-            "lsa-rt",
-            "val-always",
-            "val-cc(quiescent)",
-            "entries/scan always",
-            "entries/scan cc",
-        ],
+        &{
+            let mut h = vec!["n"];
+            h.extend(CELLS.iter().map(|(_, _, label)| *label));
+            h.push("entries/scan always");
+            h.push("entries/scan cc");
+            h
+        },
     );
 
     for &n in &SCAN_SIZES {
-        // LSA-RT.
-        let stm = Stm::new(SharedCounter::new());
-        let vars: Vec<_> = (0..n).map(|i| stm.new_tvar(i as u64)).collect();
-        let mut h = stm.register();
-        let start = Instant::now();
-        for _ in 0..REPS {
-            let sum = h.atomically(|tx| {
-                let mut s = 0u64;
-                for v in &vars {
-                    s += *tx.read(v)?;
-                }
-                Ok(s)
-            });
-            std::hint::black_box(sum);
-        }
-        let lsa_ns = start.elapsed().as_nanos() as f64 / (REPS * n) as f64;
-
-        // Validation engine in both modes.
-        let mut results = Vec::new();
-        for mode in [ValidationMode::Always, ValidationMode::CommitCounter] {
-            let vstm = ValidationStm::new(mode);
-            let vvars: Vec<_> = (0..n).map(|i| vstm.new_var(i as u64)).collect();
-            let mut vh = vstm.register();
-            let start = Instant::now();
-            for _ in 0..REPS {
-                let sum = vh.atomically(|tx| {
-                    let mut s = 0u64;
-                    for v in &vvars {
-                        s += *tx.read(v)?;
-                    }
-                    Ok(s)
-                });
-                std::hint::black_box(sum);
+        let wl = Workload::Scan(ScanConfig { objects: n });
+        let mut cells = vec![n.to_string()];
+        let mut entries_per_scan = Vec::new();
+        for (engine, tb, _) in CELLS {
+            let entry = find_entry(&registry, engine, tb)
+                .unwrap_or_else(|| panic!("registry lost the {engine}({tb}) cell"));
+            let out = entry.run(&wl, 1, window);
+            let ns_per_object = out.elapsed.as_nanos() as f64 / out.stats.reads.max(1) as f64;
+            cells.push(f2(ns_per_object));
+            if engine == "validation" {
+                let scans = out.stats.ro_commits.max(1);
+                entries_per_scan.push(out.stats.validated_entries as f64 / scans as f64);
             }
-            let per_obj = start.elapsed().as_nanos() as f64 / (REPS * n) as f64;
-            let entries = vh.stats().validated_entries as f64 / REPS as f64;
-            results.push((per_obj, entries));
         }
-
-        t.row(vec![
-            n.to_string(),
-            f2(lsa_ns),
-            f2(results[0].0),
-            f2(results[1].0),
-            format!("{:.0}", results[0].1),
-            format!("{:.0}", results[1].1),
-        ]);
+        for entries in entries_per_scan {
+            cells.push(format!("{entries:.0}"));
+        }
+        t.row(cells);
     }
     t.print();
     println!(
-        "expected shape (S1): lsa-rt and val-cc stay ~flat per object; val-always \
-         grows ~linearly with n per object (O(n^2) per scan: entries/scan ~ n(n+1)/2)."
+        "expected shape (S1): time-based engines and val-cc stay ~flat per object; \
+         val-always grows ~linearly with n per object (O(n^2) per scan: \
+         entries/scan ~ n(n+1)/2). All cells come from the engine registry — \
+         adding an engine adds a column candidate with zero harness code."
     );
 }

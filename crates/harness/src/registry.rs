@@ -5,18 +5,29 @@
 //! engine setup; adding an engine meant touching every `bin/*.rs`. Now an
 //! engine × time-base combination is one [`EngineEntry`] constructed from a
 //! factory closure, and every entry can run every [`Workload`] through the
-//! same engine-generic runner ([`run_workload`]). The `matrix` binary prints
-//! the full sweep; tests and future experiments can filter the registry.
+//! same engine-generic runner ([`run_workload`]) or hand out type-erased
+//! [`BenchWorker`]s for custom measurement loops ([`EngineEntry::bench_rig`]
+//! — what the criterion benches use). The `matrix` binary prints the full
+//! sweep (filterable with `--timebase`); tests and experiments filter the
+//! registry with [`find_entry`].
+//!
+//! The time-base axis includes the commit-arbitration variants
+//! (`gv4`, `gv5`, `block64` — see `lsa_time::counter`); GV5 appears only
+//! under TL2 because LSA requires a commit-monotonic base (its constructor
+//! enforces this — see `lsa_stm::Stm::with_cm`).
 
-use crate::runner::{run_for, RunOutcome};
+use crate::runner::{run_for, BenchWorker, RunOutcome};
 use lsa_baseline::{NorecStm, Tl2Stm, ValidationMode, ValidationStm};
 use lsa_engine::TxnEngine;
 use lsa_stm::{Stm, StmConfig};
-use lsa_time::counter::{SharedCounter, Tl2Counter};
+use lsa_time::counter::{BlockCounter, Gv4Counter, Gv5Counter, SharedCounter};
 use lsa_time::external::{ExternalClock, OffsetPolicy};
 use lsa_time::hardware::HardwareClock;
+use lsa_time::numa::{NumaCounter, NumaModel};
 use lsa_time::perfect::PerfectClock;
-use lsa_workloads::{BankConfig, BankWorkload, DisjointConfig, DisjointWorkload};
+use lsa_workloads::{
+    BankConfig, BankWorkload, DisjointConfig, DisjointWorkload, ScanConfig, ScanWorkload,
+};
 use std::time::Duration;
 
 /// A workload selection with its parameters.
@@ -27,6 +38,9 @@ pub enum Workload {
     Bank(BankConfig),
     /// The §4.2 disjoint-update workload ([`lsa_workloads::disjoint`]).
     Disjoint(DisjointConfig),
+    /// Read-only scans ([`lsa_workloads::scan`]) — the §1 validation-cost
+    /// shape; every scan asserts the invariant sum.
+    Scan(ScanConfig),
 }
 
 impl Workload {
@@ -35,6 +49,7 @@ impl Workload {
         match self {
             Workload::Bank(_) => "bank",
             Workload::Disjoint(_) => "disjoint",
+            Workload::Scan(_) => "scan",
         }
     }
 }
@@ -73,38 +88,71 @@ pub fn run_workload<E: TxnEngine>(
             );
             out
         }
+        Workload::Scan(cfg) => {
+            // Every scan asserts its invariant sum inside the worker.
+            let wl = ScanWorkload::new(engine, *cfg);
+            run_for(threads, window, |i| wl.worker(i))
+        }
+    }
+}
+
+/// A type-erased worker factory for one workload instance: the shared
+/// workload state lives inside the closure, `(tid)` builds worker `tid`.
+/// What the criterion benches iterate on without naming engine types.
+pub type WorkerRig = Box<dyn Fn(usize) -> Box<dyn BenchWorker> + Send + Sync>;
+
+fn make_rig<E: TxnEngine>(engine: E, workload: &Workload, threads: usize) -> WorkerRig {
+    match workload {
+        Workload::Bank(cfg) => {
+            let wl = BankWorkload::new(engine, *cfg);
+            Box::new(move |tid| Box::new(wl.worker(tid)))
+        }
+        Workload::Disjoint(cfg) => {
+            let wl = DisjointWorkload::new(engine, threads, *cfg);
+            Box::new(move |tid| Box::new(wl.worker(tid)))
+        }
+        Workload::Scan(cfg) => {
+            let wl = ScanWorkload::new(engine, *cfg);
+            Box::new(move |tid| Box::new(wl.worker(tid)))
+        }
     }
 }
 
 /// Type-erased runner stored in an [`EngineEntry`].
 type EntryRunner = Box<dyn Fn(&Workload, usize, Duration) -> RunOutcome + Send + Sync>;
+type EntryRig = Box<dyn Fn(&Workload, usize) -> WorkerRig + Send + Sync>;
 
 /// One engine × time-base combination, ready to run any [`Workload`].
 pub struct EngineEntry {
     /// Engine family, e.g. `"lsa-rt"`.
-    pub engine: &'static str,
+    pub engine: String,
     /// Time base (or mode for the validation engine), e.g. `"mmtimer-free"`.
-    pub time_base: &'static str,
+    /// Parameterized entries (external-clock sweeps) carry their parameters
+    /// here, e.g. `"external-10us-mv8"`.
+    pub time_base: String,
     run: EntryRunner,
+    rig: EntryRig,
     conformance: Box<dyn Fn() + Send + Sync>,
 }
 
 impl EngineEntry {
     /// Build an entry from an engine factory. A fresh engine is constructed
     /// per run so successive runs never share state.
-    pub fn new<E, F>(engine: &'static str, time_base: &'static str, factory: F) -> Self
+    pub fn new<E, F>(engine: impl Into<String>, time_base: impl Into<String>, factory: F) -> Self
     where
         E: TxnEngine,
         F: Fn() -> E + Send + Sync + 'static,
     {
         let factory = std::sync::Arc::new(factory);
         let run_factory = std::sync::Arc::clone(&factory);
+        let rig_factory = std::sync::Arc::clone(&factory);
         EngineEntry {
-            engine,
-            time_base,
+            engine: engine.into(),
+            time_base: time_base.into(),
             run: Box::new(move |wl, threads, window| {
                 run_workload(run_factory(), wl, threads, window)
             }),
+            rig: Box::new(move |wl, threads| make_rig(rig_factory(), wl, threads)),
             conformance: Box::new(move || lsa_engine::conformance::full_suite(&factory())),
         }
     }
@@ -119,6 +167,14 @@ impl EngineEntry {
         (self.run)(workload, threads, window)
     }
 
+    /// Build a fresh engine + workload instance and return its type-erased
+    /// worker factory — for measurement loops the timed runner does not fit
+    /// (criterion `b.iter`, custom sweeps). Workers from one rig share the
+    /// workload's objects; `threads` sizes partitioned workloads.
+    pub fn bench_rig(&self, workload: &Workload, threads: usize) -> WorkerRig {
+        (self.rig)(workload, threads)
+    }
+
     /// Run the engine-generic conformance suite
     /// ([`lsa_engine::conformance::full_suite`]) on a freshly constructed
     /// engine. Panics on any violation — every entry added to the registry
@@ -128,9 +184,39 @@ impl EngineEntry {
     }
 }
 
+/// Find a registry entry by engine family and time-base name.
+pub fn find_entry<'r>(
+    registry: &'r [EngineEntry],
+    engine: &str,
+    time_base: &str,
+) -> Option<&'r EngineEntry> {
+    registry
+        .iter()
+        .find(|e| e.engine == engine && e.time_base == time_base)
+}
+
+/// An LSA-RT entry on an externally synchronized clock with deviation bound
+/// `dev_ns` and `versions` retained versions — the parameterized constructor
+/// the EXP-ERR sweep builds its cells from.
+pub fn lsa_external_entry(dev_ns: u64, versions: usize) -> EngineEntry {
+    EngineEntry::new(
+        "lsa-rt",
+        format!("external-{}us-mv{}", dev_ns / 1_000, versions),
+        move || {
+            let mut cfg = StmConfig::multi_version(versions);
+            cfg.extend_on_read = true;
+            Stm::with_config(
+                ExternalClock::with_policy(dev_ns, OffsetPolicy::Alternating),
+                cfg,
+            )
+        },
+    )
+}
+
 /// The default registry: LSA-RT, TL2, the validation STM and NOrec, each on
 /// every time base (or mode) it supports — the cross-engine design-space
-/// matrix of the paper's §1.2, value-based validation included.
+/// matrix of the paper's §1.2, commit-arbitration variants included. GV5 is
+/// TL2-only: LSA rejects non-commit-monotonic bases by construction.
 pub fn default_registry() -> Vec<EngineEntry> {
     vec![
         EngineEntry::new(
@@ -138,10 +224,15 @@ pub fn default_registry() -> Vec<EngineEntry> {
             "shared-counter",
             || Stm::new(SharedCounter::new()),
         ),
-        EngineEntry::new("lsa-rt", "tl2-counter", || Stm::new(Tl2Counter::new())),
+        EngineEntry::new("lsa-rt", "gv4", || Stm::new(Gv4Counter::new())),
+        EngineEntry::new("lsa-rt", "block64", || Stm::new(BlockCounter::new(64))),
         EngineEntry::new("lsa-rt", "perfect", || Stm::new(PerfectClock::new())),
         EngineEntry::new("lsa-rt", "mmtimer-free", || {
             Stm::new(HardwareClock::mmtimer_free())
+        }),
+        EngineEntry::new("lsa-rt", "mmtimer", || Stm::new(HardwareClock::mmtimer())),
+        EngineEntry::new("lsa-rt", "numa-altix", || {
+            Stm::new(NumaCounter::new(NumaModel::altix()))
         }),
         EngineEntry::new("lsa-rt", "external-10us", || {
             Stm::with_config(
@@ -154,6 +245,9 @@ pub fn default_registry() -> Vec<EngineEntry> {
             "shared-counter",
             || Tl2Stm::new(SharedCounter::new()),
         ),
+        EngineEntry::new("tl2", "gv4", || Tl2Stm::new(Gv4Counter::new())),
+        EngineEntry::new("tl2", "gv5", || Tl2Stm::new(Gv5Counter::new())),
+        EngineEntry::new("tl2", "block64", || Tl2Stm::new(BlockCounter::new(64))),
         EngineEntry::new("tl2", "perfect", || Tl2Stm::new(PerfectClock::new())),
         EngineEntry::new("tl2", "mmtimer-free", || {
             Tl2Stm::new(HardwareClock::mmtimer_free())
@@ -175,7 +269,8 @@ mod tests {
     #[test]
     fn registry_spans_four_engines_and_multiple_time_bases() {
         let reg = default_registry();
-        let engines: std::collections::BTreeSet<_> = reg.iter().map(|e| e.engine).collect();
+        let engines: std::collections::BTreeSet<_> =
+            reg.iter().map(|e| e.engine.as_str()).collect();
         assert!(
             engines.len() >= 4,
             "need >= 4 engine families, got {engines:?}"
@@ -190,6 +285,26 @@ mod tests {
             lsa_bases >= 2 && tl2_bases >= 2,
             "need >= 2 time bases per engine"
         );
+    }
+
+    #[test]
+    fn arbitration_rows_are_registered() {
+        let reg = default_registry();
+        for (engine, tb) in [
+            ("lsa-rt", "gv4"),
+            ("lsa-rt", "block64"),
+            ("tl2", "gv4"),
+            ("tl2", "gv5"),
+            ("tl2", "block64"),
+        ] {
+            assert!(
+                find_entry(&reg, engine, tb).is_some(),
+                "missing {engine}({tb}) row"
+            );
+        }
+        // GV5 must NOT be paired with LSA: the engine rejects
+        // non-commit-monotonic bases (see lsa_stm::Stm::with_cm).
+        assert!(find_entry(&reg, "lsa-rt", "gv5").is_none());
     }
 
     #[test]
@@ -218,6 +333,12 @@ mod tests {
         for entry in default_registry() {
             let out = entry.run(&wl, 2, Duration::from_millis(5));
             assert!(out.commits() > 0, "{} committed nothing", entry.label());
+            if entry.time_base == "gv5" {
+                // GV5's counter lags even a thread's own commits, so every
+                // update transaction pays ~1 catch-up abort — the price of
+                // the load-only commit path, visible by design.
+                continue;
+            }
             assert_eq!(
                 out.aborts(),
                 0,
@@ -225,5 +346,57 @@ mod tests {
                 entry.label()
             );
         }
+    }
+
+    #[test]
+    fn every_entry_runs_the_scan_workload() {
+        let wl = Workload::Scan(ScanConfig { objects: 12 });
+        for entry in default_registry() {
+            let out = entry.run(&wl, 2, Duration::from_millis(5));
+            assert!(out.commits() > 0, "{} scanned nothing", entry.label());
+            assert_eq!(
+                out.stats.commits,
+                0,
+                "{} scans must be read-only",
+                entry.label()
+            );
+        }
+    }
+
+    #[test]
+    fn bench_rig_workers_share_workload_state() {
+        let reg = default_registry();
+        let entry = find_entry(&reg, "lsa-rt", "shared-counter").unwrap();
+        let rig = entry.bench_rig(
+            &Workload::Disjoint(DisjointConfig {
+                objects_per_thread: 8,
+                accesses_per_tx: 2,
+            }),
+            2,
+        );
+        let mut w0 = rig(0);
+        let mut w1 = rig(1);
+        for _ in 0..5 {
+            w0.step();
+            w1.step();
+        }
+        let total: u64 = [&w0, &w1].iter().map(|w| w.worker_stats().commits).sum();
+        assert_eq!(total, 10, "both workers ran against one workload");
+    }
+
+    #[test]
+    fn parameterized_external_entries_label_and_run() {
+        let entry = lsa_external_entry(10_000, 8);
+        assert_eq!(entry.label(), "lsa-rt(external-10us-mv8)");
+        let out = entry.run(
+            &Workload::Bank(BankConfig {
+                accounts: 8,
+                initial: 50,
+                audit_percent: 20,
+            }),
+            2,
+            Duration::from_millis(5),
+        );
+        assert!(out.commits() > 0);
     }
 }

@@ -185,6 +185,26 @@ impl<E: TxnEngine> BenchWorker for lsa_workloads::BankWorker<E> {
     }
 }
 
+impl<E: TxnEngine> BenchWorker for lsa_workloads::ScanWorker<E> {
+    fn step(&mut self) {
+        lsa_workloads::ScanWorker::step(self);
+    }
+
+    fn worker_stats(&self) -> EngineStats {
+        self.stats()
+    }
+}
+
+impl BenchWorker for Box<dyn BenchWorker> {
+    fn step(&mut self) {
+        (**self).step();
+    }
+
+    fn worker_stats(&self) -> EngineStats {
+        (**self).worker_stats()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

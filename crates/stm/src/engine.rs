@@ -29,6 +29,8 @@ fn to_engine_stats(s: &TxnStats) -> EngineStats {
         // fails surfaces as a `Validation` abort.
         validations: s.extensions,
         revalidation_failures: s.aborts_for(crate::error::AbortReason::Validation),
+        validated_entries: s.validated_entries,
+        shared_commit_ts: s.shared_cts,
     }
 }
 

@@ -135,7 +135,11 @@ fn prelim_resolved<C: ThreadClock>(
         match prelim_raw(obj, meta, t, me) {
             Prelim::Ready(ub) => return ub,
             Prelim::NeedCt(w) => {
-                let fresh = clock.get_new_ts();
+                // Arbitrated like any commit time: `t` is in the caller's
+                // past, so the result strictly exceeds it (§2.4). Whether
+                // the value is shared or exclusive is irrelevant here — the
+                // first setter wins either way.
+                let fresh = clock.acquire_commit_ts(t).ts();
                 w.set_ct(fresh); // first setter wins; everyone agrees after
             }
         }
@@ -486,7 +490,7 @@ impl<'h, B: TimeBase> Txn<'h, B> {
         let ct = match w.ct() {
             Some(ct) => ct,
             None => {
-                let t = self.clock.get_new_ts();
+                let t = self.clock.acquire_commit_ts(self.observed).ts();
                 w.set_ct(t)
             }
         };
@@ -537,16 +541,26 @@ impl<'h, B: TimeBase> Txn<'h, B> {
         {
             return Err(self.do_abort(AbortReason::Killed));
         }
-        // Tentative commit time; the first setter wins (lines 41–42). The
-        // getNewTS call happens strictly after the Committing transition —
-        // the visibility requirement of §2.4.
-        let t = self.clock.get_new_ts();
-        let ct = self.shared.set_ct(t);
+        // Tentative commit time through the base's arbitration protocol;
+        // the first setter wins (lines 41–42). The acquisition happens
+        // strictly after the Committing transition — the visibility
+        // requirement of §2.4 — and anchors above everything this
+        // transaction has itself observed. A Shared outcome means a
+        // concurrent non-conflicting committer holds the same timestamp
+        // (GV4/GV5 arbitration), which §2.3 explicitly allows.
+        let arbitrated = self.clock.acquire_commit_ts(self.observed);
+        if arbitrated.is_shared() {
+            self.stats.shared_cts += 1;
+        }
+        let ct = self.shared.set_ct(arbitrated.ts());
 
         // Snapshot-isolation mode (TRANSACT'06 extension): skip the read-set
         // validation — the snapshot was consistent when read, and visible
         // writes already exclude write-write conflicts. Serializable mode
         // runs Algorithm 2 lines 43–48.
+        if !self.cfg.snapshot_isolation {
+            self.stats.validated_entries += self.read_set.len() as u64;
+        }
         let valid =
             self.cfg.snapshot_isolation || validate(self.clock, &self.read_set, ct, &self.shared);
         if valid {

@@ -31,6 +31,14 @@ pub struct TxnStats {
     pub conflicts: u64,
     /// Re-executions of transaction bodies after an abort.
     pub retries: u64,
+    /// Read-set entries examined by commit-time validation (Algorithm 2
+    /// lines 43–48) — the per-entry cost the time base is supposed to keep
+    /// off the read path.
+    pub validated_entries: u64,
+    /// Commit timestamps adopted from a concurrent committer through the
+    /// time base's arbitration (GV4 pass-on-failed-CAS, GV5 read-derived
+    /// values) instead of being exclusively owned.
+    pub shared_cts: u64,
 }
 
 impl TxnStats {
@@ -76,6 +84,8 @@ impl TxnStats {
         self.helps += other.helps;
         self.conflicts += other.conflicts;
         self.retries += other.retries;
+        self.validated_entries += other.validated_entries;
+        self.shared_cts += other.shared_cts;
     }
 
     /// Aborts recorded for one specific reason.
@@ -104,8 +114,16 @@ impl fmt::Display for TxnStats {
         }
         write!(
             f,
-            " ] reads={} writes={} ext={} helps={} conflicts={} retries={}",
-            self.reads, self.writes, self.extensions, self.helps, self.conflicts, self.retries
+            " ] reads={} writes={} ext={} helps={} conflicts={} retries={} \
+             val-entries={} shared-cts={}",
+            self.reads,
+            self.writes,
+            self.extensions,
+            self.helps,
+            self.conflicts,
+            self.retries,
+            self.validated_entries,
+            self.shared_cts
         )
     }
 }

@@ -27,7 +27,7 @@ use crate::lsa::Txn;
 use crate::object::{TObject, TVar};
 use crate::stats::TxnStats;
 use crate::txn_shared::TxnShared;
-use lsa_time::{TimeBase, Timestamp};
+use lsa_time::{ThreadClock, TimeBase, Timestamp};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -74,7 +74,23 @@ impl<B: TimeBase> Stm<B> {
     }
 
     /// Runtime with custom configuration and contention manager.
+    ///
+    /// # Panics
+    /// Panics if the time base is not commit-monotonic
+    /// ([`lsa_time::TimeBaseInfo::commit_monotonic`]). LSA's `getPrelimUB`
+    /// fallback issues forward validity claims ("this version is valid at
+    /// least until `t`") that are only sound when every later commit
+    /// timestamp strictly exceeds every previously readable clock value —
+    /// bases like GV5, whose commit times run ahead of the readable
+    /// counter, would let a later commit undercut an issued claim.
     pub fn with_cm(tb: B, cfg: StmConfig, cm: impl ContentionManager) -> Self {
+        assert!(
+            tb.info().commit_monotonic,
+            "LSA requires a commit-monotonic time base; {} hands out commit \
+             timestamps that can lag other threads' readings (use it with \
+             an engine that revalidates reads, e.g. TL2)",
+            tb.name()
+        );
         Stm {
             inner: Arc::new(StmInner {
                 tb,
@@ -216,6 +232,10 @@ impl<B: TimeBase> ThreadHandle<B> {
                 Err(abort) => txn.ensure_aborted(abort.reason),
             }
             drop(txn);
+            // Abort feedback to the time base: GV5-style clocks advance on
+            // aborts so the retry observes a fresh enough time to reach the
+            // versions that made this attempt fail.
+            self.clock.note_abort();
 
             carried_ops = shared.cm().ops();
             retries = retries.saturating_add(1);
@@ -267,6 +287,7 @@ impl<B: TimeBase> ThreadHandle<B> {
                 }
             }
             drop(txn);
+            self.clock.note_abort();
             self.stats.retries += 1;
         }
         Err(last.expect("max_attempts >= 1"))
@@ -360,6 +381,36 @@ mod tests {
         let r: TxResult<()> = h.try_atomically(3, |tx| Err(tx.abort_retry()));
         assert!(r.is_err());
         assert_eq!(h.stats().aborts_for(AbortReason::Explicit), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "commit-monotonic")]
+    fn lsa_refuses_non_commit_monotonic_bases() {
+        // GV5 commit times can lag other threads' readings, which breaks
+        // the soundness of LSA's getPrelimUB fallback claims — the runtime
+        // must reject the combination loudly instead of corrupting data.
+        let _ = Stm::new(lsa_time::counter::Gv5Counter::new());
+    }
+
+    #[test]
+    fn lsa_runs_on_arbitrating_bases() {
+        use lsa_time::counter::{BlockCounter, Gv4Counter};
+        for stm in [Stm::new(Gv4Counter::new())] {
+            let x = stm.new_tvar(0u64);
+            let mut h = stm.register();
+            for _ in 0..10 {
+                h.atomically(|tx| tx.modify(&x, |v| v + 1));
+            }
+            assert_eq!(*x.snapshot_latest(), 10);
+        }
+        let stm = Stm::new(BlockCounter::new(8));
+        let x = stm.new_tvar(0u64);
+        let mut h = stm.register();
+        for _ in 0..10 {
+            h.atomically(|tx| tx.modify(&x, |v| v + 1));
+        }
+        assert_eq!(*x.snapshot_latest(), 10);
+        assert_eq!(h.stats().commits, 10);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! higher layers build on top.
 
 use lsa_stm::prelude::*;
-use lsa_time::counter::{SharedCounter, Tl2Counter};
+use lsa_time::counter::{BlockCounter, Gv4Counter, SharedCounter};
 use lsa_time::external::{ExternalClock, OffsetPolicy};
 use lsa_time::hardware::HardwareClock;
 use lsa_time::perfect::PerfectClock;
@@ -82,8 +82,13 @@ fn bank_invariant_shared_counter() {
 }
 
 #[test]
-fn bank_invariant_tl2_counter() {
-    bank_invariant_holds(Tl2Counter::new(), 4, 2_000);
+fn bank_invariant_gv4_counter() {
+    bank_invariant_holds(Gv4Counter::new(), 4, 2_000);
+}
+
+#[test]
+fn bank_invariant_block_counter() {
+    bank_invariant_holds(BlockCounter::new(16), 4, 2_000);
 }
 
 #[test]

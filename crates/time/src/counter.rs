@@ -1,4 +1,5 @@
-//! Shared-integer-counter time bases (§1.2 of the paper).
+//! Shared-integer-counter time bases (§1.2 of the paper) and their
+//! contention-avoiding commit-arbitration variants.
 //!
 //! The classical time base of LSA and TL2: a single global integer counter,
 //! read at every transaction start (`getTime`) and incremented by every
@@ -7,17 +8,45 @@
 //! *all* concurrent transactions, which is precisely the bottleneck the paper
 //! sets out to remove (§4.2, Figure 2).
 //!
-//! Two variants are provided:
+//! Four variants are provided, in increasing order of arbitration trickery:
 //!
-//! * [`SharedCounter`] — plain `fetch_add` counter,
-//! * [`Tl2Counter`] — the TL2 optimization in which a transaction whose
-//!   timestamp-acquiring compare-and-swap fails *shares* the timestamp
-//!   installed by the winner instead of retrying. The paper reports this
-//!   "showed no advantages on our hardware" (§4.2); the
-//!   [`Tl2Counter::shared_acquisitions`] statistic lets the benchmarks verify
-//!   both behaviours.
+//! * [`SharedCounter`] — plain `fetch_add` counter; every commit is an
+//!   exclusive RMW ([`ContentionClass::SharedRmw`]).
+//! * [`Gv4Counter`] — TL2's **GV4** optimization: a transaction whose
+//!   timestamp-acquiring compare-and-swap fails *adopts* the timestamp
+//!   installed by the winner instead of retrying
+//!   ([`CommitTs::Shared`]). The paper reports this "showed no advantages on
+//!   our hardware" (§4.2); the [`Gv4Counter::shared_acquisitions`] statistic
+//!   lets the benchmarks verify both behaviours.
+//! * [`Gv5Counter`] — TL2's **GV5**: the commit time is a *plain read* of
+//!   the counter plus one; the counter is never incremented on commit, only
+//!   on abort (via [`ThreadClock::note_abort`]) so lagging readers catch up.
+//!   Commits cause no invalidation traffic at all, paid for with extra
+//!   aborts ([`ContentionClass::LoadOnly`]).
+//! * [`BlockCounter`] — batched allocation: each thread reserves blocks of
+//!   `k` timestamps with one RMW on a *reservation* counter, and publishes
+//!   the values it actually uses to a separate *commit frontier* with
+//!   `fetch_max`. Readers only touch the frontier; allocation traffic is
+//!   amortized `k`-fold. See the module-level soundness discussion below.
+//!
+//! ## Why batched timestamps still need a published frontier
+//!
+//! A naïvely batched counter (hand out `[B, B+k)` and let `getTime` read the
+//! allocation frontier) is **unsound** for time-based STMs: a reader that
+//! observes the frontier at `B+k` may conclude a version is valid until
+//! `B+k`, after which a buffered committer supersedes that version at some
+//! `v < B+k` from its stale block — a consistency violation (§2.4 requires
+//! commit times to strictly exceed every previously readable clock value).
+//! [`BlockCounter`] therefore keeps the *issued* frontier separate: readers
+//! see only published commit times, and a committer confirms a block value
+//! `v` by `fetch_max(frontier, v)` — if the frontier already moved past `v`,
+//! the value is stale and the committer either adopts the frontier value
+//! (GV4-style sharing) or re-reserves. Only the reservation traffic
+//! amortizes; publication remains one RMW per commit — which is exactly the
+//! paper's skepticism about counter batching, now stated as an API-level
+//! invariant (DESIGN.md §8).
 
-use crate::base::{ThreadClock, TimeBase};
+use crate::base::{CommitTs, ContentionClass, ThreadClock, TimeBase, TimeBaseInfo, Uniqueness};
 use crossbeam_utils::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -65,8 +94,15 @@ impl TimeBase for SharedCounter {
         }
     }
 
-    fn name(&self) -> &'static str {
-        "shared-counter"
+    fn info(&self) -> TimeBaseInfo {
+        TimeBaseInfo {
+            name: "shared-counter",
+            uniqueness: Uniqueness::Unique,
+            // `get_ts_block` reserves a disjoint range with one fetch_add.
+            block_uniqueness: Uniqueness::Unique,
+            contention: ContentionClass::SharedRmw,
+            commit_monotonic: true,
+        }
     }
 }
 
@@ -86,25 +122,43 @@ impl ThreadClock for SharedCounterClock {
         // brings us up to date with earlier committers (Acquire).
         self.counter.fetch_add(1, Ordering::AcqRel) + 1
     }
+
+    #[inline]
+    fn acquire_commit_ts(&mut self, observed: u64) -> CommitTs<u64> {
+        // fetch_add results are globally unique, so the arbitration outcome
+        // is always exclusive — no tricks, full cache-line contention.
+        let _ = observed; // always exceeded: the counter is >= any reading
+        CommitTs::Exclusive(self.get_new_ts())
+    }
+
+    fn get_ts_block(&mut self, n: usize) -> Vec<u64> {
+        // One RMW reserves the whole block; the values are globally unique
+        // (disjoint ranges) and strictly increasing, but NOT real-time
+        // ordered — see the trait-level contract.
+        let base = self.counter.fetch_add(n as u64, Ordering::AcqRel);
+        (1..=n as u64).map(|i| base + i).collect()
+    }
 }
 
-/// TL2-style counter: on a failed timestamp-acquiring CAS the transaction
-/// adopts the winner's timestamp instead of retrying (§1.2).
+/// TL2's **GV4** counter: on a failed timestamp-acquiring CAS the
+/// transaction adopts the winner's timestamp instead of retrying (§1.2).
 ///
 /// Sharing a commit timestamp is sound for time-based STMs because two
 /// transactions may commit at the same time as long as they do not conflict
 /// (§2.3) — and conflicting transactions are serialized by the object-level
-/// write protocol, never by the counter.
+/// write protocol, never by the counter. The adoption outcome is visible to
+/// engines as [`CommitTs::Shared`] through
+/// [`ThreadClock::acquire_commit_ts`].
 #[derive(Clone, Debug, Default)]
-pub struct Tl2Counter {
+pub struct Gv4Counter {
     counter: Arc<CachePadded<AtomicU64>>,
     shared: Arc<CachePadded<AtomicU64>>,
 }
 
-impl Tl2Counter {
+impl Gv4Counter {
     /// Create a counter starting at 1.
     pub fn new() -> Self {
-        Tl2Counter {
+        Gv4Counter {
             counter: Arc::new(CachePadded::new(AtomicU64::new(1))),
             shared: Arc::new(CachePadded::new(AtomicU64::new(0))),
         }
@@ -115,16 +169,16 @@ impl Tl2Counter {
         self.counter.load(Ordering::SeqCst)
     }
 
-    /// How many `get_new_ts` calls returned a timestamp installed by another
-    /// thread (i.e. how often the optimization actually fired).
+    /// How many commit-time acquisitions returned a timestamp installed by
+    /// another thread (i.e. how often the optimization actually fired).
     pub fn shared_acquisitions(&self) -> u64 {
         self.shared.load(Ordering::Relaxed)
     }
 }
 
-/// Per-thread handle to a [`Tl2Counter`].
+/// Per-thread handle to a [`Gv4Counter`].
 #[derive(Clone, Debug)]
-pub struct Tl2CounterClock {
+pub struct Gv4CounterClock {
     counter: Arc<CachePadded<AtomicU64>>,
     shared: Arc<CachePadded<AtomicU64>>,
     /// Largest timestamp this thread has returned so far; the shared-on-failure
@@ -132,24 +186,71 @@ pub struct Tl2CounterClock {
     last_seen: u64,
 }
 
-impl TimeBase for Tl2Counter {
+impl TimeBase for Gv4Counter {
     type Ts = u64;
-    type Clock = Tl2CounterClock;
+    type Clock = Gv4CounterClock;
 
-    fn register_thread(&self) -> Tl2CounterClock {
-        Tl2CounterClock {
+    fn register_thread(&self) -> Gv4CounterClock {
+        Gv4CounterClock {
             counter: Arc::clone(&self.counter),
             shared: Arc::clone(&self.shared),
             last_seen: 0,
         }
     }
 
-    fn name(&self) -> &'static str {
-        "tl2-counter"
+    fn info(&self) -> TimeBaseInfo {
+        TimeBaseInfo {
+            name: "gv4",
+            uniqueness: Uniqueness::SharedUnderContention,
+            block_uniqueness: Uniqueness::Unique,
+            contention: ContentionClass::AdoptingRmw,
+            // An adopted value equals the counter value the winner already
+            // published, so in a vanishingly narrow window a reader may
+            // observe the counter at the adopted timestamp before the loser
+            // commits with it. The paper uses this base with LSA regardless
+            // (§1.2 "showed no advantages"); see DESIGN.md §8 for the
+            // window analysis.
+            commit_monotonic: true,
+        }
     }
 }
 
-impl ThreadClock for Tl2CounterClock {
+impl Gv4CounterClock {
+    /// The GV4 arbitration loop: CAS to increment; on failure, adopt the
+    /// observed winner value when it is fresh for this thread (strictly
+    /// above both `floor` and everything previously returned).
+    #[inline]
+    fn arbitrate(&mut self, floor: u64) -> CommitTs<u64> {
+        let floor = floor.max(self.last_seen);
+        let mut cur = self.counter.load(Ordering::Acquire);
+        loop {
+            match self.counter.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.last_seen = self.last_seen.max(cur + 1);
+                    return CommitTs::Exclusive(cur + 1);
+                }
+                Err(observed) => {
+                    // GV4: adopt the winner's timestamp — but only if it
+                    // satisfies the strict getNewTS contract for this
+                    // thread and exceeds the caller's own observations.
+                    if observed > floor {
+                        self.shared.fetch_add(1, Ordering::Relaxed);
+                        self.last_seen = observed;
+                        return CommitTs::Shared(observed);
+                    }
+                    cur = observed;
+                }
+            }
+        }
+    }
+}
+
+impl ThreadClock for Gv4CounterClock {
     type Ts = u64;
 
     #[inline]
@@ -161,31 +262,387 @@ impl ThreadClock for Tl2CounterClock {
 
     #[inline]
     fn get_new_ts(&mut self) -> u64 {
+        self.arbitrate(self.last_seen).ts()
+    }
+
+    #[inline]
+    fn acquire_commit_ts(&mut self, observed: u64) -> CommitTs<u64> {
+        self.arbitrate(observed)
+    }
+
+    fn get_ts_block(&mut self, n: usize) -> Vec<u64> {
+        let base = self.counter.fetch_add(n as u64, Ordering::AcqRel);
+        self.last_seen = self.last_seen.max(base + n as u64);
+        (1..=n as u64).map(|i| base + i).collect()
+    }
+}
+
+/// TL2's **GV5** counter: the commit time is `read + 1` and the counter is
+/// *never incremented on commit* — only [`ThreadClock::note_abort`] advances
+/// it.
+///
+/// Commits therefore cause no shared-line invalidation at all
+/// ([`ContentionClass::LoadOnly`]): the commit hot path is one load. The
+/// price is that the counter lags the committed versions by design, so
+/// readers whose snapshots stall behind a committed version abort once and
+/// bump the counter on the way out (TL2's companion rule "increment GV on
+/// abort") — the [`Gv5Counter::abort_bumps`] statistic counts those.
+///
+/// Every arbitration returns [`CommitTs::Shared`]: concurrent committers
+/// that read the same counter value share `read + 1`, which is sound for
+/// non-conflicting transactions (§2.3) and strictly exceeds every counter
+/// value readable before the commit (the load happens after the committer
+/// becomes visible — §2.4).
+#[derive(Clone, Debug, Default)]
+pub struct Gv5Counter {
+    counter: Arc<CachePadded<AtomicU64>>,
+    bumps: Arc<CachePadded<AtomicU64>>,
+}
+
+impl Gv5Counter {
+    /// Create a counter starting at 1.
+    pub fn new() -> Self {
+        Gv5Counter {
+            counter: Arc::new(CachePadded::new(AtomicU64::new(1))),
+            bumps: Arc::new(CachePadded::new(AtomicU64::new(0))),
+        }
+    }
+
+    /// Current raw value of the counter (for statistics/tests).
+    pub fn current(&self) -> u64 {
+        self.counter.load(Ordering::SeqCst)
+    }
+
+    /// How many aborts advanced the counter (the GV5 catch-up rule).
+    pub fn abort_bumps(&self) -> u64 {
+        self.bumps.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-thread handle to a [`Gv5Counter`].
+#[derive(Clone, Debug)]
+pub struct Gv5CounterClock {
+    counter: Arc<CachePadded<AtomicU64>>,
+    bumps: Arc<CachePadded<AtomicU64>>,
+    last_seen: u64,
+}
+
+impl TimeBase for Gv5Counter {
+    type Ts = u64;
+    type Clock = Gv5CounterClock;
+
+    fn register_thread(&self) -> Gv5CounterClock {
+        Gv5CounterClock {
+            counter: Arc::clone(&self.counter),
+            bumps: Arc::clone(&self.bumps),
+            last_seen: 0,
+        }
+    }
+
+    fn info(&self) -> TimeBaseInfo {
+        TimeBaseInfo {
+            name: "gv5",
+            uniqueness: Uniqueness::SharedUnderContention,
+            block_uniqueness: Uniqueness::Unique,
+            contention: ContentionClass::LoadOnly,
+            // Commit times deliberately run ahead of the readable counter:
+            // a commit at `read + 1` can be smaller than a version stamp
+            // another thread already holds. Engines that issue forward
+            // validity claims (LSA) must refuse this base.
+            commit_monotonic: false,
+        }
+    }
+}
+
+impl ThreadClock for Gv5CounterClock {
+    type Ts = u64;
+
+    #[inline]
+    fn get_time(&mut self) -> u64 {
+        // Readers must only observe *published* time — the counter itself.
+        // Own commit times and observed stamps (tracked in `last_seen`) are
+        // deliberately not returned: handing unpublished times to readers
+        // would let snapshots claim validity at times later commits can
+        // still undercut. Successive loads of the monotone counter keep
+        // `get_time` non-decreasing per thread.
+        let t = self.counter.load(Ordering::Acquire);
+        self.last_seen = self.last_seen.max(t);
+        t
+    }
+
+    #[inline]
+    fn get_new_ts(&mut self) -> u64 {
+        self.acquire_commit_ts(self.last_seen).ts()
+    }
+
+    #[inline]
+    fn acquire_commit_ts(&mut self, observed: u64) -> CommitTs<u64> {
+        // Tentative phase: read the counter fresh (after the caller became
+        // visible as a committer); confirmed phase: nothing to win — the
+        // value is `read + 1`, shared with every committer that read the
+        // same counter value.
+        let g = self.counter.load(Ordering::Acquire);
+        let v = g.max(self.last_seen).max(observed) + 1;
+        self.last_seen = v;
+        CommitTs::Shared(v)
+    }
+
+    fn get_ts_block(&mut self, n: usize) -> Vec<u64> {
+        // Blocks DO advance the counter (they are allocation, not commit) —
+        // and because GV5 commit times run ahead of the lazy counter, the
+        // reservation must start above this thread's own run-ahead frontier
+        // (`last_seen`) too. A plain fetch_add would let a later reservation
+        // by another thread overlap the skipped-ahead range, so advance by
+        // CAS from max(counter, last_seen): every reservation moves the
+        // counter past its own end, keeping reserved ranges pairwise
+        // disjoint. (Blocks may still coincide with *commit* timestamps
+        // other threads have not published — consistent with the base's
+        // `SharedUnderContention` timestamp class.)
+        let n = n as u64;
         let mut cur = self.counter.load(Ordering::Acquire);
         loop {
+            let base = cur.max(self.last_seen);
             match self.counter.compare_exchange_weak(
                 cur,
-                cur + 1,
+                base + n,
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
                 Ok(_) => {
-                    self.last_seen = cur + 1;
-                    return cur + 1;
+                    self.last_seen = base + n;
+                    return (1..=n).map(|i| base + i).collect();
                 }
-                Err(observed) => {
-                    // TL2 optimization: adopt the winner's timestamp — but
-                    // only if it satisfies the strict getNewTS contract for
-                    // this thread.
-                    if observed > self.last_seen {
-                        self.shared.fetch_add(1, Ordering::Relaxed);
-                        self.last_seen = observed;
-                        return observed;
-                    }
-                    cur = observed;
-                }
+                Err(observed) => cur = observed,
             }
         }
+    }
+
+    #[inline]
+    fn observe_ts(&mut self, ts: u64) {
+        // A version stamp the engine read from shared state: a real commit
+        // time, so folding it into our freshness floor is sound and lets
+        // one abort catch this clock up however far the versions ran ahead.
+        self.last_seen = self.last_seen.max(ts);
+    }
+
+    #[inline]
+    fn note_abort(&mut self) {
+        // TL2's GV5 companion rule: an abort advances the clock so the
+        // retry observes a fresh enough time to reach the versions that
+        // made it abort (including any stamp fed in via `observe_ts`).
+        // fetch_max keeps the counter from racing ahead of the highest
+        // timestamp this thread actually knows about.
+        let target = self.last_seen + 1;
+        self.counter.fetch_max(target, Ordering::AcqRel);
+        self.bumps.fetch_add(1, Ordering::Relaxed);
+        self.last_seen = self.last_seen.max(target);
+    }
+}
+
+/// Default block size of [`BlockCounter`]: one cache line's worth of
+/// timestamps per reservation.
+pub const DEFAULT_TS_BLOCK: u64 = 64;
+
+/// Batched-allocation counter: per-thread blocks of `k` timestamps from a
+/// *reservation* counter, published to a separate *commit frontier* on use.
+///
+/// * [`ThreadClock::get_ts_block`] / allocation: one `fetch_add(k)` on the
+///   reservation counter per `k` timestamps — the amortized path.
+/// * [`ThreadClock::get_time`]: a load of the commit *frontier* (only
+///   published timestamps are readable, which is what makes block
+///   reservation sound — see the module docs).
+/// * [`ThreadClock::acquire_commit_ts`]: confirm the next block value `v`
+///   with `fetch_max(frontier, v)`. Losing the `fetch_max` means another
+///   committer published a higher timestamp first; the loser adopts it
+///   (GV4-style, [`CommitTs::Shared`]) when it is fresh for this thread, or
+///   skips forward in its block / re-reserves otherwise.
+#[derive(Clone, Debug)]
+pub struct BlockCounter {
+    /// Allocation frontier: every reserved timestamp is ≤ this.
+    reserve: Arc<CachePadded<AtomicU64>>,
+    /// Commit frontier: the largest *published* timestamp; `get_time` reads
+    /// only this, so unissued block values are never observable.
+    issued: Arc<CachePadded<AtomicU64>>,
+    shared: Arc<CachePadded<AtomicU64>>,
+    refills: Arc<CachePadded<AtomicU64>>,
+    block: u64,
+}
+
+impl Default for BlockCounter {
+    fn default() -> Self {
+        Self::new(DEFAULT_TS_BLOCK)
+    }
+}
+
+impl BlockCounter {
+    /// Create a block counter reserving `block` timestamps per refill.
+    ///
+    /// # Panics
+    /// Panics if `block` is 0.
+    pub fn new(block: u64) -> Self {
+        assert!(block > 0, "block size must be positive");
+        BlockCounter {
+            reserve: Arc::new(CachePadded::new(AtomicU64::new(1))),
+            issued: Arc::new(CachePadded::new(AtomicU64::new(1))),
+            shared: Arc::new(CachePadded::new(AtomicU64::new(0))),
+            refills: Arc::new(CachePadded::new(AtomicU64::new(0))),
+            block,
+        }
+    }
+
+    /// The configured block size.
+    pub fn block_size(&self) -> u64 {
+        self.block
+    }
+
+    /// Current commit frontier (for statistics/tests).
+    pub fn current(&self) -> u64 {
+        self.issued.load(Ordering::SeqCst)
+    }
+
+    /// How many commit-time acquisitions adopted another committer's
+    /// published timestamp.
+    pub fn shared_acquisitions(&self) -> u64 {
+        self.shared.load(Ordering::Relaxed)
+    }
+
+    /// How many block reservations were performed (allocation RMWs). With
+    /// `b` the block size and `c` exclusive commits, `refills ≈ c / b` when
+    /// blocks stay fresh — the amortization the batching buys.
+    pub fn refills(&self) -> u64 {
+        self.refills.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-thread handle to a [`BlockCounter`].
+#[derive(Clone, Debug)]
+pub struct BlockCounterClock {
+    reserve: Arc<CachePadded<AtomicU64>>,
+    issued: Arc<CachePadded<AtomicU64>>,
+    shared: Arc<CachePadded<AtomicU64>>,
+    refills: Arc<CachePadded<AtomicU64>>,
+    block: u64,
+    /// Next unissued value of the current block (0 = no block).
+    next: u64,
+    /// One past the last value of the current block.
+    end: u64,
+    last_seen: u64,
+}
+
+impl TimeBase for BlockCounter {
+    type Ts = u64;
+    type Clock = BlockCounterClock;
+
+    fn register_thread(&self) -> BlockCounterClock {
+        BlockCounterClock {
+            reserve: Arc::clone(&self.reserve),
+            issued: Arc::clone(&self.issued),
+            shared: Arc::clone(&self.shared),
+            refills: Arc::clone(&self.refills),
+            block: self.block,
+            next: 0,
+            end: 0,
+            last_seen: 0,
+        }
+    }
+
+    fn info(&self) -> TimeBaseInfo {
+        TimeBaseInfo {
+            name: "block",
+            uniqueness: Uniqueness::SharedUnderContention,
+            block_uniqueness: Uniqueness::Unique,
+            contention: ContentionClass::AdoptingRmw,
+            // The fetch_max publication makes every confirmed commit time
+            // strictly exceed the previously readable frontier.
+            commit_monotonic: true,
+        }
+    }
+}
+
+impl BlockCounterClock {
+    /// Reserve a fresh block `(base, base + n]` from the allocation frontier.
+    fn refill(&mut self, n: u64) -> u64 {
+        self.refills.fetch_add(1, Ordering::Relaxed);
+        self.reserve.fetch_add(n, Ordering::AcqRel)
+    }
+}
+
+impl ThreadClock for BlockCounterClock {
+    type Ts = u64;
+
+    #[inline]
+    fn get_time(&mut self) -> u64 {
+        // Readers observe the published commit frontier only — raw block
+        // reservations (and commit times about to be confirmed) stay
+        // invisible until the fetch_max publication.
+        let t = self.issued.load(Ordering::Acquire);
+        self.last_seen = self.last_seen.max(t);
+        t
+    }
+
+    #[inline]
+    fn get_new_ts(&mut self) -> u64 {
+        self.acquire_commit_ts(self.last_seen).ts()
+    }
+
+    fn acquire_commit_ts(&mut self, observed: u64) -> CommitTs<u64> {
+        let mut floor = self
+            .issued
+            .load(Ordering::Acquire)
+            .max(self.last_seen)
+            .max(observed);
+        loop {
+            // Skip block values at or below the floor: they are stale —
+            // readers may already have observed the frontier past them.
+            if self.next <= floor {
+                self.next = floor + 1;
+            }
+            if self.next >= self.end {
+                // Block exhausted (or fully stale): reserve a new one. The
+                // reservation frontier is ≥ every reserved — hence every
+                // published — timestamp, so the new block starts above
+                // `floor` whenever the floor came from published values;
+                // the skip-forward above handles the remaining case of a
+                // caller-supplied `observed` floor inside the new block.
+                let base = self.refill(self.block);
+                self.next = base + 1;
+                self.end = base + self.block + 1;
+                if self.next <= floor {
+                    self.next = floor + 1;
+                }
+                if self.next >= self.end {
+                    continue;
+                }
+            }
+            let v = self.next;
+            self.next += 1;
+            // Confirm: publish v as the new commit frontier. Winning the
+            // fetch_max means no reader could have observed a frontier ≥ v
+            // before now, so v is a sound, exclusively owned commit time.
+            let prev = self.issued.fetch_max(v, Ordering::AcqRel);
+            if prev < v {
+                self.last_seen = self.last_seen.max(v);
+                return CommitTs::Exclusive(v);
+            }
+            // Lost: another committer published prev ≥ v first. Adopt its
+            // timestamp (GV4-style sharing) when fresh for this thread;
+            // otherwise raise the floor and try the next block value.
+            if prev > floor {
+                self.shared.fetch_add(1, Ordering::Relaxed);
+                self.last_seen = self.last_seen.max(prev);
+                return CommitTs::Shared(prev);
+            }
+            floor = prev.max(floor);
+        }
+    }
+
+    fn get_ts_block(&mut self, n: usize) -> Vec<u64> {
+        // Raw reservation: globally unique (disjoint ranges), per-thread
+        // fresh (the reservation frontier is ≥ everything this thread ever
+        // saw), but NOT published — not usable as commit times directly.
+        let base = self.refill(n as u64).max(self.last_seen);
+        self.last_seen = base + n as u64;
+        (1..=n as u64).map(|i| base + i).collect()
     }
 }
 
@@ -248,8 +705,8 @@ mod tests {
     }
 
     #[test]
-    fn tl2_counter_monotonic_per_thread_under_contention() {
-        let tb = Tl2Counter::new();
+    fn gv4_counter_monotonic_per_thread_under_contention() {
+        let tb = Gv4Counter::new();
         std::thread::scope(|s| {
             for _ in 0..4 {
                 let mut clk = tb.register_thread();
@@ -266,8 +723,8 @@ mod tests {
     }
 
     #[test]
-    fn tl2_counter_may_share_timestamps() {
-        let tb = Tl2Counter::new();
+    fn gv4_counter_may_share_timestamps() {
+        let tb = Gv4Counter::new();
         std::thread::scope(|s| {
             for _ in 0..4 {
                 let mut clk = tb.register_thread();
@@ -284,5 +741,228 @@ mod tests {
         let issued = tb.current() - 1;
         let shared = tb.shared_acquisitions();
         assert_eq!(issued + shared, 4 * 50_000);
+    }
+
+    #[test]
+    fn gv4_arbitration_reports_exclusive_without_contention() {
+        let tb = Gv4Counter::new();
+        let mut c = tb.register_thread();
+        let observed = c.get_time();
+        match c.acquire_commit_ts(observed) {
+            CommitTs::Exclusive(v) => assert!(v > observed),
+            CommitTs::Shared(v) => panic!("uncontended CAS must win, got Shared({v})"),
+        }
+    }
+
+    #[test]
+    fn gv5_commit_never_advances_the_counter() {
+        let tb = Gv5Counter::new();
+        let mut c = tb.register_thread();
+        let g0 = tb.current();
+        let t0 = c.get_time();
+        let ct = c.acquire_commit_ts(t0);
+        assert!(ct.is_shared(), "GV5 commit times are shared-class");
+        assert_eq!(ct.ts(), g0 + 1, "commit = read + 1");
+        assert_eq!(tb.current(), g0, "counter unchanged by commit");
+        // Successive commits on the same thread stay strictly increasing
+        // even while the counter stands still.
+        let t1 = c.get_time();
+        let ct2 = c.acquire_commit_ts(t1);
+        assert!(ct2.ts() > ct.ts());
+        assert_eq!(tb.current(), g0);
+    }
+
+    #[test]
+    fn gv5_note_abort_bumps_the_counter() {
+        let tb = Gv5Counter::new();
+        let mut w = tb.register_thread();
+        let mut r = tb.register_thread();
+        let w0 = w.get_time();
+        let ct = w.acquire_commit_ts(w0).ts();
+        assert!(r.get_time() < ct, "reader lags the committed version");
+        // The reader's failed attempt advances the clock...
+        r.note_abort();
+        assert!(tb.abort_bumps() >= 1);
+        // ...and a retry by a third party now observes a fresh enough time
+        // after enough bumps (one per lagging unit here).
+        let mut r2 = tb.register_thread();
+        assert!(r2.get_time() >= ct.saturating_sub(1));
+    }
+
+    #[test]
+    fn gv5_commit_exceeds_every_prior_reading() {
+        let tb = Gv5Counter::new();
+        let mut a = tb.register_thread();
+        let mut b = tb.register_thread();
+        for _ in 0..200 {
+            let before = a.get_time();
+            let b0 = b.get_time();
+            let fresh = b.acquire_commit_ts(b0).ts();
+            assert!(fresh > before, "commit time must exceed prior readings");
+            b.note_abort(); // keep the counter moving so readings vary
+        }
+    }
+
+    #[test]
+    fn gv5_blocks_stay_disjoint_after_run_ahead_commits() {
+        // Regression: GV5 commits run ahead of the lazy counter
+        // (last_seen > counter). A reservation by the run-ahead thread must
+        // advance the counter past its skipped-ahead range, or another
+        // thread's later reservation overlaps it.
+        let tb = Gv5Counter::new();
+        let mut a = tb.register_thread();
+        let mut b = tb.register_thread();
+        for _ in 0..5 {
+            let t = a.get_time();
+            a.acquire_commit_ts(t); // counter never advances; a.last_seen does
+        }
+        let block_a = a.get_ts_block(4);
+        let block_b = b.get_ts_block(8);
+        for v in &block_a {
+            assert!(
+                !block_b.contains(v),
+                "blocks overlap: {block_a:?} vs {block_b:?}"
+            );
+        }
+        assert!(block_b[0] > *block_a.last().unwrap());
+    }
+
+    #[test]
+    fn block_counter_exclusive_values_are_unique() {
+        let tb = BlockCounter::new(8);
+        let threads = 4;
+        let per = 10_000usize;
+        let mut exclusive: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let mut clk = tb.register_thread();
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        for _ in 0..per {
+                            let observed = clk.get_time();
+                            if let CommitTs::Exclusive(v) = clk.acquire_commit_ts(observed) {
+                                out.push(v);
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        let n = exclusive.len();
+        exclusive.sort_unstable();
+        exclusive.dedup();
+        assert_eq!(n, exclusive.len(), "Exclusive commit times must be unique");
+    }
+
+    #[test]
+    fn block_counter_amortizes_allocation_when_uncontended() {
+        let tb = BlockCounter::new(64);
+        let mut c = tb.register_thread();
+        for _ in 0..640 {
+            let observed = c.get_time();
+            c.acquire_commit_ts(observed);
+        }
+        // 640 commits at block size 64: at most a handful of reservations
+        // beyond the ideal 10 (staleness skips can cost a few extra).
+        assert!(
+            tb.refills() <= 20,
+            "expected ~10 refills for 640 commits, got {}",
+            tb.refills()
+        );
+    }
+
+    #[test]
+    fn block_counter_commit_exceeds_observed_and_history() {
+        let tb = BlockCounter::new(4);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let mut clk = tb.register_thread();
+                s.spawn(move || {
+                    let mut last = 0u64;
+                    for _ in 0..5_000 {
+                        let observed = clk.get_time();
+                        let ct = clk.acquire_commit_ts(observed);
+                        assert!(ct.ts() > observed, "commit must exceed observation");
+                        assert!(ct.ts() > last, "strictly increasing per thread");
+                        last = ct.ts();
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn block_counter_readers_only_see_published_frontier() {
+        let tb = BlockCounter::new(16);
+        let mut w = tb.register_thread();
+        let mut r = tb.register_thread();
+        // Reserving a raw block moves the allocation frontier but must not
+        // move what readers observe.
+        let before = r.get_time();
+        let blk = w.get_ts_block(16);
+        assert_eq!(r.get_time(), before, "raw reservation is unobservable");
+        // Publishing a commit moves the observable frontier.
+        let w1 = w.get_time();
+        let ct = w.acquire_commit_ts(w1).ts();
+        assert!(
+            ct > *blk.last().unwrap(),
+            "commit re-arbitrates past blocks"
+        );
+        assert!(r.get_time() >= ct);
+    }
+
+    #[test]
+    fn raw_blocks_are_disjoint_across_threads() {
+        let tb = BlockCounter::new(8);
+        let mut all: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let mut clk = tb.register_thread();
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        for _ in 0..500 {
+                            out.extend(clk.get_ts_block(8));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        let n = all.len();
+        assert_eq!(n, 4 * 500 * 8);
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(n, all.len(), "reserved blocks must be disjoint");
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be positive")]
+    fn zero_block_size_is_rejected() {
+        let _ = BlockCounter::new(0);
+    }
+
+    #[test]
+    fn info_names_match_registry_expectations() {
+        assert_eq!(SharedCounter::new().name(), "shared-counter");
+        assert_eq!(Gv4Counter::new().name(), "gv4");
+        assert_eq!(Gv5Counter::new().name(), "gv5");
+        assert_eq!(BlockCounter::default().name(), "block");
+        assert_eq!(
+            SharedCounter::new().info().contention,
+            ContentionClass::SharedRmw
+        );
+        assert_eq!(
+            Gv5Counter::new().info().contention,
+            ContentionClass::LoadOnly
+        );
     }
 }

@@ -293,8 +293,18 @@ impl TimeBase for ExternalClock {
         }
     }
 
-    fn name(&self) -> &'static str {
-        "external-clock"
+    fn info(&self) -> crate::base::TimeBaseInfo {
+        crate::base::TimeBaseInfo {
+            name: "external-clock",
+            // Distinct clocks can draw overlapping (ts, cid, dev) readings;
+            // only the uncertainty algebra orders them.
+            uniqueness: crate::base::Uniqueness::BestEffort,
+            block_uniqueness: crate::base::Uniqueness::BestEffort,
+            contention: crate::base::ContentionClass::LocalRead,
+            // The uncertainty algebra (Algorithm 5) masks deviations, so
+            // guaranteed comparisons never contradict commit order.
+            commit_monotonic: true,
+        }
     }
 }
 

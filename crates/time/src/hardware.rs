@@ -16,7 +16,9 @@
 //! uncached register read for that long — see DESIGN.md §3 for the
 //! substitution argument).
 
-use crate::base::{monotonic_ns, spin_for_ns, ThreadClock, TimeBase};
+use crate::base::{
+    monotonic_ns, spin_for_ns, ContentionClass, ThreadClock, TimeBase, TimeBaseInfo, Uniqueness,
+};
 
 /// Nominal MMTimer frequency on the SGI Altix 3700: 20 MHz.
 pub const MMTIMER_FREQ_HZ: u64 = 20_000_000;
@@ -93,8 +95,15 @@ impl TimeBase for HardwareClock {
         }
     }
 
-    fn name(&self) -> &'static str {
-        "mmtimer"
+    fn info(&self) -> TimeBaseInfo {
+        TimeBaseInfo {
+            name: "mmtimer",
+            // Ticks are coarse (50 ns at 20 MHz): concurrent reads collide.
+            uniqueness: Uniqueness::BestEffort,
+            block_uniqueness: Uniqueness::BestEffort,
+            contention: ContentionClass::LocalRead,
+            commit_monotonic: true,
+        }
     }
 }
 

@@ -7,8 +7,13 @@
 //!
 //! * [`counter::SharedCounter`] — the classical global shared integer counter
 //!   used by LSA and TL2 (incremented by every committing update transaction),
-//! * [`counter::Tl2Counter`] — the TL2 optimization that lets transactions
-//!   share a commit timestamp when the timestamp-acquiring CAS fails,
+//! * [`counter::Gv4Counter`] — the TL2 GV4 optimization that lets
+//!   transactions share a commit timestamp when the timestamp-acquiring CAS
+//!   fails,
+//! * [`counter::Gv5Counter`] — TL2's GV5: commit = read + 1, the counter is
+//!   never incremented on commit (aborts advance it instead),
+//! * [`counter::BlockCounter`] — batched per-thread timestamp blocks with a
+//!   separately published commit frontier,
 //! * [`perfect::PerfectClock`] — a perfectly synchronized real-time clock
 //!   (Algorithm 4 of the paper),
 //! * [`hardware::HardwareClock`] — a simulated *MMTimer*: a globally
@@ -30,7 +35,12 @@
 //!   [`Timestamp::join`] (max) and [`Timestamp::meet`] (min).
 //! * [`TimeBase`] produces per-thread clock handles ([`ThreadClock`]) whose
 //!   [`ThreadClock::get_time`] and [`ThreadClock::get_new_ts`] implement the
-//!   paper's `getTime`/`getNewTS` utility functions.
+//!   paper's `getTime`/`getNewTS` utility functions. On top of those,
+//!   [`ThreadClock::acquire_commit_ts`] is the commit-arbitration protocol
+//!   (GV4/GV5 timestamp sharing as [`CommitTs`]),
+//!   [`ThreadClock::get_ts_block`] batched allocation, and every base
+//!   describes its guarantees through a [`TimeBaseInfo`] descriptor whose
+//!   claims the [`conformance`] suite asserts.
 //!
 //! The crate also contains the measurement infrastructure used for the
 //! paper's Figure 1 ([`sync_measure`]) and a software clock-synchronization
@@ -42,6 +52,7 @@
 #![deny(unsafe_code)]
 
 pub mod base;
+pub mod conformance;
 pub mod counter;
 pub mod external;
 pub mod hardware;
@@ -52,14 +63,14 @@ pub mod sync_measure;
 pub mod sync_sim;
 pub mod timestamp;
 
-pub use base::{ThreadClock, TimeBase};
+pub use base::{CommitTs, ContentionClass, ThreadClock, TimeBase, TimeBaseInfo, Uniqueness};
 pub use range::ValidityRange;
 pub use timestamp::Timestamp;
 
 /// Convenient re-exports of every concrete time base.
 pub mod prelude {
-    pub use crate::base::{ThreadClock, TimeBase};
-    pub use crate::counter::{SharedCounter, Tl2Counter};
+    pub use crate::base::{CommitTs, ThreadClock, TimeBase, TimeBaseInfo};
+    pub use crate::counter::{BlockCounter, Gv4Counter, Gv5Counter, SharedCounter};
     pub use crate::external::{ExtTimestamp, ExternalClock};
     pub use crate::hardware::HardwareClock;
     pub use crate::numa::{NumaCounter, NumaModel};

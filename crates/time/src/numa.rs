@@ -134,8 +134,14 @@ impl TimeBase for NumaCounter {
         }
     }
 
-    fn name(&self) -> &'static str {
-        "numa-counter"
+    fn info(&self) -> crate::base::TimeBaseInfo {
+        crate::base::TimeBaseInfo {
+            name: "numa-counter",
+            uniqueness: crate::base::Uniqueness::Unique,
+            block_uniqueness: crate::base::Uniqueness::Unique,
+            contention: crate::base::ContentionClass::SharedRmw,
+            commit_monotonic: true,
+        }
     }
 }
 
@@ -172,6 +178,14 @@ impl ThreadClock for NumaCounterClock {
         // Our own write leaves the line in our cache in modified state.
         self.cached_line_version = lv;
         t
+    }
+
+    #[inline]
+    fn acquire_commit_ts(&mut self, observed: u64) -> crate::base::CommitTs<u64> {
+        // fetch_add results are globally unique: exclusive, no adoption —
+        // this base models exactly the contended baseline of §4.2.
+        let _ = observed;
+        crate::base::CommitTs::Exclusive(self.get_new_ts())
     }
 }
 

@@ -11,7 +11,7 @@
 //! if thread A's read happens-before thread B's read, B observes a value
 //! `≥` A's. [`PerfectClock`] exposes it at full nanosecond resolution.
 
-use crate::base::{monotonic_ns, ThreadClock, TimeBase};
+use crate::base::{monotonic_ns, ContentionClass, ThreadClock, TimeBase, TimeBaseInfo, Uniqueness};
 
 /// A perfectly synchronized real-time clock at nanosecond resolution
 /// (Algorithm 4 of the paper).
@@ -43,8 +43,15 @@ impl TimeBase for PerfectClock {
         PerfectClockHandle { last: 0 }
     }
 
-    fn name(&self) -> &'static str {
-        "perfect-clock"
+    fn info(&self) -> TimeBaseInfo {
+        TimeBaseInfo {
+            name: "perfect-clock",
+            // Two threads reading in the same nanosecond draw equal values.
+            uniqueness: Uniqueness::BestEffort,
+            block_uniqueness: Uniqueness::BestEffort,
+            contention: ContentionClass::LocalRead,
+            commit_monotonic: true,
+        }
     }
 }
 

@@ -5,6 +5,8 @@
 //!   dominates (Figure 2),
 //! * [`bank`] — transfers + read-only audits; the consistency workload used
 //!   by the synchronization-error experiment (§4.3 / EXP-ERR),
+//! * [`scan`] — read-only scans over `n` objects; the §1 validation-cost
+//!   shape (EXP-VAL), engine-generic,
 //! * [`intset_list`] — sorted linked-list set: long traversals, growing read
 //!   sets (the validation-cost experiment, EXP-VAL),
 //! * [`skiplist`] — skip-list set: O(log n) traversals, medium read sets,
@@ -23,6 +25,7 @@ pub mod disjoint;
 pub mod hashset;
 pub mod intset_list;
 pub mod rng;
+pub mod scan;
 pub mod skiplist;
 
 pub use bank::{BankConfig, BankWorker, BankWorkload};
@@ -30,4 +33,5 @@ pub use disjoint::{DisjointConfig, DisjointWorker, DisjointWorkload};
 pub use hashset::HashSetT;
 pub use intset_list::IntSetList;
 pub use rng::FastRng;
+pub use scan::{ScanConfig, ScanWorker, ScanWorkload};
 pub use skiplist::SkipListSet;

@@ -12,10 +12,12 @@
 //! * [`engine`] ([`lsa_engine`]) — the [`TxnEngine`](lsa_engine::TxnEngine)
 //!   trait family: one abstraction over every STM engine here, so workloads
 //!   and experiments run on any engine × time-base combination,
-//! * [`time`] ([`lsa_time`]) — timestamp algebra (Alg. 1/4/5) and every time
-//!   base: shared counter, TL2 counter, perfect clock, simulated MMTimer,
-//!   externally synchronized clocks, ccNUMA-modeled counter, plus the
-//!   Figure 1 measurement machinery and a software clock-sync simulator,
+//! * [`time`] ([`lsa_time`]) — timestamp algebra (Alg. 1/4/5), the
+//!   commit-arbitration protocol (`acquire_commit_ts`, GV4/GV5 timestamp
+//!   sharing, batched blocks) and every time base: shared counter, GV4/GV5
+//!   counters, block counter, perfect clock, simulated MMTimer, externally
+//!   synchronized clocks, ccNUMA-modeled counter, plus the Figure 1
+//!   measurement machinery and a software clock-sync simulator,
 //! * [`stm`] ([`lsa_stm`]) — the LSA-RT algorithm (Alg. 2/3): multi-version
 //!   objects, visible writes, lazy snapshot extension, two-phase commit with
 //!   helping, pluggable contention managers,

@@ -140,7 +140,11 @@ fn all_time_bases_agree_on_disjoint_work() {
 
     assert_eq!(run(Stm::new(SharedCounter::new())), 2_000);
     assert_eq!(
-        run(Stm::new(lsa_rt::time::counter::Tl2Counter::new())),
+        run(Stm::new(lsa_rt::time::counter::Gv4Counter::new())),
+        2_000
+    );
+    assert_eq!(
+        run(Stm::new(lsa_rt::time::counter::BlockCounter::default())),
         2_000
     );
     assert_eq!(run(Stm::new(PerfectClock::new())), 2_000);
@@ -153,8 +157,13 @@ fn all_time_bases_agree_on_disjoint_work() {
         ))),
         2_000
     );
-    // The same loop also runs unchanged on the other engine families.
+    // The same loop also runs unchanged on the other engine families —
+    // including TL2 on the arbitration bases LSA cannot use (GV5).
     assert_eq!(run(Tl2Stm::new(SharedCounter::new())), 2_000);
+    assert_eq!(
+        run(Tl2Stm::new(lsa_rt::time::counter::Gv5Counter::new())),
+        2_000
+    );
     assert_eq!(run(ValidationStm::new(ValidationMode::Always)), 2_000);
     assert_eq!(run(NorecStm::new()), 2_000);
 }
