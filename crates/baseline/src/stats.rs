@@ -23,8 +23,9 @@ pub struct BaselineStats {
     pub validated_entries: u64,
     /// Validations that failed and doomed the attempt.
     pub revalidation_failures: u64,
-    /// Commit timestamps adopted from a concurrent committer through the
-    /// time base's arbitration (TL2 engine on GV4/GV5/block bases).
+    /// Shared-class commit timestamps from the time base's arbitration
+    /// (TL2 engine on GV4/GV5 bases; every commit on those bases is
+    /// shared-class, winners included).
     pub shared_cts: u64,
     /// Commits that skipped read-set validation because the arbitration
     /// proved exclusivity (TL2's `wv == rv + 1` fast path).

@@ -23,14 +23,19 @@
 //!
 //! The commit timestamp goes through [`ThreadClock::acquire_commit_ts`]
 //! rather than bare `get_new_ts`, which surfaces the base's arbitration
-//! outcome: on GV4/GV5/block bases a [`CommitTs::Shared`] value was adopted
-//! from a concurrent committer (safe here because `wv` is acquired *after*
+//! outcome: on GV4/GV5 bases a [`CommitTs::Shared`] value may be shared
+//! with a concurrent committer (safe here because `wv` is acquired *after*
 //! all write locks are held — any reader whose `rv` admits our versions
 //! started after the locks, so it either sees all our writes or aborts), and
 //! an exclusively owned `wv == rv + 1` proves no other transaction committed
 //! since `rv`, so read-set validation can be skipped entirely — TL2's
-//! classic fast path, now sound on every time base that reports
-//! exclusivity.
+//! classic fast path. Exclusivity is a contract, not a hint: a base whose
+//! losers can adopt a winner's value (GV4) reports *every* commit `Shared`
+//! — an "exclusive" winner could otherwise skip validation while an
+//! adopter holding locks commits at the very same timestamp, which is why
+//! classic TL2 forbids the `rv + 1` shortcut under GV4. The fast path
+//! therefore only ever fires on bases with genuinely unique commit times
+//! (shared counter, batched blocks), where it is sound.
 
 use crate::stats::BaselineStats;
 use lsa_time::{CommitTs, ThreadClock, TimeBase};
@@ -375,9 +380,12 @@ impl<B: TimeBase<Ts = u64>> Tl2Txn<'_, B> {
         let wv = arbitrated.ts();
         // TL2's fast path: an *exclusively owned* `wv == rv + 1` proves no
         // transaction committed between our start and our locks, so the
-        // read set cannot have changed — skip validation. Exclusivity is
-        // exactly what makes this sound on every base: a Shared value (GV4
-        // adoption) at rv + 1 would mean someone else committed there.
+        // read set cannot have changed — skip validation. Only Exclusive
+        // can prove that: adoption-capable bases (GV4) report every commit
+        // Shared, because a winner's value may simultaneously be handed to
+        // a concurrent loser — one that can hold locks our validation
+        // would have caught (see CommitTs::Exclusive and the conformance
+        // suite's exclusivity-collision check).
         if matches!(arbitrated, CommitTs::Exclusive(v) if v == self.rv + 1) {
             self.stats.fastpath_commits += 1;
         } else {
@@ -541,6 +549,46 @@ mod tests {
         assert_eq!(*x.snapshot_latest(), 100);
         assert_eq!(h.stats().fastpath_commits, 100);
         assert_eq!(h.stats().validations, 0);
+        assert_eq!(h.stats().shared_cts, 0);
+    }
+
+    #[test]
+    fn gv4_commits_never_take_the_fast_path() {
+        use lsa_time::counter::Gv4Counter;
+        // A GV4 winner's value may be adopted by a concurrent loser, so no
+        // GV4 commit is Exclusive and the rv + 1 validation skip must never
+        // fire — the classic TL2 rule that GV4 forfeits the shortcut.
+        let stm = Tl2Stm::new(Gv4Counter::new());
+        let x = stm.new_var(0u64);
+        let mut h = stm.register();
+        for _ in 0..50 {
+            h.atomically(|tx| tx.modify(&x, |v| v + 1));
+        }
+        assert_eq!(*x.snapshot_latest(), 50);
+        let s = h.stats();
+        assert_eq!(
+            s.fastpath_commits, 0,
+            "shared wv must never skip validation"
+        );
+        assert_eq!(s.shared_cts, s.commits, "every GV4 wv is shared-class");
+        assert_eq!(s.validations, s.commits);
+    }
+
+    #[test]
+    fn uncontended_block_commits_take_the_fast_path() {
+        use lsa_time::counter::BlockCounter;
+        // Block commit times are exclusive and globally unique (losers
+        // re-arbitrate instead of adopting), so the rv + 1 fast path is
+        // sound and fires on the uncontended path just like on the plain
+        // shared counter.
+        let stm = Tl2Stm::new(BlockCounter::new(16));
+        let x = stm.new_var(0u64);
+        let mut h = stm.register();
+        for _ in 0..100 {
+            h.atomically(|tx| tx.modify(&x, |v| v + 1));
+        }
+        assert_eq!(*x.snapshot_latest(), 100);
+        assert_eq!(h.stats().fastpath_commits, 100);
         assert_eq!(h.stats().shared_cts, 0);
     }
 

@@ -183,10 +183,11 @@ pub struct EngineStats {
     /// in validation cost ("the validation overhead grows linearly with the
     /// number of objects a transaction has read so far", §1).
     pub validated_entries: u64,
-    /// Commit timestamps adopted from a concurrent committer through the
-    /// time base's arbitration (GV4 pass-on-failed-CAS, GV5 read-derived
-    /// values, block-frontier adoption) instead of being exclusively owned.
-    /// Zero on bases without sharing tricks and on value-based engines.
+    /// Shared-class commit timestamps from the time base's arbitration
+    /// (GV4 pass-on-failed-CAS — winners included, since losers adopt
+    /// their values — and GV5 read-derived values) instead of exclusively
+    /// owned ones. Zero on bases whose commit times are globally unique
+    /// (shared counter, block) and on value-based engines.
     pub shared_commit_ts: u64,
 }
 

@@ -129,7 +129,8 @@ fn main() {
     println!(
         "every cell ran the SAME engine-generic workload code; invariants were \
          asserted after each run (a new engine is one TxnEngine impl away). \
-         shared-ts/commit > 0 marks cells whose time base arbitrated commit \
-         timestamps (GV4/GV5/block adoption)."
+         shared-ts/commit > 0 marks cells whose time base hands out \
+         shared-class commit timestamps (GV4/GV5 sharing; block never \
+         shares — lost confirmations re-arbitrate)."
     );
 }

@@ -12,9 +12,11 @@
 //! registry with [`find_entry`].
 //!
 //! The time-base axis includes the commit-arbitration variants
-//! (`gv4`, `gv5`, `block64` — see `lsa_time::counter`); GV5 appears only
-//! under TL2 because LSA requires a commit-monotonic base (its constructor
-//! enforces this — see `lsa_stm::Stm::with_cm`).
+//! (`gv4`, `gv5`, `block64` — see `lsa_time::counter`). The adopting GV4
+//! and the lazy GV5 appear only under TL2 because LSA requires a
+//! commit-monotonic base (its constructor enforces this — see
+//! `lsa_stm::Stm::with_cm`); the block counter never adopts, stays
+//! commit-monotonic, and runs under both engines.
 
 use crate::runner::{run_for, BenchWorker, RunOutcome};
 use lsa_baseline::{NorecStm, Tl2Stm, ValidationMode, ValidationStm};
@@ -215,8 +217,10 @@ pub fn lsa_external_entry(dev_ns: u64, versions: usize) -> EngineEntry {
 
 /// The default registry: LSA-RT, TL2, the validation STM and NOrec, each on
 /// every time base (or mode) it supports — the cross-engine design-space
-/// matrix of the paper's §1.2, commit-arbitration variants included. GV5 is
-/// TL2-only: LSA rejects non-commit-monotonic bases by construction.
+/// matrix of the paper's §1.2, commit-arbitration variants included. GV4
+/// and GV5 are TL2-only: LSA rejects non-commit-monotonic bases by
+/// construction (GV4 adoption commits at previously readable values, GV5
+/// commit times run ahead of the readable counter).
 pub fn default_registry() -> Vec<EngineEntry> {
     vec![
         EngineEntry::new(
@@ -224,7 +228,6 @@ pub fn default_registry() -> Vec<EngineEntry> {
             "shared-counter",
             || Stm::new(SharedCounter::new()),
         ),
-        EngineEntry::new("lsa-rt", "gv4", || Stm::new(Gv4Counter::new())),
         EngineEntry::new("lsa-rt", "block64", || Stm::new(BlockCounter::new(64))),
         EngineEntry::new("lsa-rt", "perfect", || Stm::new(PerfectClock::new())),
         EngineEntry::new("lsa-rt", "mmtimer-free", || {
@@ -291,7 +294,6 @@ mod tests {
     fn arbitration_rows_are_registered() {
         let reg = default_registry();
         for (engine, tb) in [
-            ("lsa-rt", "gv4"),
             ("lsa-rt", "block64"),
             ("tl2", "gv4"),
             ("tl2", "gv5"),
@@ -302,8 +304,11 @@ mod tests {
                 "missing {engine}({tb}) row"
             );
         }
-        // GV5 must NOT be paired with LSA: the engine rejects
-        // non-commit-monotonic bases (see lsa_stm::Stm::with_cm).
+        // GV4 and GV5 must NOT be paired with LSA: the engine rejects
+        // non-commit-monotonic bases (see lsa_stm::Stm::with_cm) — GV4
+        // adoption commits at previously readable values, GV5 commit times
+        // run ahead of the readable counter.
+        assert!(find_entry(&reg, "lsa-rt", "gv4").is_none());
         assert!(find_entry(&reg, "lsa-rt", "gv5").is_none());
     }
 

@@ -82,7 +82,8 @@ impl<B: TimeBase> Stm<B> {
     /// least until `t`") that are only sound when every later commit
     /// timestamp strictly exceeds every previously readable clock value —
     /// bases like GV5, whose commit times run ahead of the readable
-    /// counter, would let a later commit undercut an issued claim.
+    /// counter, or GV4, whose losers commit at a value the winner already
+    /// made readable, would let a later commit undercut an issued claim.
     pub fn with_cm(tb: B, cfg: StmConfig, cm: impl ContentionManager) -> Self {
         assert!(
             tb.info().commit_monotonic,
@@ -393,16 +394,21 @@ mod tests {
     }
 
     #[test]
-    fn lsa_runs_on_arbitrating_bases() {
-        use lsa_time::counter::{BlockCounter, Gv4Counter};
-        for stm in [Stm::new(Gv4Counter::new())] {
-            let x = stm.new_tvar(0u64);
-            let mut h = stm.register();
-            for _ in 0..10 {
-                h.atomically(|tx| tx.modify(&x, |v| v + 1));
-            }
-            assert_eq!(*x.snapshot_latest(), 10);
-        }
+    #[should_panic(expected = "commit-monotonic")]
+    fn lsa_refuses_gv4() {
+        // A GV4 loser adopts a counter value the winner already made
+        // readable — a commit at a previously readable reading, which
+        // would let an adopted commit undercut LSA's getPrelimUB forward
+        // claims ("valid at least until t"). Rejected like GV5.
+        let _ = Stm::new(lsa_time::counter::Gv4Counter::new());
+    }
+
+    #[test]
+    fn lsa_runs_on_the_block_arbitration_base() {
+        // BlockCounter stays commit-monotonic (lost confirmations are
+        // discarded and re-arbitrated, never adopted), so LSA accepts it —
+        // unlike the adopting/lazy GV4 and GV5 variants.
+        use lsa_time::counter::BlockCounter;
         let stm = Stm::new(BlockCounter::new(8));
         let x = stm.new_tvar(0u64);
         let mut h = stm.register();

@@ -42,6 +42,14 @@ pub enum CommitTs<Ts> {
     /// value. Engines may use exclusivity for fast paths — e.g. TL2's
     /// "`wv == rv + 1` ⇒ nothing committed in between ⇒ skip read-set
     /// validation", which is only sound when `wv` is exclusively owned.
+    ///
+    /// This is a guarantee about *all* committers, not just other winners:
+    /// a base whose losers can adopt a winner's value (GV4-style
+    /// pass-on-failed-CAS) must report even its winners as [`Shared`] —
+    /// exclusivity a concurrent adopter can void is no exclusivity at all.
+    /// [`crate::conformance::exclusive_commit_ts_unique`] asserts that
+    /// exclusive values never collide with any other arbitrated commit
+    /// timestamp.
     Exclusive(Ts),
     /// The timestamp carries no exclusivity guarantee: it was adopted from a
     /// concurrent committer (TL2's GV4 pass-on-failed-CAS, GV5's
@@ -119,9 +127,11 @@ pub struct TimeBaseInfo {
     /// (e.g. `"shared-counter"`, `"mmtimer"`).
     pub name: &'static str,
     /// Cross-thread uniqueness of `get_new_ts` / `acquire_commit_ts`
-    /// results. [`CommitTs::Exclusive`] values are globally unique whenever
-    /// this is [`Uniqueness::Unique`] or
-    /// [`Uniqueness::SharedUnderContention`].
+    /// results. [`CommitTs::Exclusive`] values are globally unique
+    /// regardless of this class — a base that cannot guarantee a value will
+    /// never be handed to another committer (e.g. because a concurrent
+    /// loser may adopt it) must report that value as [`CommitTs::Shared`];
+    /// [`crate::conformance`] asserts this.
     pub uniqueness: Uniqueness,
     /// Cross-thread uniqueness of [`ThreadClock::get_ts_block`] values.
     /// Counter-backed bases reserve disjoint ranges ([`Uniqueness::Unique`]);
@@ -138,9 +148,10 @@ pub struct TimeBaseInfo {
     /// fallback) are only sound on bases where this holds: a later commit
     /// at a timestamp `≤ t` would retroactively falsify the claim. GV5
     /// deliberately gives this up (commit times run ahead of the readable
-    /// counter), which is why LSA refuses non-monotonic bases while TL2 —
-    /// which re-checks every read against `rv` instead of issuing forward
-    /// claims — accepts them.
+    /// counter), and so does GV4 adoption (a loser commits at a value the
+    /// winner already made readable) — which is why LSA refuses
+    /// non-monotonic bases while TL2, which re-checks every read against
+    /// `rv` instead of issuing forward claims, accepts them.
     pub commit_monotonic: bool,
 }
 
@@ -262,6 +273,14 @@ pub trait ThreadClock: Send + 'static {
     /// that already back committed versions — without it, readers whose
     /// `get_time` lags those versions would retry forever. Other bases
     /// ignore it (the default).
+    ///
+    /// Implementations must bound the advance by timestamps known to back
+    /// committed (readable) state: a commit time handed out by
+    /// [`acquire_commit_ts`](Self::acquire_commit_ts) is *tentative* until
+    /// the engine publishes it — engines call `note_abort` precisely when
+    /// an attempt (including its validation after acquiring a commit time)
+    /// failed, and leaking such a timestamp into readable time would hand
+    /// readers a snapshot time at an in-flight committer's commit time.
     fn note_abort(&mut self) {}
 }
 

@@ -131,7 +131,7 @@ pub fn new_ts_cross_thread_unique<B: TimeBase>(tb: &B, threads: usize, per: usiz
         Uniqueness::Unique,
         "{name}: uniqueness check only applies to Unique bases"
     );
-    let mut all = collect_raw(tb, threads, |clock, out| {
+    let mut all = collect_values(tb, threads, |clock, out| {
         for _ in 0..per {
             out.push(clock.get_new_ts().raw_value());
         }
@@ -143,14 +143,18 @@ pub fn new_ts_cross_thread_unique<B: TimeBase>(tb: &B, threads: usize, per: usiz
     assert_eq!(n, all.len(), "{name}: get_new_ts returned duplicates");
 }
 
-/// Cross-thread uniqueness of **exclusive** commit timestamps: whatever the
-/// base's sharing behaviour, a [`crate::base::CommitTs::Exclusive`] value
-/// must never be handed to two committers. (For [`Uniqueness::BestEffort`]
-/// bases exclusivity is not meaningful and the check is skipped by
-/// [`full_suite`].)
+/// Cross-thread exclusivity of commit timestamps: whatever the base's
+/// sharing behaviour, a [`crate::base::CommitTs::Exclusive`] value must
+/// never collide with **any** other arbitrated commit timestamp —
+/// exclusive *or* shared. A winner reported `Exclusive` whose value a
+/// concurrent loser adopts as `Shared` is precisely the violation that
+/// breaks engines' exclusivity fast paths (TL2's `wv == rv + 1`
+/// validation skip), and the one an exclusive-vs-exclusive check alone
+/// cannot see. (For [`Uniqueness::BestEffort`] bases exclusivity is not
+/// meaningful and the check is skipped by [`full_suite`].)
 pub fn exclusive_commit_ts_unique<B: TimeBase>(tb: &B, threads: usize, per: usize) {
     let name = tb.info().name;
-    let mut exclusive = collect_raw(tb, threads, |clock, out| {
+    let mut all: Vec<(i128, bool)> = collect_values(tb, threads, |clock, out| {
         for _ in 0..per {
             let observed = clock.get_time();
             let ct = clock.acquire_commit_ts(observed);
@@ -158,19 +162,21 @@ pub fn exclusive_commit_ts_unique<B: TimeBase>(tb: &B, threads: usize, per: usiz
                 strictly_after(ct.ts(), observed),
                 "{name}: commit ts does not clear observation under contention"
             );
-            if !ct.is_shared() {
-                out.push(ct.ts().raw_value());
-            }
+            out.push((ct.ts().raw_value(), ct.is_shared()));
         }
     });
-    let n = exclusive.len();
-    exclusive.sort_unstable();
-    exclusive.dedup();
-    assert_eq!(
-        n,
-        exclusive.len(),
-        "{name}: exclusive commit timestamps were shared between threads"
-    );
+    assert_eq!(all.len(), threads * per, "{name}: lost commit timestamps");
+    all.sort_unstable();
+    for run in all.chunk_by(|a, b| a.0 == b.0) {
+        if run.len() > 1 {
+            assert!(
+                run.iter().all(|&(_, shared)| shared),
+                "{name}: exclusive commit timestamp {} was also handed to \
+                 another committer",
+                run[0].0
+            );
+        }
+    }
 }
 
 /// Concurrent block reservations for bases advertising unique blocks: all
@@ -188,7 +194,7 @@ pub fn blocks_are_disjoint<B: TimeBase>(tb: &B, threads: usize, calls: usize, n:
         Uniqueness::Unique,
         "{name}: block-uniqueness check only applies to Unique blocks"
     );
-    let mut all = collect_raw(tb, threads, |clock, out| {
+    let mut all = collect_values(tb, threads, |clock, out| {
         for call in 0..calls {
             // Let the commit frontier run ahead of the counter on lazy
             // bases before every other reservation.
@@ -217,12 +223,13 @@ pub fn blocks_are_disjoint<B: TimeBase>(tb: &B, threads: usize, calls: usize, n:
     assert_eq!(total, all.len(), "{name}: reserved blocks overlap");
 }
 
-/// Spawn `threads` clocks, run `body` on each, and collect the raw values
+/// Spawn `threads` clocks, run `body` on each, and collect the values
 /// every thread pushed.
-fn collect_raw<B, F>(tb: &B, threads: usize, body: F) -> Vec<i128>
+fn collect_values<B, T, F>(tb: &B, threads: usize, body: F) -> Vec<T>
 where
     B: TimeBase,
-    F: Fn(&mut B::Clock, &mut Vec<i128>) + Sync,
+    T: Send,
+    F: Fn(&mut B::Clock, &mut Vec<T>) + Sync,
 {
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)

@@ -14,9 +14,12 @@
 //!   exclusive RMW ([`ContentionClass::SharedRmw`]).
 //! * [`Gv4Counter`] — TL2's **GV4** optimization: a transaction whose
 //!   timestamp-acquiring compare-and-swap fails *adopts* the timestamp
-//!   installed by the winner instead of retrying
-//!   ([`CommitTs::Shared`]). The paper reports this "showed no advantages on
-//!   our hardware" (§4.2); the [`Gv4Counter::shared_acquisitions`] statistic
+//!   installed by the winner instead of retrying. Because a loser can be
+//!   handed exactly the value the winner installed, *every* GV4 commit
+//!   timestamp is [`CommitTs::Shared`] — winners included — and the base is
+//!   not commit-monotonic (an adopted value was readable before the loser
+//!   commits with it). The paper reports GV4 "showed no advantages on our
+//!   hardware" (§4.2); the [`Gv4Counter::shared_acquisitions`] statistic
 //!   lets the benchmarks verify both behaviours.
 //! * [`Gv5Counter`] — TL2's **GV5**: the commit time is a *plain read* of
 //!   the counter plus one; the counter is never incremented on commit, only
@@ -27,7 +30,10 @@
 //!   `k` timestamps with one RMW on a *reservation* counter, and publishes
 //!   the values it actually uses to a separate *commit frontier* with
 //!   `fetch_max`. Readers only touch the frontier; allocation traffic is
-//!   amortized `k`-fold. See the module-level soundness discussion below.
+//!   amortized `k`-fold. A lost `fetch_max` discards the stale value and
+//!   re-arbitrates with the next reserved value — never adopts — so every
+//!   commit timestamp is exclusively owned, globally unique, and
+//!   commit-monotonic. See the module-level soundness discussion below.
 //!
 //! ## Why batched timestamps still need a published frontier
 //!
@@ -40,11 +46,16 @@
 //! [`BlockCounter`] therefore keeps the *issued* frontier separate: readers
 //! see only published commit times, and a committer confirms a block value
 //! `v` by `fetch_max(frontier, v)` — if the frontier already moved past `v`,
-//! the value is stale and the committer either adopts the frontier value
-//! (GV4-style sharing) or re-reserves. Only the reservation traffic
-//! amortizes; publication remains one RMW per commit — which is exactly the
-//! paper's skepticism about counter batching, now stated as an API-level
-//! invariant (DESIGN.md §8).
+//! the value is stale, gets discarded, and the committer re-arbitrates with
+//! its next fresh block value (re-reserving when the block runs dry).
+//! Adopting the frontier value GV4-style would be unsound twice over: the
+//! adopter would commit at a previously readable value (forfeiting commit
+//! monotonicity), and the winner's supposedly exclusive timestamp would be
+//! handed to a second committer (forfeiting the [`CommitTs::Exclusive`]
+//! contract engines build validation-skip fast paths on). Only the
+//! reservation traffic amortizes; publication remains one RMW per commit —
+//! which is exactly the paper's skepticism about counter batching, now
+//! stated as an API-level invariant (DESIGN.md §8).
 
 use crate::base::{CommitTs, ContentionClass, ThreadClock, TimeBase, TimeBaseInfo, Uniqueness};
 use crossbeam_utils::CachePadded;
@@ -146,9 +157,22 @@ impl ThreadClock for SharedCounterClock {
 /// Sharing a commit timestamp is sound for time-based STMs because two
 /// transactions may commit at the same time as long as they do not conflict
 /// (§2.3) — and conflicting transactions are serialized by the object-level
-/// write protocol, never by the counter. The adoption outcome is visible to
-/// engines as [`CommitTs::Shared`] through
-/// [`ThreadClock::acquire_commit_ts`].
+/// write protocol, never by the counter. Two consequences for the
+/// arbitration contract:
+///
+/// * **Every commit timestamp is [`CommitTs::Shared`] — winners included.**
+///   A CAS winner's value is exactly what a concurrent loser adopts, so the
+///   winner can never promise that no other committer holds its timestamp;
+///   reporting it [`CommitTs::Exclusive`] would let engines skip read-set
+///   validation (TL2's `wv == rv + 1` shortcut) while an adopter that holds
+///   locks commits at the very same instant. This is why classic TL2
+///   forbids the `rv + 1` shortcut under GV4.
+/// * **The base is not commit-monotonic.** An adopted value equals a
+///   counter value the winner already installed, so a reader can observe
+///   `get_time` at the adopted timestamp before the loser commits with it.
+///   Engines that issue forward validity claims (LSA's `getPrelimUB`)
+///   must refuse this base, exactly like GV5; TL2, which re-checks every
+///   read against `rv`, is the intended consumer.
 #[derive(Clone, Debug, Default)]
 pub struct Gv4Counter {
     counter: Arc<CachePadded<AtomicU64>>,
@@ -204,13 +228,13 @@ impl TimeBase for Gv4Counter {
             uniqueness: Uniqueness::SharedUnderContention,
             block_uniqueness: Uniqueness::Unique,
             contention: ContentionClass::AdoptingRmw,
-            // An adopted value equals the counter value the winner already
-            // published, so in a vanishingly narrow window a reader may
-            // observe the counter at the adopted timestamp before the loser
-            // commits with it. The paper uses this base with LSA regardless
-            // (§1.2 "showed no advantages"); see DESIGN.md §8 for the
-            // window analysis.
-            commit_monotonic: true,
+            // An adopted value equals a counter value the winner already
+            // installed, so a reader can observe get_time at the adopted
+            // timestamp before the loser commits with it — a commit at a
+            // value <= a previously readable reading. Engines whose
+            // validity reasoning issues forward claims (LSA) reject this
+            // base at construction; see DESIGN.md §8.
+            commit_monotonic: false,
         }
     }
 }
@@ -219,6 +243,11 @@ impl Gv4CounterClock {
     /// The GV4 arbitration loop: CAS to increment; on failure, adopt the
     /// observed winner value when it is fresh for this thread (strictly
     /// above both `floor` and everything previously returned).
+    ///
+    /// Every outcome — the winner's included — is [`CommitTs::Shared`]: a
+    /// concurrent loser adopts exactly the value a winner installs, so no
+    /// GV4 timestamp can carry the [`CommitTs::Exclusive`] guarantee that
+    /// no other committer holds it.
     #[inline]
     fn arbitrate(&mut self, floor: u64) -> CommitTs<u64> {
         let floor = floor.max(self.last_seen);
@@ -232,7 +261,7 @@ impl Gv4CounterClock {
             ) {
                 Ok(_) => {
                     self.last_seen = self.last_seen.max(cur + 1);
-                    return CommitTs::Exclusive(cur + 1);
+                    return CommitTs::Shared(cur + 1);
                 }
                 Err(observed) => {
                     // GV4: adopt the winner's timestamp — but only if it
@@ -324,7 +353,17 @@ impl Gv5Counter {
 pub struct Gv5CounterClock {
     counter: Arc<CachePadded<AtomicU64>>,
     bumps: Arc<CachePadded<AtomicU64>>,
+    /// Largest timestamp this thread has returned so far — including
+    /// *tentative* commit times from [`ThreadClock::acquire_commit_ts`]
+    /// whose commits may yet fail. Freshness floor for generating new
+    /// values; must never leak into the readable counter (see `published`).
     last_seen: u64,
+    /// Largest timestamp known to back committed, readable state: the join
+    /// of this thread's `get_time` readings and `observe_ts` stamps.
+    /// [`ThreadClock::note_abort`] may advance the shared counter only to
+    /// here + 1 — tentative commit times of attempts that later fail
+    /// validation back no committed data and must stay unreadable.
+    published: u64,
 }
 
 impl TimeBase for Gv5Counter {
@@ -336,6 +375,7 @@ impl TimeBase for Gv5Counter {
             counter: Arc::clone(&self.counter),
             bumps: Arc::clone(&self.bumps),
             last_seen: 0,
+            published: 0,
         }
     }
 
@@ -367,6 +407,7 @@ impl ThreadClock for Gv5CounterClock {
         // `get_time` non-decreasing per thread.
         let t = self.counter.load(Ordering::Acquire);
         self.last_seen = self.last_seen.max(t);
+        self.published = self.published.max(t);
         t
     }
 
@@ -380,8 +421,11 @@ impl ThreadClock for Gv5CounterClock {
         // Tentative phase: read the counter fresh (after the caller became
         // visible as a committer); confirmed phase: nothing to win — the
         // value is `read + 1`, shared with every committer that read the
-        // same counter value.
+        // same counter value. The result goes into `last_seen` only: it is
+        // tentative until the engine's validation passes, so it must not
+        // raise the `published` floor note_abort feeds the counter from.
         let g = self.counter.load(Ordering::Acquire);
+        self.published = self.published.max(g);
         let v = g.max(self.last_seen).max(observed) + 1;
         self.last_seen = v;
         CommitTs::Shared(v)
@@ -410,6 +454,9 @@ impl ThreadClock for Gv5CounterClock {
             ) {
                 Ok(_) => {
                     self.last_seen = base + n;
+                    // The reservation moved the readable counter itself to
+                    // base + n, so the published floor may follow.
+                    self.published = self.published.max(base + n);
                     return (1..=n).map(|i| base + i).collect();
                 }
                 Err(observed) => cur = observed,
@@ -420,21 +467,29 @@ impl ThreadClock for Gv5CounterClock {
     #[inline]
     fn observe_ts(&mut self, ts: u64) {
         // A version stamp the engine read from shared state: a real commit
-        // time, so folding it into our freshness floor is sound and lets
-        // one abort catch this clock up however far the versions ran ahead.
+        // time backing committed data, so folding it into both floors is
+        // sound and lets one abort catch this clock up however far the
+        // versions ran ahead.
         self.last_seen = self.last_seen.max(ts);
+        self.published = self.published.max(ts);
     }
 
     #[inline]
     fn note_abort(&mut self) {
         // TL2's GV5 companion rule: an abort advances the clock so the
         // retry observes a fresh enough time to reach the versions that
-        // made it abort (including any stamp fed in via `observe_ts`).
-        // fetch_max keeps the counter from racing ahead of the highest
-        // timestamp this thread actually knows about.
-        let target = self.last_seen + 1;
+        // made it abort (including any stamp fed in via `observe_ts`). The
+        // bump target is the *published* frontier plus one — NOT
+        // `last_seen`, which also holds tentative commit times from
+        // acquire_commit_ts. TL2 acquires `wv` before validating and calls
+        // note_abort when validation fails; bumping past such a `wv` would
+        // make get_time exceed timestamps that back no committed data and
+        // hand readers an rv at an in-flight committer's commit time.
+        let target = self.published + 1;
         self.counter.fetch_max(target, Ordering::AcqRel);
         self.bumps.fetch_add(1, Ordering::Relaxed);
+        // The counter itself is now readable at >= target.
+        self.published = target;
         self.last_seen = self.last_seen.max(target);
     }
 }
@@ -453,9 +508,12 @@ pub const DEFAULT_TS_BLOCK: u64 = 64;
 ///   reservation sound — see the module docs).
 /// * [`ThreadClock::acquire_commit_ts`]: confirm the next block value `v`
 ///   with `fetch_max(frontier, v)`. Losing the `fetch_max` means another
-///   committer published a higher timestamp first; the loser adopts it
-///   (GV4-style, [`CommitTs::Shared`]) when it is fresh for this thread, or
-///   skips forward in its block / re-reserves otherwise.
+///   committer published a higher timestamp first; the stale value is
+///   discarded and the next fresh block value re-arbitrated (re-reserving
+///   when the block runs dry). Commit timestamps are therefore never
+///   shared: every confirmed value is [`CommitTs::Exclusive`], drawn from
+///   this thread's disjoint reservation ([`Uniqueness::Unique`]), and
+///   strictly exceeds everything previously readable (commit-monotonic).
 #[derive(Clone, Debug)]
 pub struct BlockCounter {
     /// Allocation frontier: every reserved timestamp is ≤ this.
@@ -463,7 +521,6 @@ pub struct BlockCounter {
     /// Commit frontier: the largest *published* timestamp; `get_time` reads
     /// only this, so unissued block values are never observable.
     issued: Arc<CachePadded<AtomicU64>>,
-    shared: Arc<CachePadded<AtomicU64>>,
     refills: Arc<CachePadded<AtomicU64>>,
     block: u64,
 }
@@ -484,7 +541,6 @@ impl BlockCounter {
         BlockCounter {
             reserve: Arc::new(CachePadded::new(AtomicU64::new(1))),
             issued: Arc::new(CachePadded::new(AtomicU64::new(1))),
-            shared: Arc::new(CachePadded::new(AtomicU64::new(0))),
             refills: Arc::new(CachePadded::new(AtomicU64::new(0))),
             block,
         }
@@ -500,12 +556,6 @@ impl BlockCounter {
         self.issued.load(Ordering::SeqCst)
     }
 
-    /// How many commit-time acquisitions adopted another committer's
-    /// published timestamp.
-    pub fn shared_acquisitions(&self) -> u64 {
-        self.shared.load(Ordering::Relaxed)
-    }
-
     /// How many block reservations were performed (allocation RMWs). With
     /// `b` the block size and `c` exclusive commits, `refills ≈ c / b` when
     /// blocks stay fresh — the amortization the batching buys.
@@ -519,7 +569,6 @@ impl BlockCounter {
 pub struct BlockCounterClock {
     reserve: Arc<CachePadded<AtomicU64>>,
     issued: Arc<CachePadded<AtomicU64>>,
-    shared: Arc<CachePadded<AtomicU64>>,
     refills: Arc<CachePadded<AtomicU64>>,
     block: u64,
     /// Next unissued value of the current block (0 = no block).
@@ -537,7 +586,6 @@ impl TimeBase for BlockCounter {
         BlockCounterClock {
             reserve: Arc::clone(&self.reserve),
             issued: Arc::clone(&self.issued),
-            shared: Arc::clone(&self.shared),
             refills: Arc::clone(&self.refills),
             block: self.block,
             next: 0,
@@ -549,11 +597,17 @@ impl TimeBase for BlockCounter {
     fn info(&self) -> TimeBaseInfo {
         TimeBaseInfo {
             name: "block",
-            uniqueness: Uniqueness::SharedUnderContention,
+            // Commit times come from disjoint per-thread reservations and
+            // lost confirmations are discarded, never adopted — no two
+            // acquisitions ever return the same value.
+            uniqueness: Uniqueness::Unique,
             block_uniqueness: Uniqueness::Unique,
             contention: ContentionClass::AdoptingRmw,
-            // The fetch_max publication makes every confirmed commit time
-            // strictly exceed the previously readable frontier.
+            // A commit wins its fetch_max only while the frontier is still
+            // below its value, and readers only ever see the frontier — so
+            // every confirmed commit time strictly exceeds everything
+            // previously readable. This holds precisely because lost
+            // arbitrations re-arbitrate instead of adopting.
             commit_monotonic: true,
         }
     }
@@ -618,20 +672,23 @@ impl ThreadClock for BlockCounterClock {
             self.next += 1;
             // Confirm: publish v as the new commit frontier. Winning the
             // fetch_max means no reader could have observed a frontier ≥ v
-            // before now, so v is a sound, exclusively owned commit time.
+            // before now — and v comes from this thread's disjoint
+            // reservation, so no other committer ever holds it: a sound,
+            // exclusively owned, commit-monotonic commit time.
             let prev = self.issued.fetch_max(v, Ordering::AcqRel);
             if prev < v {
                 self.last_seen = self.last_seen.max(v);
                 return CommitTs::Exclusive(v);
             }
-            // Lost: another committer published prev ≥ v first. Adopt its
-            // timestamp (GV4-style sharing) when fresh for this thread;
-            // otherwise raise the floor and try the next block value.
-            if prev > floor {
-                self.shared.fetch_add(1, Ordering::Relaxed);
-                self.last_seen = self.last_seen.max(prev);
-                return CommitTs::Shared(prev);
-            }
+            // Lost: another committer published prev ≥ v first, so v is
+            // stale — a reader may already have observed the frontier at
+            // prev. Discard it and re-arbitrate with the next fresh block
+            // value. Adopting prev GV4-style would be unsound twice over:
+            // this commit would land at a previously readable value
+            // (forfeiting commit monotonicity), and the winner's exclusive
+            // timestamp would be handed to a second committer (forfeiting
+            // the Exclusive contract engines build fast paths on).
+            self.last_seen = self.last_seen.max(prev);
             floor = prev.max(floor);
         }
     }
@@ -744,14 +801,16 @@ mod tests {
     }
 
     #[test]
-    fn gv4_arbitration_reports_exclusive_without_contention() {
+    fn gv4_arbitration_never_claims_exclusivity() {
+        // Even an uncontended CAS winner's value is exactly what a
+        // concurrent loser would adopt, so GV4 must not report Exclusive —
+        // engines build validation-skip fast paths on that claim.
         let tb = Gv4Counter::new();
         let mut c = tb.register_thread();
         let observed = c.get_time();
-        match c.acquire_commit_ts(observed) {
-            CommitTs::Exclusive(v) => assert!(v > observed),
-            CommitTs::Shared(v) => panic!("uncontended CAS must win, got Shared({v})"),
-        }
+        let ct = c.acquire_commit_ts(observed);
+        assert!(ct.is_shared(), "GV4 commit times are shared-class");
+        assert!(ct.ts() > observed);
     }
 
     #[test]
@@ -787,6 +846,36 @@ mod tests {
         // after enough bumps (one per lagging unit here).
         let mut r2 = tb.register_thread();
         assert!(r2.get_time() >= ct.saturating_sub(1));
+    }
+
+    #[test]
+    fn gv5_abort_bump_stops_at_the_published_frontier() {
+        // Regression: TL2 acquires wv before validating and calls
+        // note_abort when validation fails. Such a wv backs no committed
+        // data, so the abort bump must not push the readable counter past
+        // it — only one past the published frontier (get_time readings and
+        // observe_ts stamps).
+        let tb = Gv5Counter::new();
+        let mut c = tb.register_thread();
+        let t0 = c.get_time();
+        let mut wv = 0;
+        for _ in 0..3 {
+            // Three tentative commit times whose commits all "fail":
+            // last_seen runs ahead to 4 while nothing was published.
+            wv = c.acquire_commit_ts(t0).ts();
+        }
+        assert_eq!(wv, 4);
+        c.note_abort();
+        assert_eq!(
+            tb.current(),
+            2,
+            "abort may advance the counter one past the published frontier only"
+        );
+        // Once a stamp is known to back committed data (observe_ts), one
+        // abort reaches past it as before.
+        c.observe_ts(wv);
+        c.note_abort();
+        assert!(tb.current() > wv);
     }
 
     #[test]
@@ -828,11 +917,13 @@ mod tests {
     }
 
     #[test]
-    fn block_counter_exclusive_values_are_unique() {
+    fn block_counter_commit_ts_are_exclusive_and_unique() {
+        // Lost confirmations are discarded, never adopted: every
+        // acquisition is Exclusive and no value is ever handed out twice.
         let tb = BlockCounter::new(8);
         let threads = 4;
         let per = 10_000usize;
-        let mut exclusive: Vec<u64> = std::thread::scope(|s| {
+        let mut all: Vec<u64> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     let mut clk = tb.register_thread();
@@ -840,9 +931,9 @@ mod tests {
                         let mut out = Vec::new();
                         for _ in 0..per {
                             let observed = clk.get_time();
-                            if let CommitTs::Exclusive(v) = clk.acquire_commit_ts(observed) {
-                                out.push(v);
-                            }
+                            let ct = clk.acquire_commit_ts(observed);
+                            assert!(!ct.is_shared(), "block commits are never shared");
+                            out.push(ct.ts());
                         }
                         out
                     })
@@ -853,10 +944,11 @@ mod tests {
                 .flat_map(|h| h.join().unwrap())
                 .collect()
         });
-        let n = exclusive.len();
-        exclusive.sort_unstable();
-        exclusive.dedup();
-        assert_eq!(n, exclusive.len(), "Exclusive commit times must be unique");
+        let n = all.len();
+        assert_eq!(n, threads * per);
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(n, all.len(), "commit times must be unique");
     }
 
     #[test]
