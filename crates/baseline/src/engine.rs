@@ -25,6 +25,8 @@ fn to_engine_stats(s: &BaselineStats) -> EngineStats {
         revalidation_failures: s.revalidation_failures,
         validated_entries: s.validated_entries,
         shared_commit_ts: s.shared_cts,
+        // The baseline engines keep one global object table: no sharding.
+        cross_shard_commits: 0,
     }
 }
 

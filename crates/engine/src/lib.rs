@@ -89,6 +89,15 @@ pub trait TxnEngine: Clone + Send + Sync + 'static {
     /// time base or mode, e.g. `"lsa-rt(mmtimer)"` or `"validation(always)"`.
     fn engine_name(&self) -> String;
 
+    /// Number of disjoint object shards this engine instance routes objects
+    /// across. Unsharded engines report 1 (the default); sharded engines
+    /// report the shard count they were constructed with, which is how the
+    /// harness surfaces the construction-time shard axis without widening
+    /// every constructor signature.
+    fn shards(&self) -> usize {
+        1
+    }
+
     /// The latest committed value of `var`, read non-transactionally. Only
     /// meaningful while no update transactions are in flight (seeding,
     /// post-run audits).
@@ -189,6 +198,11 @@ pub struct EngineStats {
     /// owned ones. Zero on bases whose commit times are globally unique
     /// (shared counter, block) and on value-based engines.
     pub shared_commit_ts: u64,
+    /// Committed update transactions that touched objects on two or more
+    /// shards and therefore escalated to the cross-shard commit protocol
+    /// (per-shard commit-timestamp acquisition before the atomic
+    /// status-word publish). Always zero on unsharded engines.
+    pub cross_shard_commits: u64,
 }
 
 impl EngineStats {
@@ -228,6 +242,17 @@ impl EngineStats {
         }
     }
 
+    /// Cross-shard commits per update commit — how often transactions
+    /// actually spanned shards and escalated to the cross-shard protocol
+    /// (0 when nothing committed, and on unsharded engines).
+    pub fn cross_shard_per_commit(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.cross_shard_commits as f64 / self.commits as f64
+        }
+    }
+
     /// Merge another thread's counters into this one.
     pub fn merge(&mut self, other: &EngineStats) {
         self.commits += other.commits;
@@ -240,6 +265,7 @@ impl EngineStats {
         self.revalidation_failures += other.revalidation_failures;
         self.validated_entries += other.validated_entries;
         self.shared_commit_ts += other.shared_commit_ts;
+        self.cross_shard_commits += other.cross_shard_commits;
     }
 }
 
@@ -248,7 +274,7 @@ impl fmt::Display for EngineStats {
         write!(
             f,
             "commits={} (ro={}) aborts={} retries={} reads={} writes={} \
-             validations={} (failed={}, entries={}) shared-ts={}",
+             validations={} (failed={}, entries={}) shared-ts={} xshard={}",
             self.total_commits(),
             self.ro_commits,
             self.aborts,
@@ -258,7 +284,8 @@ impl fmt::Display for EngineStats {
             self.validations,
             self.revalidation_failures,
             self.validated_entries,
-            self.shared_commit_ts
+            self.shared_commit_ts,
+            self.cross_shard_commits
         )
     }
 }
@@ -282,6 +309,7 @@ mod tests {
             revalidation_failures: 2,
             validated_entries: 18,
             shared_commit_ts: 2,
+            cross_shard_commits: 3,
             ..Default::default()
         };
         a.merge(&b);
@@ -292,8 +320,10 @@ mod tests {
         assert_eq!(a.revalidation_failures, 2);
         assert_eq!(a.validated_entries, 18);
         assert_eq!(a.shared_commit_ts, 2);
+        assert_eq!(a.cross_shard_commits, 3);
         assert_eq!(a.validations_per_commit(), 0.75);
         assert_eq!(a.shared_ts_per_commit(), 0.5);
+        assert_eq!(a.cross_shard_per_commit(), 0.75);
         assert!(a.to_string().contains("commits=8"));
         assert!(a
             .to_string()

@@ -6,38 +6,70 @@
 //! cargo run --release -p lsa-harness --bin matrix            # bank workload
 //! cargo run --release -p lsa-harness --bin matrix -- disjoint
 //! cargo run --release -p lsa-harness --bin matrix -- scan
+//! cargo run --release -p lsa-harness --bin matrix -- intset
 //! cargo run --release -p lsa-harness --bin matrix -- bank --threads 8
+//! cargo run --release -p lsa-harness --bin matrix -- bank --threads 1..8
 //! cargo run --release -p lsa-harness --bin matrix -- bank --timebase gv4
 //! ```
 //!
 //! `--timebase <substr>` keeps only rows whose time-base name contains the
 //! given substring (e.g. `gv` selects the GV4 and GV5 arbitration rows).
+//! `--threads A..B` sweeps every cell over the inclusive thread range and
+//! prints one row per (cell, thread count) — the Figure-2-shaped scaling
+//! view, with per-cell thread columns instead of per-base curves.
 //! Honours `LSA_MEASURE_MS` (per-point window) and `LSA_CSV=1` like every
-//! harness binary. The bank invariant is asserted after every cell, so this
-//! doubles as a cross-engine consistency smoke test.
+//! harness binary. Workload invariants (bank total, intset sortedness) are
+//! asserted after every cell, so this doubles as a cross-engine consistency
+//! smoke test. The `xshard/commit` column reports how often transactions
+//! spanned object shards and escalated to the sharded engine's cross-shard
+//! commit protocol (0 everywhere on unsharded engines).
 
 use lsa_harness::registry::{default_registry, Workload};
 use lsa_harness::{f3, measure_window, Table};
-use lsa_workloads::{BankConfig, DisjointConfig, ScanConfig};
+use lsa_workloads::{BankConfig, DisjointConfig, IntsetConfig, ScanConfig};
 
 struct Args {
     workload: Workload,
-    threads: usize,
+    threads: Vec<usize>,
     timebase_filter: Option<String>,
 }
 
 fn usage_exit(context: &str) -> ! {
-    eprintln!("usage: matrix [bank|disjoint|scan] [--threads N] [--timebase SUBSTR]   ({context})");
+    eprintln!(
+        "usage: matrix [bank|disjoint|scan|intset] [--threads N | --threads A..B] \
+         [--timebase SUBSTR]   ({context})"
+    );
     std::process::exit(2);
+}
+
+/// Parse `--threads` as a single count (`8`) or an inclusive sweep range
+/// (`1..8`).
+fn parse_threads(arg: &str) -> Option<Vec<usize>> {
+    if let Some((a, b)) = arg.split_once("..") {
+        let a: usize = a.parse().ok()?;
+        let b: usize = b.parse().ok()?;
+        if a == 0 || b < a {
+            return None;
+        }
+        Some((a..=b).collect())
+    } else {
+        let n: usize = arg.parse().ok()?;
+        if n == 0 {
+            return None;
+        }
+        Some(vec![n])
+    }
 }
 
 fn parse_args() -> Args {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    let default_threads = std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(2)
+        .max(1);
     let mut args = Args {
         workload: Workload::Bank(BankConfig::default()),
-        threads: std::thread::available_parallelism()
-            .map(|n| n.get().min(4))
-            .unwrap_or(2),
+        threads: vec![default_threads],
         timebase_filter: None,
     };
     let mut i = 0;
@@ -46,11 +78,12 @@ fn parse_args() -> Args {
             "bank" => args.workload = Workload::Bank(BankConfig::default()),
             "disjoint" => args.workload = Workload::Disjoint(DisjointConfig::default()),
             "scan" => args.workload = Workload::Scan(ScanConfig::default()),
+            "intset" => args.workload = Workload::Intset(IntsetConfig::default()),
             "--threads" => {
                 i += 1;
-                args.threads = match argv.get(i).and_then(|v| v.parse().ok()) {
-                    Some(n) => n,
-                    None => usage_exit("--threads needs a number"),
+                args.threads = match argv.get(i).and_then(|v| parse_threads(v)) {
+                    Some(t) => t,
+                    None => usage_exit("--threads needs N or A..B (A >= 1, B >= A)"),
                 };
             }
             "--timebase" => {
@@ -64,7 +97,6 @@ fn parse_args() -> Args {
         }
         i += 1;
     }
-    args.threads = args.threads.max(1);
     args
 }
 
@@ -86,10 +118,19 @@ fn main() {
         std::process::exit(2);
     }
 
+    let sweep = args.threads.len() > 1;
     println!(
-        "MATRIX: {} workload, {} threads, {} ms/point, {} engine x time-base cells{}\n",
+        "MATRIX: {} workload, threads {}, {} ms/point, {} engine x time-base cells{}\n",
         args.workload.name(),
-        args.threads,
+        if sweep {
+            format!(
+                "{}..{} (per-cell sweep)",
+                args.threads[0],
+                args.threads[args.threads.len() - 1]
+            )
+        } else {
+            args.threads[0].to_string()
+        },
         window.as_millis(),
         registry.len(),
         match &args.timebase_filter {
@@ -106,24 +147,32 @@ fn main() {
         &[
             "engine",
             "time base",
+            "shards",
+            "threads",
             "tx/s",
             "aborts/commit",
             "validations/commit",
             "reval failures",
             "shared-ts/commit",
+            "xshard/commit",
         ],
     );
     for entry in &registry {
-        let out = entry.run(&args.workload, args.threads, window);
-        t.row(vec![
-            entry.engine.clone(),
-            entry.time_base.clone(),
-            format!("{:.0}", out.tx_per_sec()),
-            f3(out.abort_ratio()),
-            f3(out.stats.validations_per_commit()),
-            out.stats.revalidation_failures.to_string(),
-            f3(out.stats.shared_ts_per_commit()),
-        ]);
+        for &threads in &args.threads {
+            let out = entry.run(&args.workload, threads, window);
+            t.row(vec![
+                entry.engine.clone(),
+                entry.time_base.clone(),
+                entry.shards.to_string(),
+                threads.to_string(),
+                format!("{:.0}", out.tx_per_sec()),
+                f3(out.abort_ratio()),
+                f3(out.stats.validations_per_commit()),
+                out.stats.revalidation_failures.to_string(),
+                f3(out.stats.shared_ts_per_commit()),
+                f3(out.stats.cross_shard_per_commit()),
+            ]);
+        }
     }
     t.print();
     println!(
@@ -131,6 +180,8 @@ fn main() {
          asserted after each run (a new engine is one TxnEngine impl away). \
          shared-ts/commit > 0 marks cells whose time base hands out \
          shared-class commit timestamps (GV4/GV5 sharing; block never \
-         shares — lost confirmations re-arbitrate)."
+         shares — lost confirmations re-arbitrate). xshard/commit > 0 marks \
+         cells whose transactions spanned object shards and escalated to the \
+         sharded engine's cross-shard commit protocol."
     );
 }

@@ -21,16 +21,22 @@
 use crate::runner::{run_for, BenchWorker, RunOutcome};
 use lsa_baseline::{NorecStm, Tl2Stm, ValidationMode, ValidationStm};
 use lsa_engine::TxnEngine;
-use lsa_stm::{Stm, StmConfig};
+use lsa_stm::{ShardedStm, Stm, StmConfig};
 use lsa_time::counter::{BlockCounter, Gv4Counter, Gv5Counter, SharedCounter};
 use lsa_time::external::{ExternalClock, OffsetPolicy};
 use lsa_time::hardware::HardwareClock;
 use lsa_time::numa::{NumaCounter, NumaModel};
 use lsa_time::perfect::PerfectClock;
 use lsa_workloads::{
-    BankConfig, BankWorkload, DisjointConfig, DisjointWorkload, ScanConfig, ScanWorkload,
+    BankConfig, BankWorkload, DisjointConfig, DisjointWorkload, IntsetConfig, IntsetWorkload,
+    ScanConfig, ScanWorkload,
 };
 use std::time::Duration;
+
+/// Shard count of the `lsa-sharded` registry rows. Eight shards on the
+/// default round-robin routing gives the bank/intset workloads plenty of
+/// cross-shard transactions while keeping per-shard tables non-trivial.
+pub const DEFAULT_SHARDS: usize = 8;
 
 /// A workload selection with its parameters.
 #[derive(Clone, Copy, Debug)]
@@ -43,6 +49,11 @@ pub enum Workload {
     /// Read-only scans ([`lsa_workloads::scan`]) — the §1 validation-cost
     /// shape; every scan asserts the invariant sum.
     Scan(ScanConfig),
+    /// Sorted linked-list integer set with a member/insert/remove mix
+    /// ([`lsa_workloads::intset_list`]) — the data-structure workload whose
+    /// traversals cross shard boundaries, exercising cross-shard commits.
+    /// The runner asserts sortedness/uniqueness after every run.
+    Intset(IntsetConfig),
 }
 
 impl Workload {
@@ -52,6 +63,7 @@ impl Workload {
             Workload::Bank(_) => "bank",
             Workload::Disjoint(_) => "disjoint",
             Workload::Scan(_) => "scan",
+            Workload::Intset(_) => "intset",
         }
     }
 }
@@ -95,6 +107,13 @@ pub fn run_workload<E: TxnEngine>(
             let wl = ScanWorkload::new(engine, *cfg);
             run_for(threads, window, |i| wl.worker(i))
         }
+        Workload::Intset(cfg) => {
+            let wl = IntsetWorkload::new(engine, *cfg);
+            let out = run_for(threads, window, |i| wl.worker(i));
+            // Structural invariant: sorted, duplicate-free list.
+            wl.assert_sorted_unique();
+            out
+        }
     }
 }
 
@@ -117,6 +136,10 @@ fn make_rig<E: TxnEngine>(engine: E, workload: &Workload, threads: usize) -> Wor
             let wl = ScanWorkload::new(engine, *cfg);
             Box::new(move |tid| Box::new(wl.worker(tid)))
         }
+        Workload::Intset(cfg) => {
+            let wl = IntsetWorkload::new(engine, *cfg);
+            Box::new(move |tid| Box::new(wl.worker(tid)))
+        }
     }
 }
 
@@ -132,6 +155,10 @@ pub struct EngineEntry {
     /// Parameterized entries (external-clock sweeps) carry their parameters
     /// here, e.g. `"external-10us-mv8"`.
     pub time_base: String,
+    /// Object-shard count this entry's engine is constructed with
+    /// ([`TxnEngine::shards`]; 1 for unsharded engines) — the matrix prints
+    /// it as the `shards` column.
+    pub shards: usize,
     run: EntryRunner,
     rig: EntryRig,
     conformance: Box<dyn Fn() + Send + Sync>,
@@ -139,7 +166,8 @@ pub struct EngineEntry {
 
 impl EngineEntry {
     /// Build an entry from an engine factory. A fresh engine is constructed
-    /// per run so successive runs never share state.
+    /// per run so successive runs never share state (one throwaway instance
+    /// is constructed here to read the static [`TxnEngine::shards`] axis).
     pub fn new<E, F>(engine: impl Into<String>, time_base: impl Into<String>, factory: F) -> Self
     where
         E: TxnEngine,
@@ -148,9 +176,11 @@ impl EngineEntry {
         let factory = std::sync::Arc::new(factory);
         let run_factory = std::sync::Arc::clone(&factory);
         let rig_factory = std::sync::Arc::clone(&factory);
+        let shards = factory().shards();
         EngineEntry {
             engine: engine.into(),
             time_base: time_base.into(),
+            shards,
             run: Box::new(move |wl, threads, window| {
                 run_workload(run_factory(), wl, threads, window)
             }),
@@ -242,6 +272,19 @@ pub fn default_registry() -> Vec<EngineEntry> {
                 ExternalClock::with_policy(10_000, OffsetPolicy::Alternating),
                 StmConfig::multi_version(8),
             )
+        }),
+        // The sharded LSA runtime: disjoint object shards, per-shard
+        // arbitration, cross-shard two-phase commits (DESIGN.md §9). Only
+        // composable bases appear — the composite rejects gv4/gv5 (not
+        // commit-monotonic) and real-time bases (best-effort blocks).
+        EngineEntry::new("lsa-sharded", "shared-counter", || {
+            ShardedStm::new(SharedCounter::new(), DEFAULT_SHARDS)
+        }),
+        EngineEntry::new("lsa-sharded", "block64", || {
+            ShardedStm::new(BlockCounter::new(64), DEFAULT_SHARDS)
+        }),
+        EngineEntry::new("lsa-sharded", "numa-altix", || {
+            ShardedStm::new(NumaCounter::new(NumaModel::altix()), DEFAULT_SHARDS)
         }),
         EngineEntry::new(
             "tl2",
@@ -350,6 +393,57 @@ mod tests {
                 "{} aborted on disjoint work",
                 entry.label()
             );
+        }
+    }
+
+    #[test]
+    fn sharded_rows_are_registered_and_report_cross_shard_commits() {
+        let reg = default_registry();
+        let sharded: Vec<_> = reg.iter().filter(|e| e.engine == "lsa-sharded").collect();
+        assert!(
+            sharded.len() >= 3,
+            "need >= 3 lsa-sharded cells, got {}",
+            sharded.len()
+        );
+        for tb in ["shared-counter", "block64", "numa-altix"] {
+            let entry = find_entry(&reg, "lsa-sharded", tb)
+                .unwrap_or_else(|| panic!("missing lsa-sharded({tb}) row"));
+            assert_eq!(entry.shards, DEFAULT_SHARDS, "shard axis not surfaced");
+        }
+        assert_eq!(
+            find_entry(&reg, "lsa-rt", "shared-counter").unwrap().shards,
+            1,
+            "unsharded engines report one shard"
+        );
+        // The bank workload spreads accounts round-robin across shards, so
+        // transfers span shards and the cross-shard protocol must fire.
+        let entry = find_entry(&reg, "lsa-sharded", "shared-counter").unwrap();
+        let out = entry.run(
+            &Workload::Bank(BankConfig {
+                accounts: 16,
+                initial: 100,
+                audit_percent: 10,
+            }),
+            2,
+            Duration::from_millis(20),
+        );
+        assert!(out.commits() > 0);
+        assert!(
+            out.stats.cross_shard_commits > 0,
+            "bank transfers on 8 shards must escalate to cross-shard commits"
+        );
+    }
+
+    #[test]
+    fn every_entry_runs_the_intset_workload() {
+        let wl = Workload::Intset(IntsetConfig {
+            key_range: 32,
+            initial: 16,
+            member_percent: 50,
+        });
+        for entry in default_registry() {
+            let out = entry.run(&wl, 2, Duration::from_millis(5));
+            assert!(out.commits() > 0, "{} committed nothing", entry.label());
         }
     }
 

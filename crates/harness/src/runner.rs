@@ -195,6 +195,16 @@ impl<E: TxnEngine> BenchWorker for lsa_workloads::ScanWorker<E> {
     }
 }
 
+impl<E: TxnEngine> BenchWorker for lsa_workloads::IntsetWorker<E> {
+    fn step(&mut self) {
+        lsa_workloads::IntsetWorker::step(self);
+    }
+
+    fn worker_stats(&self) -> EngineStats {
+        self.stats()
+    }
+}
+
 impl BenchWorker for Box<dyn BenchWorker> {
     fn step(&mut self) {
         (**self).step();

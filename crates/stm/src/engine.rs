@@ -10,6 +10,7 @@
 use crate::error::Abort;
 use crate::lsa::Txn;
 use crate::object::TVar;
+use crate::sharded::{ShardedHandle, ShardedStm, ShardedTxn};
 use crate::stats::TxnStats;
 use crate::stm::{Stm, ThreadHandle};
 use lsa_engine::{EngineHandle, EngineResult, EngineStats, TxnEngine, TxnOps};
@@ -31,6 +32,7 @@ fn to_engine_stats(s: &TxnStats) -> EngineStats {
         revalidation_failures: s.aborts_for(crate::error::AbortReason::Validation),
         validated_entries: s.validated_entries,
         shared_commit_ts: s.shared_cts,
+        cross_shard_commits: s.cross_shard_commits,
     }
 }
 
@@ -106,6 +108,88 @@ impl<B: TimeBase> TxnOps for Txn<'_, B> {
     }
 }
 
+// --- The sharded runtime behind the same trait surface ---
+
+impl<B: TimeBase> TxnEngine for ShardedStm<B> {
+    type Abort = Abort;
+    type Var<T: Send + Sync + 'static> = TVar<T, B::Ts>;
+    type Handle = ShardedHandle<B>;
+
+    fn new_var<T: Send + Sync + 'static>(&self, value: T) -> TVar<T, B::Ts> {
+        self.new_tvar(value)
+    }
+
+    fn register(&self) -> ShardedHandle<B> {
+        ShardedStm::register(self)
+    }
+
+    fn engine_name(&self) -> String {
+        format!(
+            "lsa-sharded{}x({})",
+            self.shard_count(),
+            self.time_base().inner().name()
+        )
+    }
+
+    fn shards(&self) -> usize {
+        self.shard_count()
+    }
+
+    fn peek<T: Send + Sync + 'static>(var: &TVar<T, B::Ts>) -> Arc<T> {
+        var.snapshot_latest()
+    }
+}
+
+impl<B: TimeBase> EngineHandle for ShardedHandle<B> {
+    type Engine = ShardedStm<B>;
+    type Txn<'t>
+        = ShardedTxn<'t, B>
+    where
+        Self: 't;
+
+    fn atomically<R, F>(&mut self, body: F) -> R
+    where
+        F: for<'t> FnMut(&mut ShardedTxn<'t, B>) -> EngineResult<R, ShardedStm<B>>,
+    {
+        ShardedHandle::atomically(self, body)
+    }
+
+    fn engine_stats(&self) -> EngineStats {
+        to_engine_stats(self.stats())
+    }
+
+    fn take_engine_stats(&mut self) -> EngineStats {
+        to_engine_stats(&self.take_stats())
+    }
+}
+
+impl<B: TimeBase> TxnOps for ShardedTxn<'_, B> {
+    type Engine = ShardedStm<B>;
+
+    fn read<T: Send + Sync + 'static>(
+        &mut self,
+        var: &TVar<T, B::Ts>,
+    ) -> EngineResult<Arc<T>, ShardedStm<B>> {
+        ShardedTxn::read(self, var)
+    }
+
+    fn write<T: Send + Sync + 'static>(
+        &mut self,
+        var: &TVar<T, B::Ts>,
+        value: T,
+    ) -> EngineResult<(), ShardedStm<B>> {
+        ShardedTxn::write(self, var, value)
+    }
+
+    fn modify<T: Send + Sync + 'static>(
+        &mut self,
+        var: &TVar<T, B::Ts>,
+        f: impl FnOnce(&T) -> T,
+    ) -> EngineResult<(), ShardedStm<B>> {
+        ShardedTxn::modify(self, var, f)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,5 +246,34 @@ mod tests {
         let stm = Stm::new(SharedCounter::new());
         let v = stm.new_tvar(7i32);
         assert_eq!(*<Stm<SharedCounter> as TxnEngine>::peek(&v), 7);
+    }
+
+    #[test]
+    fn sharded_stm_is_a_txn_engine() {
+        let stm = ShardedStm::new(SharedCounter::new(), 8);
+        assert_eq!(generic_double(&stm), 42);
+        assert_eq!(stm.engine_name(), "lsa-sharded8x(shared-counter)");
+        assert_eq!(TxnEngine::shards(&stm), 8);
+        // Unsharded engines report the default shard count of 1.
+        assert_eq!(TxnEngine::shards(&Stm::new(SharedCounter::new())), 1);
+    }
+
+    #[test]
+    fn sharded_engine_stats_report_cross_shard_commits() {
+        let stm = ShardedStm::new(SharedCounter::new(), 4);
+        let a = stm.new_tvar_on(0, 0u64);
+        let b = stm.new_tvar_on(1, 0u64);
+        let mut h = TxnEngine::register(&stm);
+        for _ in 0..3 {
+            EngineHandle::atomically(&mut h, |tx| {
+                tx.modify(&a, |v| v + 1)?;
+                tx.modify(&b, |v| v + 1)
+            });
+        }
+        EngineHandle::atomically(&mut h, |tx| tx.modify(&a, |v| v + 1));
+        let es = h.engine_stats();
+        assert_eq!(es.commits, 4);
+        assert_eq!(es.cross_shard_commits, 3);
+        assert_eq!(es.cross_shard_per_commit(), 0.75);
     }
 }

@@ -19,6 +19,9 @@
 //! * [`version`] — write-once validity-range metadata per version,
 //! * [`cm`] — pluggable contention managers (§2.3),
 //! * [`stm`] — the runtime: [`stm::Stm`], [`stm::ThreadHandle::atomically`],
+//! * [`sharded`] — the sharded runtime: disjoint object shards with
+//!   per-shard time-base arbitration and a cross-shard commit protocol
+//!   ([`sharded::ShardedStm`], DESIGN.md §9),
 //! * [`config`], [`stats`], [`error`] — tuning, accounting, abort plumbing.
 //!
 //! ## Quick start
@@ -45,12 +48,14 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+mod alloc;
 pub mod cm;
 pub mod config;
 pub mod engine;
 pub mod error;
 pub mod lsa;
 pub mod object;
+pub mod sharded;
 pub mod stats;
 pub mod status;
 pub mod stm;
@@ -61,6 +66,7 @@ pub use config::StmConfig;
 pub use error::{Abort, AbortReason, TxResult};
 pub use lsa::Txn;
 pub use object::TVar;
+pub use sharded::{ShardedHandle, ShardedStm, ShardedTxn};
 pub use stats::TxnStats;
 pub use stm::{Stm, ThreadHandle};
 
@@ -71,6 +77,7 @@ pub mod prelude {
     pub use crate::error::{Abort, AbortReason, TxResult};
     pub use crate::lsa::Txn;
     pub use crate::object::TVar;
+    pub use crate::sharded::{ShardedHandle, ShardedStm, ShardedTxn};
     pub use crate::stats::TxnStats;
     pub use crate::stm::{Stm, ThreadHandle};
 }

@@ -39,6 +39,10 @@ pub struct TxnStats {
     /// time base's arbitration (GV4 pass-on-failed-CAS, GV5 read-derived
     /// values) instead of being exclusively owned.
     pub shared_cts: u64,
+    /// Committed update transactions that touched two or more object shards
+    /// and escalated to the cross-shard commit protocol. Always zero on the
+    /// unsharded [`crate::stm::Stm`] runtime.
+    pub cross_shard_commits: u64,
 }
 
 impl TxnStats {
@@ -86,6 +90,7 @@ impl TxnStats {
         self.retries += other.retries;
         self.validated_entries += other.validated_entries;
         self.shared_cts += other.shared_cts;
+        self.cross_shard_commits += other.cross_shard_commits;
     }
 
     /// Aborts recorded for one specific reason.
@@ -115,7 +120,7 @@ impl fmt::Display for TxnStats {
         write!(
             f,
             " ] reads={} writes={} ext={} helps={} conflicts={} retries={} \
-             val-entries={} shared-cts={}",
+             val-entries={} shared-cts={} xshard={}",
             self.reads,
             self.writes,
             self.extensions,
@@ -123,7 +128,8 @@ impl fmt::Display for TxnStats {
             self.conflicts,
             self.retries,
             self.validated_entries,
-            self.shared_cts
+            self.shared_cts,
+            self.cross_shard_commits
         )
     }
 }

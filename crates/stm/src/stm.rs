@@ -20,6 +20,7 @@
 //! assert_eq!(*account.snapshot_latest(), 70);
 //! ```
 
+use crate::alloc::BlockAlloc;
 use crate::cm::{ContentionManager, Polite};
 use crate::config::StmConfig;
 use crate::error::TxResult;
@@ -28,24 +29,92 @@ use crate::object::{TObject, TVar};
 use crate::stats::TxnStats;
 use crate::txn_shared::TxnShared;
 use lsa_time::{ThreadClock, TimeBase, Timestamp};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 /// Process-wide instance counter so object ids never collide between
-/// distinct [`Stm`] instances (ids key per-transaction hash maps).
+/// distinct [`Stm`] instances (ids key per-transaction hash maps). Shared
+/// with [`crate::sharded::ShardedStm`], whose ids carry the same instance
+/// prefix.
 static STM_INSTANCES: AtomicU32 = AtomicU32::new(1);
+
+/// Claim the next process-unique runtime instance number.
+pub(crate) fn next_instance() -> u32 {
+    STM_INSTANCES.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Ids per thread-local refill of the object-id sequence (object creation
+/// can sit inside transactions — linked-structure inserts — so it deserves
+/// the full amortization).
+const OBJ_ID_BLOCK: u64 = 64;
+/// Handle ids are claimed once per registered thread; a small block still
+/// removes the shared line from registration storms.
+const HANDLE_ID_BLOCK: u64 = 8;
+/// Birth numbers feed contention-manager priority; small blocks bound the
+/// cross-thread unfairness of the block-granular birth order (see
+/// [`crate::alloc`]).
+const BIRTH_BLOCK: u64 = 16;
+
+/// Per-attempt shared-descriptor setup common to the unsharded and sharded
+/// retry loops: snapshot-isolation marking and contention-manager
+/// continuity across retries of one logical transaction (op carry-over,
+/// retry seeding, lazy birth allocation). Keeping this in one place means a
+/// CM-continuity or isolation-mode fix cannot silently diverge between the
+/// two runtimes' loops.
+pub(crate) fn begin_attempt<Ts: Timestamp>(
+    txn_id: u64,
+    cfg: &StmConfig,
+    cm: &dyn ContentionManager,
+    birth_counter: &BlockAlloc,
+    birth: &mut u64,
+    carried_ops: u64,
+    retries: u32,
+) -> Arc<TxnShared<Ts>> {
+    let shared = Arc::new(TxnShared::new(txn_id));
+    if cfg.snapshot_isolation {
+        shared.mark_snapshot_isolation();
+    }
+    shared.cm().seed(carried_ops, retries);
+    if cm.needs_birth() {
+        if *birth == 0 {
+            *birth = birth_counter.alloc();
+        }
+        shared.cm().set_birth(*birth);
+    }
+    shared
+}
+
+/// Post-abort bookkeeping shared by the retry loops: carry the attempt's
+/// contention-manager ops into the next attempt, count the retry, and
+/// yield under heavy oversubscription (livelock hygiene).
+pub(crate) fn after_failed_attempt<Ts: Timestamp>(
+    shared: &TxnShared<Ts>,
+    cfg: &StmConfig,
+    stats: &mut TxnStats,
+    carried_ops: &mut u64,
+    retries: &mut u32,
+) {
+    *carried_ops = shared.cm().ops();
+    *retries = retries.saturating_add(1);
+    stats.retries += 1;
+    if u64::from(*retries) > cfg.yield_after_retries {
+        std::thread::yield_now();
+    }
+}
 
 struct StmInner<B: TimeBase> {
     tb: B,
     cfg: StmConfig,
     cm: Box<dyn ContentionManager>,
     instance: u32,
-    next_obj: AtomicU64,
-    next_handle: AtomicU64,
-    /// Birth-order source for contention managers that require one
+    /// Object/handle/birth sequences, block-allocated per thread so none of
+    /// them is a contended RMW line ([`crate::alloc::BlockAlloc`]). The
+    /// birth sequence exists for contention managers that require one
     /// ([`ContentionManager::needs_birth`]); untouched otherwise so the
     /// default configuration has no shared counter besides the time base.
-    birth_counter: AtomicU64,
+    next_obj: BlockAlloc,
+    next_handle: BlockAlloc,
+    birth_counter: BlockAlloc,
 }
 
 /// The LSA-RT software transactional memory runtime.
@@ -97,10 +166,10 @@ impl<B: TimeBase> Stm<B> {
                 tb,
                 cfg,
                 cm: Box::new(cm),
-                instance: STM_INSTANCES.fetch_add(1, Ordering::Relaxed),
-                next_obj: AtomicU64::new(1),
-                next_handle: AtomicU64::new(1),
-                birth_counter: AtomicU64::new(1),
+                instance: next_instance(),
+                next_obj: BlockAlloc::new(1, OBJ_ID_BLOCK),
+                next_handle: BlockAlloc::new(1, HANDLE_ID_BLOCK),
+                birth_counter: BlockAlloc::new(1, BIRTH_BLOCK),
             }),
         }
     }
@@ -123,7 +192,7 @@ impl<B: TimeBase> Stm<B> {
     /// Create a transactional variable holding `value`. The initial version
     /// is valid from [`Timestamp::origin`], i.e. visible to every snapshot.
     pub fn new_tvar<T: Send + Sync + 'static>(&self, value: T) -> TVar<T, B::Ts> {
-        let seq = self.inner.next_obj.fetch_add(1, Ordering::Relaxed);
+        let seq = self.inner.next_obj.alloc();
         let id = ((self.inner.instance as u64) << 40) | seq;
         TVar::from_object(TObject::new(
             id,
@@ -135,7 +204,7 @@ impl<B: TimeBase> Stm<B> {
 
     /// Register the calling thread: allocates its clock handle and stats.
     pub fn register(&self) -> ThreadHandle<B> {
-        let handle_id = self.inner.next_handle.fetch_add(1, Ordering::Relaxed);
+        let handle_id = self.inner.next_handle.alloc();
         ThreadHandle {
             stm: self.clone(),
             handle_id,
@@ -192,27 +261,27 @@ impl<B: TimeBase> ThreadHandle<B> {
     /// errors with `?` — the loop re-executes it from scratch after an abort
     /// (any side effects outside the STM must therefore be idempotent).
     pub fn atomically<R>(&mut self, mut body: impl FnMut(&mut Txn<'_, B>) -> TxResult<R>) -> R {
-        let needs_birth = self.stm.inner.cm.needs_birth();
         let mut birth = 0u64;
         let mut carried_ops = 0u64;
         let mut retries = 0u32;
+        // NOTE: this retry shell is mirrored by `ShardedHandle::atomically`
+        // (crate::sharded) with shard bookkeeping added; control-flow
+        // changes here belong there too. The subtle per-attempt pieces
+        // (CM continuity, isolation marking) are shared via `begin_attempt`
+        // / `after_failed_attempt`.
         loop {
             let txn_id = self.next_txn_id();
-            let shared = Arc::new(TxnShared::new(txn_id));
-            if self.stm.inner.cfg.snapshot_isolation {
-                shared.mark_snapshot_isolation();
-            }
-            // Contention-manager continuity across retries of the same
-            // logical transaction (karma, age).
-            shared.cm().seed(carried_ops, retries);
-            if needs_birth {
-                if birth == 0 {
-                    birth = self.stm.inner.birth_counter.fetch_add(1, Ordering::Relaxed);
-                }
-                shared.cm().set_birth(birth);
-            }
-
             let inner = &self.stm.inner;
+            let shared = begin_attempt(
+                txn_id,
+                &inner.cfg,
+                inner.cm.as_ref(),
+                &inner.birth_counter,
+                &mut birth,
+                carried_ops,
+                retries,
+            );
+
             let mut txn = Txn::begin(
                 &inner.cfg,
                 inner.cm.as_ref(),
@@ -238,12 +307,13 @@ impl<B: TimeBase> ThreadHandle<B> {
             // versions that made this attempt fail.
             self.clock.note_abort();
 
-            carried_ops = shared.cm().ops();
-            retries = retries.saturating_add(1);
-            self.stats.retries += 1;
-            if u64::from(retries) > inner.cfg.yield_after_retries {
-                std::thread::yield_now();
-            }
+            after_failed_attempt(
+                &shared,
+                &inner.cfg,
+                &mut self.stats,
+                &mut carried_ops,
+                &mut retries,
+            );
         }
     }
 

@@ -16,6 +16,7 @@
 //! which also drives [`thread_contract`] from proptest-generated patterns).
 
 use crate::base::{ThreadClock, TimeBase, Uniqueness};
+use crate::sharded::ShardedTimeBase;
 use crate::timestamp::Timestamp;
 
 /// One operation of a [`thread_contract`] pattern.
@@ -303,6 +304,202 @@ pub fn full_suite<B: TimeBase>(tb: &B) {
     }
     if info.block_uniqueness == Uniqueness::Unique {
         blocks_are_disjoint(tb, 4, 100, 7);
+    }
+}
+
+/// Per-shard `get_ts_block` domains of a [`ShardedTimeBase`] must be
+/// pairwise disjoint — across shards *and* across threads within a shard.
+/// This is the property the sharded STM's per-shard id spaces and epoch
+/// allocation build on. The check drives shard-*pinned* composite clocks
+/// ([`ShardedTimeBase::shard_clock`]), i.e. the same routing a
+/// single-shard transaction uses inside the engine, so a composite whose
+/// internal per-shard clocks developed overlapping block state would fail
+/// here even if its default (shard-0) path stayed clean.
+pub fn sharded_blocks_disjoint<B: TimeBase>(tb: &ShardedTimeBase<B>, calls: usize, n: usize) {
+    let name = tb.info().name;
+    let mut all: Vec<i128> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..tb.shards())
+            .map(|shard| {
+                let mut clock = tb.shard_clock(shard);
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    for _ in 0..calls {
+                        out.extend(clock.get_ts_block(n).into_iter().map(|t| t.raw_value()));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    let total = all.len();
+    assert_eq!(total, tb.shards() * calls * n, "{name}: lost block values");
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(total, all.len(), "{name}: per-shard block domains overlap");
+}
+
+/// Per-shard commit monotonicity in the composite's *global* form: a commit
+/// timestamp arbitrated through shard `i`'s clock strictly exceeds every
+/// reading any thread previously took through any *other* shard's clock.
+/// This is the cross-shard half of the §2.4 strictness property — the one
+/// that keeps validity claims carried across shards sound — and it holds
+/// precisely because all shard clocks share one inner domain.
+pub fn sharded_commit_monotonic_across_shards<B: TimeBase>(tb: &ShardedTimeBase<B>, rounds: usize) {
+    let name = tb.info().name;
+    let shards = tb.shards();
+    let mut clocks: Vec<_> = (0..shards).map(|s| tb.shard_clock(s)).collect();
+    for round in 0..rounds {
+        let reader = round % shards;
+        let committer = (round + 1 + round % (shards.max(2) - 1)) % shards;
+        let observed = clocks[reader].get_time();
+        let own = clocks[committer].get_time();
+        let ct = clocks[committer].acquire_commit_ts(own);
+        assert!(
+            strictly_after(ct.ts(), observed),
+            "{name}: shard {committer} commit {:?} does not clear shard \
+             {reader}'s earlier reading {observed:?}",
+            ct.ts()
+        );
+    }
+}
+
+/// Cross-shard exclusivity: commit timestamps arbitrated concurrently
+/// through *different shards'* clocks must never collide when reported
+/// [`crate::base::CommitTs::Exclusive`] — a per-shard arbitration that
+/// leaked the same value to two shards would break every engine fast path
+/// built on exclusivity, and is exactly the collision an unsharded
+/// uniqueness check cannot see.
+pub fn sharded_exclusive_no_cross_shard_collision<B: TimeBase>(
+    tb: &ShardedTimeBase<B>,
+    per: usize,
+) {
+    let name = tb.info().name;
+    let mut all: Vec<(i128, bool)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..tb.shards())
+            .map(|shard| {
+                let mut clock = tb.shard_clock(shard);
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    for _ in 0..per {
+                        let observed = clock.get_time();
+                        let ct = clock.acquire_commit_ts(observed);
+                        out.push((ct.ts().raw_value(), ct.is_shared()));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    assert_eq!(
+        all.len(),
+        tb.shards() * per,
+        "{name}: lost commit timestamps"
+    );
+    all.sort_unstable();
+    for run in all.chunk_by(|a, b| a.0 == b.0) {
+        if run.len() > 1 {
+            assert!(
+                run.iter().all(|&(_, shared)| shared),
+                "{name}: exclusive commit timestamp {} was arbitrated on two \
+                 different shards",
+                run[0].0
+            );
+        }
+    }
+}
+
+/// The sharded composition suite: the composite passes the *whole* standard
+/// suite (it is a [`TimeBase`] like any other), plus the three properties
+/// sharding adds — per-shard block-domain disjointness, cross-shard commit
+/// monotonicity, and no cross-shard `Exclusive` collision. One call
+/// certifies a composite; drive it per inner base from
+/// `crates/time/tests/timebase_conformance.rs`.
+pub fn sharded_suite<B: TimeBase>(tb: &ShardedTimeBase<B>) {
+    full_suite(tb);
+    sharded_multi_shard_thread_contract(tb, 0xD1CE, 120);
+    sharded_blocks_disjoint(tb, 50, 5);
+    sharded_commit_monotonic_across_shards(tb, 400);
+    if tb.info().uniqueness != Uniqueness::BestEffort {
+        sharded_exclusive_no_cross_shard_collision(tb, 1_000);
+    }
+}
+
+/// The per-thread strictness contract under *varying shard selections*:
+/// one composite clock, with the touch mask re-chosen before every
+/// operation and commit acquisitions alternating between single-shard
+/// (unarmed) and chained cross-shard (armed) arbitration, interleaved with
+/// `get_ts_block` and `get_new_ts` — each strict result must clear
+/// everything the composite previously returned regardless of which shard
+/// clock served it. This is the multi-shard case the plain
+/// [`thread_contract`] (which never selects shards) cannot reach: a
+/// composite whose internal per-shard clocks cached stale block or
+/// arbitration state would fail here while the shard-0 path stayed clean.
+pub fn sharded_multi_shard_thread_contract<B: TimeBase>(
+    tb: &ShardedTimeBase<B>,
+    seed: u64,
+    ops: usize,
+) {
+    let name = tb.info().name;
+    let shards = tb.shards();
+    let mut clock = tb.register_thread();
+    let touch = clock.touch_set();
+    let mut rng = Lcg(seed);
+    let mut seen: Option<B::Ts> = None;
+    let strict = |t: B::Ts, seen: &mut Option<B::Ts>, what: &str| {
+        if let Some(prev) = *seen {
+            assert!(
+                strictly_after(t, prev),
+                "{name}: {what} returned {t:?} after the composite already \
+                 handed out {prev:?}"
+            );
+        }
+        *seen = Some(match *seen {
+            Some(prev) => prev.join(t),
+            None => t,
+        });
+    };
+    for _ in 0..ops {
+        touch.clear();
+        touch.touch(rng.next() as usize % shards);
+        if rng.next().is_multiple_of(2) {
+            touch.touch(rng.next() as usize % shards);
+        }
+        match rng.next() % 4 {
+            0 => {
+                let t = clock.get_new_ts();
+                strict(t, &mut seen, "get_new_ts");
+            }
+            1 => {
+                // Unarmed: single-shard helper/prelim-style arbitration.
+                let observed = clock.get_time();
+                let ct = clock.acquire_commit_ts(observed);
+                strict(ct.ts(), &mut seen, "unarmed acquire_commit_ts");
+            }
+            2 => {
+                // Armed: the chained cross-shard commit acquisition.
+                touch.arm_commit();
+                let observed = clock.get_time();
+                let ct = clock.acquire_commit_ts(observed);
+                assert!(
+                    strictly_after(ct.ts(), observed),
+                    "{name}: armed arbitration did not clear the observation"
+                );
+                strict(ct.ts(), &mut seen, "armed acquire_commit_ts");
+            }
+            _ => {
+                for t in clock.get_ts_block(1 + rng.next() as usize % 5) {
+                    strict(t, &mut seen, "get_ts_block");
+                }
+            }
+        }
     }
 }
 

@@ -24,7 +24,12 @@
 //!   compare according to Algorithm 5 of the paper,
 //! * [`numa::NumaCounter`] / [`numa::NumaModel`] — a ccNUMA interconnect cost
 //!   model used to reproduce the paper's SGI-Altix contention behaviour on a
-//!   small host (see DESIGN.md §3).
+//!   small host (see DESIGN.md §3),
+//! * [`sharded::ShardedTimeBase`] — the composite base for sharded STMs:
+//!   per-shard clock instances over one arbitration-comparable domain, with
+//!   disjoint per-shard `get_ts_block` domains and a capability check that
+//!   rejects inner bases whose guarantees do not survive composition
+//!   (see DESIGN.md §9).
 //!
 //! The abstraction is split in two traits:
 //!
@@ -59,12 +64,14 @@ pub mod hardware;
 pub mod numa;
 pub mod perfect;
 pub mod range;
+pub mod sharded;
 pub mod sync_measure;
 pub mod sync_sim;
 pub mod timestamp;
 
 pub use base::{CommitTs, ContentionClass, ThreadClock, TimeBase, TimeBaseInfo, Uniqueness};
 pub use range::ValidityRange;
+pub use sharded::{ShardedClock, ShardedTimeBase, TouchSet};
 pub use timestamp::Timestamp;
 
 /// Convenient re-exports of every concrete time base.
@@ -76,5 +83,6 @@ pub mod prelude {
     pub use crate::numa::{NumaCounter, NumaModel};
     pub use crate::perfect::PerfectClock;
     pub use crate::range::ValidityRange;
+    pub use crate::sharded::{ShardedTimeBase, TouchSet};
     pub use crate::timestamp::Timestamp;
 }

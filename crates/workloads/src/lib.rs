@@ -8,7 +8,10 @@
 //! * [`scan`] — read-only scans over `n` objects; the §1 validation-cost
 //!   shape (EXP-VAL), engine-generic,
 //! * [`intset_list`] — sorted linked-list set: long traversals, growing read
-//!   sets (the validation-cost experiment, EXP-VAL),
+//!   sets (the validation-cost experiment, EXP-VAL) — plus the
+//!   [`intset_list::IntsetWorkload`] member/insert/remove benchmark mix,
+//!   the data-structure workload that drives cross-shard transactions in
+//!   the engine matrix,
 //! * [`skiplist`] — skip-list set: O(log n) traversals, medium read sets,
 //! * [`hashset`] — bucketed hash set: short transactions, tunable contention,
 //! * [`rng`] — cheap deterministic randomness for workload threads.
@@ -31,7 +34,7 @@ pub mod skiplist;
 pub use bank::{BankConfig, BankWorker, BankWorkload};
 pub use disjoint::{DisjointConfig, DisjointWorker, DisjointWorkload};
 pub use hashset::HashSetT;
-pub use intset_list::IntSetList;
+pub use intset_list::{IntSetList, IntsetConfig, IntsetWorker, IntsetWorkload};
 pub use rng::FastRng;
 pub use scan::{ScanConfig, ScanWorker, ScanWorkload};
 pub use skiplist::SkipListSet;

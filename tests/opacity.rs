@@ -107,13 +107,128 @@ fn run_and_check<B: TimeBase<Ts = u64>>(tb: B, threads: usize, increments: usize
 
 /// The engine-generic conformance suite over EVERY engine in the registry —
 /// not just LSA-RT with hand-picked time bases. A new registry entry is
-/// covered automatically; run with `--nocapture` to see per-engine progress.
+/// covered automatically (the `lsa-sharded` rows included, whose round-robin
+/// routing spreads the suite's variables across shards, so the value-chain
+/// and audit-snapshot checks cover cross-shard commits); run with
+/// `--nocapture` to see per-engine progress.
 #[test]
 fn conformance_suite_passes_on_every_registry_engine() {
     for entry in lsa_rt::harness::default_registry() {
         println!("conformance: {}", entry.label());
         entry.run_conformance();
     }
+}
+
+/// The LSA-specific commit-time serializability check, on the sharded
+/// runtime: every transaction increments TWO adjacent objects, which the
+/// round-robin routing places on different shards, so every committed
+/// update exercised the cross-shard protocol — and the committed history
+/// must still equal the sequential history at commit-time order, per
+/// object, with strictly increasing commit times for conflicting commits.
+fn run_and_check_sharded<B: TimeBase<Ts = u64>>(
+    tb: B,
+    shards: usize,
+    threads: usize,
+    increments: usize,
+) {
+    const OBJECTS: usize = 8;
+    let stm = ShardedStm::new(tb, shards);
+    let vars: Vec<TVar<u64, u64>> = (0..OBJECTS).map(|_| stm.new_tvar(0u64)).collect();
+    // Round-robin routing: adjacent objects live on different shards.
+    for (i, var) in vars.iter().enumerate() {
+        assert_eq!(
+            lsa_rt::stm::sharded::shard_of_id(var.id()),
+            i % shards,
+            "routing must spread adjacent objects across shards"
+        );
+    }
+    let log: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+    let cross_total: Mutex<u64> = Mutex::new(0);
+
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let stm = stm.clone();
+            let vars = vars.clone();
+            let log = &log;
+            let cross_total = &cross_total;
+            s.spawn(move || {
+                let mut h = stm.register();
+                let mut local = Vec::with_capacity(2 * increments);
+                let mut seed = t as u64 + 1;
+                for _ in 0..increments {
+                    seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let i = (seed >> 33) as usize % OBJECTS;
+                    let j = (i + 1) % OBJECTS;
+                    let (a, b) = (vars[i].clone(), vars[j].clone());
+                    let (ra, rb) = h.atomically(|tx| {
+                        let ra = *tx.read(&a)?;
+                        let rb = *tx.read(&b)?;
+                        tx.write(&a, ra + 1)?;
+                        tx.write(&b, rb + 1)?;
+                        Ok((ra, rb))
+                    });
+                    let ct = h.last_commit_time().expect("update txn has a CT");
+                    local.push(Record {
+                        ct,
+                        object: i,
+                        read: ra,
+                        wrote: ra + 1,
+                    });
+                    local.push(Record {
+                        ct,
+                        object: j,
+                        read: rb,
+                        wrote: rb + 1,
+                    });
+                }
+                *cross_total.lock().unwrap() += h.stats().cross_shard_commits;
+                log.lock().unwrap().extend(local);
+            });
+        }
+    });
+
+    assert_eq!(
+        *cross_total.lock().unwrap(),
+        (threads * increments) as u64,
+        "every transaction spans two shards and must count as cross-shard"
+    );
+
+    let mut log = log.into_inner().unwrap();
+    assert_eq!(log.len(), 2 * threads * increments);
+    log.sort_by_key(|r| (r.object, r.ct));
+    for (object, var) in vars.iter().enumerate() {
+        let mut expected = 0u64;
+        let mut last_ct = 0u64;
+        for r in log.iter().filter(|r| r.object == object) {
+            assert!(
+                r.ct > last_ct,
+                "conflicting cross-shard commits share or invert commit \
+                 times: {} then {}",
+                last_ct,
+                r.ct
+            );
+            last_ct = r.ct;
+            assert_eq!(
+                r.read, expected,
+                "object {object}: transaction at ct={} read {} but the \
+                 commit-time-ordered history says {}",
+                r.ct, r.read, expected
+            );
+            expected = r.wrote;
+        }
+        assert_eq!(*var.snapshot_latest(), expected);
+    }
+}
+
+#[test]
+fn sharded_committed_history_is_serializable_counter() {
+    run_and_check_sharded(SharedCounter::new(), 8, 4, 1_000);
+}
+
+#[test]
+fn sharded_committed_history_is_serializable_block() {
+    use lsa_rt::time::counter::BlockCounter;
+    run_and_check_sharded(BlockCounter::new(16), 4, 4, 1_000);
 }
 
 #[test]
