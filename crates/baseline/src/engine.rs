@@ -18,6 +18,9 @@ fn to_engine_stats(s: &BaselineStats) -> EngineStats {
         commits: s.commits,
         ro_commits: s.ro_commits,
         aborts: s.aborts,
+        // The engines record every abort with its taxonomy class at the
+        // abort site, so the breakdown passes through unchanged.
+        abort_reasons: s.reasons,
         retries: s.retries,
         reads: s.reads,
         writes: s.writes,

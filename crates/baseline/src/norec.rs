@@ -32,6 +32,7 @@
 
 use crate::stats::BaselineStats;
 use crossbeam_utils::CachePadded;
+use lsa_engine::AbortClass;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -321,7 +322,7 @@ impl NorecTxn<'_> {
             match self.validate() {
                 Ok(t) => self.snapshot = t,
                 Err(e) => {
-                    self.stats.record_abort();
+                    self.stats.record_abort(AbortClass::Validation);
                     return Err(e);
                 }
             }
@@ -377,7 +378,7 @@ impl NorecThread {
                         return value;
                     }
                 }
-                Err(NorecAbort::Invalidated) => self.stats.record_abort(),
+                Err(NorecAbort::Invalidated) => self.stats.record_abort(AbortClass::Validation),
             }
             self.stats.retries += 1;
             for _ in 0..(1u64 << backoff.min(10)) {

@@ -1,5 +1,7 @@
 //! Statistics shared by the baseline engines.
 
+use lsa_engine::{AbortClass, AbortReasons};
+
 /// Per-thread counters of a baseline STM engine.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BaselineStats {
@@ -9,6 +11,9 @@ pub struct BaselineStats {
     pub ro_commits: u64,
     /// Aborted transaction attempts.
     pub aborts: u64,
+    /// Aborts broken down by the cross-engine [`AbortClass`] taxonomy
+    /// (always `reasons.total() == aborts` for these engines).
+    pub reasons: AbortReasons,
     /// Object reads.
     pub reads: u64,
     /// Object writes.
@@ -33,9 +38,10 @@ pub struct BaselineStats {
 }
 
 impl BaselineStats {
-    /// Record an aborted attempt.
-    pub fn record_abort(&mut self) {
+    /// Record an aborted attempt with its taxonomy class.
+    pub fn record_abort(&mut self, class: AbortClass) {
         self.aborts += 1;
+        self.reasons.record(class);
     }
 
     /// Total commits.
@@ -48,6 +54,7 @@ impl BaselineStats {
         self.commits += other.commits;
         self.ro_commits += other.ro_commits;
         self.aborts += other.aborts;
+        self.reasons.merge(&other.reasons);
         self.reads += other.reads;
         self.writes += other.writes;
         self.retries += other.retries;
@@ -80,5 +87,22 @@ mod tests {
         assert_eq!(a.reads, 2);
         assert_eq!(a.validations, 4);
         assert_eq!(a.total_commits(), 4);
+    }
+
+    #[test]
+    fn aborts_stay_classified() {
+        let mut s = BaselineStats::default();
+        s.record_abort(AbortClass::Validation);
+        s.record_abort(AbortClass::Contention);
+        s.record_abort(AbortClass::Validation);
+        assert_eq!(s.aborts, 3);
+        assert_eq!(s.reasons.validation, 2);
+        assert_eq!(s.reasons.contention, 1);
+        assert_eq!(s.reasons.total(), s.aborts);
+        let mut t = BaselineStats::default();
+        t.record_abort(AbortClass::Validation);
+        t.merge(&s);
+        assert_eq!(t.reasons.validation, 3);
+        assert_eq!(t.reasons.total(), t.aborts);
     }
 }

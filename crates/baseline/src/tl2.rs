@@ -38,6 +38,7 @@
 //! (shared counter, batched blocks), where it is sound.
 
 use crate::stats::BaselineStats;
+use lsa_engine::AbortClass;
 use lsa_time::{CommitTs, ThreadClock, TimeBase};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -57,6 +58,16 @@ pub enum Tl2Abort {
 
 /// Result alias for TL2 operations.
 pub type Tl2Result<T> = Result<T, Tl2Abort>;
+
+/// Map a TL2 abort onto the cross-engine taxonomy: stale snapshots and
+/// failed commit validation are consistency failures, a busy write lock is
+/// lost contention.
+fn abort_class(e: Tl2Abort) -> AbortClass {
+    match e {
+        Tl2Abort::ReadTooNew | Tl2Abort::Validation => AbortClass::Validation,
+        Tl2Abort::LockBusy => AbortClass::Contention,
+    }
+}
 
 /// Versioned-lock word: `version << 1 | locked`.
 #[derive(Debug, Default)]
@@ -366,7 +377,7 @@ impl<B: TimeBase<Ts = u64>> Tl2Txn<'_, B> {
                     for &(j, old) in &locked {
                         self.writes[j].revert(old);
                     }
-                    self.stats.record_abort();
+                    self.stats.record_abort(AbortClass::Contention);
                     return Err(Tl2Abort::LockBusy);
                 }
             }
@@ -409,7 +420,7 @@ impl<B: TimeBase<Ts = u64>> Tl2Txn<'_, B> {
                         self.writes[j].revert(old);
                     }
                     self.stats.revalidation_failures += 1;
-                    self.stats.record_abort();
+                    self.stats.record_abort(AbortClass::Validation);
                     return Err(Tl2Abort::Validation);
                 }
             }
@@ -459,8 +470,8 @@ impl<B: TimeBase<Ts = u64>> Tl2Thread<B> {
                         return value;
                     }
                 }
-                Err(_) => {
-                    self.stats.record_abort();
+                Err(e) => {
+                    self.stats.record_abort(abort_class(e));
                 }
             }
             // Abort feedback: GV5-style bases advance the clock on aborts so

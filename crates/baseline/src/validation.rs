@@ -19,6 +19,7 @@
 
 use crate::stats::BaselineStats;
 use crossbeam_utils::CachePadded;
+use lsa_engine::AbortClass;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -341,7 +342,7 @@ impl ValTxn<'_> {
             // Read-only: the read set was kept valid throughout; one final
             // validation closes the linearization window.
             if !self.validate_read_set() {
-                self.stats.record_abort();
+                self.stats.record_abort(AbortClass::Validation);
                 return Err(ValAbort::Invalidated);
             }
             self.stats.ro_commits += 1;
@@ -364,7 +365,7 @@ impl ValTxn<'_> {
                 for w in &self.writes[..i] {
                     w.unlock();
                 }
-                self.stats.record_abort();
+                self.stats.record_abort(AbortClass::Contention);
                 return Err(ValAbort::LockBusy);
             }
             locked = i + 1;
@@ -374,7 +375,7 @@ impl ValTxn<'_> {
             for w in &self.writes[..locked] {
                 w.unlock();
             }
-            self.stats.record_abort();
+            self.stats.record_abort(AbortClass::Validation);
             return Err(ValAbort::Invalidated);
         }
         for w in &self.writes {
@@ -428,7 +429,10 @@ impl ValThread {
                         return value;
                     }
                 }
-                Err(_) => self.stats.record_abort(),
+                Err(e) => self.stats.record_abort(match e {
+                    ValAbort::Invalidated => AbortClass::Validation,
+                    ValAbort::LockBusy => AbortClass::Contention,
+                }),
             }
             self.stats.retries += 1;
             for _ in 0..(1u64 << backoff.min(10)) {

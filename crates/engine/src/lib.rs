@@ -55,6 +55,14 @@ use std::sync::Arc;
 /// Shorthand for an engine's abort type.
 pub type EngineAbort<E> = <E as TxnEngine>::Abort;
 
+/// A type-erased, `Send`-able unit of transactional work for engine `E`:
+/// a closure executed on a worker's registered [`EngineHandle`]. This is the
+/// request surface the async service front-end (`lsa-service`) ships across
+/// threads — clients build a request on any thread, a pool worker runs it on
+/// its own long-lived handle, and the closure routes results back through a
+/// completion channel it captured.
+pub type EngineRequest<E> = Box<dyn FnOnce(&mut <E as TxnEngine>::Handle) + Send + 'static>;
+
 /// Shorthand for an engine's transactional-variable type.
 pub type EngineVar<E, T> = <E as TxnEngine>::Var<T>;
 
@@ -81,6 +89,17 @@ pub trait TxnEngine: Clone + Send + Sync + 'static {
 
     /// Create a transactional variable initialized to `value`.
     fn new_var<T: Send + Sync + 'static>(&self, value: T) -> Self::Var<T>;
+
+    /// Create a transactional variable with a *placement hint*: ask the
+    /// engine to home the object on shard `shard % shards()`. Unsharded
+    /// engines ignore the hint (the default), so workload code can pin its
+    /// partitions unconditionally — on `lsa-sharded` the hint routes the
+    /// object shard-locally (`ShardedStm::new_tvar_on`), everywhere else it
+    /// degenerates to [`new_var`](TxnEngine::new_var).
+    fn new_var_on<T: Send + Sync + 'static>(&self, shard: usize, value: T) -> Self::Var<T> {
+        let _ = shard;
+        self.new_var(value)
+    }
 
     /// Register the calling thread, allocating its clock/stats state.
     fn register(&self) -> Self::Handle;
@@ -162,9 +181,125 @@ pub trait TxnOps {
     ) -> EngineResult<(), Self::Engine>;
 }
 
+/// Coarse abort classes shared by every engine — the cross-engine taxonomy
+/// the harness and the service front-end report without hand-wiring each
+/// engine's native reason enum.
+///
+/// Each engine maps its internal abort causes onto these classes in its
+/// `TxnEngine` glue: LSA-RT folds `Validation`/`Snapshot` aborts into
+/// [`Validation`](AbortClass::Validation) and keeps `NoVersion` separate
+/// (the §4.3 split); lock-acquisition failures and contention-manager kills
+/// land in [`Contention`](AbortClass::Contention);
+/// [`Overload`](AbortClass::Overload) is never produced by an engine — it
+/// counts admission-control sheds recorded by the `lsa-service` front-end.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AbortClass {
+    /// A consistency check failed: commit/read-time validation, snapshot
+    /// invalidation, value revalidation.
+    Validation,
+    /// No object version overlapped the transaction's validity range
+    /// (multi-version engines only).
+    NoVersion,
+    /// Lost a conflict: lock busy, contention-manager loser, killed.
+    Contention,
+    /// Shed by admission control before execution (service front-end only).
+    Overload,
+}
+
+impl AbortClass {
+    /// All classes, in reporting order.
+    pub const ALL: [AbortClass; 4] = [
+        AbortClass::Validation,
+        AbortClass::NoVersion,
+        AbortClass::Contention,
+        AbortClass::Overload,
+    ];
+
+    /// Short label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            AbortClass::Validation => "validation",
+            AbortClass::NoVersion => "no-version",
+            AbortClass::Contention => "contention",
+            AbortClass::Overload => "overload",
+        }
+    }
+}
+
+impl fmt::Display for AbortClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Abort counts broken down by [`AbortClass`] — the cross-engine abort-reason
+/// taxonomy (ROADMAP: "add an abort-reason taxonomy to `EngineStats` instead
+/// of hand-wiring engines").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AbortReasons {
+    /// Consistency-check failures (validation / snapshot / revalidation).
+    pub validation: u64,
+    /// Validity-range intersection came up empty (multi-version engines).
+    pub no_version: u64,
+    /// Lost conflicts (lock busy, CM loser, killed, explicit retry).
+    pub contention: u64,
+    /// Requests shed by the service front-end's admission control.
+    pub overload: u64,
+}
+
+impl AbortReasons {
+    /// Record one abort of the given class.
+    pub fn record(&mut self, class: AbortClass) {
+        *self.slot(class) += 1;
+    }
+
+    /// Count recorded for one class.
+    pub fn get(&self, class: AbortClass) -> u64 {
+        match class {
+            AbortClass::Validation => self.validation,
+            AbortClass::NoVersion => self.no_version,
+            AbortClass::Contention => self.contention,
+            AbortClass::Overload => self.overload,
+        }
+    }
+
+    fn slot(&mut self, class: AbortClass) -> &mut u64 {
+        match class {
+            AbortClass::Validation => &mut self.validation,
+            AbortClass::NoVersion => &mut self.no_version,
+            AbortClass::Contention => &mut self.contention,
+            AbortClass::Overload => &mut self.overload,
+        }
+    }
+
+    /// Total classified aborts (overload sheds included).
+    pub fn total(&self) -> u64 {
+        self.validation + self.no_version + self.contention + self.overload
+    }
+
+    /// Merge another breakdown into this one.
+    pub fn merge(&mut self, other: &AbortReasons) {
+        self.validation += other.validation;
+        self.no_version += other.no_version;
+        self.contention += other.contention;
+        self.overload += other.overload;
+    }
+}
+
+impl fmt::Display for AbortReasons {
+    /// Compact `v/nv/ct/ov` rendering used by the matrix column.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}/{}/{}",
+            self.validation, self.no_version, self.contention, self.overload
+        )
+    }
+}
+
 /// The statistics surface shared by every engine. Engine-specific detail
-/// (abort reasons, validation counts, helping) stays on the engines' native
-/// stats types; this is the common denominator the harness aggregates.
+/// (fine-grained abort reasons, helping) stays on the engines' native stats
+/// types; this is the common denominator the harness aggregates.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Committed update transactions.
@@ -173,6 +308,12 @@ pub struct EngineStats {
     pub ro_commits: u64,
     /// Aborted transaction attempts (all causes).
     pub aborts: u64,
+    /// Aborts broken down by the cross-engine [`AbortClass`] taxonomy. For
+    /// engine-produced stats `validation + no_version + contention ==
+    /// aborts`; the service front-end additionally records admission sheds
+    /// under `overload` (those are rejected requests, not transaction
+    /// attempts, so they do not count into `aborts`).
+    pub abort_reasons: AbortReasons,
     /// Transaction-body re-executions after an abort.
     pub retries: u64,
     /// Transactional object reads.
@@ -258,6 +399,7 @@ impl EngineStats {
         self.commits += other.commits;
         self.ro_commits += other.ro_commits;
         self.aborts += other.aborts;
+        self.abort_reasons.merge(&other.abort_reasons);
         self.retries += other.retries;
         self.reads += other.reads;
         self.writes += other.writes;
@@ -273,11 +415,12 @@ impl fmt::Display for EngineStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "commits={} (ro={}) aborts={} retries={} reads={} writes={} \
+            "commits={} (ro={}) aborts={} [{}] retries={} reads={} writes={} \
              validations={} (failed={}, entries={}) shared-ts={} xshard={}",
             self.total_commits(),
             self.ro_commits,
             self.aborts,
+            self.abort_reasons,
             self.retries,
             self.reads,
             self.writes,
@@ -305,6 +448,11 @@ mod tests {
             commits: 2,
             ro_commits: 4,
             aborts: 3,
+            abort_reasons: AbortReasons {
+                validation: 2,
+                contention: 1,
+                ..Default::default()
+            },
             validations: 6,
             revalidation_failures: 2,
             validated_entries: 18,
@@ -315,6 +463,9 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.total_commits(), 8);
         assert_eq!(a.aborts, 4);
+        assert_eq!(a.abort_reasons.validation, 2);
+        assert_eq!(a.abort_reasons.contention, 1);
+        assert_eq!(a.abort_reasons.total(), 3);
         assert_eq!(a.abort_ratio(), 0.5);
         assert_eq!(a.validations, 6);
         assert_eq!(a.revalidation_failures, 2);
@@ -328,6 +479,25 @@ mod tests {
         assert!(a
             .to_string()
             .contains("validations=6 (failed=2, entries=18) shared-ts=2"));
+    }
+
+    #[test]
+    fn abort_reasons_record_and_render() {
+        let mut r = AbortReasons::default();
+        r.record(AbortClass::Validation);
+        r.record(AbortClass::Validation);
+        r.record(AbortClass::NoVersion);
+        r.record(AbortClass::Overload);
+        assert_eq!(r.get(AbortClass::Validation), 2);
+        assert_eq!(r.get(AbortClass::NoVersion), 1);
+        assert_eq!(r.get(AbortClass::Contention), 0);
+        assert_eq!(r.get(AbortClass::Overload), 1);
+        assert_eq!(r.total(), 4);
+        assert_eq!(r.to_string(), "2/1/0/1");
+        let mut labels: Vec<_> = AbortClass::ALL.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), AbortClass::ALL.len());
     }
 
     #[test]

@@ -12,8 +12,11 @@
 //! is a parameterized registry entry
 //! ([`lsa_harness::registry::lsa_external_entry`]) driven through the same
 //! engine-generic runner as the `matrix` binary; the reported columns are
-//! the registry's shared statistics surface (validations = snapshot
-//! extensions for LSA, reval failures = commit-time validation aborts).
+//! the registry's shared statistics surface — including the §4.3
+//! snapshot/no-version abort split, read straight from the cross-engine
+//! `EngineStats::abort_reasons` taxonomy (validations = snapshot
+//! extensions for LSA). No per-engine hand-wiring: any engine mapped onto
+//! the taxonomy reports the same columns.
 
 use lsa_harness::registry::{lsa_external_entry, Workload};
 use lsa_harness::{f2, f3, measure_window, Table};
@@ -37,6 +40,8 @@ fn main() {
                 "aborts/commit",
                 "extensions/commit",
                 "validation aborts",
+                "no-version aborts",
+                "contention aborts",
             ],
         );
         for &dev in &devs_ns {
@@ -55,7 +60,9 @@ fn main() {
                 format!("{:.0}", out.tx_per_sec()),
                 f3(out.abort_ratio()),
                 f3(out.stats.validations_per_commit()),
-                out.stats.revalidation_failures.to_string(),
+                out.stats.abort_reasons.validation.to_string(),
+                out.stats.abort_reasons.no_version.to_string(),
+                out.stats.abort_reasons.contention.to_string(),
             ]);
         }
         t.print();
@@ -63,6 +70,9 @@ fn main() {
     println!(
         "expected shape (S4.3): abort ratio grows with dev; the multi-version \
          configuration suffers on BOTH range ends (old snapshots die sooner), \
-         the single-version one only at version beginnings."
+         the single-version one only at version beginnings. the abort columns \
+         split by the generic taxonomy: validation (snapshot collapse + \
+         commit-time validation) vs no-version (empty validity-range \
+         intersection, the multi-version signature) vs contention."
     );
 }

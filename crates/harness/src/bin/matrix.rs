@@ -7,6 +7,8 @@
 //! cargo run --release -p lsa-harness --bin matrix -- disjoint
 //! cargo run --release -p lsa-harness --bin matrix -- scan
 //! cargo run --release -p lsa-harness --bin matrix -- intset
+//! cargo run --release -p lsa-harness --bin matrix -- snapshot
+//! cargo run --release -p lsa-harness --bin matrix -- bank --placement partitioned
 //! cargo run --release -p lsa-harness --bin matrix -- bank --threads 8
 //! cargo run --release -p lsa-harness --bin matrix -- bank --threads 1..8
 //! cargo run --release -p lsa-harness --bin matrix -- bank --timebase gv4
@@ -17,27 +19,36 @@
 //! `--threads A..B` sweeps every cell over the inclusive thread range and
 //! prints one row per (cell, thread count) — the Figure-2-shaped scaling
 //! view, with per-cell thread columns instead of per-base curves.
+//! `--placement partitioned` pins bank account groups / disjoint thread
+//! partitions shard-locally (`TxnEngine::new_var_on`) instead of the
+//! default round-robin spreading — contrast the `xshard/commit` column
+//! across the two placements on the `lsa-sharded` rows.
 //! Honours `LSA_MEASURE_MS` (per-point window) and `LSA_CSV=1` like every
-//! harness binary. Workload invariants (bank total, intset sortedness) are
-//! asserted after every cell, so this doubles as a cross-engine consistency
-//! smoke test. The `xshard/commit` column reports how often transactions
-//! spanned object shards and escalated to the sharded engine's cross-shard
-//! commit protocol (0 everywhere on unsharded engines).
+//! harness binary. Workload invariants (bank total, intset sortedness,
+//! snapshot zero-sum) are asserted after every cell, so this doubles as a
+//! cross-engine consistency smoke test. The `xshard/commit` column reports
+//! how often transactions spanned object shards and escalated to the
+//! sharded engine's cross-shard commit protocol (0 everywhere on unsharded
+//! engines); `aborts v/nv/ct/ov` is the cross-engine abort-reason taxonomy
+//! (validation / no-version / contention / overload).
 
 use lsa_harness::registry::{default_registry, Workload};
 use lsa_harness::{f3, measure_window, Table};
-use lsa_workloads::{BankConfig, DisjointConfig, IntsetConfig, ScanConfig};
+use lsa_workloads::{
+    BankConfig, DisjointConfig, IntsetConfig, PlacementHint, ScanConfig, SnapshotConfig,
+};
 
 struct Args {
     workload: Workload,
     threads: Vec<usize>,
+    placement: PlacementHint,
     timebase_filter: Option<String>,
 }
 
 fn usage_exit(context: &str) -> ! {
     eprintln!(
-        "usage: matrix [bank|disjoint|scan|intset] [--threads N | --threads A..B] \
-         [--timebase SUBSTR]   ({context})"
+        "usage: matrix [bank|disjoint|scan|intset|snapshot] [--threads N | --threads A..B] \
+         [--placement spread|partitioned] [--timebase SUBSTR]   ({context})"
     );
     std::process::exit(2);
 }
@@ -70,6 +81,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         workload: Workload::Bank(BankConfig::default()),
         threads: vec![default_threads],
+        placement: PlacementHint::Spread,
         timebase_filter: None,
     };
     let mut i = 0;
@@ -79,6 +91,14 @@ fn parse_args() -> Args {
             "disjoint" => args.workload = Workload::Disjoint(DisjointConfig::default()),
             "scan" => args.workload = Workload::Scan(ScanConfig::default()),
             "intset" => args.workload = Workload::Intset(IntsetConfig::default()),
+            "snapshot" => args.workload = Workload::Snapshot(SnapshotConfig::default()),
+            "--placement" => {
+                i += 1;
+                args.placement = match argv.get(i).and_then(|v| PlacementHint::parse(v)) {
+                    Some(p) => p,
+                    None => usage_exit("--placement needs spread or partitioned"),
+                };
+            }
             "--threads" => {
                 i += 1;
                 args.threads = match argv.get(i).and_then(|v| parse_threads(v)) {
@@ -149,8 +169,10 @@ fn main() {
             "time base",
             "shards",
             "threads",
+            "placement",
             "tx/s",
             "aborts/commit",
+            "aborts v/nv/ct/ov",
             "validations/commit",
             "reval failures",
             "shared-ts/commit",
@@ -159,14 +181,16 @@ fn main() {
     );
     for entry in &registry {
         for &threads in &args.threads {
-            let out = entry.run(&args.workload, threads, window);
+            let out = entry.run_placed(&args.workload, args.placement, threads, window);
             t.row(vec![
                 entry.engine.clone(),
                 entry.time_base.clone(),
                 entry.shards.to_string(),
                 threads.to_string(),
+                args.placement.to_string(),
                 format!("{:.0}", out.tx_per_sec()),
                 f3(out.abort_ratio()),
+                out.stats.abort_reasons.to_string(),
                 f3(out.stats.validations_per_commit()),
                 out.stats.revalidation_failures.to_string(),
                 f3(out.stats.shared_ts_per_commit()),
@@ -182,6 +206,9 @@ fn main() {
          shared-class commit timestamps (GV4/GV5 sharing; block never \
          shares — lost confirmations re-arbitrate). xshard/commit > 0 marks \
          cells whose transactions spanned object shards and escalated to the \
-         sharded engine's cross-shard commit protocol."
+         sharded engine's cross-shard commit protocol; --placement \
+         partitioned pins bank/disjoint partitions shard-locally and drives \
+         it to 0. the abort column is the cross-engine taxonomy \
+         (validation/no-version/contention/overload)."
     );
 }

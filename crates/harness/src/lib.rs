@@ -12,10 +12,13 @@
 //! | `cm_ablation` | §2.3 contention-manager ablation (EXP-CM) |
 //! | `paper_check` | one PASS/FAIL line per qualitative claim (CI smoke test) |
 //! | `matrix` | workload × engine × time-base sweep from the [`registry`] |
+//! | `service_bench` | open-loop request-rate sweep through the `lsa-service` front-end |
 //!
 //! Shared infrastructure: [`runner`] (thread orchestration and throughput),
 //! [`registry`] (the engine × time-base matrix, engine-generic via
-//! [`lsa_engine::TxnEngine`]), [`table`] (text/CSV output), [`altix_sim`]
+//! [`lsa_engine::TxnEngine`]), [`service_bench`] (open-loop load generation
+//! against the async transaction service: arrival-rate scheduling, latency
+//! percentiles, shed accounting), [`table`] (text/CSV output), [`altix_sim`]
 //! (the discrete-event model of the paper's 16-CPU ccNUMA testbed — the
 //! documented substitution for hardware this reproduction does not have).
 //!
@@ -28,9 +31,11 @@
 pub mod altix_sim;
 pub mod registry;
 pub mod runner;
+pub mod service_bench;
 pub mod table;
 
 pub use altix_sim::{simulate, AltixParams, SimPoint, SimTimeBase};
 pub use registry::{default_registry, run_workload, EngineEntry, Workload};
 pub use runner::{measure_window, run_for, run_steps, BenchWorker, RunOutcome};
+pub use service_bench::{run_service_bench, RequestKind, ServiceOutcome, ServiceSpec};
 pub use table::{f2, f3, Table};

@@ -29,7 +29,7 @@ use lsa_time::numa::{NumaCounter, NumaModel};
 use lsa_time::perfect::PerfectClock;
 use lsa_workloads::{
     BankConfig, BankWorkload, DisjointConfig, DisjointWorkload, IntsetConfig, IntsetWorkload,
-    ScanConfig, ScanWorkload,
+    PlacementHint, ScanConfig, ScanWorkload, SnapshotConfig, SnapshotWorkload,
 };
 use std::time::Duration;
 
@@ -54,6 +54,11 @@ pub enum Workload {
     /// traversals cross shard boundaries, exercising cross-shard commits.
     /// The runner asserts sortedness/uniqueness after every run.
     Intset(IntsetConfig),
+    /// Snapshot analytics ([`lsa_workloads::snapshot`]): read-mostly
+    /// full-table scans racing zero-sum updates — the multi-version vs
+    /// single-version separation workload. The runner asserts the zero-sum
+    /// invariant after every run.
+    Snapshot(SnapshotConfig),
 }
 
 impl Workload {
@@ -64,6 +69,7 @@ impl Workload {
             Workload::Disjoint(_) => "disjoint",
             Workload::Scan(_) => "scan",
             Workload::Intset(_) => "intset",
+            Workload::Snapshot(_) => "snapshot",
         }
     }
 }
@@ -79,9 +85,22 @@ pub fn run_workload<E: TxnEngine>(
     threads: usize,
     window: Duration,
 ) -> RunOutcome {
+    run_workload_placed(engine, workload, PlacementHint::Spread, threads, window)
+}
+
+/// [`run_workload`] with an explicit [`PlacementHint`]: bank and disjoint
+/// pin their partitions shard-locally under `Partitioned` (the other
+/// workloads have no natural partition and ignore the hint).
+pub fn run_workload_placed<E: TxnEngine>(
+    engine: E,
+    workload: &Workload,
+    placement: PlacementHint,
+    threads: usize,
+    window: Duration,
+) -> RunOutcome {
     match workload {
         Workload::Bank(cfg) => {
-            let wl = BankWorkload::new(engine, *cfg);
+            let wl = BankWorkload::with_placement(engine, *cfg, placement);
             let out = run_for(threads, window, |i| wl.worker(i));
             assert_eq!(
                 wl.quiescent_total(),
@@ -92,7 +111,7 @@ pub fn run_workload<E: TxnEngine>(
             out
         }
         Workload::Disjoint(cfg) => {
-            let wl = DisjointWorkload::new(engine, threads, *cfg);
+            let wl = DisjointWorkload::with_placement(engine, threads, *cfg, placement);
             let out = run_for(threads, window, |i| wl.worker(i));
             assert_eq!(
                 wl.total(),
@@ -112,6 +131,17 @@ pub fn run_workload<E: TxnEngine>(
             let out = run_for(threads, window, |i| wl.worker(i));
             // Structural invariant: sorted, duplicate-free list.
             wl.assert_sorted_unique();
+            out
+        }
+        Workload::Snapshot(cfg) => {
+            let wl = SnapshotWorkload::new(engine, *cfg);
+            let out = run_for(threads, window, |i| wl.worker(i));
+            assert_eq!(
+                wl.quiescent_sum(),
+                0,
+                "snapshot zero-sum invariant broken on {}",
+                wl.engine().engine_name()
+            );
             out
         }
     }
@@ -140,12 +170,22 @@ fn make_rig<E: TxnEngine>(engine: E, workload: &Workload, threads: usize) -> Wor
             let wl = IntsetWorkload::new(engine, *cfg);
             Box::new(move |tid| Box::new(wl.worker(tid)))
         }
+        Workload::Snapshot(cfg) => {
+            let wl = SnapshotWorkload::new(engine, *cfg);
+            Box::new(move |tid| Box::new(wl.worker(tid)))
+        }
     }
 }
 
 /// Type-erased runner stored in an [`EngineEntry`].
-type EntryRunner = Box<dyn Fn(&Workload, usize, Duration) -> RunOutcome + Send + Sync>;
+type EntryRunner =
+    Box<dyn Fn(&Workload, PlacementHint, usize, Duration) -> RunOutcome + Send + Sync>;
 type EntryRig = Box<dyn Fn(&Workload, usize) -> WorkerRig + Send + Sync>;
+type EntryServe = Box<
+    dyn Fn(&crate::service_bench::ServiceSpec) -> crate::service_bench::ServiceOutcome
+        + Send
+        + Sync,
+>;
 
 /// One engine × time-base combination, ready to run any [`Workload`].
 pub struct EngineEntry {
@@ -161,7 +201,9 @@ pub struct EngineEntry {
     pub shards: usize,
     run: EntryRunner,
     rig: EntryRig,
+    serve: EntryServe,
     conformance: Box<dyn Fn() + Send + Sync>,
+    service_conformance: Box<dyn Fn() + Send + Sync>,
 }
 
 impl EngineEntry {
@@ -176,16 +218,24 @@ impl EngineEntry {
         let factory = std::sync::Arc::new(factory);
         let run_factory = std::sync::Arc::clone(&factory);
         let rig_factory = std::sync::Arc::clone(&factory);
+        let serve_factory = std::sync::Arc::clone(&factory);
+        let service_conf_factory = std::sync::Arc::clone(&factory);
         let shards = factory().shards();
         EngineEntry {
             engine: engine.into(),
             time_base: time_base.into(),
             shards,
-            run: Box::new(move |wl, threads, window| {
-                run_workload(run_factory(), wl, threads, window)
+            run: Box::new(move |wl, placement, threads, window| {
+                run_workload_placed(run_factory(), wl, placement, threads, window)
             }),
             rig: Box::new(move |wl, threads| make_rig(rig_factory(), wl, threads)),
+            serve: Box::new(move |spec| {
+                crate::service_bench::run_service_bench(serve_factory(), spec)
+            }),
             conformance: Box::new(move || lsa_engine::conformance::full_suite(&factory())),
+            service_conformance: Box::new(move || {
+                lsa_service::conformance::service_suite(&service_conf_factory())
+            }),
         }
     }
 
@@ -196,7 +246,29 @@ impl EngineEntry {
 
     /// Run `workload` on a freshly constructed engine.
     pub fn run(&self, workload: &Workload, threads: usize, window: Duration) -> RunOutcome {
-        (self.run)(workload, threads, window)
+        (self.run)(workload, PlacementHint::Spread, threads, window)
+    }
+
+    /// [`run`](EngineEntry::run) with an explicit [`PlacementHint`] — the
+    /// matrix's `partitioned` vs `spread` contrast.
+    pub fn run_placed(
+        &self,
+        workload: &Workload,
+        placement: PlacementHint,
+        threads: usize,
+        window: Duration,
+    ) -> RunOutcome {
+        (self.run)(workload, placement, threads, window)
+    }
+
+    /// Run an open-loop service benchmark
+    /// ([`crate::service_bench::run_service_bench`]) on a freshly
+    /// constructed engine.
+    pub fn serve(
+        &self,
+        spec: &crate::service_bench::ServiceSpec,
+    ) -> crate::service_bench::ServiceOutcome {
+        (self.serve)(spec)
     }
 
     /// Build a fresh engine + workload instance and return its type-erased
@@ -213,6 +285,14 @@ impl EngineEntry {
     /// inherits the full correctness suite through this hook.
     pub fn run_conformance(&self) {
         (self.conformance)()
+    }
+
+    /// Run the service-driven conformance suite
+    /// ([`lsa_service::conformance::service_suite`]) on a freshly
+    /// constructed engine: concurrent request submissions through the
+    /// `lsa-service` worker pool must commit a serializable history.
+    pub fn run_service_conformance(&self) {
+        (self.service_conformance)()
     }
 }
 
@@ -460,6 +540,76 @@ mod tests {
                 entry.label()
             );
         }
+    }
+
+    #[test]
+    fn every_entry_runs_the_snapshot_workload() {
+        let wl = Workload::Snapshot(SnapshotConfig {
+            keys: 24,
+            scan_percent: 80,
+            scan_window: 24,
+        });
+        for entry in default_registry() {
+            let out = entry.run(&wl, 2, Duration::from_millis(5));
+            assert!(out.commits() > 0, "{} committed nothing", entry.label());
+            assert!(
+                out.stats.ro_commits > 0,
+                "{} ran no analytics scans",
+                entry.label()
+            );
+        }
+    }
+
+    #[test]
+    fn placement_contrast_on_the_sharded_row() {
+        let reg = default_registry();
+        let entry = find_entry(&reg, "lsa-sharded", "shared-counter").unwrap();
+        let wl = Workload::Bank(BankConfig {
+            accounts: 32,
+            initial: 100,
+            audit_percent: 0,
+        });
+        let spread = entry.run_placed(&wl, PlacementHint::Spread, 2, Duration::from_millis(15));
+        let part = entry.run_placed(
+            &wl,
+            PlacementHint::Partitioned,
+            2,
+            Duration::from_millis(15),
+        );
+        assert!(
+            spread.stats.cross_shard_commits > 0,
+            "spread transfers must cross shards"
+        );
+        assert_eq!(
+            part.stats.cross_shard_commits, 0,
+            "partitioned transfers must stay shard-local"
+        );
+    }
+
+    #[test]
+    fn entries_serve_open_loop_requests() {
+        use crate::service_bench::{RequestKind, ServiceSpec};
+        let reg = default_registry();
+        for (engine, tb) in [("lsa-rt", "shared-counter"), ("lsa-sharded", "block64")] {
+            let entry = find_entry(&reg, engine, tb).unwrap();
+            let out = entry.serve(&ServiceSpec {
+                kind: RequestKind::Bank,
+                rate: 1_000.0,
+                duration: Duration::from_millis(60),
+                workers: 2,
+                queue_depth: 64,
+                placement: PlacementHint::Partitioned,
+            });
+            assert!(out.completed > 0, "{engine}({tb}) served nothing");
+            assert_eq!(out.completed + out.shed, out.offered);
+        }
+    }
+
+    #[test]
+    fn service_conformance_hook_runs() {
+        let reg = default_registry();
+        let entry = find_entry(&reg, "lsa-rt", "shared-counter").unwrap();
+        entry.run_service_conformance();
     }
 
     #[test]

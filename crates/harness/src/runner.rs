@@ -205,6 +205,16 @@ impl<E: TxnEngine> BenchWorker for lsa_workloads::IntsetWorker<E> {
     }
 }
 
+impl<E: TxnEngine> BenchWorker for lsa_workloads::SnapshotWorker<E> {
+    fn step(&mut self) {
+        lsa_workloads::SnapshotWorker::step(self);
+    }
+
+    fn worker_stats(&self) -> EngineStats {
+        self.stats()
+    }
+}
+
 impl BenchWorker for Box<dyn BenchWorker> {
     fn step(&mut self) {
         (**self).step();

@@ -1,0 +1,480 @@
+//! Open-loop load generation against the `lsa-service` front-end.
+//!
+//! The closed-loop `BenchWorker` runner measures *capacity*: each thread
+//! fires its next transaction the instant the previous one finishes, so
+//! queueing never appears and latency is invisible. Serving behaviour needs
+//! the open-loop lens instead: requests *arrive* on a fixed schedule
+//! (`rate` per second) regardless of how fast the system drains them, so
+//! queueing delay shows up in the latency percentiles and overload shows up
+//! as a shed rate — the two columns capacity numbers cannot produce. This
+//! is how the engine × time-base matrix becomes a *service* benchmark
+//! (throughput, p50/p90/p99/max, shed rate per cell).
+//!
+//! Three request types mirror the workload axis: `bank` (transfers +
+//! audits, shard-affine under partitioned placement), `intset` (sorted-list
+//! member/insert/remove) and `snapshot` (the analytics scans that separate
+//! multi-version from single-version engines). Invariants are asserted
+//! inside the request bodies, so the bench doubles as an end-to-end
+//! consistency check of the serving path.
+
+use lsa_engine::{EngineHandle, EngineStats, EngineVar, TxnEngine, TxnOps};
+use lsa_service::{Executor, LatencyHistogram, ServiceConfig, SubmitError, TxnService};
+use lsa_workloads::{
+    BankConfig, BankWorkload, FastRng, IntSetList, PlacementHint, SnapshotConfig, SnapshotWorkload,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which request mix the load generator submits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Transfers (80%) + full-table audits (20%); audits assert the
+    /// invariant total inside the request.
+    Bank,
+    /// Sorted-list member (60%) / insert (20%) / remove (20%).
+    Intset,
+    /// Snapshot analytics: full-table scans (80%, asserting the zero-sum
+    /// invariant) + zero-sum update transfers (20%).
+    Snapshot,
+}
+
+impl RequestKind {
+    /// All kinds, in table order.
+    pub const ALL: [RequestKind; 3] = [
+        RequestKind::Bank,
+        RequestKind::Intset,
+        RequestKind::Snapshot,
+    ];
+
+    /// Short name for tables and CLI parsing.
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestKind::Bank => "bank",
+            RequestKind::Intset => "intset",
+            RequestKind::Snapshot => "snapshot",
+        }
+    }
+
+    /// Parse a CLI argument.
+    pub fn parse(s: &str) -> Option<Self> {
+        RequestKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+/// Parameters of one open-loop service run.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceSpec {
+    /// Request mix.
+    pub kind: RequestKind,
+    /// Offered arrival rate, requests per second.
+    pub rate: f64,
+    /// Submission window (drain time comes on top).
+    pub duration: Duration,
+    /// Service worker threads.
+    pub workers: usize,
+    /// Per-worker bounded queue depth (admission limit).
+    pub queue_depth: usize,
+    /// Object placement: `Partitioned` pins bank account groups
+    /// shard-locally and routes their transfers shard-affinely.
+    pub placement: PlacementHint,
+}
+
+impl Default for ServiceSpec {
+    fn default() -> Self {
+        ServiceSpec {
+            kind: RequestKind::Bank,
+            rate: 5_000.0,
+            duration: Duration::from_millis(500),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(4))
+                .unwrap_or(2),
+            queue_depth: 256,
+            placement: PlacementHint::Spread,
+        }
+    }
+}
+
+/// Outcome of one open-loop run.
+#[derive(Debug)]
+pub struct ServiceOutcome {
+    /// Requests the generator offered (admitted + shed).
+    pub offered: u64,
+    /// Requests that completed.
+    pub completed: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Wall clock from first arrival to full drain.
+    pub elapsed: Duration,
+    /// Submission-to-completion latency distribution.
+    pub latency: LatencyHistogram,
+    /// Merged worker engine statistics (sheds under
+    /// `abort_reasons.overload`).
+    pub engine: EngineStats,
+}
+
+impl ServiceOutcome {
+    /// Completed requests per second (drain included).
+    pub fn throughput(&self) -> f64 {
+        self.completed as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Fraction of offered requests shed in `[0, 1]`.
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.offered as f64
+        }
+    }
+}
+
+/// Sleep-then-spin until `deadline`: coarse sleeps stop short of the target
+/// so the arrival schedule keeps microsecond-ish precision at rates far
+/// above the OS timer granularity.
+fn wait_until(deadline: Instant) {
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        let remaining = deadline - now;
+        if remaining > Duration::from_micros(300) {
+            std::thread::sleep(remaining - Duration::from_micros(200));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// The per-kind request state plus the submission logic. One value of this
+/// enum is built before the run; `submit_one` draws a request from the mix
+/// and submits it, spawning the completion consumer on the executor.
+enum Mix<E: TxnEngine> {
+    Bank { wl: BankWorkload<E> },
+    Intset { set: IntSetList<E>, key_range: i64 },
+    Snapshot { wl: SnapshotWorkload<E> },
+}
+
+impl<E: TxnEngine> Mix<E> {
+    fn build(engine: &E, kind: RequestKind, placement: PlacementHint) -> Self {
+        match kind {
+            RequestKind::Bank => Mix::Bank {
+                wl: BankWorkload::with_placement(
+                    engine.clone(),
+                    BankConfig {
+                        accounts: 64,
+                        initial: 1_000,
+                        audit_percent: 20,
+                    },
+                    placement,
+                ),
+            },
+            RequestKind::Intset => {
+                let set = IntSetList::new(engine.clone());
+                let key_range = 128i64;
+                let mut h = engine.register();
+                for k in (0..key_range).step_by(2) {
+                    set.insert(&mut h, k);
+                }
+                Mix::Intset { set, key_range }
+            }
+            RequestKind::Snapshot => Mix::Snapshot {
+                wl: SnapshotWorkload::new(
+                    engine.clone(),
+                    SnapshotConfig {
+                        keys: 128,
+                        scan_percent: 80,
+                        scan_window: 128,
+                    },
+                ),
+            },
+        }
+    }
+
+    /// Submit one request drawn from the mix. Returns `false` if admission
+    /// control shed it.
+    fn submit_one(
+        &self,
+        svc: &TxnService<E>,
+        rng: &mut FastRng,
+        ex: &Executor,
+        done: &Arc<AtomicU64>,
+        canceled: &Arc<AtomicU64>,
+    ) -> bool {
+        match self {
+            Mix::Bank { wl } => {
+                if rng.percent(20) {
+                    // Audit: read every account, assert the invariant.
+                    let accounts: Vec<EngineVar<E, i64>> = wl.accounts().to_vec();
+                    let expected = wl.expected_total();
+                    let req = move |h: &mut E::Handle| {
+                        let total = h.atomically(|tx| {
+                            let mut sum = 0i64;
+                            for a in &accounts {
+                                sum += *tx.read(a)?;
+                            }
+                            Ok(sum)
+                        });
+                        assert_eq!(total, expected, "service audit observed a torn snapshot");
+                    };
+                    spawn_completion(svc.submit(req), ex, done, canceled)
+                } else {
+                    // Transfer inside one shard-affinity group; with spread
+                    // placement the single group is the whole table.
+                    let g = rng.below(wl.groups());
+                    let (lo, hi) = wl.group_bounds(g);
+                    let span = hi - lo;
+                    let from = lo + rng.below(span);
+                    let mut to = lo + rng.below(span);
+                    if to == from {
+                        to = lo + (to - lo + 1) % span;
+                    }
+                    let amount = rng.range(1, 100);
+                    // Only the two endpoints are cloned — this is the open
+                    // loop's hot path, and per-arrival overhead distorts
+                    // the schedule at high rates.
+                    let accounts = wl.accounts();
+                    let (a, b) = (accounts[from].clone(), accounts[to].clone());
+                    let shard = (wl.groups() > 1).then_some(g);
+                    let req = move |h: &mut E::Handle| {
+                        h.atomically(|tx| {
+                            let va = *tx.read(&a)?;
+                            let vb = *tx.read(&b)?;
+                            tx.write(&a, va - amount)?;
+                            tx.write(&b, vb + amount)?;
+                            Ok(())
+                        });
+                    };
+                    spawn_completion(svc.submit_to(shard, req), ex, done, canceled)
+                }
+            }
+            Mix::Intset { set, key_range } => {
+                let set = set.clone();
+                let key = rng.below(*key_range as usize) as i64;
+                let op = rng.below(10);
+                let req = move |h: &mut E::Handle| {
+                    match op {
+                        0..=5 => set.contains(h, key),
+                        6 | 7 => set.insert(h, key),
+                        _ => set.remove(h, key),
+                    };
+                };
+                spawn_completion(svc.submit(req), ex, done, canceled)
+            }
+            Mix::Snapshot { wl } => {
+                if rng.percent(80) {
+                    let vars: Vec<EngineVar<E, i64>> = wl.vars().to_vec();
+                    let req = move |h: &mut E::Handle| {
+                        let sum = h.atomically(|tx| {
+                            let mut s = 0i64;
+                            for v in &vars {
+                                s += *tx.read(v)?;
+                            }
+                            Ok(s)
+                        });
+                        assert_eq!(sum, 0, "analytics request observed a torn snapshot");
+                    };
+                    spawn_completion(svc.submit(req), ex, done, canceled)
+                } else {
+                    let vars = wl.vars();
+                    let i = rng.below(vars.len());
+                    let mut j = rng.below(vars.len());
+                    if j == i {
+                        j = (j + 1) % vars.len();
+                    }
+                    let amount = rng.range(1, 50);
+                    let (a, b) = (vars[i].clone(), vars[j].clone());
+                    let req = move |h: &mut E::Handle| {
+                        h.atomically(|tx| {
+                            tx.modify(&a, |v| v + amount)?;
+                            tx.modify(&b, |v| v - amount)
+                        });
+                    };
+                    spawn_completion(svc.submit(req), ex, done, canceled)
+                }
+            }
+        }
+    }
+
+    /// Post-drain invariant audit.
+    fn assert_quiescent(&self) {
+        match self {
+            Mix::Bank { wl } => {
+                assert_eq!(
+                    wl.quiescent_total(),
+                    wl.expected_total(),
+                    "bank invariant broken through the service"
+                );
+            }
+            Mix::Intset { set, .. } => {
+                // Structural invariant: still sorted and duplicate-free.
+                let mut h = set.engine().register();
+                let keys = set.to_vec(&mut h);
+                assert!(
+                    keys.windows(2).all(|w| w[0] < w[1]),
+                    "intset lost sortedness/uniqueness through the service"
+                );
+            }
+            Mix::Snapshot { wl } => {
+                assert_eq!(
+                    wl.quiescent_sum(),
+                    0,
+                    "snapshot zero-sum invariant broken through the service"
+                );
+            }
+        }
+    }
+}
+
+/// Hand a submission result to the executor: completed requests bump
+/// `done`, canceled ones `canceled`. Returns `false` on shed.
+fn spawn_completion<R: Send + 'static>(
+    submitted: Result<lsa_service::Completion<R>, SubmitError>,
+    ex: &Executor,
+    done: &Arc<AtomicU64>,
+    canceled: &Arc<AtomicU64>,
+) -> bool {
+    match submitted {
+        Ok(completion) => {
+            let done = Arc::clone(done);
+            let canceled = Arc::clone(canceled);
+            ex.spawn(async move {
+                match completion.await {
+                    Ok(_) => {
+                        done.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        canceled.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+            true
+        }
+        Err(SubmitError::Overloaded) => false,
+        Err(SubmitError::Closed) => panic!("service closed during the measurement window"),
+    }
+}
+
+/// Run one open-loop service benchmark on `engine`.
+///
+/// Arrival `n` is scheduled at `start + n/rate` regardless of completions
+/// (catch-up bursts if the submitter falls behind — open-loop semantics);
+/// after the window the accepted backlog drains fully before the service
+/// shuts down, so the latency histogram covers every completed request.
+pub fn run_service_bench<E: TxnEngine>(engine: E, spec: &ServiceSpec) -> ServiceOutcome {
+    assert!(spec.rate > 0.0, "rate must be positive");
+    let mix = Mix::build(&engine, spec.kind, spec.placement);
+    let svc = TxnService::start(
+        engine,
+        ServiceConfig {
+            workers: spec.workers,
+            queue_depth: spec.queue_depth,
+        },
+    );
+    let ex = Executor::new(2);
+    let done = Arc::new(AtomicU64::new(0));
+    let canceled = Arc::new(AtomicU64::new(0));
+    let mut rng = FastRng::new(0x0af1_5e7e);
+
+    let start = Instant::now();
+    let mut offered = 0u64;
+    while start.elapsed() < spec.duration {
+        wait_until(start + Duration::from_secs_f64(offered as f64 / spec.rate));
+        mix.submit_one(&svc, &mut rng, &ex, &done, &canceled);
+        offered += 1;
+    }
+
+    // Drain: workers finish the accepted backlog, completion tasks resolve.
+    ex.wait_idle();
+    let elapsed = start.elapsed();
+    let report = svc.shutdown();
+    ex.shutdown();
+    mix.assert_quiescent();
+
+    assert_eq!(
+        canceled.load(Ordering::Relaxed),
+        0,
+        "no accepted request may be canceled (shutdown happens after drain)"
+    );
+    debug_assert_eq!(report.completed, done.load(Ordering::Relaxed));
+    ServiceOutcome {
+        offered,
+        completed: report.completed,
+        shed: report.shed,
+        elapsed,
+        latency: report.latency,
+        engine: report.engine,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsa_stm::{ShardedStm, Stm};
+    use lsa_time::counter::SharedCounter;
+
+    fn quick_spec(kind: RequestKind) -> ServiceSpec {
+        ServiceSpec {
+            kind,
+            rate: 2_000.0,
+            duration: Duration::from_millis(100),
+            workers: 2,
+            queue_depth: 128,
+            placement: PlacementHint::Spread,
+        }
+    }
+
+    #[test]
+    fn open_loop_bank_completes_and_accounts() {
+        let out = run_service_bench(
+            Stm::new(SharedCounter::new()),
+            &quick_spec(RequestKind::Bank),
+        );
+        assert!(out.offered > 50, "open loop must offer at the schedule");
+        assert_eq!(out.completed + out.shed, out.offered);
+        assert_eq!(out.latency.count(), out.completed);
+        assert!(out.latency.p99() >= out.latency.p50());
+        assert!(out.throughput() > 0.0);
+        assert_eq!(out.engine.abort_reasons.overload, out.shed);
+    }
+
+    #[test]
+    fn all_request_kinds_run_on_sharded_lsa() {
+        for kind in RequestKind::ALL {
+            let out = run_service_bench(
+                ShardedStm::new(SharedCounter::new(), 4),
+                &ServiceSpec {
+                    placement: PlacementHint::Partitioned,
+                    ..quick_spec(kind)
+                },
+            );
+            assert!(out.completed > 0, "{} served nothing", kind.name());
+        }
+    }
+
+    #[test]
+    fn overload_sheds_instead_of_queueing_unboundedly() {
+        // One worker, tiny queue, rate far above capacity of long audits:
+        // admission control must shed rather than absorb the backlog.
+        let out = run_service_bench(
+            Stm::new(SharedCounter::new()),
+            &ServiceSpec {
+                kind: RequestKind::Snapshot,
+                rate: 200_000.0,
+                duration: Duration::from_millis(80),
+                workers: 1,
+                queue_depth: 8,
+                placement: PlacementHint::Spread,
+            },
+        );
+        assert!(
+            out.shed > 0,
+            "an offered rate far above capacity must shed ({} offered, {} done)",
+            out.offered,
+            out.completed
+        );
+        assert!(out.shed_rate() > 0.0 && out.shed_rate() <= 1.0);
+        assert_eq!(out.engine.abort_reasons.overload, out.shed);
+    }
+}

@@ -1,0 +1,355 @@
+//! A small multi-threaded future executor, hand-rolled from `std`.
+//!
+//! The workspace builds offline (no tokio — see `crates/shims/*`), so the
+//! async side of the service is driven by this: a fixed pool of worker
+//! threads polling tasks from a shared run queue. Wakers re-enqueue their
+//! task ([`std::task::Wake`] over the task's `Arc`), with a `scheduled` flag
+//! so a task is queued at most once however many times it is woken.
+//!
+//! The open-loop load generator spawns one completion task per in-flight
+//! request and uses [`Executor::wait_idle`] to drain them before reading
+//! results; [`block_on`] serves callers that want to await a single future
+//! on the current thread (park/unpark waker), with no executor at all.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::JoinHandle;
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+struct ExecState {
+    run_queue: VecDeque<Arc<Task>>,
+    /// Spawned tasks that have not completed yet (includes parked ones).
+    live: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+}
+
+struct Task {
+    /// The future, consumed (set to `None`) on completion. The mutex also
+    /// serializes polls: a wake landing *during* a poll can legally cause a
+    /// second worker to pick the task up; it then blocks here until the
+    /// first poll finishes (a spurious but harmless re-poll).
+    future: Mutex<Option<BoxFuture>>,
+    /// True while the task sits in the run queue — wakes are idempotent.
+    scheduled: AtomicBool,
+    shared: Arc<Shared>,
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        if self.scheduled.swap(true, Ordering::AcqRel) {
+            return; // already queued
+        }
+        let shared = Arc::clone(&self.shared);
+        let mut st = shared.state.lock().unwrap();
+        st.run_queue.push_back(self);
+        drop(st);
+        // notify_all, not notify_one: the condvar is shared between idle
+        // workers and `wait_idle` waiters, so a single notification could
+        // be consumed by a `wait_idle` thread (which re-checks `live` and
+        // goes back to sleep) while the queued task starves — a real
+        // deadlock observed on single-CPU hosts.
+        shared.cv.notify_all();
+    }
+}
+
+/// A fixed-size thread-pool executor for `Future<Output = ()>` tasks.
+pub struct Executor {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Executor {
+    /// Start `threads` polling threads.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(ExecState {
+                run_queue: VecDeque::new(),
+                live: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let threads = (0..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(shared))
+            })
+            .collect();
+        Executor { shared, threads }
+    }
+
+    /// Queue `future` for execution.
+    pub fn spawn<F>(&self, future: F)
+    where
+        F: Future<Output = ()> + Send + 'static,
+    {
+        let task = Arc::new(Task {
+            future: Mutex::new(Some(Box::pin(future))),
+            scheduled: AtomicBool::new(true),
+            shared: Arc::clone(&self.shared),
+        });
+        let mut st = self.shared.state.lock().unwrap();
+        assert!(!st.shutdown, "spawn on a shut-down executor");
+        st.live += 1;
+        st.run_queue.push_back(task);
+        drop(st);
+        // See Task::wake for why this must be notify_all.
+        self.shared.cv.notify_all();
+    }
+
+    /// Block until every spawned task has completed. Tasks parked on wakers
+    /// count as live — this returns only when all of them resolved.
+    pub fn wait_idle(&self) {
+        let mut st = self.shared.state.lock().unwrap();
+        while st.live > 0 {
+            st = self.shared.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Number of tasks spawned but not yet completed.
+    pub fn live_tasks(&self) -> usize {
+        self.shared.state.lock().unwrap().live
+    }
+
+    /// Stop the pool and join its threads. Pending tasks are dropped.
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        let mut st = self.shared.state.lock().unwrap();
+        st.shutdown = true;
+        st.run_queue.clear();
+        drop(st);
+        self.shared.cv.notify_all();
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let task = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(t) = st.run_queue.pop_front() {
+                    break t;
+                }
+                st = shared.cv.wait(st).unwrap();
+            }
+        };
+        // Clear `scheduled` *before* polling: a wake arriving mid-poll must
+        // re-queue the task or the wake-up would be lost.
+        task.scheduled.store(false, Ordering::Release);
+        let waker: Waker = Arc::clone(&task).into();
+        let mut cx = Context::from_waker(&waker);
+        let mut slot = task.future.lock().unwrap();
+        let done = match slot.as_mut() {
+            Some(fut) => fut.as_mut().poll(&mut cx).is_ready(),
+            None => false, // spurious re-poll after completion
+        };
+        if done {
+            *slot = None;
+            drop(slot);
+            let mut st = shared.state.lock().unwrap();
+            st.live -= 1;
+            drop(st);
+            shared.cv.notify_all(); // wait_idle watchers
+        }
+    }
+}
+
+struct ParkWaker {
+    thread: std::thread::Thread,
+    notified: AtomicBool,
+}
+
+impl Wake for ParkWaker {
+    fn wake(self: Arc<Self>) {
+        self.notified.store(true, Ordering::Release);
+        self.thread.unpark();
+    }
+}
+
+/// Drive `future` to completion on the calling thread (park/unpark waker).
+/// Pins by boxing once — the crate denies `unsafe`, so stack pinning is out.
+pub fn block_on<F: Future>(future: F) -> F::Output {
+    let mut future = Box::pin(future);
+    let parker = Arc::new(ParkWaker {
+        thread: std::thread::current(),
+        notified: AtomicBool::new(false),
+    });
+    let waker: Waker = Arc::clone(&parker).into();
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        if let Poll::Ready(v) = future.as_mut().poll(&mut cx) {
+            return v;
+        }
+        // Park until woken; the flag absorbs wake-ups that land before the
+        // park (unpark "tokens" do not otherwise accumulate across loops).
+        while !parker.notified.swap(false, Ordering::Acquire) {
+            std::thread::park();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    /// A future that stays pending `remaining` times, handing its waker to a
+    /// helper thread that wakes it after a delay — exercises the real
+    /// park/wake path rather than immediate-ready polls.
+    struct CountDown {
+        remaining: usize,
+        polls: Arc<AtomicUsize>,
+    }
+
+    impl Future for CountDown {
+        type Output = usize;
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<usize> {
+            self.polls.fetch_add(1, Ordering::SeqCst);
+            if self.remaining == 0 {
+                return Poll::Ready(self.polls.load(Ordering::SeqCst));
+            }
+            self.remaining -= 1;
+            let waker = cx.waker().clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(1));
+                waker.wake();
+            });
+            Poll::Pending
+        }
+    }
+
+    #[test]
+    fn block_on_drives_wakeups() {
+        let polls = Arc::new(AtomicUsize::new(0));
+        let got = block_on(CountDown {
+            remaining: 3,
+            polls: Arc::clone(&polls),
+        });
+        assert_eq!(got, 4, "3 pending polls + 1 ready poll");
+    }
+
+    #[test]
+    fn spawned_tasks_all_run_and_idle_drains() {
+        let ex = Executor::new(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for i in 0..50 {
+            let counter = Arc::clone(&counter);
+            let polls = Arc::new(AtomicUsize::new(0));
+            ex.spawn(async move {
+                // Mix immediately-ready and genuinely-parking tasks.
+                if i % 2 == 0 {
+                    CountDown {
+                        remaining: 2,
+                        polls,
+                    }
+                    .await;
+                }
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        ex.wait_idle();
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+        assert_eq!(ex.live_tasks(), 0);
+        ex.shutdown();
+    }
+
+    #[test]
+    fn redundant_wakes_poll_once_per_schedule() {
+        // A future whose first poll hands out its waker, which the test
+        // then wakes many times concurrently: the task must complete and
+        // must not be polled once per wake.
+        struct WakeStorm {
+            slot: Arc<Mutex<Option<Waker>>>,
+            armed: bool,
+            polls: Arc<AtomicUsize>,
+        }
+        impl Future for WakeStorm {
+            type Output = ();
+            fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+                self.polls.fetch_add(1, Ordering::SeqCst);
+                if self.armed {
+                    return Poll::Ready(());
+                }
+                self.armed = true;
+                *self.slot.lock().unwrap() = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+        let ex = Executor::new(2);
+        let slot = Arc::new(Mutex::new(None));
+        let polls = Arc::new(AtomicUsize::new(0));
+        ex.spawn(WakeStorm {
+            slot: Arc::clone(&slot),
+            armed: false,
+            polls: Arc::clone(&polls),
+        });
+        // Wait for the first poll to park the task.
+        let waker = loop {
+            if let Some(w) = slot.lock().unwrap().clone() {
+                break w;
+            }
+            std::thread::yield_now();
+        };
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let w = waker.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        w.wake_by_ref();
+                    }
+                });
+            }
+        });
+        ex.wait_idle();
+        let total = polls.load(Ordering::SeqCst);
+        assert!(
+            (2..=10).contains(&total),
+            "800 wakes must coalesce into a handful of polls, got {total}"
+        );
+        ex.shutdown();
+    }
+
+    #[test]
+    fn drop_joins_threads() {
+        let ex = Executor::new(2);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r2 = Arc::clone(&ran);
+        ex.spawn(async move {
+            r2.fetch_add(1, Ordering::SeqCst);
+        });
+        ex.wait_idle();
+        drop(ex);
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+}

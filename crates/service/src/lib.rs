@@ -1,0 +1,47 @@
+//! # lsa-service — an async transaction-service front-end over any engine
+//!
+//! The paper's scalable time bases exist to make commit-time arbitration
+//! cheap enough that an STM can serve *many concurrent clients*. This crate
+//! supplies the serving layer: requests submitted from any thread are
+//! scheduled onto a pool of workers — each holding one long-lived registered
+//! [`EngineHandle`](lsa_engine::EngineHandle) of any
+//! [`TxnEngine`](lsa_engine::TxnEngine) — and completions come back through
+//! futures, so the request topology (thousands of clients, few STM threads)
+//! is decoupled from the engine's thread registration model.
+//!
+//! The workspace builds offline (no tokio — see `crates/shims/*`), so the
+//! runtime is hand-rolled from `std` + `core::future`:
+//!
+//! * [`service`] — [`TxnService`]: worker pool, bounded per-worker
+//!   submission queues with admission control (typed
+//!   [`SubmitError::Overloaded`] sheds past the depth limit), shard-affine
+//!   routing on sharded engines, per-request latency capture, and a merged
+//!   [`ServiceReport`] whose shed accounting lands in the cross-engine
+//!   [`AbortClass::Overload`](lsa_engine::AbortClass) taxonomy,
+//! * [`oneshot`] — the completion channel: a future-and-blocking receiver,
+//! * [`queue`] — the bounded MPSC submission queue,
+//! * [`executor`] — a small multi-threaded future executor plus
+//!   [`block_on`], driving completion futures without an async framework,
+//! * [`histogram`] — HDR-style bucketed latency histogram (p50/p90/p99/max
+//!   at ~3% resolution, O(1) recording),
+//! * [`conformance`] — the engine-generic correctness suite re-expressed as
+//!   concurrent request submissions *through* the service.
+//!
+//! Why open-loop latency is the right lens for the paper's claims, and the
+//! backpressure policy, are written up in `DESIGN.md` §10; the harness's
+//! `service_bench` binary drives this crate across the engine registry.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod conformance;
+pub mod executor;
+pub mod histogram;
+pub mod oneshot;
+pub mod queue;
+pub mod service;
+
+pub use executor::{block_on, Executor};
+pub use histogram::LatencyHistogram;
+pub use queue::{BoundedQueue, PushError};
+pub use service::{Completion, Response, ServiceConfig, ServiceReport, SubmitError, TxnService};

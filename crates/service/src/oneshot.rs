@@ -1,0 +1,264 @@
+//! A hand-rolled oneshot channel: the completion path of the service.
+//!
+//! One value travels from the worker that executed a request to the client
+//! that submitted it. The receiving side is *both* a [`Future`] (so async
+//! clients — the open-loop load generator's completion tasks — can `await`
+//! it on the [`crate::executor`]) and a blocking [`Receiver::wait`] (so
+//! plain threads — the conformance clients — need no executor at all).
+//!
+//! The workspace builds offline with no tokio/futures dependency (see
+//! `crates/shims/*`), so this is `std` + `core::task` only: a mutex-guarded
+//! slot holding either the parked consumer's [`Waker`]/condvar or the value.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// Error returned when the sender was dropped without sending — for the
+/// service this means the worker pool shut down before running the request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Canceled;
+
+impl std::fmt::Display for Canceled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("oneshot sender dropped without sending")
+    }
+}
+
+impl std::error::Error for Canceled {}
+
+enum Slot<T> {
+    /// Nothing sent yet; holds the consumer's waker if it polled.
+    Empty(Option<Waker>),
+    /// Value delivered, not yet taken.
+    Value(T),
+    /// Sender dropped without sending.
+    Closed,
+    /// Value already handed to the consumer.
+    Taken,
+}
+
+struct Inner<T> {
+    slot: Mutex<Slot<T>>,
+    cv: Condvar,
+}
+
+/// Create a connected sender/receiver pair.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        slot: Mutex::new(Slot::Empty(None)),
+        cv: Condvar::new(),
+    });
+    (
+        Sender {
+            inner: Arc::clone(&inner),
+            sent: false,
+        },
+        Receiver { inner },
+    )
+}
+
+/// The producing half; consumed by [`Sender::send`].
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+    sent: bool,
+}
+
+impl<T> Sender<T> {
+    /// Deliver `value`, waking the consumer if it is parked. Delivery into a
+    /// dropped receiver is not an error — the value is simply discarded
+    /// (the service must not panic because a client gave up on a request).
+    pub fn send(mut self, value: T) {
+        self.sent = true;
+        let waker = {
+            let mut slot = self.inner.slot.lock().unwrap();
+            let prev = std::mem::replace(&mut *slot, Slot::Value(value));
+            match prev {
+                Slot::Empty(w) => w,
+                // Receiver-side states are unreachable while we exist and
+                // `send` consumes the only sender.
+                _ => None,
+            }
+        };
+        self.inner.cv.notify_all();
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.sent {
+            return;
+        }
+        let waker = {
+            let mut slot = self.inner.slot.lock().unwrap();
+            match std::mem::replace(&mut *slot, Slot::Closed) {
+                Slot::Empty(w) => w,
+                other => {
+                    *slot = other;
+                    None
+                }
+            }
+        };
+        self.inner.cv.notify_all();
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+/// The consuming half: a [`Future`] resolving to `Result<T, Canceled>`.
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Non-blocking probe: `None` while nothing happened yet.
+    pub fn try_recv(&mut self) -> Option<Result<T, Canceled>> {
+        let mut slot = self.inner.slot.lock().unwrap();
+        match std::mem::replace(&mut *slot, Slot::Taken) {
+            Slot::Value(v) => Some(Ok(v)),
+            Slot::Closed => Some(Err(Canceled)),
+            other @ Slot::Empty(_) => {
+                *slot = other;
+                None
+            }
+            Slot::Taken => panic!("oneshot value already taken"),
+        }
+    }
+
+    /// Block the calling thread until the value (or cancellation) arrives.
+    pub fn wait(self) -> Result<T, Canceled> {
+        let mut slot = self.inner.slot.lock().unwrap();
+        loop {
+            match std::mem::replace(&mut *slot, Slot::Taken) {
+                Slot::Value(v) => return Ok(v),
+                Slot::Closed => return Err(Canceled),
+                other @ Slot::Empty(_) => {
+                    *slot = other;
+                    slot = self.inner.cv.wait(slot).unwrap();
+                }
+                Slot::Taken => panic!("oneshot value already taken"),
+            }
+        }
+    }
+}
+
+impl<T> Future for Receiver<T> {
+    type Output = Result<T, Canceled>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let mut slot = this.inner.slot.lock().unwrap();
+        match std::mem::replace(&mut *slot, Slot::Taken) {
+            Slot::Value(v) => Poll::Ready(Ok(v)),
+            Slot::Closed => Poll::Ready(Err(Canceled)),
+            Slot::Empty(_) => {
+                // (Re)register the latest waker — the task may migrate
+                // between executor threads across polls.
+                *slot = Slot::Empty(Some(cx.waker().clone()));
+                Poll::Pending
+            }
+            Slot::Taken => panic!("oneshot polled after completion"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::task::Wake;
+
+    struct CountingWaker(AtomicUsize);
+
+    impl Wake for CountingWaker {
+        fn wake(self: Arc<Self>) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn value_flows_through() {
+        let (tx, rx) = channel();
+        tx.send(42u64);
+        assert_eq!(rx.wait(), Ok(42));
+    }
+
+    #[test]
+    fn try_recv_sees_pending_then_value() {
+        let (tx, mut rx) = channel();
+        assert!(rx.try_recv().is_none());
+        tx.send(7i32);
+        assert_eq!(rx.try_recv(), Some(Ok(7)));
+    }
+
+    #[test]
+    fn dropped_sender_cancels() {
+        let (tx, rx) = channel::<u8>();
+        drop(tx);
+        assert_eq!(rx.wait(), Err(Canceled));
+    }
+
+    #[test]
+    fn blocking_wait_crosses_threads() {
+        let (tx, rx) = channel();
+        let j = std::thread::spawn(move || rx.wait());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        tx.send("done");
+        assert_eq!(j.join().unwrap(), Ok("done"));
+    }
+
+    /// Wake correctness: a send after a pending poll must invoke the stored
+    /// waker exactly once; the woken poll then observes the value.
+    #[test]
+    fn send_wakes_pending_poll() {
+        let (tx, mut rx) = channel();
+        let counter = Arc::new(CountingWaker(AtomicUsize::new(0)));
+        let waker: Waker = Arc::clone(&counter).into();
+        let mut cx = Context::from_waker(&waker);
+        assert!(Pin::new(&mut rx).poll(&mut cx).is_pending());
+        assert_eq!(counter.0.load(Ordering::SeqCst), 0);
+        tx.send(5u8);
+        assert_eq!(counter.0.load(Ordering::SeqCst), 1, "send must wake");
+        match Pin::new(&mut rx).poll(&mut cx) {
+            Poll::Ready(Ok(5)) => {}
+            other => panic!("expected ready value, got {other:?}"),
+        }
+    }
+
+    /// Drop correctness: cancelling wakes a parked consumer too, and the
+    /// waker registered last is the one woken.
+    #[test]
+    fn cancel_wakes_latest_waker() {
+        let (tx, mut rx) = channel::<u8>();
+        let stale = Arc::new(CountingWaker(AtomicUsize::new(0)));
+        let fresh = Arc::new(CountingWaker(AtomicUsize::new(0)));
+        let w1: Waker = Arc::clone(&stale).into();
+        let w2: Waker = Arc::clone(&fresh).into();
+        assert!(Pin::new(&mut rx)
+            .poll(&mut Context::from_waker(&w1))
+            .is_pending());
+        assert!(Pin::new(&mut rx)
+            .poll(&mut Context::from_waker(&w2))
+            .is_pending());
+        drop(tx);
+        assert_eq!(stale.0.load(Ordering::SeqCst), 0, "stale waker replaced");
+        assert_eq!(fresh.0.load(Ordering::SeqCst), 1, "latest waker woken");
+        assert!(matches!(
+            Pin::new(&mut rx).poll(&mut Context::from_waker(&w2)),
+            Poll::Ready(Err(Canceled))
+        ));
+    }
+
+    /// A send into a dropped receiver must not panic or leak the lock.
+    #[test]
+    fn send_to_dropped_receiver_is_quiet() {
+        let (tx, rx) = channel();
+        drop(rx);
+        tx.send(9usize);
+    }
+}

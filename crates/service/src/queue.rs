@@ -1,0 +1,196 @@
+//! Bounded MPSC submission queues with admission control.
+//!
+//! Each service worker owns one of these. Producers never block: past the
+//! configured depth [`BoundedQueue::try_push`] *sheds* the item with a typed
+//! [`PushError::Overloaded`] — backpressure surfaces to the client as an
+//! explicit admission decision instead of an unbounded queue silently
+//! absorbing latency (the open-loop lens: under overload you want a shed
+//! rate, not a queue whose wait time grows without bound).
+//!
+//! The consumer side blocks ([`BoundedQueue::pop`]) until an item arrives or
+//! the queue is closed *and* drained — close-then-drain is what lets the
+//! service shut down without dropping accepted requests.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Why a push was refused. Both variants hand the item back to the caller.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity — admission control sheds the request.
+    Overloaded(T),
+    /// The queue was closed (service shutting down).
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    pop_cv: Condvar,
+}
+
+/// A bounded multi-producer single-consumer (by convention) queue.
+pub struct BoundedQueue<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for BoundedQueue<T> {
+    fn clone(&self) -> Self {
+        BoundedQueue {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> BoundedQueue<T> {
+    /// New queue admitting at most `capacity` queued items.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue depth must be at least 1");
+        BoundedQueue {
+            inner: Arc::new(Inner {
+                state: Mutex::new(State {
+                    items: VecDeque::with_capacity(capacity.min(1024)),
+                    closed: false,
+                }),
+                capacity,
+                pop_cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Admit `item` if there is room; shed it otherwise. Never blocks.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut st = self.inner.state.lock().unwrap();
+        if st.closed {
+            return Err(PushError::Closed(item));
+        }
+        if st.items.len() >= self.inner.capacity {
+            return Err(PushError::Overloaded(item));
+        }
+        st.items.push_back(item);
+        drop(st);
+        self.inner.pop_cv.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop: `Some(item)` in FIFO order, or `None` once the queue is
+    /// closed and fully drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.inner.pop_cv.wait(st).unwrap();
+        }
+    }
+
+    /// Close the queue: future pushes fail, consumers drain then observe
+    /// `None`.
+    pub fn close(&self) {
+        self.inner.state.lock().unwrap().closed = true;
+        self.inner.pop_cv.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().unwrap().items.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let q = BoundedQueue::new(4);
+        for i in 0..4 {
+            q.try_push(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn sheds_past_capacity_and_recovers() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        // Admission control: the third push is shed, item handed back.
+        assert_eq!(q.try_push(3), Err(PushError::Overloaded(3)));
+        assert_eq!(q.len(), 2);
+        // Draining one slot re-opens admission.
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(8);
+        q.try_push("a").unwrap();
+        q.close();
+        assert_eq!(q.try_push("b"), Err(PushError::Closed("b")));
+        assert_eq!(q.pop(), Some("a"), "accepted items survive close");
+        assert_eq!(q.pop(), None, "then the consumer sees the end");
+    }
+
+    #[test]
+    fn close_releases_blocked_consumer() {
+        let q = BoundedQueue::<u8>::new(1);
+        let q2 = q.clone();
+        let j = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        assert_eq!(j.join().unwrap(), None);
+    }
+
+    #[test]
+    fn producers_race_consumer() {
+        let q = BoundedQueue::new(64);
+        let total: usize = std::thread::scope(|s| {
+            for t in 0..4 {
+                let q = q.clone();
+                s.spawn(move || {
+                    let mut pushed = 0;
+                    while pushed < 100 {
+                        if q.try_push(t).is_ok() {
+                            pushed += 1;
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            let q = q.clone();
+            s.spawn(move || {
+                let mut n = 0;
+                while n < 400 {
+                    if q.pop().is_some() {
+                        n += 1;
+                    }
+                }
+                n
+            })
+            .join()
+            .unwrap()
+        });
+        assert_eq!(total, 400);
+    }
+}

@@ -1,0 +1,535 @@
+//! The transaction service: a worker pool over any [`TxnEngine`].
+//!
+//! Clients on any thread [`submit`](TxnService::submit) transactional work;
+//! the service routes it through bounded per-worker submission queues to a
+//! pool of threads, each holding one long-lived registered
+//! [`EngineHandle`] — the paper's "many concurrent clients, few STM
+//! threads" serving shape. Completions come back through oneshot futures
+//! ([`Completion`]), so clients can block ([`Completion::wait`]), poll, or
+//! `await` on the [`crate::executor`].
+//!
+//! Admission control is explicit: a full queue sheds the request with a
+//! typed [`SubmitError::Overloaded`] instead of queueing unboundedly —
+//! under open-loop load you want a shed rate and bounded queueing delay,
+//! not a latency curve that grows with the backlog. Sheds are accounted as
+//! [`lsa_engine::AbortClass::Overload`] in the service's merged statistics.
+//!
+//! Requests are routed round-robin, or *shard-affinely* when the engine is
+//! sharded ([`TxnEngine::shards`] > 1) and the client passes a shard hint:
+//! all requests for one shard land on one worker, so single-shard
+//! transactions from different clients stop colliding across the pool.
+
+use crate::histogram::LatencyHistogram;
+use crate::oneshot;
+use crate::queue::{BoundedQueue, PushError};
+use lsa_engine::{EngineHandle, EngineRequest, EngineStats, TxnEngine};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Service construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads (each registers one engine handle).
+    pub workers: usize,
+    /// Bounded depth of each worker's submission queue; pushes past it shed
+    /// with [`SubmitError::Overloaded`].
+    pub queue_depth: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(4))
+                .unwrap_or(2),
+            queue_depth: 1024,
+        }
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Admission control shed the request: the target worker's queue is at
+    /// capacity. Counted in [`ServiceReport::shed`] and as
+    /// [`lsa_engine::AbortClass::Overload`].
+    Overloaded,
+    /// The service is shutting down; no new work is accepted.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Overloaded => f.write_str("request shed: submission queue full"),
+            SubmitError::Closed => f.write_str("service closed"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A completed request: the body's return value plus the end-to-end
+/// latency (submission to completion, queueing included).
+#[derive(Clone, Copy, Debug)]
+pub struct Response<R> {
+    /// What the request body returned.
+    pub value: R,
+    /// Submission-to-completion latency as the worker measured it.
+    pub latency: Duration,
+}
+
+/// The client's handle on an in-flight request: a future resolving to
+/// `Result<Response<R>, Canceled>` (canceled only if the service shuts
+/// down before running the request).
+pub struct Completion<R> {
+    rx: oneshot::Receiver<Response<R>>,
+}
+
+impl<R> Completion<R> {
+    /// Block the calling thread until the response arrives.
+    pub fn wait(self) -> Result<Response<R>, oneshot::Canceled> {
+        self.rx.wait()
+    }
+
+    /// Non-blocking probe.
+    pub fn try_take(&mut self) -> Option<Result<Response<R>, oneshot::Canceled>> {
+        self.rx.try_recv()
+    }
+}
+
+impl<R> std::future::Future for Completion<R> {
+    type Output = Result<Response<R>, oneshot::Canceled>;
+
+    fn poll(
+        self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<Self::Output> {
+        std::pin::Pin::new(&mut self.get_mut().rx).poll(cx)
+    }
+}
+
+/// One queued unit of work: the submission timestamp (for the worker-side
+/// latency capture) plus the type-erased request closure.
+struct Job<E: TxnEngine> {
+    submitted: Instant,
+    run: EngineRequest<E>,
+}
+
+struct Shared<E: TxnEngine> {
+    queues: Vec<BoundedQueue<Job<E>>>,
+    rr: AtomicUsize,
+    submitted: AtomicU64,
+    shed: AtomicU64,
+    /// Shard-affine routing enabled (engine reports > 1 shard).
+    shard_affine: bool,
+}
+
+/// What each worker thread hands back at shutdown.
+struct WorkerReport {
+    completed: u64,
+    stats: EngineStats,
+    latency: LatencyHistogram,
+}
+
+/// Aggregated outcome of a service's lifetime, produced by
+/// [`TxnService::shutdown`].
+#[derive(Debug)]
+pub struct ServiceReport {
+    /// Requests admitted into a queue (every one of them was executed).
+    pub submitted: u64,
+    /// Requests executed to completion (equals `submitted`: accepted work
+    /// is always drained, even during shutdown).
+    pub completed: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Submission-to-completion latency over all completed requests.
+    pub latency: LatencyHistogram,
+    /// Merged engine statistics of all workers; sheds appear as
+    /// `abort_reasons.overload` (they are rejected requests, not
+    /// transaction attempts, so `aborts` does not include them).
+    pub engine: EngineStats,
+}
+
+/// An async transaction-service front-end over any [`TxnEngine`].
+pub struct TxnService<E: TxnEngine> {
+    shared: Arc<Shared<E>>,
+    workers: Vec<JoinHandle<WorkerReport>>,
+}
+
+impl<E: TxnEngine> TxnService<E> {
+    /// Start the worker pool on `engine`.
+    pub fn start(engine: E, cfg: ServiceConfig) -> Self {
+        assert!(cfg.workers >= 1, "need at least one worker");
+        let shard_affine = engine.shards() > 1;
+        let queues: Vec<BoundedQueue<Job<E>>> = (0..cfg.workers)
+            .map(|_| BoundedQueue::new(cfg.queue_depth))
+            .collect();
+        let shared = Arc::new(Shared {
+            queues,
+            rr: AtomicUsize::new(0),
+            submitted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            shard_affine,
+        });
+        let workers = (0..cfg.workers)
+            .map(|w| {
+                let queue = shared.queues[w].clone();
+                let engine = engine.clone();
+                std::thread::spawn(move || {
+                    // One long-lived registered handle per worker: requests
+                    // from many clients multiplex onto few STM threads.
+                    let mut handle = engine.register();
+                    let mut latency = LatencyHistogram::new();
+                    let mut completed = 0u64;
+                    while let Some(job) = queue.pop() {
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                (job.run)(&mut handle)
+                            }));
+                        if let Err(payload) = outcome {
+                            // A request body panicked (e.g. an invariant
+                            // assert fired). Fail loudly, not silently:
+                            // close and drain the queue so every pending
+                            // completion cancels (dropped senders) instead
+                            // of leaving clients blocked forever, then
+                            // surface the original panic through join().
+                            queue.close();
+                            while queue.pop().is_some() {}
+                            std::panic::resume_unwind(payload);
+                        }
+                        latency.record(job.submitted.elapsed());
+                        completed += 1;
+                    }
+                    WorkerReport {
+                        completed,
+                        stats: handle.engine_stats(),
+                        latency,
+                    }
+                })
+            })
+            .collect();
+        TxnService { shared, workers }
+    }
+
+    /// Worker a request is routed to: shard-affine when the engine is
+    /// sharded and the client hinted a shard, round-robin otherwise.
+    fn route(&self, shard: Option<usize>) -> usize {
+        let n = self.shared.queues.len();
+        match shard {
+            Some(s) if self.shared.shard_affine => s % n,
+            _ => self.shared.rr.fetch_add(1, Ordering::Relaxed) % n,
+        }
+    }
+
+    /// Submit `body` for execution on some worker's engine handle.
+    ///
+    /// Returns immediately: `Ok` carries the [`Completion`] future, `Err`
+    /// the typed admission decision. The body runs exactly once (its
+    /// `atomically` loop retries internally as usual).
+    pub fn submit<R, F>(&self, body: F) -> Result<Completion<R>, SubmitError>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut E::Handle) -> R + Send + 'static,
+    {
+        self.submit_to(None, body)
+    }
+
+    /// [`submit`](TxnService::submit) with a shard-affinity hint: on sharded
+    /// engines all requests hinting the same shard execute on the same
+    /// worker. Unsharded engines ignore the hint.
+    pub fn submit_to<R, F>(
+        &self,
+        shard: Option<usize>,
+        body: F,
+    ) -> Result<Completion<R>, SubmitError>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut E::Handle) -> R + Send + 'static,
+    {
+        let (tx, rx) = oneshot::channel();
+        let submitted = Instant::now();
+        let job = Job {
+            submitted,
+            run: Box::new(move |handle: &mut E::Handle| {
+                let value = body(handle);
+                tx.send(Response {
+                    value,
+                    latency: submitted.elapsed(),
+                });
+            }),
+        };
+        match self.shared.queues[self.route(shard)].try_push(job) {
+            Ok(()) => {
+                self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(Completion { rx })
+            }
+            Err(PushError::Overloaded(_)) => {
+                self.shared.shed.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::Overloaded)
+            }
+            Err(PushError::Closed(_)) => Err(SubmitError::Closed),
+        }
+    }
+
+    /// Requests shed so far by admission control.
+    pub fn shed_count(&self) -> u64 {
+        self.shared.shed.load(Ordering::Relaxed)
+    }
+
+    /// Requests admitted so far.
+    pub fn submitted_count(&self) -> u64 {
+        self.shared.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Worker count.
+    pub fn workers(&self) -> usize {
+        self.shared.queues.len()
+    }
+
+    /// Close admission, drain every queue, join the workers and return the
+    /// aggregated [`ServiceReport`].
+    pub fn shutdown(mut self) -> ServiceReport {
+        for q in &self.shared.queues {
+            q.close();
+        }
+        let mut report = ServiceReport {
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            completed: 0,
+            shed: self.shared.shed.load(Ordering::Relaxed),
+            latency: LatencyHistogram::new(),
+            engine: EngineStats::default(),
+        };
+        for w in self.workers.drain(..) {
+            let wr = w.join().expect("service worker panicked");
+            report.completed += wr.completed;
+            report.latency.merge(&wr.latency);
+            report.engine.merge(&wr.stats);
+        }
+        // Shed accounting on the shared taxonomy: admission-control drops
+        // are overload "aborts" of the serving layer.
+        report.engine.abort_reasons.overload += report.shed;
+        report
+    }
+}
+
+impl<E: TxnEngine> Drop for TxnService<E> {
+    fn drop(&mut self) {
+        for q in &self.shared.queues {
+            q.close();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsa_stm::{ShardedStm, Stm};
+    use lsa_time::counter::SharedCounter;
+    use std::sync::{Condvar, Mutex};
+
+    fn small_cfg(workers: usize, depth: usize) -> ServiceConfig {
+        ServiceConfig {
+            workers,
+            queue_depth: depth,
+        }
+    }
+
+    #[test]
+    fn submits_complete_with_latency() {
+        let engine = Stm::new(SharedCounter::new());
+        let var = engine.new_var(0u64);
+        let svc = TxnService::start(engine, small_cfg(2, 64));
+        let mut completions = Vec::new();
+        for _ in 0..32 {
+            let var = var.clone();
+            completions.push(
+                svc.submit(move |h| h.atomically(|tx| tx.modify(&var, |v| v + 1)))
+                    .unwrap(),
+            );
+        }
+        for c in completions {
+            let resp = c.wait().unwrap();
+            assert!(resp.latency > Duration::ZERO);
+        }
+        let report = svc.shutdown();
+        assert_eq!(report.submitted, 32);
+        assert_eq!(report.completed, 32);
+        assert_eq!(report.shed, 0);
+        assert_eq!(report.engine.commits, 32);
+        assert_eq!(report.latency.count(), 32);
+        assert_eq!(*<Stm<SharedCounter> as TxnEngine>::peek(&var), 32);
+    }
+
+    #[test]
+    fn completions_carry_typed_values() {
+        let engine = Stm::new(SharedCounter::new());
+        let var = engine.new_var(5i64);
+        let svc = TxnService::start(engine, small_cfg(1, 8));
+        let v2 = var.clone();
+        let c = svc
+            .submit(move |h| h.atomically(|tx| tx.read(&v2).map(|v| *v * 2)))
+            .unwrap();
+        assert_eq!(c.wait().unwrap().value, 10);
+        drop(svc);
+    }
+
+    /// Admission control: with one worker wedged on a gate, a depth-2 queue
+    /// admits exactly two more requests and sheds the rest with the typed
+    /// error; accepted work still completes after the gate opens, and the
+    /// report counts the sheds as overload.
+    #[test]
+    fn bounded_queue_sheds_with_typed_error() {
+        let engine = Stm::new(SharedCounter::new());
+        let svc = TxnService::start(engine, small_cfg(1, 2));
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+
+        let g = Arc::clone(&gate);
+        let blocker = svc
+            .submit(move |_h| {
+                let (lock, cv) = &*g;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            })
+            .unwrap();
+        // Wait until the worker has dequeued the blocker (queue empty).
+        while !svc.shared.queues[0].is_empty() {
+            std::thread::yield_now();
+        }
+        let a = svc.submit(|_h| 1).unwrap();
+        let b = svc.submit(|_h| 2).unwrap();
+        // Queue full (depth 2): admission control must shed.
+        match svc.submit(|_h| 3) {
+            Err(SubmitError::Overloaded) => {}
+            Err(e) => panic!("expected Overloaded, got {e:?}"),
+            Ok(_) => panic!("expected the submission to be shed"),
+        }
+        assert_eq!(svc.shed_count(), 1);
+        // Open the gate; everything accepted completes.
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        blocker.wait().unwrap();
+        assert_eq!(a.wait().unwrap().value, 1);
+        assert_eq!(b.wait().unwrap().value, 2);
+        let report = svc.shutdown();
+        assert_eq!(report.submitted, 3);
+        assert_eq!(report.completed, 3);
+        assert_eq!(report.shed, 1);
+        assert_eq!(report.engine.abort_reasons.overload, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_work() {
+        let engine = Stm::new(SharedCounter::new());
+        let var = engine.new_var(0u64);
+        let svc = TxnService::start(engine, small_cfg(2, 256));
+        for _ in 0..100 {
+            let var = var.clone();
+            svc.submit(move |h| h.atomically(|tx| tx.modify(&var, |v| v + 1)))
+                .unwrap();
+        }
+        // Shut down immediately: accepted requests must still run.
+        let report = svc.shutdown();
+        assert_eq!(report.completed, 100);
+        assert_eq!(*<Stm<SharedCounter> as TxnEngine>::peek(&var), 100);
+    }
+
+    #[test]
+    fn dropped_completion_does_not_wedge_the_worker() {
+        let engine = Stm::new(SharedCounter::new());
+        let var = engine.new_var(0u64);
+        let svc = TxnService::start(engine, small_cfg(1, 16));
+        let v = var.clone();
+        let c = svc
+            .submit(move |h| h.atomically(|tx| tx.modify(&v, |x| x + 1)))
+            .unwrap();
+        drop(c); // client gave up; worker must still run and move on
+        let v = var.clone();
+        let c2 = svc
+            .submit(move |h| h.atomically(|tx| tx.modify(&v, |x| x + 1)))
+            .unwrap();
+        c2.wait().unwrap();
+        assert_eq!(*<Stm<SharedCounter> as TxnEngine>::peek(&var), 2);
+        drop(svc);
+    }
+
+    /// A panicking request body must not leave clients hanging: the worker
+    /// cancels everything still queued (senders drop → `Canceled`) and the
+    /// panic resurfaces when the service is joined.
+    #[test]
+    fn worker_panic_cancels_pending_completions() {
+        let engine = Stm::new(SharedCounter::new());
+        let svc = TxnService::start(engine, small_cfg(1, 16));
+        let bomb = svc
+            .submit(|_h: &mut _| panic!("request body invariant fired"))
+            .unwrap();
+        let pending = svc.submit(|_h| 42u8).unwrap();
+        assert!(matches!(bomb.wait(), Err(oneshot::Canceled)));
+        assert!(
+            matches!(pending.wait(), Err(oneshot::Canceled)),
+            "queued work behind a panicking request must cancel, not hang"
+        );
+        // Joining the worker resurfaces the original panic.
+        let joined = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| svc.shutdown()));
+        assert!(joined.is_err(), "shutdown must propagate the worker panic");
+    }
+
+    #[test]
+    fn shard_hints_pin_to_workers_on_sharded_engines() {
+        let engine = ShardedStm::new(SharedCounter::new(), 4);
+        let svc = TxnService::start(engine, small_cfg(3, 64));
+        // Same hint → same worker, always.
+        for shard in 0..4usize {
+            let first = svc.route(Some(shard));
+            for _ in 0..10 {
+                assert_eq!(svc.route(Some(shard)), first);
+            }
+        }
+        // Distinct hints spread over workers modulo the pool size.
+        assert_ne!(svc.route(Some(0)), svc.route(Some(1)));
+        drop(svc);
+
+        // Unsharded engines round-robin even with hints.
+        let engine = Stm::new(SharedCounter::new());
+        let svc = TxnService::start(engine, small_cfg(2, 8));
+        let a = svc.route(Some(3));
+        let b = svc.route(Some(3));
+        assert_ne!(a, b, "round-robin must rotate");
+        drop(svc);
+    }
+
+    #[test]
+    fn completion_awaits_on_the_executor() {
+        let engine = Stm::new(SharedCounter::new());
+        let var = engine.new_var(0u64);
+        let svc = Arc::new(TxnService::start(engine, small_cfg(2, 64)));
+        let ex = crate::executor::Executor::new(2);
+        let done = Arc::new(AtomicU64::new(0));
+        for _ in 0..20 {
+            let var = var.clone();
+            let c = svc
+                .submit(move |h| h.atomically(|tx| tx.modify(&var, |v| v + 1)))
+                .unwrap();
+            let done = Arc::clone(&done);
+            ex.spawn(async move {
+                let resp = c.await.unwrap();
+                assert!(resp.latency > Duration::ZERO);
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        ex.wait_idle();
+        assert_eq!(done.load(Ordering::SeqCst), 20);
+        ex.shutdown();
+        assert_eq!(*<Stm<SharedCounter> as TxnEngine>::peek(&var), 20);
+    }
+}

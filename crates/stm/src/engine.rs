@@ -13,15 +13,29 @@ use crate::object::TVar;
 use crate::sharded::{ShardedHandle, ShardedStm, ShardedTxn};
 use crate::stats::TxnStats;
 use crate::stm::{Stm, ThreadHandle};
-use lsa_engine::{EngineHandle, EngineResult, EngineStats, TxnEngine, TxnOps};
+use lsa_engine::{AbortReasons, EngineHandle, EngineResult, EngineStats, TxnEngine, TxnOps};
 use lsa_time::TimeBase;
 use std::sync::Arc;
 
 fn to_engine_stats(s: &TxnStats) -> EngineStats {
+    use crate::error::AbortReason;
     EngineStats {
         commits: s.commits,
         ro_commits: s.ro_commits,
         aborts: s.total_aborts(),
+        // LSA-RT's native reasons folded onto the cross-engine taxonomy:
+        // consistency failures (commit-time validation + snapshot collapse)
+        // are `validation`, the multi-version "no version overlaps the
+        // validity range" case stays its own class (the §4.3 split), and
+        // everything the contention manager decided is `contention`.
+        abort_reasons: AbortReasons {
+            validation: s.aborts_for(AbortReason::Validation) + s.aborts_for(AbortReason::Snapshot),
+            no_version: s.aborts_for(AbortReason::NoVersion),
+            contention: s.aborts_for(AbortReason::ContentionLoser)
+                + s.aborts_for(AbortReason::Killed)
+                + s.aborts_for(AbortReason::Explicit),
+            overload: 0,
+        },
         retries: s.retries,
         reads: s.reads,
         writes: s.writes,
@@ -117,6 +131,12 @@ impl<B: TimeBase> TxnEngine for ShardedStm<B> {
 
     fn new_var<T: Send + Sync + 'static>(&self, value: T) -> TVar<T, B::Ts> {
         self.new_tvar(value)
+    }
+
+    fn new_var_on<T: Send + Sync + 'static>(&self, shard: usize, value: T) -> TVar<T, B::Ts> {
+        // The generic placement hint maps onto the sharded runtime's real
+        // placement: modulo-wrap so workload code can pass any index.
+        self.new_tvar_on(shard % self.shard_count(), value)
     }
 
     fn register(&self) -> ShardedHandle<B> {
@@ -256,6 +276,39 @@ mod tests {
         assert_eq!(TxnEngine::shards(&stm), 8);
         // Unsharded engines report the default shard count of 1.
         assert_eq!(TxnEngine::shards(&Stm::new(SharedCounter::new())), 1);
+    }
+
+    #[test]
+    fn placement_hint_routes_on_sharded_and_is_ignored_elsewhere() {
+        let sharded = ShardedStm::new(SharedCounter::new(), 4);
+        for shard in 0..4 {
+            let v = TxnEngine::new_var_on(&sharded, shard, 0u8);
+            assert_eq!(sharded.shard_of(&v), shard);
+        }
+        // Hints wrap modulo the shard count.
+        let v = TxnEngine::new_var_on(&sharded, 7, 0u8);
+        assert_eq!(sharded.shard_of(&v), 3);
+        // Unsharded engines accept (and ignore) any hint.
+        let stm = Stm::new(SharedCounter::new());
+        let v = TxnEngine::new_var_on(&stm, 1234, 5i32);
+        assert_eq!(*<Stm<SharedCounter> as TxnEngine>::peek(&v), 5);
+    }
+
+    #[test]
+    fn engine_stats_carry_the_abort_taxonomy() {
+        use crate::error::AbortReason;
+        let mut native = TxnStats::default();
+        native.record_abort(AbortReason::Validation);
+        native.record_abort(AbortReason::Snapshot);
+        native.record_abort(AbortReason::NoVersion);
+        native.record_abort(AbortReason::ContentionLoser);
+        native.record_abort(AbortReason::Killed);
+        let es = to_engine_stats(&native);
+        assert_eq!(es.abort_reasons.validation, 2);
+        assert_eq!(es.abort_reasons.no_version, 1);
+        assert_eq!(es.abort_reasons.contention, 2);
+        assert_eq!(es.abort_reasons.overload, 0);
+        assert_eq!(es.abort_reasons.total(), es.aborts);
     }
 
     #[test]

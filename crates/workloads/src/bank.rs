@@ -12,6 +12,7 @@
 //! audits run on LSA-RT, TL2 and the validation STM (the engine matrix the
 //! harness sweeps).
 
+use crate::placement::PlacementHint;
 use crate::rng::FastRng;
 use lsa_engine::{EngineHandle, EngineStats, EngineVar, TxnEngine, TxnOps};
 
@@ -41,21 +42,57 @@ pub struct BankWorkload<E: TxnEngine> {
     engine: E,
     cfg: BankConfig,
     accounts: Vec<EngineVar<E, i64>>,
+    /// Shard-affinity groups (1 = no partitioning). Account `i` belongs to
+    /// group `i * groups / accounts`; under
+    /// [`PlacementHint::Partitioned`] each group is pinned to its own shard
+    /// and transfers stay group-local, so update transactions never cross
+    /// shards. Audits always scan every account (cross-shard reads).
+    groups: usize,
 }
 
 impl<E: TxnEngine> BankWorkload<E> {
-    /// Create the bank on `engine`.
+    /// Create the bank on `engine` with engine-default (spread) placement.
     pub fn new(engine: E, cfg: BankConfig) -> Self {
+        Self::with_placement(engine, cfg, PlacementHint::Spread)
+    }
+
+    /// Create the bank with an explicit [`PlacementHint`]. Partitioned
+    /// placement pins contiguous account groups — one per engine shard —
+    /// via [`TxnEngine::new_var_on`], clamped so every group keeps at least
+    /// two accounts (a transfer needs a pair).
+    pub fn with_placement(engine: E, cfg: BankConfig, placement: PlacementHint) -> Self {
         assert!(cfg.accounts >= 2);
         assert!(cfg.audit_percent <= 100);
+        let groups = match placement {
+            PlacementHint::Spread => 1,
+            PlacementHint::Partitioned => engine.shards().clamp(1, cfg.accounts / 2),
+        };
         let accounts = (0..cfg.accounts)
-            .map(|_| engine.new_var(cfg.initial))
+            .map(|i| match placement {
+                PlacementHint::Spread => engine.new_var(cfg.initial),
+                PlacementHint::Partitioned => {
+                    engine.new_var_on(i * groups / cfg.accounts, cfg.initial)
+                }
+            })
             .collect();
         BankWorkload {
             engine,
             cfg,
             accounts,
+            groups,
         }
+    }
+
+    /// Shard-affinity groups (1 unless partitioned on a sharded engine).
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Index range `[start, end)` of group `g`'s accounts.
+    pub fn group_bounds(&self, g: usize) -> (usize, usize) {
+        assert!(g < self.groups);
+        let n = self.cfg.accounts;
+        (g * n / self.groups, (g + 1) * n / self.groups)
     }
 
     /// The underlying engine.
@@ -73,12 +110,19 @@ impl<E: TxnEngine> BankWorkload<E> {
         self.accounts.iter().map(|a| *E::peek(a)).sum()
     }
 
+    /// The account variables — what the transaction service builds its
+    /// transfer/audit request closures over.
+    pub fn accounts(&self) -> &[EngineVar<E, i64>] {
+        &self.accounts
+    }
+
     /// Build the worker for thread `tid`.
     pub fn worker(&self, tid: usize) -> BankWorker<E> {
         BankWorker {
             handle: self.engine.register(),
             accounts: self.accounts.clone(),
             cfg: self.cfg,
+            groups: self.groups,
             rng: FastRng::new(0xBA2C + tid as u64),
             audit_failures: 0,
         }
@@ -90,6 +134,7 @@ pub struct BankWorker<E: TxnEngine> {
     handle: E::Handle,
     accounts: Vec<EngineVar<E, i64>>,
     cfg: BankConfig,
+    groups: usize,
     rng: FastRng,
     audit_failures: u64,
 }
@@ -112,10 +157,21 @@ impl<E: TxnEngine> BankWorker<E> {
                 self.audit_failures += 1;
             }
         } else {
-            let from = self.rng.below(self.cfg.accounts);
-            let mut to = self.rng.below(self.cfg.accounts);
+            // Under partitioned placement transfers stay group-local (the
+            // group is one shard), so updates never cross shards; spread
+            // placement draws from the whole table.
+            let (lo, hi) = if self.groups > 1 {
+                let g = self.rng.below(self.groups);
+                let n = self.cfg.accounts;
+                (g * n / self.groups, (g + 1) * n / self.groups)
+            } else {
+                (0, self.cfg.accounts)
+            };
+            let span = hi - lo;
+            let from = lo + self.rng.below(span);
+            let mut to = lo + self.rng.below(span);
             if to == from {
-                to = (to + 1) % self.cfg.accounts;
+                to = lo + (to - lo + 1) % span;
             }
             let amount = self.rng.range(1, 100);
             let (a, b) = (self.accounts[from].clone(), self.accounts[to].clone());
@@ -209,6 +265,70 @@ mod tests {
                 audit_percent: 30,
             },
             500,
+        );
+    }
+
+    #[test]
+    fn partitioned_placement_keeps_transfers_single_shard() {
+        use lsa_stm::ShardedStm;
+        let cfg = BankConfig {
+            accounts: 32,
+            initial: 100,
+            audit_percent: 0, // transfers only — audits always cross shards
+        };
+        let engine = ShardedStm::new(SharedCounter::new(), 4);
+        let wl = BankWorkload::with_placement(engine, cfg, crate::PlacementHint::Partitioned);
+        assert_eq!(wl.groups(), 4);
+        assert_eq!(wl.group_bounds(0), (0, 8));
+        assert_eq!(wl.group_bounds(3), (24, 32));
+        let mut w = wl.worker(0);
+        for _ in 0..100 {
+            w.step();
+        }
+        let s = w.stats();
+        assert_eq!(s.commits, 100);
+        assert_eq!(
+            s.cross_shard_commits, 0,
+            "partitioned transfers must stay shard-local"
+        );
+        assert_eq!(wl.quiescent_total(), wl.expected_total());
+
+        // The spread baseline on the same engine does cross shards.
+        let engine = ShardedStm::new(SharedCounter::new(), 4);
+        let wl = BankWorkload::with_placement(engine, cfg, crate::PlacementHint::Spread);
+        assert_eq!(wl.groups(), 1);
+        let mut w = wl.worker(0);
+        for _ in 0..100 {
+            w.step();
+        }
+        assert!(
+            w.stats().cross_shard_commits > 0,
+            "round-robin spreading must produce cross-shard transfers"
+        );
+    }
+
+    #[test]
+    fn partitioned_disjoint_is_single_shard() {
+        use lsa_stm::ShardedStm;
+        let engine = ShardedStm::new(SharedCounter::new(), 4);
+        let wl = crate::DisjointWorkload::with_placement(
+            engine,
+            2,
+            crate::DisjointConfig {
+                objects_per_thread: 16,
+                accesses_per_tx: 8,
+            },
+            crate::PlacementHint::Partitioned,
+        );
+        let mut w = wl.worker(1);
+        for _ in 0..50 {
+            w.step();
+        }
+        assert_eq!(w.stats().commits, 50);
+        assert_eq!(
+            w.stats().cross_shard_commits,
+            0,
+            "pinned partitions must commit shard-locally"
         );
     }
 

@@ -11,6 +11,7 @@
 //! Generic over the [`TxnEngine`], so fixed costs can be compared *across
 //! engines* as well as across time bases.
 
+use crate::placement::PlacementHint;
 use crate::rng::FastRng;
 use lsa_engine::{EngineHandle, EngineStats, EngineVar, TxnEngine, TxnOps};
 
@@ -41,14 +42,32 @@ pub struct DisjointWorkload<E: TxnEngine> {
 }
 
 impl<E: TxnEngine> DisjointWorkload<E> {
-    /// Allocate `threads` partitions on `engine`.
+    /// Allocate `threads` partitions on `engine` with engine-default
+    /// (spread) placement.
     pub fn new(engine: E, threads: usize, cfg: DisjointConfig) -> Self {
+        Self::with_placement(engine, threads, cfg, PlacementHint::Spread)
+    }
+
+    /// Allocate with an explicit [`PlacementHint`]: partitioned placement
+    /// pins thread `t`'s whole partition to shard `t % shards` via
+    /// [`TxnEngine::new_var_on`], so every transaction is single-shard —
+    /// the shard-local contrast to round-robin spreading, under which a
+    /// `k`-access transaction touches up to `k` shards.
+    pub fn with_placement(
+        engine: E,
+        threads: usize,
+        cfg: DisjointConfig,
+        placement: PlacementHint,
+    ) -> Self {
         assert!(cfg.accesses_per_tx >= 1);
         assert!(cfg.objects_per_thread >= cfg.accesses_per_tx);
         let partitions = (0..threads)
-            .map(|_| {
+            .map(|t| {
                 (0..cfg.objects_per_thread)
-                    .map(|_| engine.new_var(0u64))
+                    .map(|_| match placement {
+                        PlacementHint::Spread => engine.new_var(0u64),
+                        PlacementHint::Partitioned => engine.new_var_on(t, 0u64),
+                    })
                     .collect()
             })
             .collect();

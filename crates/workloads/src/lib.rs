@@ -12,8 +12,14 @@
 //!   [`intset_list::IntsetWorkload`] member/insert/remove benchmark mix,
 //!   the data-structure workload that drives cross-shard transactions in
 //!   the engine matrix,
+//! * [`snapshot`] — snapshot analytics: long read-only range scans racing a
+//!   zero-sum update stream — the multi-version vs single-version
+//!   separation workload (and the service bench's "analytics" request),
 //! * [`skiplist`] — skip-list set: O(log n) traversals, medium read sets,
 //! * [`hashset`] — bucketed hash set: short transactions, tunable contention,
+//! * [`placement`] — the [`PlacementHint`] shard-affinity axis: bank and
+//!   disjoint can pin their natural partitions shard-locally
+//!   (`TxnEngine::new_var_on`) instead of round-robin spreading,
 //! * [`rng`] — cheap deterministic randomness for workload threads.
 //!
 //! Every workload is generic over its engine ([`lsa_engine::TxnEngine`]):
@@ -27,14 +33,18 @@ pub mod bank;
 pub mod disjoint;
 pub mod hashset;
 pub mod intset_list;
+pub mod placement;
 pub mod rng;
 pub mod scan;
 pub mod skiplist;
+pub mod snapshot;
 
 pub use bank::{BankConfig, BankWorker, BankWorkload};
 pub use disjoint::{DisjointConfig, DisjointWorker, DisjointWorkload};
 pub use hashset::HashSetT;
 pub use intset_list::{IntSetList, IntsetConfig, IntsetWorker, IntsetWorkload};
+pub use placement::PlacementHint;
 pub use rng::FastRng;
 pub use scan::{ScanConfig, ScanWorker, ScanWorkload};
 pub use skiplist::SkipListSet;
+pub use snapshot::{SnapshotConfig, SnapshotWorker, SnapshotWorkload};

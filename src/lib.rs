@@ -26,8 +26,12 @@
 //! * [`workloads`] ([`lsa_workloads`]) — the §4.2 disjoint-update workload,
 //!   bank, linked-list/skip-list/hash-set structures — all engine-generic,
 //! * [`harness`] ([`lsa_harness`]) — figure-regenerating experiment binaries,
-//!   the engine registry driving the `matrix` sweep, and the Altix
-//!   discrete-event model.
+//!   the engine registry driving the `matrix` sweep, the open-loop
+//!   `service_bench` load generator, and the Altix discrete-event model,
+//! * [`service`] ([`lsa_service`]) — the async transaction-service
+//!   front-end: a worker pool over any engine with bounded submission
+//!   queues, futures-based completions, admission-control shedding and
+//!   latency histograms — hand-rolled from `std` (offline build, no tokio).
 //!
 //! ## Quick start
 //!
@@ -52,6 +56,7 @@
 pub use lsa_baseline as baseline;
 pub use lsa_engine as engine;
 pub use lsa_harness as harness;
+pub use lsa_service as service;
 pub use lsa_stm as stm;
 pub use lsa_time as time;
 pub use lsa_workloads as workloads;
@@ -65,8 +70,10 @@ pub use lsa_workloads as workloads;
 /// so engine-specific code is unaffected.
 pub mod prelude {
     pub use lsa_engine::{
-        EngineAbort, EngineHandle, EngineResult, EngineStats, EngineVar, TxnEngine, TxnOps,
+        AbortClass, AbortReasons, EngineAbort, EngineHandle, EngineResult, EngineStats, EngineVar,
+        TxnEngine, TxnOps,
     };
+    pub use lsa_service::{ServiceConfig, SubmitError, TxnService};
     pub use lsa_stm::prelude::*;
     pub use lsa_time::prelude::*;
 }

@@ -1,0 +1,35 @@
+//! Registry-wide service-driven conformance: every engine × time-base cell
+//! must commit a serializable history when driven through the `lsa-service`
+//! worker pool instead of dedicated per-thread handles.
+//!
+//! This is the serving-layer counterpart of `tests/opacity.rs`: requests
+//! from many client threads cross bounded queues, multiplex onto few
+//! long-lived worker handles (shard-affinely on the sharded cells), and the
+//! value-chain / audit-snapshot witnesses plus the service's own accounting
+//! (`completed == submitted`) are asserted end to end.
+
+use lsa_harness::registry::default_registry;
+
+/// Every registry cell passes the service-driven suite. One test so the
+/// engine name prints per cell under `--nocapture` for triage.
+#[test]
+fn every_registry_cell_passes_service_conformance() {
+    for entry in default_registry() {
+        println!("service conformance: {}", entry.label());
+        entry.run_service_conformance();
+    }
+}
+
+/// The sharded cells again, explicitly: shard-affine routing must not
+/// change the serializability verdict (requests hinting one shard all land
+/// on one worker; cross-shard audits interleave with them).
+#[test]
+fn sharded_cells_pass_service_conformance_shard_affinely() {
+    let reg = default_registry();
+    let sharded: Vec<_> = reg.iter().filter(|e| e.engine == "lsa-sharded").collect();
+    assert!(sharded.len() >= 3, "sharded rows missing from the registry");
+    for entry in sharded {
+        println!("service conformance (sharded): {}", entry.label());
+        entry.run_service_conformance();
+    }
+}
