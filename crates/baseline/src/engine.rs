@@ -30,6 +30,8 @@ fn to_engine_stats(s: &BaselineStats) -> EngineStats {
         shared_commit_ts: s.shared_cts,
         // The baseline engines keep one global object table: no sharding.
         cross_shard_commits: 0,
+        // Single-version engines: no managed version store to report on.
+        memory: Default::default(),
     }
 }
 

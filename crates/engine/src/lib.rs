@@ -121,6 +121,16 @@ pub trait TxnEngine: Clone + Send + Sync + 'static {
     /// meaningful while no update transactions are in flight (seeding,
     /// post-run audits).
     fn peek<T: Send + Sync + 'static>(var: &Self::Var<T>) -> Arc<T>;
+
+    /// Point-in-time sample of the engine's **global** version-store memory
+    /// gauges (live/retired/reclaimed version counts, arena bytes, watermark
+    /// lag). Unlike [`EngineHandle::engine_stats`] these are not per-thread
+    /// counters to be summed — the harness samples this once per run and
+    /// attaches it to the aggregated [`EngineStats`]. Engines without a
+    /// managed version store report all zeros (the default).
+    fn memory_stats(&self) -> MemoryStats {
+        MemoryStats::default()
+    }
 }
 
 /// A registered thread of a [`TxnEngine`]: the gateway to running
@@ -297,6 +307,62 @@ impl fmt::Display for AbortReasons {
     }
 }
 
+/// Version-store memory gauges sampled from an engine (ROADMAP:
+/// "Bounded-memory MVCC: epoch-based version GC").
+///
+/// These are **global point-in-time samples**, not per-thread counters: the
+/// harness reads them once from [`TxnEngine::memory_stats`] after a run. The
+/// counters `versions_retired` / `versions_reclaimed` are monotone over the
+/// engine's lifetime; `versions_live`, `arena_bytes` and `watermark_lag` are
+/// instantaneous gauges. [`merge`](MemoryStats::merge) therefore keeps the
+/// element-wise **maximum** of two samples (the conservative bound when
+/// samples from the same engine meet), never the sum.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Committed versions currently reachable through some object's chain.
+    pub versions_live: u64,
+    /// Versions unlinked from their chain (superseded and pruned, or evicted
+    /// by the `max_versions` ceiling) over the engine's lifetime.
+    pub versions_retired: u64,
+    /// Retired versions whose storage was actually released or recycled
+    /// through the arena. `retired - reclaimed` versions sit in thread-local
+    /// arena pools awaiting reuse.
+    pub versions_reclaimed: u64,
+    /// Approximate bytes of version metadata held by live versions plus
+    /// pooled arena nodes (a lower bound: payload bytes are workload-owned).
+    pub arena_bytes: u64,
+    /// Distance, in the time base's raw units, between the time-base reading
+    /// taken at the last watermark advance and the watermark itself — how far
+    /// reclamation trails the present. 0 until the first advance.
+    pub watermark_lag: u64,
+}
+
+impl MemoryStats {
+    /// Merge another sample, keeping the element-wise maximum (see the type
+    /// docs for why gauges must not be summed).
+    pub fn merge(&mut self, other: &MemoryStats) {
+        self.versions_live = self.versions_live.max(other.versions_live);
+        self.versions_retired = self.versions_retired.max(other.versions_retired);
+        self.versions_reclaimed = self.versions_reclaimed.max(other.versions_reclaimed);
+        self.arena_bytes = self.arena_bytes.max(other.arena_bytes);
+        self.watermark_lag = self.watermark_lag.max(other.watermark_lag);
+    }
+}
+
+impl fmt::Display for MemoryStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "live={} retired={} reclaimed={} arena-bytes={} wm-lag={}",
+            self.versions_live,
+            self.versions_retired,
+            self.versions_reclaimed,
+            self.arena_bytes,
+            self.watermark_lag
+        )
+    }
+}
+
 /// The statistics surface shared by every engine. Engine-specific detail
 /// (fine-grained abort reasons, helping) stays on the engines' native stats
 /// types; this is the common denominator the harness aggregates.
@@ -344,6 +410,10 @@ pub struct EngineStats {
     /// (per-shard commit-timestamp acquisition before the atomic
     /// status-word publish). Always zero on unsharded engines.
     pub cross_shard_commits: u64,
+    /// Version-store memory gauges sampled from the engine after the run
+    /// (see [`MemoryStats`]); all zeros for per-thread snapshots and for
+    /// engines without a managed version store.
+    pub memory: MemoryStats,
 }
 
 impl EngineStats {
@@ -408,6 +478,7 @@ impl EngineStats {
         self.validated_entries += other.validated_entries;
         self.shared_commit_ts += other.shared_commit_ts;
         self.cross_shard_commits += other.cross_shard_commits;
+        self.memory.merge(&other.memory);
     }
 }
 
@@ -416,7 +487,7 @@ impl fmt::Display for EngineStats {
         write!(
             f,
             "commits={} (ro={}) aborts={} [{}] retries={} reads={} writes={} \
-             validations={} (failed={}, entries={}) shared-ts={} xshard={}",
+             validations={} (failed={}, entries={}) shared-ts={} xshard={} mem[{}]",
             self.total_commits(),
             self.ro_commits,
             self.aborts,
@@ -428,7 +499,8 @@ impl fmt::Display for EngineStats {
             self.revalidation_failures,
             self.validated_entries,
             self.shared_commit_ts,
-            self.cross_shard_commits
+            self.cross_shard_commits,
+            self.memory
         )
     }
 }
@@ -498,6 +570,46 @@ mod tests {
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), AbortClass::ALL.len());
+    }
+
+    #[test]
+    fn memory_stats_merge_keeps_max_not_sum() {
+        let mut a = MemoryStats {
+            versions_live: 10,
+            versions_retired: 5,
+            versions_reclaimed: 3,
+            arena_bytes: 640,
+            watermark_lag: 2,
+        };
+        let b = MemoryStats {
+            versions_live: 4,
+            versions_retired: 9,
+            versions_reclaimed: 9,
+            arena_bytes: 128,
+            watermark_lag: 7,
+        };
+        a.merge(&b);
+        assert_eq!(a.versions_live, 10, "gauges merge by max, not sum");
+        assert_eq!(a.versions_retired, 9);
+        assert_eq!(a.versions_reclaimed, 9);
+        assert_eq!(a.arena_bytes, 640);
+        assert_eq!(a.watermark_lag, 7);
+        let shown = a.to_string();
+        assert!(shown.contains("live=10"));
+        assert!(shown.contains("wm-lag=7"));
+    }
+
+    #[test]
+    fn engine_stats_render_memory_gauges() {
+        let s = EngineStats {
+            commits: 1,
+            memory: MemoryStats {
+                versions_live: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!(s.to_string().contains("mem[live=3"));
     }
 
     #[test]

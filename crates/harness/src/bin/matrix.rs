@@ -30,7 +30,9 @@
 //! how often transactions spanned object shards and escalated to the
 //! sharded engine's cross-shard commit protocol (0 everywhere on unsharded
 //! engines); `aborts v/nv/ct/ov` is the cross-engine abort-reason taxonomy
-//! (validation / no-version / contention / overload).
+//! (validation / no-version / contention / overload). The trailing
+//! `live-vers`/`arena-b`/`wm-lag` columns surface the version-store memory
+//! gauges sampled after each run.
 
 use lsa_harness::registry::{default_registry, Workload};
 use lsa_harness::{f3, measure_window, Table};
@@ -177,6 +179,9 @@ fn main() {
             "reval failures",
             "shared-ts/commit",
             "xshard/commit",
+            "live-vers",
+            "arena-b",
+            "wm-lag",
         ],
     );
     for entry in &registry {
@@ -195,6 +200,9 @@ fn main() {
                 out.stats.revalidation_failures.to_string(),
                 f3(out.stats.shared_ts_per_commit()),
                 f3(out.stats.cross_shard_per_commit()),
+                out.stats.memory.versions_live.to_string(),
+                out.stats.memory.arena_bytes.to_string(),
+                out.stats.memory.watermark_lag.to_string(),
             ]);
         }
     }
@@ -209,6 +217,10 @@ fn main() {
          sharded engine's cross-shard commit protocol; --placement \
          partitioned pins bank/disjoint partitions shard-locally and drives \
          it to 0. the abort column is the cross-engine taxonomy \
-         (validation/no-version/contention/overload)."
+         (validation/no-version/contention/overload). live-vers/arena-b are \
+         the post-run version-store gauges (live version nodes and arena \
+         bytes backing them; 0 on single-version engines) and wm-lag is the \
+         reclamation watermark's distance behind the clock — bounded gauges \
+         here are the memory-ceiling witness."
     );
 }

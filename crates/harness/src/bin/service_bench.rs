@@ -9,6 +9,7 @@
 //! cargo run --release -p lsa-harness --bin service_bench -- all --workers 4 --depth 512
 //! cargo run --release -p lsa-harness --bin service_bench -- snapshot --engine lsa
 //! cargo run --release -p lsa-harness --bin service_bench -- bank --placement partitioned
+//! cargo run --release -p lsa-harness --bin service_bench -- --mem-ceiling --rounds 8 --mem-json BENCH_mem.json
 //! ```
 //!
 //! Requests arrive on a fixed schedule (`--rate` per second) regardless of
@@ -22,8 +23,15 @@
 //! whole registry, `--engine`/`--timebase` filter by substring. Requests
 //! route shard-affinely on sharded cells under `--placement partitioned`.
 //! Honours `LSA_MEASURE_MS` (per-cell submission window) and `LSA_CSV=1`.
+//!
+//! `--mem-ceiling` switches to the sustained bounded-memory check: `--rounds`
+//! open-loop windows on the multi-version LSA cell under watermark retention,
+//! sampling the version-store gauges after each round and failing (exit 1)
+//! unless they plateau. `--mem-json PATH` writes the samples as JSON for the
+//! CI artifact.
 
-use lsa_harness::service_bench::{RequestKind, ServiceSpec};
+use lsa_engine::MemoryStats;
+use lsa_harness::service_bench::{run_memory_ceiling, RequestKind, ServiceSpec};
 use lsa_harness::{f2, f3, measure_window, Table};
 use lsa_workloads::PlacementHint;
 
@@ -33,13 +41,17 @@ struct Args {
     engine_filter: Option<String>,
     timebase_filter: Option<String>,
     all_cells: bool,
+    mem_ceiling: bool,
+    mem_json: Option<String>,
+    rounds: usize,
 }
 
 fn usage_exit(context: &str) -> ! {
     eprintln!(
         "usage: service_bench [bank|intset|snapshot|all] [--rate R] [--workers N] \
          [--depth D] [--placement spread|partitioned] [--engine SUBSTR] \
-         [--timebase SUBSTR] [--all-cells]   ({context})"
+         [--timebase SUBSTR] [--all-cells] [--mem-ceiling] [--rounds N] \
+         [--mem-json PATH]   ({context})"
     );
     std::process::exit(2);
 }
@@ -52,6 +64,9 @@ fn parse_args() -> Args {
         engine_filter: None,
         timebase_filter: None,
         all_cells: false,
+        mem_ceiling: false,
+        mem_json: None,
+        rounds: 6,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -100,6 +115,21 @@ fn parse_args() -> Args {
                 };
             }
             "--all-cells" => args.all_cells = true,
+            "--mem-ceiling" => args.mem_ceiling = true,
+            "--rounds" => {
+                i += 1;
+                args.rounds = match argv.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n >= 2 => n,
+                    _ => usage_exit("--rounds needs N >= 2"),
+                };
+            }
+            "--mem-json" => {
+                i += 1;
+                args.mem_json = match argv.get(i) {
+                    Some(s) => Some(s.clone()),
+                    None => usage_exit("--mem-json needs a path"),
+                };
+            }
             other => match RequestKind::parse(other) {
                 Some(k) => args.kinds = vec![k],
                 None => usage_exit(&format!("got {other:?}")),
@@ -120,9 +150,90 @@ const DEFAULT_CELLS: [(&str, &str); 5] = [
     ("validation", "commit-counter"),
 ];
 
+/// One memory sample as a JSON object (std-only formatting — the repo
+/// carries no serde).
+fn mem_json(m: &MemoryStats) -> String {
+    format!(
+        "{{\"versions_live\":{},\"versions_retired\":{},\"versions_reclaimed\":{},\
+         \"arena_bytes\":{},\"watermark_lag\":{}}}",
+        m.versions_live, m.versions_retired, m.versions_reclaimed, m.arena_bytes, m.watermark_lag
+    )
+}
+
+/// `--mem-ceiling`: sustained open-loop load on the multi-version LSA cell
+/// with watermark retention (no fixed version-depth cap), sampling the
+/// version-store gauges after each round. The run fails (exit 1) unless the
+/// gauges plateau — the CI smoke step that keeps "bounded memory under
+/// unbounded retention" an enforced property, not a claim.
+fn run_mem_ceiling_mode(args: &Args) -> ! {
+    use lsa_stm::{Stm, StmConfig};
+    use lsa_time::counter::SharedCounter;
+
+    // Snapshot requests are the version-store stress: long read-only scans
+    // hold snapshots open while writers stack versions. Honour an explicit
+    // single-kind selection, but ignore the default all-kinds sweep.
+    let kind = match args.kinds.as_slice() {
+        [k] => *k,
+        _ => RequestKind::Snapshot,
+    };
+    let spec = ServiceSpec { kind, ..args.spec };
+    println!(
+        "MEM-CEILING: {} requests at {} req/s, {} rounds x {} ms on \
+         lsa-rt/shared-counter (watermark retention)\n",
+        kind.name(),
+        spec.rate,
+        args.rounds,
+        spec.duration.as_millis(),
+    );
+    let report = run_memory_ceiling(
+        Stm::with_config(SharedCounter::new(), StmConfig::watermark_retention()),
+        &spec,
+        args.rounds,
+    );
+    for (i, s) in report.samples.iter().enumerate() {
+        println!("round {:>2}: {}", i + 1, s);
+    }
+    let ok = report.plateaued();
+    println!(
+        "\noffered {} completed {} shed {} | final {} | plateau {}",
+        report.outcome.offered,
+        report.outcome.completed,
+        report.outcome.shed,
+        report.outcome.engine.memory,
+        if ok { "OK" } else { "FAILED" },
+    );
+    if let Some(path) = &args.mem_json {
+        let samples: Vec<String> = report.samples.iter().map(mem_json).collect();
+        let doc = format!(
+            "{{\"kind\":\"{}\",\"engine\":\"lsa-rt\",\"time_base\":\"shared-counter\",\
+             \"rate\":{},\"rounds\":{},\"round_ms\":{},\"offered\":{},\"completed\":{},\
+             \"shed\":{},\"plateaued\":{},\"samples\":[{}],\"final\":{}}}\n",
+            kind.name(),
+            spec.rate,
+            args.rounds,
+            spec.duration.as_millis(),
+            report.outcome.offered,
+            report.outcome.completed,
+            report.outcome.shed,
+            ok,
+            samples.join(","),
+            mem_json(&report.outcome.engine.memory),
+        );
+        std::fs::write(path, doc).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("wrote {path}");
+    }
+    std::process::exit(if ok { 0 } else { 1 });
+}
+
 fn main() {
     let mut args = parse_args();
     args.spec.duration = measure_window(500);
+    if args.mem_ceiling {
+        run_mem_ceiling_mode(&args);
+    }
     let registry: Vec<_> = lsa_harness::default_registry()
         .into_iter()
         .filter(|e| {
@@ -174,6 +285,9 @@ fn main() {
             "shed %",
             "aborts/commit",
             "aborts v/nv/ct/ov",
+            "live-vers",
+            "arena-b",
+            "wm-lag",
         ],
     );
     for kind in &args.kinds {
@@ -198,6 +312,9 @@ fn main() {
                 f2(out.shed_rate() * 100.0),
                 f3(out.engine.abort_ratio()),
                 out.engine.abort_reasons.to_string(),
+                out.engine.memory.versions_live.to_string(),
+                out.engine.memory.arena_bytes.to_string(),
+                out.engine.memory.watermark_lag.to_string(),
             ]);
         }
     }
@@ -210,6 +327,8 @@ fn main() {
          zero-sum) were asserted through the service after the drain. the \
          abort column is the cross-engine taxonomy \
          (validation/no-version/contention/overload); overload counts \
-         admission sheds."
+         admission sheds. live-vers/arena-b/wm-lag are the post-drain \
+         version-store memory gauges (see --mem-ceiling for the sustained \
+         bounded-memory check)."
     );
 }

@@ -18,7 +18,7 @@
 //! `lsa_stm::Stm::with_cm`); the block counter never adopts, stays
 //! commit-monotonic, and runs under both engines.
 
-use crate::runner::{run_for, BenchWorker, RunOutcome};
+use crate::runner::{run_for_pinned, BenchWorker, RunOutcome};
 use lsa_baseline::{NorecStm, Tl2Stm, ValidationMode, ValidationStm};
 use lsa_engine::TxnEngine;
 use lsa_stm::{ShardedStm, Stm, StmConfig};
@@ -98,50 +98,71 @@ pub fn run_workload_placed<E: TxnEngine>(
     threads: usize,
     window: Duration,
 ) -> RunOutcome {
+    run_workload_pinned(engine, workload, placement, threads, window, false)
+}
+
+/// [`run_workload_placed`] with optional best-effort thread pinning (see
+/// [`crate::runner::run_for_pinned`]). After the run, the engine's global
+/// memory gauges ([`TxnEngine::memory_stats`]) are sampled once into the
+/// outcome — a point-in-time reading, not a per-thread sum.
+pub fn run_workload_pinned<E: TxnEngine>(
+    engine: E,
+    workload: &Workload,
+    placement: PlacementHint,
+    threads: usize,
+    window: Duration,
+    pin: bool,
+) -> RunOutcome {
     match workload {
         Workload::Bank(cfg) => {
             let wl = BankWorkload::with_placement(engine, *cfg, placement);
-            let out = run_for(threads, window, |i| wl.worker(i));
+            let mut out = run_for_pinned(threads, window, pin, |i| wl.worker(i));
             assert_eq!(
                 wl.quiescent_total(),
                 wl.expected_total(),
                 "bank invariant broken on {}",
                 wl.engine().engine_name()
             );
+            out.stats.memory = wl.engine().memory_stats();
             out
         }
         Workload::Disjoint(cfg) => {
             let wl = DisjointWorkload::with_placement(engine, threads, *cfg, placement);
-            let out = run_for(threads, window, |i| wl.worker(i));
+            let mut out = run_for_pinned(threads, window, pin, |i| wl.worker(i));
             assert_eq!(
                 wl.total(),
                 out.commits() * cfg.accesses_per_tx as u64,
                 "disjoint accounting broken on {}",
                 wl.engine().engine_name()
             );
+            out.stats.memory = wl.engine().memory_stats();
             out
         }
         Workload::Scan(cfg) => {
             // Every scan asserts its invariant sum inside the worker.
             let wl = ScanWorkload::new(engine, *cfg);
-            run_for(threads, window, |i| wl.worker(i))
+            let mut out = run_for_pinned(threads, window, pin, |i| wl.worker(i));
+            out.stats.memory = wl.engine().memory_stats();
+            out
         }
         Workload::Intset(cfg) => {
             let wl = IntsetWorkload::new(engine, *cfg);
-            let out = run_for(threads, window, |i| wl.worker(i));
+            let mut out = run_for_pinned(threads, window, pin, |i| wl.worker(i));
             // Structural invariant: sorted, duplicate-free list.
             wl.assert_sorted_unique();
+            out.stats.memory = wl.engine().memory_stats();
             out
         }
         Workload::Snapshot(cfg) => {
             let wl = SnapshotWorkload::new(engine, *cfg);
-            let out = run_for(threads, window, |i| wl.worker(i));
+            let mut out = run_for_pinned(threads, window, pin, |i| wl.worker(i));
             assert_eq!(
                 wl.quiescent_sum(),
                 0,
                 "snapshot zero-sum invariant broken on {}",
                 wl.engine().engine_name()
             );
+            out.stats.memory = wl.engine().memory_stats();
             out
         }
     }
@@ -177,9 +198,10 @@ fn make_rig<E: TxnEngine>(engine: E, workload: &Workload, threads: usize) -> Wor
     }
 }
 
-/// Type-erased runner stored in an [`EngineEntry`].
+/// Type-erased runner stored in an [`EngineEntry`]. The trailing flag is
+/// thread pinning (see [`run_workload_pinned`]).
 type EntryRunner =
-    Box<dyn Fn(&Workload, PlacementHint, usize, Duration) -> RunOutcome + Send + Sync>;
+    Box<dyn Fn(&Workload, PlacementHint, usize, Duration, bool) -> RunOutcome + Send + Sync>;
 type EntryRig = Box<dyn Fn(&Workload, usize) -> WorkerRig + Send + Sync>;
 type EntryServe = Box<
     dyn Fn(&crate::service_bench::ServiceSpec) -> crate::service_bench::ServiceOutcome
@@ -199,6 +221,9 @@ pub struct EngineEntry {
     /// ([`TxnEngine::shards`]; 1 for unsharded engines) — the matrix prints
     /// it as the `shards` column.
     pub shards: usize,
+    /// Pin worker threads to cores for this entry's runs (best-effort; set
+    /// on the modeled-NUMA cells via [`EngineEntry::pinned`]).
+    pub pin: bool,
     run: EntryRunner,
     rig: EntryRig,
     serve: EntryServe,
@@ -225,8 +250,9 @@ impl EngineEntry {
             engine: engine.into(),
             time_base: time_base.into(),
             shards,
-            run: Box::new(move |wl, placement, threads, window| {
-                run_workload_placed(run_factory(), wl, placement, threads, window)
+            pin: false,
+            run: Box::new(move |wl, placement, threads, window, pin| {
+                run_workload_pinned(run_factory(), wl, placement, threads, window, pin)
             }),
             rig: Box::new(move |wl, threads| make_rig(rig_factory(), wl, threads)),
             serve: Box::new(move |spec| {
@@ -239,6 +265,15 @@ impl EngineEntry {
         }
     }
 
+    /// Mark this entry's runs as thread-pinned: workers are pinned to cores
+    /// before the measurement barrier. Used by the modeled-NUMA
+    /// (`numa-altix`) cells, whose per-node time-base state assumes threads
+    /// stay put.
+    pub fn pinned(mut self) -> Self {
+        self.pin = true;
+        self
+    }
+
     /// `engine(time_base)` label for output.
     pub fn label(&self) -> String {
         format!("{}({})", self.engine, self.time_base)
@@ -246,7 +281,7 @@ impl EngineEntry {
 
     /// Run `workload` on a freshly constructed engine.
     pub fn run(&self, workload: &Workload, threads: usize, window: Duration) -> RunOutcome {
-        (self.run)(workload, PlacementHint::Spread, threads, window)
+        (self.run)(workload, PlacementHint::Spread, threads, window, self.pin)
     }
 
     /// [`run`](EngineEntry::run) with an explicit [`PlacementHint`] — the
@@ -258,7 +293,7 @@ impl EngineEntry {
         threads: usize,
         window: Duration,
     ) -> RunOutcome {
-        (self.run)(workload, placement, threads, window)
+        (self.run)(workload, placement, threads, window, self.pin)
     }
 
     /// Run an open-loop service benchmark
@@ -346,7 +381,8 @@ pub fn default_registry() -> Vec<EngineEntry> {
         EngineEntry::new("lsa-rt", "mmtimer", || Stm::new(HardwareClock::mmtimer())),
         EngineEntry::new("lsa-rt", "numa-altix", || {
             Stm::new(NumaCounter::new(NumaModel::altix()))
-        }),
+        })
+        .pinned(),
         EngineEntry::new("lsa-rt", "external-10us", || {
             Stm::with_config(
                 ExternalClock::with_policy(10_000, OffsetPolicy::Alternating),
@@ -365,7 +401,8 @@ pub fn default_registry() -> Vec<EngineEntry> {
         }),
         EngineEntry::new("lsa-sharded", "numa-altix", || {
             ShardedStm::new(NumaCounter::new(NumaModel::altix()), DEFAULT_SHARDS)
-        }),
+        })
+        .pinned(),
         EngineEntry::new(
             "tl2",
             "shared-counter",
@@ -511,6 +548,34 @@ mod tests {
         assert!(
             out.stats.cross_shard_commits > 0,
             "bank transfers on 8 shards must escalate to cross-shard commits"
+        );
+    }
+
+    #[test]
+    fn numa_rows_are_pinned_and_memory_gauges_flow() {
+        let reg = default_registry();
+        assert!(find_entry(&reg, "lsa-rt", "numa-altix").unwrap().pin);
+        assert!(find_entry(&reg, "lsa-sharded", "numa-altix").unwrap().pin);
+        assert!(
+            !find_entry(&reg, "lsa-rt", "shared-counter").unwrap().pin,
+            "only the modeled-NUMA cells pin by default"
+        );
+        // Any LSA run must surface the version-store gauges in its outcome:
+        // the bank's account objects alone hold live versions.
+        let entry = find_entry(&reg, "lsa-rt", "shared-counter").unwrap();
+        let out = entry.run(
+            &Workload::Bank(BankConfig {
+                accounts: 8,
+                initial: 100,
+                audit_percent: 25,
+            }),
+            2,
+            Duration::from_millis(10),
+        );
+        assert!(
+            out.stats.memory.versions_live >= 8,
+            "live-version gauge not sampled: {:?}",
+            out.stats.memory
         );
     }
 

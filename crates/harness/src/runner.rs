@@ -71,17 +71,43 @@ where
     W: BenchWorker,
     F: Fn(usize) -> W + Sync,
 {
+    run_for_pinned(threads, duration, false, make)
+}
+
+/// [`run_for`] with optional thread pinning: worker `i` is pinned to
+/// available core `i % cores` before the start barrier, so the measured
+/// window never sees a migration. Pinning is best-effort — when the
+/// platform refuses (or `pin` is `false`) workers run wherever the
+/// scheduler puts them. The registry's modeled-NUMA cells use this: a
+/// thread hopping cores mid-run would smear the modeled per-node time-base
+/// state across cores.
+pub fn run_for_pinned<W, F>(threads: usize, duration: Duration, pin: bool, make: F) -> RunOutcome
+where
+    W: BenchWorker,
+    F: Fn(usize) -> W + Sync,
+{
     assert!(threads >= 1);
     let barrier = Barrier::new(threads + 1);
     let stop = AtomicBool::new(false);
+    let cores = if pin {
+        core_affinity::get_core_ids()
+    } else {
+        None
+    };
 
     let (elapsed, per_thread) = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|i| {
                 let barrier = &barrier;
                 let stop = &stop;
+                let cores = &cores;
                 let mut worker = make(i);
                 s.spawn(move || {
+                    if let Some(cores) = cores {
+                        // Before the barrier: the pinning syscall happens in
+                        // the setup phase, never inside the measured window.
+                        core_affinity::set_for_current(cores[i % cores.len()]);
+                    }
                     barrier.wait();
                     let mut steps = 0u64;
                     while !stop.load(Ordering::Relaxed) {
@@ -264,6 +290,21 @@ mod tests {
         assert!(out.elapsed >= Duration::from_millis(30));
         assert!(out.tx_per_sec() > 0.0);
         assert_eq!(out.commits(), out.steps, "no aborts in disjoint workload");
+    }
+
+    #[test]
+    fn pinned_run_completes_work() {
+        let wl = DisjointWorkload::new(
+            Stm::new(SharedCounter::new()),
+            2,
+            DisjointConfig {
+                objects_per_thread: 16,
+                accesses_per_tx: 2,
+            },
+        );
+        // Best-effort pinning must never break a run, pinnable or not.
+        let out = run_for_pinned(2, Duration::from_millis(20), true, |i| wl.worker(i));
+        assert!(out.commits() > 0, "pinned workers must make progress");
     }
 
     #[test]

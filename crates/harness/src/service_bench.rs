@@ -17,7 +17,7 @@
 //! inside the request bodies, so the bench doubles as an end-to-end
 //! consistency check of the serving path.
 
-use lsa_engine::{EngineHandle, EngineStats, EngineVar, TxnEngine, TxnOps};
+use lsa_engine::{EngineHandle, EngineStats, EngineVar, MemoryStats, TxnEngine, TxnOps};
 use lsa_service::{Executor, LatencyHistogram, ServiceConfig, SubmitError, TxnService};
 use lsa_workloads::{
     BankConfig, BankWorkload, FastRng, IntSetList, PlacementHint, SnapshotConfig, SnapshotWorkload,
@@ -365,6 +365,9 @@ fn spawn_completion<R: Send + 'static>(
 pub fn run_service_bench<E: TxnEngine>(engine: E, spec: &ServiceSpec) -> ServiceOutcome {
     assert!(spec.rate > 0.0, "rate must be positive");
     let mix = Mix::build(&engine, spec.kind, spec.placement);
+    // Engines are cheap shared handles: keep one to sample the global
+    // memory gauges after the drain.
+    let mem_engine = engine.clone();
     let svc = TxnService::start(
         engine,
         ServiceConfig {
@@ -398,13 +401,107 @@ pub fn run_service_bench<E: TxnEngine>(engine: E, spec: &ServiceSpec) -> Service
         "no accepted request may be canceled (shutdown happens after drain)"
     );
     debug_assert_eq!(report.completed, done.load(Ordering::Relaxed));
+    let mut engine_stats = report.engine;
+    engine_stats.memory = mem_engine.memory_stats();
     ServiceOutcome {
         offered,
         completed: report.completed,
         shed: report.shed,
         elapsed,
         latency: report.latency,
-        engine: report.engine,
+        engine: engine_stats,
+    }
+}
+
+/// Outcome of a [`run_memory_ceiling`] run: the per-round memory-gauge
+/// samples plus the final service outcome.
+#[derive(Debug)]
+pub struct MemoryCeilingReport {
+    /// One [`MemoryStats`] sample at the end of each submission round,
+    /// taken on the live engine (mid-flight — a plateau check wants the
+    /// trajectory, not just the quiesced endpoint).
+    pub samples: Vec<MemoryStats>,
+    /// The aggregate outcome over all rounds (final quiesced memory gauges
+    /// included in `outcome.engine.memory`).
+    pub outcome: ServiceOutcome,
+}
+
+impl MemoryCeilingReport {
+    /// Whether the live-version and arena-byte gauges plateaued: the peak
+    /// over the second half of the rounds must not exceed twice the peak
+    /// over the first half (plus a small absolute slack for in-flight
+    /// chains). An unbounded version store fails this by construction —
+    /// under sustained load its live count grows linearly with the round
+    /// index.
+    pub fn plateaued(&self) -> bool {
+        let half = self.samples.len() / 2;
+        let peak =
+            |s: &[MemoryStats], f: fn(&MemoryStats) -> u64| s.iter().map(f).max().unwrap_or(0);
+        let (early, late) = self.samples.split_at(half);
+        peak(late, |m| m.versions_live) <= 2 * peak(early, |m| m.versions_live) + 64
+            && peak(late, |m| m.arena_bytes) <= 2 * peak(early, |m| m.arena_bytes) + 64 * 1024
+    }
+}
+
+/// [`run_service_bench`] restructured as a memory-ceiling probe: one engine,
+/// one workload instance, `rounds` successive open-loop submission windows
+/// of `spec.duration` each, sampling the engine's global memory gauges
+/// after every round. The CI smoke step drives this on a multi-version LSA
+/// cell and asserts [`MemoryCeilingReport::plateaued`] — watermark pruning
+/// must bound the live-version population under sustained load.
+pub fn run_memory_ceiling<E: TxnEngine>(
+    engine: E,
+    spec: &ServiceSpec,
+    rounds: usize,
+) -> MemoryCeilingReport {
+    assert!(spec.rate > 0.0, "rate must be positive");
+    assert!(rounds >= 2, "a plateau needs at least two rounds");
+    let mix = Mix::build(&engine, spec.kind, spec.placement);
+    let mem_engine = engine.clone();
+    let svc = TxnService::start(
+        engine,
+        ServiceConfig {
+            workers: spec.workers,
+            queue_depth: spec.queue_depth,
+        },
+    );
+    let ex = Executor::new(2);
+    let done = Arc::new(AtomicU64::new(0));
+    let canceled = Arc::new(AtomicU64::new(0));
+    let mut rng = FastRng::new(0x5eed_c0de);
+
+    let start = Instant::now();
+    let mut offered = 0u64;
+    let mut samples = Vec::with_capacity(rounds);
+    for round in 1..=rounds {
+        let round_end = spec.duration * round as u32;
+        while start.elapsed() < round_end {
+            wait_until(start + Duration::from_secs_f64(offered as f64 / spec.rate));
+            mix.submit_one(&svc, &mut rng, &ex, &done, &canceled);
+            offered += 1;
+        }
+        samples.push(mem_engine.memory_stats());
+    }
+
+    ex.wait_idle();
+    let elapsed = start.elapsed();
+    let report = svc.shutdown();
+    ex.shutdown();
+    mix.assert_quiescent();
+    assert_eq!(canceled.load(Ordering::Relaxed), 0);
+
+    let mut engine_stats = report.engine;
+    engine_stats.memory = mem_engine.memory_stats();
+    MemoryCeilingReport {
+        samples,
+        outcome: ServiceOutcome {
+            offered,
+            completed: report.completed,
+            shed: report.shed,
+            elapsed,
+            latency: report.latency,
+            engine: engine_stats,
+        },
     }
 }
 
@@ -437,6 +534,36 @@ mod tests {
         assert!(out.latency.p99() >= out.latency.p50());
         assert!(out.throughput() > 0.0);
         assert_eq!(out.engine.abort_reasons.overload, out.shed);
+        assert!(
+            out.engine.memory.versions_live >= 64,
+            "memory gauges must be sampled after the drain: {:?}",
+            out.engine.memory
+        );
+    }
+
+    #[test]
+    fn memory_ceiling_samples_every_round_and_plateaus() {
+        let report = run_memory_ceiling(
+            Stm::with_config(
+                SharedCounter::new(),
+                lsa_stm::StmConfig::watermark_retention(),
+            ),
+            &ServiceSpec {
+                duration: Duration::from_millis(40),
+                ..quick_spec(RequestKind::Snapshot)
+            },
+            4,
+        );
+        assert_eq!(report.samples.len(), 4, "one sample per round");
+        assert_eq!(
+            report.outcome.completed + report.outcome.shed,
+            report.outcome.offered
+        );
+        assert!(
+            report.plateaued(),
+            "watermark retention must bound live versions: {:?}",
+            report.samples
+        );
     }
 
     #[test]

@@ -93,6 +93,28 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Blocking batch pop: waits like [`pop`](BoundedQueue::pop) until work
+    /// arrives, then drains up to `max` queued items into `out` in FIFO
+    /// order. Returns the number appended; `0` means the queue is closed and
+    /// fully drained. One lock acquisition (and at most one park/unpark
+    /// cycle) amortizes over the whole burst, instead of the consumer waking
+    /// once per item under backlog.
+    pub fn pop_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+        assert!(max >= 1, "batch size must be at least 1");
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            if !st.items.is_empty() {
+                let n = st.items.len().min(max);
+                out.extend(st.items.drain(..n));
+                return n;
+            }
+            if st.closed {
+                return 0;
+            }
+            st = self.inner.pop_cv.wait(st).unwrap();
+        }
+    }
+
     /// Close the queue: future pushes fail, consumers drain then observe
     /// `None`.
     pub fn close(&self) {
@@ -139,6 +161,44 @@ mod tests {
         q.try_push(3).unwrap();
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn pop_batch_drains_bursts_in_fifo_order() {
+        let q = BoundedQueue::new(16);
+        for i in 0..10 {
+            q.try_push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        // Capped at `max`, FIFO prefix first.
+        assert_eq!(q.pop_batch(&mut out, 4), 4);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        // The rest comes in one call when the backlog fits.
+        assert_eq!(q.pop_batch(&mut out, 64), 6);
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+        q.close();
+        assert_eq!(q.pop_batch(&mut out, 4), 0, "closed + drained ends");
+    }
+
+    #[test]
+    fn pop_batch_blocks_until_work_or_close() {
+        let q = BoundedQueue::<u8>::new(4);
+        let q2 = q.clone();
+        let j = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            let n = q2.pop_batch(&mut out, 8);
+            (n, out)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.try_push(7).unwrap();
+        let (n, out) = j.join().unwrap();
+        assert_eq!((n, out), (1, vec![7]));
+
+        let q2 = q.clone();
+        let j = std::thread::spawn(move || q2.pop_batch(&mut Vec::new(), 8));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        assert_eq!(j.join().unwrap(), 0, "close releases a blocked batch pop");
     }
 
     #[test]

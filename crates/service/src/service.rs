@@ -28,6 +28,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Jobs a worker claims from its queue per wakeup (see the batched run loop
+/// in [`TxnService::start`]).
+const WORKER_BATCH: usize = 32;
+
 /// Service construction parameters.
 #[derive(Clone, Copy, Debug)]
 pub struct ServiceConfig {
@@ -184,24 +188,33 @@ impl<E: TxnEngine> TxnService<E> {
                     let mut handle = engine.register();
                     let mut latency = LatencyHistogram::new();
                     let mut completed = 0u64;
-                    while let Some(job) = queue.pop() {
-                        let outcome =
-                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                (job.run)(&mut handle)
-                            }));
-                        if let Err(payload) = outcome {
-                            // A request body panicked (e.g. an invariant
-                            // assert fired). Fail loudly, not silently:
-                            // close and drain the queue so every pending
-                            // completion cancels (dropped senders) instead
-                            // of leaving clients blocked forever, then
-                            // surface the original panic through join().
-                            queue.close();
-                            while queue.pop().is_some() {}
-                            std::panic::resume_unwind(payload);
+                    // Batched run loop: drain a burst per wakeup instead of
+                    // one job per park/unpark cycle — under backlog the
+                    // queue lock and condvar are touched once per
+                    // `WORKER_BATCH` jobs.
+                    let mut batch = Vec::with_capacity(WORKER_BATCH);
+                    while queue.pop_batch(&mut batch, WORKER_BATCH) > 0 {
+                        for job in batch.drain(..) {
+                            let outcome =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    (job.run)(&mut handle)
+                                }));
+                            if let Err(payload) = outcome {
+                                // A request body panicked (e.g. an invariant
+                                // assert fired). Fail loudly, not silently:
+                                // close and drain the queue so every pending
+                                // completion cancels (dropped senders,
+                                // including the rest of this batch when it
+                                // unwinds) instead of leaving clients
+                                // blocked forever, then surface the original
+                                // panic through join().
+                                queue.close();
+                                while queue.pop().is_some() {}
+                                std::panic::resume_unwind(payload);
+                            }
+                            latency.record(job.submitted.elapsed());
+                            completed += 1;
                         }
-                        latency.record(job.submitted.elapsed());
-                        completed += 1;
                     }
                     WorkerReport {
                         completed,

@@ -1,0 +1,124 @@
+//! Workspace-local shim with the `core_affinity` crate's API surface.
+//!
+//! The harness pins measurement threads for the registry's `numa-altix`
+//! cells so the modeled per-node time-base state lines up with stable OS
+//! scheduling (a thread migrating mid-run would smear the modeled NUMA
+//! cache-line ownership across cores and add scheduler noise to the latency
+//! tails). The real `core_affinity` crate is not vendored; this shim talks
+//! to `sched_getaffinity`/`sched_setaffinity` directly on Linux and degrades
+//! to an honest no-op everywhere else — [`set_for_current`] then returns
+//! `false` and callers keep running unpinned.
+//!
+//! Only the subset this repo uses is provided: [`get_core_ids`] and
+//! [`set_for_current`].
+
+/// Identifier of one logical CPU, as reported by [`get_core_ids`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId {
+    /// The OS CPU index.
+    pub id: usize,
+}
+
+/// CPU-set words for `sched_{get,set}affinity`: 1024 bits, the kernel's
+/// default `cpu_set_t` size.
+const MASK_WORDS: usize = 16;
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::{CoreId, MASK_WORDS};
+
+    extern "C" {
+        fn sched_getaffinity(pid: i32, cpusetsize: usize, mask: *mut u64) -> i32;
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+
+    pub fn get_core_ids() -> Option<Vec<CoreId>> {
+        let mut mask = [0u64; MASK_WORDS];
+        // pid 0 = the calling thread.
+        let rc = unsafe { sched_getaffinity(0, std::mem::size_of_val(&mask), mask.as_mut_ptr()) };
+        if rc != 0 {
+            return None;
+        }
+        let ids: Vec<CoreId> = (0..MASK_WORDS * 64)
+            .filter(|i| mask[i / 64] & (1u64 << (i % 64)) != 0)
+            .map(|id| CoreId { id })
+            .collect();
+        if ids.is_empty() {
+            None
+        } else {
+            Some(ids)
+        }
+    }
+
+    pub fn set_for_current(core: CoreId) -> bool {
+        if core.id >= MASK_WORDS * 64 {
+            return false;
+        }
+        let mut mask = [0u64; MASK_WORDS];
+        mask[core.id / 64] = 1u64 << (core.id % 64);
+        let rc = unsafe { sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr()) };
+        rc == 0
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use super::CoreId;
+
+    pub fn get_core_ids() -> Option<Vec<CoreId>> {
+        None
+    }
+
+    pub fn set_for_current(_core: CoreId) -> bool {
+        false
+    }
+}
+
+/// The logical CPUs the calling thread may run on, or `None` when the
+/// platform gives no answer.
+pub fn get_core_ids() -> Option<Vec<CoreId>> {
+    imp::get_core_ids()
+}
+
+/// Pin the calling thread to `core`. Returns whether the kernel accepted
+/// the affinity mask; `false` (invalid core, unsupported platform) leaves
+/// the thread unpinned — callers treat pinning as best-effort.
+pub fn set_for_current(core: CoreId) -> bool {
+    imp::set_for_current(core)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerates_at_least_one_core_on_linux() {
+        if cfg!(target_os = "linux") {
+            let ids = get_core_ids().expect("linux must report an affinity mask");
+            assert!(!ids.is_empty());
+            // Monotonic, unique OS indices.
+            for w in ids.windows(2) {
+                assert!(w[0].id < w[1].id);
+            }
+        }
+    }
+
+    #[test]
+    fn pins_to_each_allowed_core() {
+        // Each #[test] runs on its own thread, so narrowing this thread's
+        // mask cannot leak into other tests.
+        let Some(ids) = get_core_ids() else { return };
+        for &core in ids.iter().take(4) {
+            assert!(set_for_current(core), "pinning to an allowed core");
+            let now = get_core_ids().expect("mask readable after pin");
+            assert_eq!(now, vec![core], "mask must be exactly the pinned core");
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_core() {
+        assert!(!set_for_current(CoreId {
+            id: MASK_WORDS * 64 + 1
+        }));
+    }
+}

@@ -28,6 +28,16 @@ pub struct StmConfig {
     /// \[10\] in §1): cheaper commits, but write-skew anomalies become
     /// possible (see the `snapshot_isolation` integration tests).
     pub snapshot_isolation: bool,
+    /// Prune versions below the minimum-active-snapshot watermark
+    /// ([`crate::reclaim`]) in addition to the `max_versions` ceiling.
+    /// Retention becomes demand-driven: "keep exactly what some active
+    /// snapshot can still read". Disabling it restores the pure fixed-depth
+    /// policy of earlier revisions.
+    pub watermark_pruning: bool,
+    /// Recompute the watermark every this many commits per thread (the lazy,
+    /// amortized advance — no dedicated reclamation thread). Smaller values
+    /// prune sooner at the cost of more registry scans.
+    pub wm_advance_interval: u64,
 }
 
 impl Default for StmConfig {
@@ -37,6 +47,8 @@ impl Default for StmConfig {
             extend_on_read: true,
             yield_after_retries: 64,
             snapshot_isolation: false,
+            watermark_pruning: true,
+            wm_advance_interval: 32,
         }
     }
 }
@@ -67,6 +79,18 @@ impl StmConfig {
             ..Default::default()
         }
     }
+
+    /// Pure watermark retention: no fixed depth ceiling at all — chains keep
+    /// every version some active snapshot can still read and nothing more.
+    /// The mode long-reader workloads want: `NoVersion` aborts become
+    /// impossible for versions still covered by a registered snapshot, while
+    /// memory stays bounded by actual demand.
+    pub fn watermark_retention() -> Self {
+        StmConfig {
+            max_versions: usize::MAX,
+            ..Default::default()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -91,5 +115,18 @@ mod tests {
     fn multi_version_clamps_to_one() {
         assert_eq!(StmConfig::multi_version(0).max_versions, 1);
         assert_eq!(StmConfig::multi_version(5).max_versions, 5);
+    }
+
+    #[test]
+    fn watermark_retention_removes_the_depth_ceiling() {
+        let c = StmConfig::watermark_retention();
+        assert_eq!(c.max_versions, usize::MAX);
+        assert!(c.watermark_pruning);
+        assert!(c.wm_advance_interval >= 1);
+    }
+
+    #[test]
+    fn default_enables_watermark_pruning() {
+        assert!(StmConfig::default().watermark_pruning);
     }
 }

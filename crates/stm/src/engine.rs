@@ -10,10 +10,13 @@
 use crate::error::Abort;
 use crate::lsa::Txn;
 use crate::object::TVar;
+use crate::reclaim::ReclaimStats;
 use crate::sharded::{ShardedHandle, ShardedStm, ShardedTxn};
 use crate::stats::TxnStats;
 use crate::stm::{Stm, ThreadHandle};
-use lsa_engine::{AbortReasons, EngineHandle, EngineResult, EngineStats, TxnEngine, TxnOps};
+use lsa_engine::{
+    AbortReasons, EngineHandle, EngineResult, EngineStats, MemoryStats, TxnEngine, TxnOps,
+};
 use lsa_time::TimeBase;
 use std::sync::Arc;
 
@@ -47,6 +50,19 @@ fn to_engine_stats(s: &TxnStats) -> EngineStats {
         validated_entries: s.validated_entries,
         shared_commit_ts: s.shared_cts,
         cross_shard_commits: s.cross_shard_commits,
+        // Memory gauges are engine-global, not per-thread: the harness
+        // samples them once per run through `TxnEngine::memory_stats`.
+        memory: MemoryStats::default(),
+    }
+}
+
+fn to_memory_stats(r: &ReclaimStats) -> MemoryStats {
+    MemoryStats {
+        versions_live: r.versions_live,
+        versions_retired: r.versions_retired,
+        versions_reclaimed: r.versions_reclaimed,
+        arena_bytes: r.arena_bytes,
+        watermark_lag: r.watermark_lag,
     }
 }
 
@@ -65,6 +81,10 @@ impl<B: TimeBase> TxnEngine for Stm<B> {
 
     fn engine_name(&self) -> String {
         format!("lsa-rt({})", self.time_base().name())
+    }
+
+    fn memory_stats(&self) -> MemoryStats {
+        to_memory_stats(&self.reclaim_stats())
     }
 
     fn peek<T: Send + Sync + 'static>(var: &TVar<T, B::Ts>) -> Arc<T> {
@@ -153,6 +173,10 @@ impl<B: TimeBase> TxnEngine for ShardedStm<B> {
 
     fn shards(&self) -> usize {
         self.shard_count()
+    }
+
+    fn memory_stats(&self) -> MemoryStats {
+        to_memory_stats(&self.reclaim_stats())
     }
 
     fn peek<T: Send + Sync + 'static>(var: &TVar<T, B::Ts>) -> Arc<T> {

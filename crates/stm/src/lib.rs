@@ -17,6 +17,8 @@
 //! * [`txn_shared`] — the shared transaction descriptor (status word, commit
 //!   time, helper context),
 //! * [`version`] — write-once validity-range metadata per version,
+//! * [`reclaim`] — minimum-active-snapshot watermarks and the arena-backed
+//!   version-node allocator (bounded-memory MVCC, DESIGN.md §11),
 //! * [`cm`] — pluggable contention managers (§2.3),
 //! * [`stm`] — the runtime: [`stm::Stm`], [`stm::ThreadHandle::atomically`],
 //! * [`sharded`] — the sharded runtime: disjoint object shards with
@@ -55,6 +57,7 @@ pub mod engine;
 pub mod error;
 pub mod lsa;
 pub mod object;
+pub mod reclaim;
 pub mod sharded;
 pub mod stats;
 pub mod status;
@@ -66,6 +69,7 @@ pub use config::StmConfig;
 pub use error::{Abort, AbortReason, TxResult};
 pub use lsa::Txn;
 pub use object::TVar;
+pub use reclaim::ReclaimStats;
 pub use sharded::{ShardedHandle, ShardedStm, ShardedTxn};
 pub use stats::TxnStats;
 pub use stm::{Stm, ThreadHandle};

@@ -39,6 +39,7 @@ use crate::cm::{ContentionManager, Resolution};
 use crate::config::StmConfig;
 use crate::error::{Abort, AbortReason, TxResult};
 use crate::object::{AnyObject, ReadAttempt, TVar, WriteAttempt};
+use crate::reclaim::SnapshotSlot;
 use crate::stats::TxnStats;
 use crate::status::TxnStatus;
 use crate::txn_shared::{CommitCtx, CtxEntry, TxnShared};
@@ -181,6 +182,11 @@ pub struct Txn<'h, B: TimeBase> {
     observed: B::Ts,
     is_update: bool,
     finished: bool,
+    /// The thread's snapshot-registration slot (`crate::reclaim`): holds the
+    /// snapshot lower bound for the watermark while this attempt is live.
+    /// `None` for runtimes without reclamation (direct `try_atomically` on a
+    /// bare descriptor in some tests).
+    slot: Option<&'h SnapshotSlot<B::Ts>>,
     read_set: Vec<CtxEntry<B::Ts>>,
     read_cache: HashMap<u64, Arc<dyn Any + Send + Sync>>,
     write_set: HashMap<u64, Arc<dyn AnyObject<B::Ts>>>,
@@ -194,8 +200,19 @@ impl<'h, B: TimeBase> Txn<'h, B> {
         clock: &'h mut B::Clock,
         stats: &'h mut TxnStats,
         shared: Arc<TxnShared<B::Ts>>,
+        slot: Option<&'h SnapshotSlot<B::Ts>>,
     ) -> Self {
+        // Two-phase slot publication: mark the slot *before* reading the
+        // clock so a concurrent watermark advance cannot slip past a start
+        // time that has been read but not yet published (see the pending
+        // protocol in `crate::reclaim`).
+        if let Some(s) = slot {
+            s.mark_pending();
+        }
         let start = clock.get_time();
+        if let Some(s) = slot {
+            s.activate(start);
+        }
         Txn {
             cfg,
             cm,
@@ -206,6 +223,7 @@ impl<'h, B: TimeBase> Txn<'h, B> {
             observed: start,
             is_update: false,
             finished: false,
+            slot,
             read_set: Vec::new(),
             read_cache: HashMap::new(),
             write_set: HashMap::new(),
@@ -524,6 +542,11 @@ impl<'h, B: TimeBase> Txn<'h, B> {
                 self.finished = true;
                 self.stats.ro_commits += 1;
                 self.cm.on_commit(self.shared.cm());
+                // Release the snapshot registration: an idle handle must not
+                // hold the watermark back between transactions.
+                if let Some(s) = self.slot {
+                    s.clear();
+                }
                 return Ok(None);
             }
             return Err(self.do_abort(AbortReason::Killed));
@@ -619,6 +642,12 @@ impl<'h, B: TimeBase> Txn<'h, B> {
     /// are immediately writable by others, and drop the helper context to
     /// break the descriptor↔object reference cycle.
     fn finalize_cleanup(&mut self) {
+        // Release the snapshot registration first: the folds below may prune
+        // against the watermark, and a finished transaction must not count
+        // as demand. (Our own read set stays safe — it holds `Arc`s.)
+        if let Some(s) = self.slot {
+            s.clear();
+        }
         for obj in self.write_set.values() {
             obj.fold_resolved();
         }
@@ -634,6 +663,11 @@ impl<B: TimeBase> Drop for Txn<'_, B> {
                 .transition(TxnStatus::Active, TxnStatus::Aborted);
             if self.shared.status().is_final() {
                 self.finalize_cleanup();
+            }
+            // A zombie snapshot registration would freeze the watermark
+            // forever; clearing is idempotent if cleanup already ran.
+            if let Some(s) = self.slot {
+                s.clear();
             }
         }
     }

@@ -15,6 +15,7 @@
 //! time base. Global coordination happens **only** through the time base —
 //! preserving the phenomenon the paper measures.
 
+use crate::reclaim::ReclaimDomain;
 use crate::status::TxnStatus;
 use crate::txn_shared::TxnShared;
 use crate::version::VersionMeta;
@@ -113,6 +114,13 @@ struct ObjInner<T, Ts: Timestamp> {
 pub struct TObject<T, Ts: Timestamp> {
     id: u64,
     max_versions: usize,
+    /// The runtime's reclamation domain, when the object participates in
+    /// watermark pruning and arena recycling (`None` for free-standing
+    /// objects built with [`TObject::new`], e.g. in unit tests).
+    reclaim: Option<Arc<ReclaimDomain<Ts>>>,
+    /// Prune below the watermark in addition to the `max_versions` ceiling
+    /// (`StmConfig::watermark_pruning`).
+    wm_prune: bool,
     inner: RwLock<ObjInner<T, Ts>>,
 }
 
@@ -129,11 +137,33 @@ impl<T: Send + Sync + 'static, Ts: Timestamp> TObject<T, Ts> {
         TObject {
             id,
             max_versions,
+            reclaim: None,
+            wm_prune: false,
             inner: RwLock::new(ObjInner {
                 committed,
                 spec: None,
             }),
         }
+    }
+
+    /// Like [`TObject::new`], but attached to a reclamation domain: version
+    /// metadata is drawn from the domain's arena, retired versions return to
+    /// it, and (when `wm_prune` is set) the chain prunes below the domain's
+    /// minimum-active-snapshot watermark instead of relying on the
+    /// `max_versions` ceiling alone.
+    pub(crate) fn with_reclaim(
+        id: u64,
+        initial: T,
+        lower: Ts,
+        max_versions: usize,
+        reclaim: Arc<ReclaimDomain<Ts>>,
+        wm_prune: bool,
+    ) -> Self {
+        let mut obj = Self::new(id, initial, lower, max_versions);
+        reclaim.note_live(); // the initial version
+        obj.reclaim = Some(reclaim);
+        obj.wm_prune = wm_prune;
+        obj
     }
 
     /// The latest committed value, ignoring transactions (for seeding and
@@ -219,7 +249,7 @@ impl<T: Send + Sync + 'static, Ts: Timestamp> TObject<T, Ts> {
         // stable, unresolved state (we hold the lock, so at most one extra
         // fold happens).
         loop {
-            Self::fold_locked(&mut inner, self.max_versions);
+            self.fold_locked(&mut inner);
             match &inner.spec {
                 None => break,
                 Some(spec) => match spec.writer.status() {
@@ -239,7 +269,12 @@ impl<T: Send + Sync + 'static, Ts: Timestamp> TObject<T, Ts> {
         let base_value = Arc::clone(&base.value);
         let base_meta = Arc::clone(&base.meta);
         let base_lower = base.meta.lower().expect("committed version has lower");
-        let spec_meta = Arc::new(VersionMeta::speculative());
+        let spec_meta = match &self.reclaim {
+            // Arena path: recycle an epoch-expired node instead of a fresh
+            // heap allocation on the write/commit hot path.
+            Some(r) => r.alloc_meta(),
+            None => Arc::new(VersionMeta::speculative()),
+        };
         inner.spec = Some(Spec {
             value: Arc::clone(&base_value),
             meta: Arc::clone(&spec_meta),
@@ -284,7 +319,19 @@ impl<T: Send + Sync + 'static, Ts: Timestamp> TObject<T, Ts> {
     ///   bound to `CT.prior()` (Algorithm 3 line 29's "valid at least until
     ///   then" becomes exact here), push it as the new head, prune the tail;
     /// * aborted writer → discard.
-    fn fold_locked(inner: &mut ObjInner<T, Ts>, max_versions: usize) {
+    ///
+    /// Tail pruning retires **eagerly at commit** — the committer folds its
+    /// own write (`finalize_cleanup` → `fold_resolved`), so reclamation does
+    /// not depend on a future accessor happening to touch this object. Two
+    /// policies prune:
+    ///
+    /// * the `max_versions` hard ceiling (always), and
+    /// * the minimum-active-snapshot watermark (when enabled): a tail
+    ///   version whose fixed upper bound `u` satisfies `w ≿ u` is unreadable
+    ///   by every registered snapshot (each active lower bound `s` has
+    ///   `s ≽ w`, so `u ≽ s` would give `u ≽ w` by transitivity,
+    ///   contradicting `w ≿ u`) and is retired into the arena.
+    fn fold_locked(&self, inner: &mut ObjInner<T, Ts>) {
         let resolved = match &inner.spec {
             Some(spec) => spec.writer.status().is_final(),
             None => false,
@@ -311,12 +358,39 @@ impl<T: Send + Sync + 'static, Ts: Timestamp> TObject<T, Ts> {
                     value: spec.value,
                     meta: spec.meta,
                 });
-                while inner.committed.len() > max_versions {
+                if let Some(r) = &self.reclaim {
+                    r.note_live();
+                }
+                while inner.committed.len() > self.max_versions {
                     // Only superseded versions (fixed upper) can sit behind
                     // the head, so pruning never erases live range info —
                     // readers that still hold the meta keep the full range.
                     let pruned = inner.committed.pop_back().expect("len checked");
                     debug_assert!(pruned.meta.upper().is_some());
+                    if let Some(r) = &self.reclaim {
+                        r.retire(pruned.meta);
+                    }
+                }
+                if self.wm_prune {
+                    if let Some(r) = &self.reclaim {
+                        if let Some(w) = r.watermark() {
+                            while inner.committed.len() > 1 {
+                                let tail_upper =
+                                    inner.committed.back().expect("len > 1").meta.upper();
+                                match tail_upper {
+                                    Some(u) if w.possibly_later(u) => {
+                                        let pruned =
+                                            inner.committed.pop_back().expect("len checked");
+                                        r.retire(pruned.meta);
+                                    }
+                                    // The tail still overlaps `[w, ∞)`: some
+                                    // registered snapshot may read it (and
+                                    // everything newer), stop.
+                                    _ => break,
+                                }
+                            }
+                        }
+                    }
                 }
             }
             TxnStatus::Aborted => drop(spec),
@@ -340,7 +414,7 @@ impl<T: Send + Sync + 'static, Ts: Timestamp> AnyObject<Ts> for TObject<T, Ts> {
 
     fn fold_resolved(&self) {
         let mut inner = self.inner.write();
-        Self::fold_locked(&mut inner, self.max_versions);
+        self.fold_locked(&mut inner);
     }
 }
 
@@ -572,6 +646,81 @@ mod tests {
         assert!(
             o.read_spec_value(555).is_none(),
             "only the writer reads its spec"
+        );
+    }
+
+    type ReclaimedObj = (
+        Arc<crate::reclaim::SnapshotRegistry<u64>>,
+        Arc<ReclaimDomain<u64>>,
+        TObject<i64, u64>,
+    );
+
+    fn reclaimed_obj(max_versions: usize, wm_prune: bool) -> ReclaimedObj {
+        let reg = Arc::new(crate::reclaim::SnapshotRegistry::new());
+        let dom = Arc::new(ReclaimDomain::new(Arc::clone(&reg)));
+        let o = TObject::with_reclaim(1, 10, 0, max_versions, Arc::clone(&dom), wm_prune);
+        (reg, dom, o)
+    }
+
+    fn commit_write(o: &TObject<i64, u64>, id: u64, val: i64, ct: u64) {
+        let t = txn(id);
+        assert!(matches!(o.try_write(&t), WriteAttempt::Registered { .. }));
+        assert!(o.set_spec_value(t.id(), Arc::new(val)));
+        t.transition(TxnStatus::Active, TxnStatus::Committing);
+        t.set_ct(ct);
+        t.transition(TxnStatus::Committing, TxnStatus::Committed);
+        o.fold_resolved();
+    }
+
+    #[test]
+    fn watermark_prunes_exactly_below_min_active_snapshot() {
+        let (reg, dom, o) = reclaimed_obj(usize::MAX, true);
+        let slot = reg.register();
+        slot.activate(25); // a long reader pinned at 25
+        dom.advance(100); // watermark = 25
+        for (i, ct) in [(1u64, 10u64), (2, 20), (3, 30), (4, 40)] {
+            commit_write(&o, i, i as i64, ct);
+        }
+        // Chain: [40,∞) [30,39] [20,29] [10,19]; only [10,19] ends below 25.
+        assert_eq!(o.version_count(), 3);
+        match o.try_read(&ValidityRange::bounded(25u64, 25)) {
+            ReadAttempt::Found { value, .. } => {
+                assert_eq!(*value, 2, "the reader's version must survive")
+            }
+            _ => panic!("version covering the active snapshot was pruned"),
+        }
+        // Reader finishes: the watermark passes it and the tail collapses on
+        // the next commit.
+        slot.clear();
+        dom.advance(100);
+        commit_write(&o, 5, 5, 50);
+        assert_eq!(o.version_count(), 1, "no snapshot demands history");
+        assert_eq!(*o.snapshot_latest(), 5);
+    }
+
+    #[test]
+    fn watermark_pruning_can_be_disabled() {
+        let (reg, dom, o) = reclaimed_obj(usize::MAX, false);
+        let _idle = reg.register();
+        dom.advance(1_000);
+        for (i, ct) in [(1u64, 10u64), (2, 20), (3, 30)] {
+            commit_write(&o, i, i as i64, ct);
+        }
+        assert_eq!(o.version_count(), 4, "ceiling-only mode keeps everything");
+    }
+
+    #[test]
+    fn commit_path_retires_eagerly_into_the_arena() {
+        let (_reg, dom, o) = reclaimed_obj(1, false);
+        commit_write(&o, 1, 1, 10);
+        commit_write(&o, 2, 2, 20);
+        let s = dom.stats();
+        assert_eq!(s.versions_retired, 2, "each commit retires its predecessor");
+        assert_eq!(s.versions_live, 1);
+        assert_eq!(
+            s.versions_reclaimed + s.versions_pooled,
+            2,
+            "every retired node is accounted released-or-pooled"
         );
     }
 

@@ -1,0 +1,609 @@
+//! Epoch-based version reclamation: snapshot watermarks + an arena-backed
+//! version-node allocator.
+//!
+//! The fixed-depth version chains of earlier revisions were policy-blind:
+//! `max_versions` too small starves long readers (`NoVersion` aborts),
+//! too large wastes memory on versions nobody can read. This module converts
+//! depth policy into *demand*: an object may prune every version whose
+//! validity range ends below the **minimum-active-snapshot watermark** — the
+//! `min` (timestamp [`meet`](lsa_time::Timestamp::meet)) over the snapshot
+//! lower bounds of all live transactions.
+//!
+//! ## The watermark protocol
+//!
+//! Each registered thread owns one [`SnapshotSlot`]. A transaction publishes
+//! its snapshot lower bound into its slot at begin and clears it at finish.
+//! The watermark is advanced *lazily* — amortized over commits, no dedicated
+//! thread — by scanning the slots and caching the result in the
+//! [`ReclaimDomain`]. Slots are per-thread and uncontended (the owning
+//! thread writes, the advancing thread reads), so no new *global* hot cache
+//! line appears on the per-transaction path — the same contention argument
+//! the paper makes for its time bases (§4.2): the shared state is touched
+//! once per *advance interval*, not once per transaction.
+//!
+//! The begin protocol is two-phase: a slot is first marked *pending*, then
+//! the clock is read and the slot activated with the observed start time.
+//! A pending slot blocks watermark advancement entirely. Without this, an
+//! advance racing a begin could compute a watermark from "no active slots"
+//! (falling back to the advancer's own clock reading) *after* the beginning
+//! transaction read an earlier start time but *before* it published it —
+//! and the stale watermark would overshoot that transaction's snapshot.
+//!
+//! ## Why pruning is safe, and what reuse needs
+//!
+//! Pruning never breaks opacity: readers keep `Arc<VersionMeta>` in their
+//! read sets, so unlinking a version from its chain only limits *future*
+//! reads (availability). The watermark makes even that loss impossible for
+//! registered snapshots: a pruned version has a fixed upper bound `u` with
+//! `w ≿ u` (`w.possibly_later(u)`), and every active snapshot lower bound
+//! `s` satisfies `s ≽ w` by the `meet` contract, so `u ≽ s` would imply
+//! `u ≽ w` — contradiction. Hence no version readable by any registered
+//! active snapshot is ever pruned.
+//!
+//! *Reuse* of a version node is the safety-critical part, and it rests on
+//! two independent guards: (1) a node is only pooled when `Arc::get_mut`
+//! proves the chain held the last reference (a node still referenced by any
+//! reader is dropped normally instead — the reader's metadata stays frozen
+//! forever); (2) pooled nodes are epoch-stamped at retirement and handed out
+//! again only after the watermark has advanced past that epoch, so even the
+//! *timing* of reuse is tied to snapshot progress. See DESIGN.md §11.
+
+use crate::alloc::next_alloc_key;
+use crate::version::VersionMeta;
+use lsa_time::Timestamp;
+use parking_lot::{Mutex, RwLock};
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Maximum recycled version nodes cached per thread per arena.
+const POOL_CAP: usize = 64;
+
+#[derive(Debug)]
+struct SlotState<Ts: Timestamp> {
+    /// The owner's current snapshot lower bound, if a transaction is live.
+    lower: Option<Ts>,
+    /// A transaction is between "begin" and "start time published": blocks
+    /// watermark advancement (see the module docs).
+    pending: bool,
+    /// The owning thread handle was dropped; the slot may be reused by the
+    /// next registration.
+    closed: bool,
+}
+
+/// One thread's snapshot registration slot.
+///
+/// Written only by the owning thread (begin/finish), read by whichever
+/// thread happens to advance the watermark — an uncontended mutex in the
+/// common case, never a shared read-modify-write on the transaction path.
+#[derive(Debug)]
+pub struct SnapshotSlot<Ts: Timestamp> {
+    state: Mutex<SlotState<Ts>>,
+}
+
+impl<Ts: Timestamp> SnapshotSlot<Ts> {
+    fn new() -> Self {
+        SnapshotSlot {
+            state: Mutex::new(SlotState {
+                lower: None,
+                pending: false,
+                closed: false,
+            }),
+        }
+    }
+
+    /// Phase 1 of begin: announce that a snapshot lower bound is about to be
+    /// published, blocking watermark advancement until it is.
+    pub(crate) fn mark_pending(&self) {
+        let mut s = self.state.lock();
+        s.pending = true;
+    }
+
+    /// Phase 2 of begin: publish the transaction's snapshot lower bound.
+    pub(crate) fn activate(&self, lower: Ts) {
+        let mut s = self.state.lock();
+        s.lower = Some(lower);
+        s.pending = false;
+    }
+
+    /// The owning transaction finished (committed or aborted): release the
+    /// snapshot so the watermark may pass it.
+    pub(crate) fn clear(&self) {
+        let mut s = self.state.lock();
+        s.lower = None;
+        s.pending = false;
+    }
+
+    /// The owning thread handle is gone: free the slot for reuse.
+    pub(crate) fn close(&self) {
+        let mut s = self.state.lock();
+        s.lower = None;
+        s.pending = false;
+        s.closed = true;
+    }
+
+    fn reopen(&self) -> bool {
+        let mut s = self.state.lock();
+        if s.closed {
+            s.closed = false;
+            s.lower = None;
+            s.pending = false;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// The registry of [`SnapshotSlot`]s for one runtime (shared by all shards
+/// of a `ShardedStm` — a transaction has one snapshot lower bound no matter
+/// how many shards it touches).
+#[derive(Debug)]
+pub struct SnapshotRegistry<Ts: Timestamp> {
+    slots: RwLock<Vec<Arc<SnapshotSlot<Ts>>>>,
+}
+
+impl<Ts: Timestamp> SnapshotRegistry<Ts> {
+    /// An empty registry.
+    pub(crate) fn new() -> Self {
+        SnapshotRegistry {
+            slots: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Claim a slot for a newly registered thread, reusing a closed one when
+    /// available so the scan length is bounded by the peak number of
+    /// concurrently registered threads.
+    pub(crate) fn register(&self) -> Arc<SnapshotSlot<Ts>> {
+        {
+            let slots = self.slots.read();
+            for slot in slots.iter() {
+                if slot.reopen() {
+                    return Arc::clone(slot);
+                }
+            }
+        }
+        let slot = Arc::new(SnapshotSlot::new());
+        self.slots.write().push(Arc::clone(&slot));
+        slot
+    }
+
+    /// The watermark candidate: the `meet` over all active snapshot lower
+    /// bounds, `now` when no snapshot is active, or `None` when a pending
+    /// slot forbids advancing at all.
+    pub(crate) fn min_active_or(&self, now: Ts) -> Option<Ts> {
+        let slots = self.slots.read();
+        let mut wm: Option<Ts> = None;
+        for slot in slots.iter() {
+            let s = slot.state.lock();
+            if s.pending {
+                return None;
+            }
+            if let Some(lower) = s.lower {
+                wm = Some(match wm {
+                    None => lower,
+                    Some(w) => w.meet(lower),
+                });
+            }
+        }
+        Some(wm.unwrap_or(now))
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.slots.read().len()
+    }
+}
+
+/// One pooled node: (retirement epoch stamp, type-erased
+/// `Arc<VersionMeta<Ts>>`).
+type PooledNode = (u64, Box<dyn Any>);
+
+thread_local! {
+    /// Per-thread recycled-node pools: arena key → epoch-stamped nodes.
+    /// Nodes are type-erased because thread-local storage cannot be
+    /// generic; each arena key only ever sees one concrete `Ts`.
+    static POOLS: RefCell<HashMap<u64, VecDeque<PooledNode>>> =
+        RefCell::new(HashMap::new());
+}
+
+/// Arena counters and the thread-cached free lists for version metadata
+/// nodes — the `BlockAlloc` pattern (one shared line touched rarely, all
+/// fast-path traffic thread-local) applied to version reclamation.
+#[derive(Debug)]
+struct VersionArena<Ts: Timestamp> {
+    /// Identity of this arena in the thread-local pool maps (same key space
+    /// as [`crate::alloc::BlockAlloc`]).
+    key: u64,
+    /// Reuse epoch: bumped by every watermark advance; a pooled node is
+    /// handed out again only when the current epoch is strictly past its
+    /// retirement stamp.
+    epoch: AtomicU64,
+    /// Committed versions currently linked into some object chain. Signed:
+    /// relaxed global counting may transiently dip below zero between a
+    /// concurrent retire and the matching link.
+    live: AtomicI64,
+    /// Versions unlinked from chains over the arena's lifetime.
+    retired: AtomicU64,
+    /// Retired versions actually released (dropped) or recycled; the
+    /// difference `retired - reclaimed` is sitting in thread-local pools.
+    reclaimed: AtomicU64,
+    /// Nodes currently cached in thread-local pools.
+    pooled: AtomicI64,
+    /// Retired nodes that were later handed out again (diagnostic).
+    recycled: AtomicU64,
+    _ts: std::marker::PhantomData<fn() -> Ts>,
+}
+
+impl<Ts: Timestamp> VersionArena<Ts> {
+    fn new() -> Self {
+        VersionArena {
+            key: next_alloc_key(),
+            epoch: AtomicU64::new(1),
+            live: AtomicI64::new(0),
+            retired: AtomicU64::new(0),
+            reclaimed: AtomicU64::new(0),
+            pooled: AtomicI64::new(0),
+            recycled: AtomicU64::new(0),
+            _ts: std::marker::PhantomData,
+        }
+    }
+
+    /// Metadata for a new speculative version, recycled from the calling
+    /// thread's pool when an epoch-expired node is available.
+    fn alloc_meta(&self) -> Arc<VersionMeta<Ts>> {
+        let epoch_now = self.epoch.load(Ordering::Acquire);
+        let node = POOLS.with(|p| {
+            let mut pools = p.borrow_mut();
+            let pool = pools.get_mut(&self.key)?;
+            // Oldest stamp first: if even the front is too fresh, so is the
+            // rest of the queue.
+            let (stamp, _) = pool.front()?;
+            if *stamp >= epoch_now {
+                return None;
+            }
+            Some(pool.pop_front().expect("front() was Some").1)
+        });
+        match node {
+            Some(boxed) => {
+                self.pooled.fetch_sub(1, Ordering::Relaxed);
+                self.reclaimed.fetch_add(1, Ordering::Relaxed);
+                self.recycled.fetch_add(1, Ordering::Relaxed);
+                let mut meta = boxed
+                    .downcast::<Arc<VersionMeta<Ts>>>()
+                    .expect("arena pools are homogeneous per key");
+                Arc::get_mut(&mut meta)
+                    .expect("pooled nodes hold the only reference")
+                    .reset();
+                *meta
+            }
+            None => Arc::new(VersionMeta::speculative()),
+        }
+    }
+
+    /// A version was linked into a chain.
+    fn note_live(&self) {
+        self.live.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A version was unlinked from its chain. Pools the node for reuse when
+    /// the chain held the last reference (the uniqueness proof that makes
+    /// recycling safe); otherwise the surviving readers' `Arc` frees it.
+    fn retire(&self, mut meta: Arc<VersionMeta<Ts>>) {
+        self.live.fetch_sub(1, Ordering::Relaxed);
+        self.retired.fetch_add(1, Ordering::Relaxed);
+        if Arc::get_mut(&mut meta).is_none() {
+            // Shared with a read set: never pooled, dropped by the last
+            // reader. Counted as reclaimed — the arena releases its claim.
+            self.reclaimed.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let stamp = self.epoch.load(Ordering::Acquire);
+        let overflow = POOLS.with(move |p| {
+            let mut pools = p.borrow_mut();
+            let pool = pools.entry(self.key).or_default();
+            if pool.len() >= POOL_CAP {
+                Some(meta)
+            } else {
+                pool.push_back((stamp, Box::new(meta) as Box<dyn Any>));
+                None
+            }
+        });
+        if overflow.is_some() {
+            self.reclaimed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.pooled.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drop every node the calling thread has pooled for this arena
+    /// (tests / teardown accounting).
+    fn flush_local(&self) {
+        let n = POOLS.with(|p| {
+            p.borrow_mut()
+                .get_mut(&self.key)
+                .map(|pool| pool.drain(..).count())
+                .unwrap_or(0)
+        });
+        if n > 0 {
+            self.pooled.fetch_sub(n as i64, Ordering::Relaxed);
+            self.reclaimed.fetch_add(n as u64, Ordering::Relaxed);
+        }
+    }
+
+    fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+/// A snapshot of a [`ReclaimDomain`]'s gauges and counters — the native
+/// (engine-internal) form of `lsa_engine::MemoryStats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReclaimStats {
+    /// Committed versions currently linked into object chains.
+    pub versions_live: u64,
+    /// Versions unlinked from chains over the domain's lifetime.
+    pub versions_retired: u64,
+    /// Retired versions released or recycled (`retired - reclaimed` nodes
+    /// sit in thread-local pools).
+    pub versions_reclaimed: u64,
+    /// Nodes cached in thread-local pools right now.
+    pub versions_pooled: u64,
+    /// Retired nodes handed out again by the arena.
+    pub versions_recycled: u64,
+    /// Approximate bytes of version metadata held live or pooled. A lower
+    /// bound: counts the metadata node (validity bounds + refcounts), not
+    /// the workload-owned payload.
+    pub arena_bytes: u64,
+    /// `now - watermark` in raw time-base units at the last advance.
+    pub watermark_lag: u64,
+    /// Watermark advances performed on this domain.
+    pub advances: u64,
+}
+
+/// One reclamation domain: the snapshot registry (possibly shared with
+/// sibling domains), the cached watermark, and the version arena. The
+/// unsharded runtime owns one domain; `ShardedStm` owns one per shard, all
+/// fed by a single registry, so fold-time watermark reads stay shard-local
+/// instead of converging on one global line.
+#[derive(Debug)]
+pub struct ReclaimDomain<Ts: Timestamp> {
+    registry: Arc<SnapshotRegistry<Ts>>,
+    /// Cached watermark: `None` until the first advance (prune nothing —
+    /// maximally conservative).
+    watermark: Mutex<Option<Ts>>,
+    lag_raw: AtomicU64,
+    advances: AtomicU64,
+    arena: VersionArena<Ts>,
+}
+
+impl<Ts: Timestamp> ReclaimDomain<Ts> {
+    /// A domain drawing snapshot bounds from `registry`.
+    pub(crate) fn new(registry: Arc<SnapshotRegistry<Ts>>) -> Self {
+        ReclaimDomain {
+            registry,
+            watermark: Mutex::new(None),
+            lag_raw: AtomicU64::new(0),
+            advances: AtomicU64::new(0),
+            arena: VersionArena::new(),
+        }
+    }
+
+    /// The registry feeding this domain.
+    pub(crate) fn registry(&self) -> &Arc<SnapshotRegistry<Ts>> {
+        &self.registry
+    }
+
+    /// The cached minimum-active-snapshot watermark, if one has been
+    /// computed yet.
+    pub(crate) fn watermark(&self) -> Option<Ts> {
+        *self.watermark.lock()
+    }
+
+    /// Recompute the watermark from the registry and install it. `now` is a
+    /// fresh reading of the advancing thread's clock: the fallback watermark
+    /// when no snapshot is active, and the reference point for the lag gauge.
+    pub(crate) fn advance(&self, now: Ts) {
+        if let Some(wm) = self.registry.min_active_or(now) {
+            self.install(wm, now);
+        }
+    }
+
+    /// Install an externally computed watermark (the sharded runtime scans
+    /// the shared registry once and installs into every shard's domain).
+    pub(crate) fn install(&self, wm: Ts, now: Ts) {
+        *self.watermark.lock() = Some(wm);
+        let lag = (now.raw_value() - wm.raw_value()).clamp(0, u64::MAX as i128) as u64;
+        self.lag_raw.store(lag, Ordering::Relaxed);
+        self.advances.fetch_add(1, Ordering::Relaxed);
+        self.arena.bump_epoch();
+    }
+
+    /// Allocate metadata for a speculative version (recycling pooled nodes
+    /// whose retirement epoch the watermark has passed).
+    pub(crate) fn alloc_meta(&self) -> Arc<VersionMeta<Ts>> {
+        self.arena.alloc_meta()
+    }
+
+    /// Account a version linked into a chain.
+    pub(crate) fn note_live(&self) {
+        self.arena.note_live();
+    }
+
+    /// Retire a version unlinked from a chain into the arena.
+    pub(crate) fn retire(&self, meta: Arc<VersionMeta<Ts>>) {
+        self.arena.retire(meta);
+    }
+
+    /// Drop the calling thread's pooled nodes (teardown/leak accounting).
+    pub(crate) fn flush_local(&self) {
+        self.arena.flush_local();
+    }
+
+    /// Point-in-time snapshot of the domain's counters.
+    pub fn stats(&self) -> ReclaimStats {
+        let live = self.arena.live.load(Ordering::Relaxed).max(0) as u64;
+        let pooled = self.arena.pooled.load(Ordering::Relaxed).max(0) as u64;
+        // Metadata node + the Arc's strong/weak counts that precede it.
+        let node_bytes =
+            (std::mem::size_of::<VersionMeta<Ts>>() + 2 * std::mem::size_of::<usize>()) as u64;
+        ReclaimStats {
+            versions_live: live,
+            versions_retired: self.arena.retired.load(Ordering::Relaxed),
+            versions_reclaimed: self.arena.reclaimed.load(Ordering::Relaxed),
+            versions_pooled: pooled,
+            versions_recycled: self.arena.recycled.load(Ordering::Relaxed),
+            arena_bytes: (live + pooled) * node_bytes,
+            watermark_lag: self.lag_raw.load(Ordering::Relaxed),
+            advances: self.advances.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn domain() -> (Arc<SnapshotRegistry<u64>>, ReclaimDomain<u64>) {
+        let reg = Arc::new(SnapshotRegistry::new());
+        let dom = ReclaimDomain::new(Arc::clone(&reg));
+        (reg, dom)
+    }
+
+    #[test]
+    fn watermark_is_min_over_active_slots() {
+        let (reg, _dom) = domain();
+        let a = reg.register();
+        let b = reg.register();
+        a.activate(5);
+        b.activate(9);
+        assert_eq!(reg.min_active_or(100), Some(5));
+        a.clear();
+        assert_eq!(reg.min_active_or(100), Some(9));
+        b.clear();
+        assert_eq!(reg.min_active_or(100), Some(100), "idle registry: now");
+    }
+
+    #[test]
+    fn pending_slot_blocks_advancement() {
+        let (reg, dom) = domain();
+        let a = reg.register();
+        a.mark_pending();
+        assert_eq!(reg.min_active_or(50), None, "pending begin must block");
+        dom.advance(50);
+        assert_eq!(dom.watermark(), None, "blocked advance installs nothing");
+        a.activate(42);
+        dom.advance(50);
+        assert_eq!(dom.watermark(), Some(42));
+    }
+
+    #[test]
+    fn closed_slots_are_reused() {
+        let (reg, _dom) = domain();
+        let a = reg.register();
+        assert_eq!(reg.len(), 1);
+        a.close();
+        let _b = reg.register();
+        assert_eq!(reg.len(), 1, "closed slot must be reopened, not appended");
+        let _c = reg.register();
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn closed_slot_does_not_hold_watermark() {
+        let (reg, _dom) = domain();
+        let a = reg.register();
+        a.activate(3);
+        a.close();
+        assert_eq!(reg.min_active_or(88), Some(88));
+    }
+
+    #[test]
+    fn arena_recycles_only_after_epoch_advance() {
+        let (_reg, dom) = domain();
+        let m = dom.alloc_meta();
+        m.set_lower(1);
+        dom.note_live();
+        dom.retire(m);
+        assert_eq!(dom.stats().versions_pooled, 1);
+        // Same epoch: the pooled node is not yet eligible.
+        let fresh = dom.alloc_meta();
+        assert_eq!(dom.stats().versions_recycled, 0);
+        assert_eq!(fresh.lower(), None);
+        drop(fresh);
+        // Advance moves the epoch past the retirement stamp.
+        dom.advance(10);
+        let recycled = dom.alloc_meta();
+        assert_eq!(dom.stats().versions_recycled, 1);
+        assert_eq!(recycled.lower(), None, "recycled node must be reset");
+        assert_eq!(dom.stats().versions_pooled, 0);
+    }
+
+    #[test]
+    fn shared_nodes_are_never_pooled() {
+        let (_reg, dom) = domain();
+        let m = dom.alloc_meta();
+        dom.note_live();
+        let reader_copy = Arc::clone(&m);
+        dom.retire(m);
+        let s = dom.stats();
+        assert_eq!(s.versions_pooled, 0, "a shared node must not be pooled");
+        assert_eq!(s.versions_retired, 1);
+        assert_eq!(s.versions_reclaimed, 1);
+        drop(reader_copy);
+    }
+
+    #[test]
+    fn retired_splits_into_reclaimed_plus_pooled() {
+        let (_reg, dom) = domain();
+        for i in 0..10u64 {
+            let m = dom.alloc_meta();
+            m.set_lower(i);
+            dom.note_live();
+            dom.retire(m);
+        }
+        let s = dom.stats();
+        assert_eq!(s.versions_retired, 10);
+        assert_eq!(s.versions_reclaimed + s.versions_pooled, 10);
+        dom.flush_local();
+        let s = dom.stats();
+        assert_eq!(s.versions_pooled, 0);
+        assert_eq!(
+            s.versions_reclaimed, s.versions_retired,
+            "after a flush every retired node is reclaimed"
+        );
+        assert_eq!(s.versions_live, 0);
+    }
+
+    #[test]
+    fn advance_tracks_lag_and_counts() {
+        let (reg, dom) = domain();
+        let a = reg.register();
+        a.activate(3);
+        dom.advance(10);
+        let s = dom.stats();
+        assert_eq!(dom.watermark(), Some(3));
+        assert_eq!(s.watermark_lag, 7);
+        assert_eq!(s.advances, 1);
+        a.clear();
+        dom.advance(20);
+        assert_eq!(dom.watermark(), Some(20));
+        assert_eq!(dom.stats().watermark_lag, 0);
+    }
+
+    #[test]
+    fn arena_bytes_track_live_and_pooled() {
+        let (_reg, dom) = domain();
+        assert_eq!(dom.stats().arena_bytes, 0);
+        let m = dom.alloc_meta();
+        dom.note_live();
+        assert!(dom.stats().arena_bytes > 0);
+        dom.retire(m);
+        // Still pooled: memory is held, the gauge must say so.
+        assert!(dom.stats().arena_bytes > 0);
+        dom.flush_local();
+        assert_eq!(dom.stats().arena_bytes, 0);
+    }
+}

@@ -58,6 +58,7 @@ use crate::config::StmConfig;
 use crate::error::{Abort, TxResult};
 use crate::lsa::Txn;
 use crate::object::{TObject, TVar};
+use crate::reclaim::{ReclaimDomain, ReclaimStats, SnapshotRegistry, SnapshotSlot};
 use crate::stats::TxnStats;
 use crate::stm::{after_failed_attempt, begin_attempt, next_instance};
 use lsa_time::sharded::{ShardedClock, ShardedTimeBase, TouchSet};
@@ -90,6 +91,14 @@ struct ShardedInner<B: TimeBase> {
     shard_seq: Vec<BlockAlloc>,
     next_handle: BlockAlloc,
     birth_counter: BlockAlloc,
+    /// One snapshot registry for the whole runtime: a transaction has a
+    /// single snapshot lower bound no matter how many shards it touches.
+    registry: Arc<SnapshotRegistry<B::Ts>>,
+    /// Per-shard reclamation domains (watermark cache + version arena), all
+    /// fed by the shared registry. Fold-time watermark reads stay
+    /// shard-local; the advance scans the registry once and installs the
+    /// result into every shard.
+    reclaim: Vec<Arc<ReclaimDomain<B::Ts>>>,
 }
 
 /// The sharded LSA software transactional memory runtime.
@@ -130,6 +139,10 @@ impl<B: TimeBase> ShardedStm<B> {
     /// the engine's).
     pub fn with_cm(tb: B, shards: usize, cfg: StmConfig, cm: impl ContentionManager) -> Self {
         let tb = ShardedTimeBase::new(tb, shards);
+        let registry = Arc::new(SnapshotRegistry::new());
+        let reclaim = (0..shards)
+            .map(|_| Arc::new(ReclaimDomain::new(Arc::clone(&registry))))
+            .collect();
         ShardedStm {
             inner: Arc::new(ShardedInner {
                 cfg,
@@ -139,8 +152,46 @@ impl<B: TimeBase> ShardedStm<B> {
                 shard_seq: (0..shards).map(|_| BlockAlloc::new(1, 64)).collect(),
                 next_handle: BlockAlloc::new(1, 8),
                 birth_counter: BlockAlloc::new(1, 16),
+                registry,
+                reclaim,
                 tb,
             }),
+        }
+    }
+
+    /// Point-in-time snapshot of the version-store gauges summed across all
+    /// shard domains (watermark lag and advance count report the maximum —
+    /// they are per-domain gauges, not additive).
+    pub fn reclaim_stats(&self) -> ReclaimStats {
+        let mut total = ReclaimStats::default();
+        for dom in &self.inner.reclaim {
+            let s = dom.stats();
+            total.versions_live += s.versions_live;
+            total.versions_retired += s.versions_retired;
+            total.versions_reclaimed += s.versions_reclaimed;
+            total.versions_pooled += s.versions_pooled;
+            total.versions_recycled += s.versions_recycled;
+            total.arena_bytes += s.arena_bytes;
+            total.watermark_lag = total.watermark_lag.max(s.watermark_lag);
+            total.advances = total.advances.max(s.advances);
+        }
+        total
+    }
+
+    /// Force a watermark advance on every shard and drop the calling
+    /// thread's pooled arena nodes — leak-accounting hook for tests and
+    /// teardown (see [`crate::stm::Stm::reclaim_quiesce`]).
+    #[doc(hidden)]
+    pub fn reclaim_quiesce(&self) {
+        let mut clock = self.inner.tb.register_thread();
+        let now = clock.get_time();
+        if let Some(wm) = self.inner.registry.min_active_or(now) {
+            for dom in &self.inner.reclaim {
+                dom.install(wm, now);
+            }
+        }
+        for dom in &self.inner.reclaim {
+            dom.flush_local();
         }
     }
 
@@ -188,11 +239,13 @@ impl<B: TimeBase> ShardedStm<B> {
         let id = ((self.inner.instance as u64) << (SHARD_BITS + SEQ_BITS))
             | ((shard as u64) << SEQ_BITS)
             | seq;
-        TVar::from_object(TObject::new(
+        TVar::from_object(TObject::with_reclaim(
             id,
             value,
             <B::Ts as Timestamp>::origin(),
             self.inner.cfg.max_versions,
+            Arc::clone(&self.inner.reclaim[shard]),
+            self.inner.cfg.watermark_pruning,
         ))
     }
 
@@ -207,6 +260,7 @@ impl<B: TimeBase> ShardedStm<B> {
         let clock = self.inner.tb.register_thread();
         let touch = clock.touch_set();
         ShardedHandle {
+            slot: self.inner.registry.register(),
             stm: self.clone(),
             handle_id,
             clock,
@@ -214,6 +268,7 @@ impl<B: TimeBase> ShardedStm<B> {
             stats: TxnStats::default(),
             txn_seq: 0,
             last_commit_time: None,
+            commits_since_advance: 0,
         }
     }
 }
@@ -229,6 +284,17 @@ pub struct ShardedHandle<B: TimeBase> {
     stats: TxnStats,
     txn_seq: u64,
     last_commit_time: Option<B::Ts>,
+    /// This thread's snapshot registration (see [`crate::reclaim`]).
+    slot: Arc<SnapshotSlot<B::Ts>>,
+    /// Commits since this thread last advanced the watermark.
+    commits_since_advance: u64,
+}
+
+impl<B: TimeBase> Drop for ShardedHandle<B> {
+    fn drop(&mut self) {
+        // A dead handle must not freeze the watermark.
+        self.slot.close();
+    }
 }
 
 impl<B: TimeBase> ShardedHandle<B> {
@@ -256,6 +322,24 @@ impl<B: TimeBase> ShardedHandle<B> {
     fn next_txn_id(&mut self) -> u64 {
         self.txn_seq += 1;
         (self.handle_id << 40) | (self.txn_seq & ((1 << 40) - 1))
+    }
+
+    /// Amortized watermark maintenance (see
+    /// `crate::stm::ThreadHandle::maybe_advance_watermark`): one registry
+    /// scan installed into *every* shard's domain, so shard-local fold-time
+    /// watermark reads never converge on a shared line.
+    fn maybe_advance_watermark(&mut self) {
+        self.commits_since_advance += 1;
+        if self.commits_since_advance >= self.stm.inner.cfg.wm_advance_interval {
+            self.commits_since_advance = 0;
+            let now = self.clock.get_time();
+            if let Some(wm) = self.stm.inner.registry.min_active_or(now) {
+                for dom in &self.stm.inner.reclaim {
+                    dom.install(wm, now);
+                }
+                self.stats.wm_advances += 1;
+            }
+        }
     }
 
     /// Run `body` as a transaction, retrying on abort until it commits
@@ -296,6 +380,7 @@ impl<B: TimeBase> ShardedHandle<B> {
                 &mut self.clock,
                 &mut self.stats,
                 Arc::clone(&shared),
+                Some(self.slot.as_ref()),
             );
             let mut stx = ShardedTxn {
                 txn,
@@ -319,6 +404,7 @@ impl<B: TimeBase> ShardedHandle<B> {
                                 self.stats.cross_shard_commits += 1;
                             }
                         }
+                        self.maybe_advance_watermark();
                         return value;
                     }
                 }

@@ -43,6 +43,9 @@ pub struct TxnStats {
     /// and escalated to the cross-shard commit protocol. Always zero on the
     /// unsharded [`crate::stm::Stm`] runtime.
     pub cross_shard_commits: u64,
+    /// Watermark advances this thread performed (the lazy reclamation work
+    /// amortized over its commits, see [`crate::reclaim`]).
+    pub wm_advances: u64,
 }
 
 impl TxnStats {
@@ -91,6 +94,7 @@ impl TxnStats {
         self.validated_entries += other.validated_entries;
         self.shared_cts += other.shared_cts;
         self.cross_shard_commits += other.cross_shard_commits;
+        self.wm_advances += other.wm_advances;
     }
 
     /// Aborts recorded for one specific reason.
@@ -120,7 +124,7 @@ impl fmt::Display for TxnStats {
         write!(
             f,
             " ] reads={} writes={} ext={} helps={} conflicts={} retries={} \
-             val-entries={} shared-cts={} xshard={}",
+             val-entries={} shared-cts={} xshard={} wm-adv={}",
             self.reads,
             self.writes,
             self.extensions,
@@ -129,7 +133,8 @@ impl fmt::Display for TxnStats {
             self.retries,
             self.validated_entries,
             self.shared_cts,
-            self.cross_shard_commits
+            self.cross_shard_commits,
+            self.wm_advances
         )
     }
 }

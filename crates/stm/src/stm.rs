@@ -26,6 +26,7 @@ use crate::config::StmConfig;
 use crate::error::TxResult;
 use crate::lsa::Txn;
 use crate::object::{TObject, TVar};
+use crate::reclaim::{ReclaimDomain, ReclaimStats, SnapshotRegistry, SnapshotSlot};
 use crate::stats::TxnStats;
 use crate::txn_shared::TxnShared;
 use lsa_time::{ThreadClock, TimeBase, Timestamp};
@@ -115,6 +116,9 @@ struct StmInner<B: TimeBase> {
     next_obj: BlockAlloc,
     next_handle: BlockAlloc,
     birth_counter: BlockAlloc,
+    /// Version reclamation: the snapshot registry, the cached watermark and
+    /// the version arena ([`crate::reclaim`]).
+    reclaim: Arc<ReclaimDomain<B::Ts>>,
 }
 
 /// The LSA-RT software transactional memory runtime.
@@ -170,8 +174,25 @@ impl<B: TimeBase> Stm<B> {
                 next_obj: BlockAlloc::new(1, OBJ_ID_BLOCK),
                 next_handle: BlockAlloc::new(1, HANDLE_ID_BLOCK),
                 birth_counter: BlockAlloc::new(1, BIRTH_BLOCK),
+                reclaim: Arc::new(ReclaimDomain::new(Arc::new(SnapshotRegistry::new()))),
             }),
         }
+    }
+
+    /// Point-in-time snapshot of the version-store gauges: live/retired/
+    /// reclaimed versions, arena bytes, watermark lag (DESIGN.md §11).
+    pub fn reclaim_stats(&self) -> ReclaimStats {
+        self.inner.reclaim.stats()
+    }
+
+    /// Force a watermark advance and drop the calling thread's pooled arena
+    /// nodes — leak-accounting hook for tests and teardown: after all
+    /// threads quiesce, `versions_retired == versions_reclaimed`.
+    #[doc(hidden)]
+    pub fn reclaim_quiesce(&self) {
+        let mut clock = self.inner.tb.register_thread();
+        self.inner.reclaim.advance(clock.get_time());
+        self.inner.reclaim.flush_local();
     }
 
     /// The runtime's configuration.
@@ -194,24 +215,29 @@ impl<B: TimeBase> Stm<B> {
     pub fn new_tvar<T: Send + Sync + 'static>(&self, value: T) -> TVar<T, B::Ts> {
         let seq = self.inner.next_obj.alloc();
         let id = ((self.inner.instance as u64) << 40) | seq;
-        TVar::from_object(TObject::new(
+        TVar::from_object(TObject::with_reclaim(
             id,
             value,
             <B::Ts as Timestamp>::origin(),
             self.inner.cfg.max_versions,
+            Arc::clone(&self.inner.reclaim),
+            self.inner.cfg.watermark_pruning,
         ))
     }
 
-    /// Register the calling thread: allocates its clock handle and stats.
+    /// Register the calling thread: allocates its clock handle, stats and
+    /// snapshot-registration slot.
     pub fn register(&self) -> ThreadHandle<B> {
         let handle_id = self.inner.next_handle.alloc();
         ThreadHandle {
+            slot: self.inner.reclaim.registry().register(),
             stm: self.clone(),
             handle_id,
             clock: self.inner.tb.register_thread(),
             stats: TxnStats::default(),
             txn_seq: 0,
             last_commit_time: None,
+            commits_since_advance: 0,
         }
     }
 }
@@ -224,6 +250,18 @@ pub struct ThreadHandle<B: TimeBase> {
     stats: TxnStats,
     txn_seq: u64,
     last_commit_time: Option<B::Ts>,
+    /// This thread's snapshot-registration slot ([`crate::reclaim`]).
+    slot: Arc<SnapshotSlot<B::Ts>>,
+    /// Commits since the last watermark advance (the lazy amortization).
+    commits_since_advance: u64,
+}
+
+impl<B: TimeBase> Drop for ThreadHandle<B> {
+    fn drop(&mut self) {
+        // Free the slot for reuse and make sure a dropped handle can never
+        // hold the watermark back.
+        self.slot.close();
+    }
 }
 
 impl<B: TimeBase> ThreadHandle<B> {
@@ -253,6 +291,20 @@ impl<B: TimeBase> ThreadHandle<B> {
     fn next_txn_id(&mut self) -> u64 {
         self.txn_seq += 1;
         (self.handle_id << 40) | (self.txn_seq & ((1 << 40) - 1))
+    }
+
+    /// Amortized watermark maintenance: every `wm_advance_interval`
+    /// completed transactions this thread rescans the snapshot registry and
+    /// installs a fresh watermark — the lazy advance of DESIGN.md §11, no
+    /// dedicated reclamation thread.
+    fn maybe_advance_watermark(&mut self) {
+        self.commits_since_advance += 1;
+        if self.commits_since_advance >= self.stm.inner.cfg.wm_advance_interval {
+            self.commits_since_advance = 0;
+            let now = self.clock.get_time();
+            self.stm.inner.reclaim.advance(now);
+            self.stats.wm_advances += 1;
+        }
     }
 
     /// Run `body` as a transaction, retrying on abort until it commits;
@@ -288,6 +340,7 @@ impl<B: TimeBase> ThreadHandle<B> {
                 &mut self.clock,
                 &mut self.stats,
                 Arc::clone(&shared),
+                Some(self.slot.as_ref()),
             );
             match body(&mut txn) {
                 Ok(value) => {
@@ -296,6 +349,7 @@ impl<B: TimeBase> ThreadHandle<B> {
                         if ct.is_some() {
                             self.last_commit_time = ct;
                         }
+                        self.maybe_advance_watermark();
                         return value;
                     }
                 }
@@ -340,6 +394,7 @@ impl<B: TimeBase> ThreadHandle<B> {
                 &mut self.clock,
                 &mut self.stats,
                 Arc::clone(&shared),
+                Some(self.slot.as_ref()),
             );
             match body(&mut txn) {
                 Ok(value) => match txn.finish_commit() {
@@ -348,6 +403,7 @@ impl<B: TimeBase> ThreadHandle<B> {
                         if ct.is_some() {
                             self.last_commit_time = ct;
                         }
+                        self.maybe_advance_watermark();
                         return Ok(value);
                     }
                     Err(a) => last = Some(a),

@@ -68,6 +68,14 @@ impl<Ts: Timestamp> VersionMeta<Ts> {
         self.upper.set(ts).ok();
     }
 
+    /// Return the node to its speculative state (both bounds unknown) so the
+    /// version arena can hand it out again. Requires exclusive access — the
+    /// arena proves it with `Arc::get_mut` before calling.
+    #[inline]
+    pub(crate) fn reset(&mut self) {
+        *self = VersionMeta::speculative();
+    }
+
     /// The version's validity range as currently known:
     /// `[lower, upper-or-∞]`. Panics if called before the version committed
     /// (speculative versions have no range yet).
