@@ -1,0 +1,124 @@
+//! Shared CLI argument helpers: the `N` / `A..B` range syntax every sweep
+//! flag (`--threads`, `--rate`) speaks, parsed in exactly one place.
+
+/// A parsed `N` or `A..B` argument. A single value is a degenerate range
+/// (`lo == hi`), so callers sweep unconditionally and single-point runs
+/// fall out for free.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RangeSpec {
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Inclusive upper bound.
+    pub hi: f64,
+}
+
+impl RangeSpec {
+    /// Parse `"N"` (single point) or `"A..B"` (inclusive sweep). Bounds
+    /// must be positive and ordered (`A <= B`).
+    pub fn parse(s: &str) -> Option<RangeSpec> {
+        let (lo, hi) = match s.split_once("..") {
+            Some((a, b)) => (a.parse::<f64>().ok()?, b.parse::<f64>().ok()?),
+            None => {
+                let v = s.parse::<f64>().ok()?;
+                (v, v)
+            }
+        };
+        (lo.is_finite() && hi.is_finite() && lo > 0.0 && hi >= lo).then_some(RangeSpec { lo, hi })
+    }
+
+    /// Whether this is a genuine sweep (`A..B` with `A < B`).
+    pub fn is_sweep(&self) -> bool {
+        self.lo < self.hi
+    }
+
+    /// Every integer in the inclusive range — the `--threads 1..8` shape.
+    /// Bounds are rounded to the nearest integer; `lo` clamps to at least 1.
+    pub fn usize_values(&self) -> Vec<usize> {
+        let lo = (self.lo.round() as usize).max(1);
+        let hi = (self.hi.round() as usize).max(lo);
+        (lo..=hi).collect()
+    }
+
+    /// `points` geometrically spaced values from `lo` to `hi` inclusive —
+    /// the `--rate 1000..1000000` saturation-sweep shape, where interesting
+    /// behaviour (the knee) lives on a log axis. A degenerate range or
+    /// `points <= 1` yields the single value `lo`.
+    pub fn geometric(&self, points: usize) -> Vec<f64> {
+        if !self.is_sweep() || points <= 1 {
+            return vec![self.lo];
+        }
+        let ratio = (self.hi / self.lo).powf(1.0 / (points - 1) as f64);
+        (0..points)
+            .map(|i| {
+                if i == points - 1 {
+                    self.hi // land exactly on the endpoint
+                } else {
+                    self.lo * ratio.powi(i as i32)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_single_and_range() {
+        assert_eq!(RangeSpec::parse("8"), Some(RangeSpec { lo: 8.0, hi: 8.0 }));
+        assert_eq!(
+            RangeSpec::parse("1..8"),
+            Some(RangeSpec { lo: 1.0, hi: 8.0 })
+        );
+        assert_eq!(
+            RangeSpec::parse("2500.5..10000"),
+            Some(RangeSpec {
+                lo: 2500.5,
+                hi: 10000.0
+            })
+        );
+        assert!(!RangeSpec::parse("4").unwrap().is_sweep());
+        assert!(RangeSpec::parse("4..5").unwrap().is_sweep());
+    }
+
+    #[test]
+    fn rejects_malformed_and_unordered() {
+        for bad in ["", "x", "0", "-3", "8..2", "1..x", "..", "1..", "..5"] {
+            assert_eq!(RangeSpec::parse(bad), None, "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn usize_values_are_the_inclusive_integers() {
+        assert_eq!(
+            RangeSpec::parse("1..4").unwrap().usize_values(),
+            [1, 2, 3, 4]
+        );
+        assert_eq!(RangeSpec::parse("6").unwrap().usize_values(), [6]);
+    }
+
+    #[test]
+    fn geometric_hits_both_endpoints_and_grows() {
+        let pts = RangeSpec::parse("1000..8000").unwrap().geometric(4);
+        assert_eq!(pts.len(), 4);
+        assert!((pts[0] - 1000.0).abs() < 1e-9);
+        assert!((pts[3] - 8000.0).abs() < 1e-9);
+        for w in pts.windows(2) {
+            assert!(w[1] > w[0], "geometric points must be increasing");
+        }
+        // Equal ratio between successive points.
+        let r0 = pts[1] / pts[0];
+        let r1 = pts[2] / pts[1];
+        assert!((r0 - r1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geometric_degenerates_to_single_point() {
+        assert_eq!(RangeSpec::parse("5000").unwrap().geometric(7), vec![5000.0]);
+        assert_eq!(
+            RangeSpec::parse("1000..2000").unwrap().geometric(1),
+            vec![1000.0]
+        );
+    }
+}

@@ -7,6 +7,7 @@
 //! cargo run --release -p lsa-harness --bin matrix -- disjoint
 //! cargo run --release -p lsa-harness --bin matrix -- scan
 //! cargo run --release -p lsa-harness --bin matrix -- intset
+//! cargo run --release -p lsa-harness --bin matrix -- hashset
 //! cargo run --release -p lsa-harness --bin matrix -- snapshot
 //! cargo run --release -p lsa-harness --bin matrix -- bank --placement partitioned
 //! cargo run --release -p lsa-harness --bin matrix -- bank --threads 8
@@ -35,9 +36,10 @@
 //! gauges sampled after each run.
 
 use lsa_harness::registry::{default_registry, Workload};
-use lsa_harness::{f3, measure_window, Table};
+use lsa_harness::{f3, measure_window, RangeSpec, Table};
 use lsa_workloads::{
-    BankConfig, DisjointConfig, IntsetConfig, PlacementHint, ScanConfig, SnapshotConfig,
+    BankConfig, DisjointConfig, HashsetConfig, IntsetConfig, PlacementHint, ScanConfig,
+    SnapshotConfig,
 };
 
 struct Args {
@@ -49,29 +51,11 @@ struct Args {
 
 fn usage_exit(context: &str) -> ! {
     eprintln!(
-        "usage: matrix [bank|disjoint|scan|intset|snapshot] [--threads N | --threads A..B] \
+        "usage: matrix [bank|disjoint|scan|intset|hashset|snapshot] \
+         [--threads N | --threads A..B] \
          [--placement spread|partitioned] [--timebase SUBSTR]   ({context})"
     );
     std::process::exit(2);
-}
-
-/// Parse `--threads` as a single count (`8`) or an inclusive sweep range
-/// (`1..8`).
-fn parse_threads(arg: &str) -> Option<Vec<usize>> {
-    if let Some((a, b)) = arg.split_once("..") {
-        let a: usize = a.parse().ok()?;
-        let b: usize = b.parse().ok()?;
-        if a == 0 || b < a {
-            return None;
-        }
-        Some((a..=b).collect())
-    } else {
-        let n: usize = arg.parse().ok()?;
-        if n == 0 {
-            return None;
-        }
-        Some(vec![n])
-    }
 }
 
 fn parse_args() -> Args {
@@ -93,6 +77,7 @@ fn parse_args() -> Args {
             "disjoint" => args.workload = Workload::Disjoint(DisjointConfig::default()),
             "scan" => args.workload = Workload::Scan(ScanConfig::default()),
             "intset" => args.workload = Workload::Intset(IntsetConfig::default()),
+            "hashset" => args.workload = Workload::Hashset(HashsetConfig::default()),
             "snapshot" => args.workload = Workload::Snapshot(SnapshotConfig::default()),
             "--placement" => {
                 i += 1;
@@ -103,8 +88,8 @@ fn parse_args() -> Args {
             }
             "--threads" => {
                 i += 1;
-                args.threads = match argv.get(i).and_then(|v| parse_threads(v)) {
-                    Some(t) => t,
+                args.threads = match argv.get(i).and_then(|v| RangeSpec::parse(v)) {
+                    Some(r) => r.usize_values(),
                     None => usage_exit("--threads needs N or A..B (A >= 1, B >= A)"),
                 };
             }

@@ -6,6 +6,7 @@
 //! ```sh
 //! cargo run --release -p lsa-harness --bin service_bench
 //! cargo run --release -p lsa-harness --bin service_bench -- bank --rate 20000
+//! cargo run --release -p lsa-harness --bin service_bench -- bank --rate 2000..64000 --points 6
 //! cargo run --release -p lsa-harness --bin service_bench -- all --workers 4 --depth 512
 //! cargo run --release -p lsa-harness --bin service_bench -- snapshot --engine lsa
 //! cargo run --release -p lsa-harness --bin service_bench -- bank --placement partitioned
@@ -15,8 +16,11 @@
 //! Requests arrive on a fixed schedule (`--rate` per second) regardless of
 //! completions — open-loop, so queueing delay lands in the latency columns
 //! and overload lands in the shed-rate column rather than silently slowing
-//! the generator down. Per cell the bench asserts the workload invariants
-//! end to end (bank totals, intset sortedness, snapshot zero-sum).
+//! the generator down. `--rate A..B` sweeps the offered rate over
+//! `--points` geometrically spaced values per cell (the saturation view;
+//! see `net_bench` for the same sweep over the TCP serving path). Per cell
+//! the bench asserts the workload invariants end to end (bank totals,
+//! intset sortedness, snapshot zero-sum).
 //!
 //! By default one representative cell per engine family runs (`lsa-rt`,
 //! `lsa-sharded`, `tl2`, `norec`, `validation`); `--all-cells` sweeps the
@@ -32,12 +36,14 @@
 
 use lsa_engine::MemoryStats;
 use lsa_harness::service_bench::{run_memory_ceiling, RequestKind, ServiceSpec};
-use lsa_harness::{f2, f3, measure_window, Table};
+use lsa_harness::{f2, f3, measure_window, RangeSpec, Table};
 use lsa_workloads::PlacementHint;
 
 struct Args {
     kinds: Vec<RequestKind>,
     spec: ServiceSpec,
+    rates: RangeSpec,
+    points: usize,
     engine_filter: Option<String>,
     timebase_filter: Option<String>,
     all_cells: bool,
@@ -48,7 +54,8 @@ struct Args {
 
 fn usage_exit(context: &str) -> ! {
     eprintln!(
-        "usage: service_bench [bank|intset|snapshot|all] [--rate R] [--workers N] \
+        "usage: service_bench [bank|intset|snapshot|all] [--rate R | --rate A..B] \
+         [--points N] [--workers N] \
          [--depth D] [--placement spread|partitioned] [--engine SUBSTR] \
          [--timebase SUBSTR] [--all-cells] [--mem-ceiling] [--rounds N] \
          [--mem-json PATH]   ({context})"
@@ -58,9 +65,15 @@ fn usage_exit(context: &str) -> ! {
 
 fn parse_args() -> Args {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    let default_rate = ServiceSpec::default().rate;
     let mut args = Args {
         kinds: RequestKind::ALL.to_vec(),
         spec: ServiceSpec::default(),
+        rates: RangeSpec {
+            lo: default_rate,
+            hi: default_rate,
+        },
+        points: 5,
         engine_filter: None,
         timebase_filter: None,
         all_cells: false,
@@ -74,9 +87,17 @@ fn parse_args() -> Args {
             "all" => args.kinds = RequestKind::ALL.to_vec(),
             "--rate" => {
                 i += 1;
-                args.spec.rate = match argv.get(i).and_then(|v| v.parse::<f64>().ok()) {
-                    Some(r) if r > 0.0 => r,
-                    _ => usage_exit("--rate needs a positive number"),
+                args.rates = match argv.get(i).and_then(|v| RangeSpec::parse(v)) {
+                    Some(r) => r,
+                    None => usage_exit("--rate needs a positive R or a sweep A..B"),
+                };
+                args.spec.rate = args.rates.lo;
+            }
+            "--points" => {
+                i += 1;
+                args.points = match argv.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => usage_exit("--points needs N >= 1"),
                 };
             }
             "--workers" => {
@@ -258,10 +279,20 @@ fn main() {
         std::process::exit(2);
     }
 
+    let rates = args.rates.geometric(args.points);
     println!(
-        "SERVICE: open-loop {} req/s for {} ms/cell, {} workers x depth {}, \
+        "SERVICE: open-loop {} for {} ms/point, {} workers x depth {}, \
          placement {}, {} cells\n",
-        args.spec.rate,
+        if rates.len() > 1 {
+            format!(
+                "{:.0}..{:.0} req/s ({} points, geometric)",
+                args.rates.lo,
+                args.rates.hi,
+                rates.len()
+            )
+        } else {
+            format!("{:.0} req/s", rates[0])
+        },
         args.spec.duration.as_millis(),
         args.spec.workers,
         args.spec.queue_depth,
@@ -281,6 +312,7 @@ fn main() {
             "p50 us",
             "p90 us",
             "p99 us",
+            "p99.9 us",
             "max us",
             "shed %",
             "aborts/commit",
@@ -292,30 +324,34 @@ fn main() {
     );
     for kind in &args.kinds {
         for entry in &registry {
-            let spec = ServiceSpec {
-                kind: *kind,
-                ..args.spec
-            };
-            let out = entry.serve(&spec);
-            let us = |ns: u64| format!("{:.0}", ns as f64 / 1_000.0);
-            t.row(vec![
-                kind.name().into(),
-                entry.engine.clone(),
-                entry.time_base.clone(),
-                entry.shards.to_string(),
-                format!("{:.0}", spec.rate),
-                format!("{:.0}", out.throughput()),
-                us(out.latency.p50()),
-                us(out.latency.p90()),
-                us(out.latency.p99()),
-                us(out.latency.max_ns()),
-                f2(out.shed_rate() * 100.0),
-                f3(out.engine.abort_ratio()),
-                out.engine.abort_reasons.to_string(),
-                out.engine.memory.versions_live.to_string(),
-                out.engine.memory.arena_bytes.to_string(),
-                out.engine.memory.watermark_lag.to_string(),
-            ]);
+            for &rate in &rates {
+                let spec = ServiceSpec {
+                    kind: *kind,
+                    rate,
+                    ..args.spec
+                };
+                let out = entry.serve(&spec);
+                let us = |ns: u64| format!("{:.0}", ns as f64 / 1_000.0);
+                t.row(vec![
+                    kind.name().into(),
+                    entry.engine.clone(),
+                    entry.time_base.clone(),
+                    entry.shards.to_string(),
+                    format!("{:.0}", spec.rate),
+                    format!("{:.0}", out.throughput()),
+                    us(out.latency.p50()),
+                    us(out.latency.p90()),
+                    us(out.latency.p99()),
+                    us(out.latency.p999()),
+                    us(out.latency.max_ns()),
+                    f2(out.shed_rate() * 100.0),
+                    f3(out.engine.abort_ratio()),
+                    out.engine.abort_reasons.to_string(),
+                    out.engine.memory.versions_live.to_string(),
+                    out.engine.memory.arena_bytes.to_string(),
+                    out.engine.memory.watermark_lag.to_string(),
+                ]);
+            }
         }
     }
     t.print();

@@ -13,12 +13,16 @@
 //! | `paper_check` | one PASS/FAIL line per qualitative claim (CI smoke test) |
 //! | `matrix` | workload × engine × time-base sweep from the [`registry`] |
 //! | `service_bench` | open-loop request-rate sweep through the `lsa-service` front-end |
+//! | `net_bench` | open-loop saturation sweep over the `lsa-wire` TCP serving path |
 //!
 //! Shared infrastructure: [`runner`] (thread orchestration and throughput),
 //! [`registry`] (the engine × time-base matrix, engine-generic via
 //! [`lsa_engine::TxnEngine`]), [`service_bench`] (open-loop load generation
 //! against the async transaction service: arrival-rate scheduling, latency
-//! percentiles, shed accounting), [`table`] (text/CSV output), [`altix_sim`]
+//! percentiles, shed accounting), [`net_bench`] (the same open-loop lens
+//! over a real loopback socket through `lsa-wire`, plus the saturation-knee
+//! locator), [`args`] (the shared `N`/`A..B` sweep-range syntax),
+//! [`table`] (text/CSV output), [`altix_sim`]
 //! (the discrete-event model of the paper's 16-CPU ccNUMA testbed — the
 //! documented substitution for hardware this reproduction does not have).
 //!
@@ -29,12 +33,16 @@
 #![deny(unsafe_code)]
 
 pub mod altix_sim;
+pub mod args;
+pub mod net_bench;
 pub mod registry;
 pub mod runner;
 pub mod service_bench;
 pub mod table;
 
 pub use altix_sim::{simulate, AltixParams, SimPoint, SimTimeBase};
+pub use args::RangeSpec;
+pub use net_bench::{knee_index, run_net_bench, KneePoint, NetKind, NetOutcome, NetSpec};
 pub use registry::{default_registry, run_workload, EngineEntry, Workload};
 pub use runner::{measure_window, run_for, run_steps, BenchWorker, RunOutcome};
 pub use service_bench::{run_service_bench, RequestKind, ServiceOutcome, ServiceSpec};

@@ -28,8 +28,9 @@ use lsa_time::hardware::HardwareClock;
 use lsa_time::numa::{NumaCounter, NumaModel};
 use lsa_time::perfect::PerfectClock;
 use lsa_workloads::{
-    BankConfig, BankWorkload, DisjointConfig, DisjointWorkload, IntsetConfig, IntsetWorkload,
-    PlacementHint, ScanConfig, ScanWorkload, SnapshotConfig, SnapshotWorkload,
+    BankConfig, BankWorkload, DisjointConfig, DisjointWorkload, HashsetConfig, HashsetWorkload,
+    IntsetConfig, IntsetWorkload, PlacementHint, ScanConfig, ScanWorkload, SnapshotConfig,
+    SnapshotWorkload,
 };
 use std::time::Duration;
 
@@ -54,6 +55,12 @@ pub enum Workload {
     /// traversals cross shard boundaries, exercising cross-shard commits.
     /// The runner asserts sortedness/uniqueness after every run.
     Intset(IntsetConfig),
+    /// Bucketed hash set with the same member/insert/remove mix
+    /// ([`lsa_workloads::hashset`]) — single-bucket transactions with small
+    /// read sets, where per-transaction fixed costs (time-base access,
+    /// commit arbitration) dominate instead of per-access validation. The
+    /// runner asserts key placement and uniqueness after every run.
+    Hashset(HashsetConfig),
     /// Snapshot analytics ([`lsa_workloads::snapshot`]): read-mostly
     /// full-table scans racing zero-sum updates — the multi-version vs
     /// single-version separation workload. The runner asserts the zero-sum
@@ -69,6 +76,7 @@ impl Workload {
             Workload::Disjoint(_) => "disjoint",
             Workload::Scan(_) => "scan",
             Workload::Intset(_) => "intset",
+            Workload::Hashset(_) => "hashset",
             Workload::Snapshot(_) => "snapshot",
         }
     }
@@ -153,6 +161,14 @@ pub fn run_workload_pinned<E: TxnEngine>(
             out.stats.memory = wl.engine().memory_stats();
             out
         }
+        Workload::Hashset(cfg) => {
+            let wl = HashsetWorkload::new(engine, *cfg);
+            let mut out = run_for_pinned(threads, window, pin, |i| wl.worker(i));
+            // Structural invariant: right bucket, no duplicates.
+            wl.assert_placement();
+            out.stats.memory = wl.engine().memory_stats();
+            out
+        }
         Workload::Snapshot(cfg) => {
             let wl = SnapshotWorkload::new(engine, *cfg);
             let mut out = run_for_pinned(threads, window, pin, |i| wl.worker(i));
@@ -191,6 +207,10 @@ fn make_rig<E: TxnEngine>(engine: E, workload: &Workload, threads: usize) -> Wor
             let wl = IntsetWorkload::new(engine, *cfg);
             Box::new(move |tid| Box::new(wl.worker(tid)))
         }
+        Workload::Hashset(cfg) => {
+            let wl = HashsetWorkload::new(engine, *cfg);
+            Box::new(move |tid| Box::new(wl.worker(tid)))
+        }
         Workload::Snapshot(cfg) => {
             let wl = SnapshotWorkload::new(engine, *cfg);
             Box::new(move |tid| Box::new(wl.worker(tid)))
@@ -208,6 +228,8 @@ type EntryServe = Box<
         + Send
         + Sync,
 >;
+type EntryServeWire =
+    Box<dyn Fn(&crate::net_bench::NetSpec) -> crate::net_bench::NetOutcome + Send + Sync>;
 
 /// One engine × time-base combination, ready to run any [`Workload`].
 pub struct EngineEntry {
@@ -227,6 +249,7 @@ pub struct EngineEntry {
     run: EntryRunner,
     rig: EntryRig,
     serve: EntryServe,
+    serve_wire: EntryServeWire,
     conformance: Box<dyn Fn() + Send + Sync>,
     service_conformance: Box<dyn Fn() + Send + Sync>,
 }
@@ -244,6 +267,7 @@ impl EngineEntry {
         let run_factory = std::sync::Arc::clone(&factory);
         let rig_factory = std::sync::Arc::clone(&factory);
         let serve_factory = std::sync::Arc::clone(&factory);
+        let wire_factory = std::sync::Arc::clone(&factory);
         let service_conf_factory = std::sync::Arc::clone(&factory);
         let shards = factory().shards();
         EngineEntry {
@@ -258,6 +282,7 @@ impl EngineEntry {
             serve: Box::new(move |spec| {
                 crate::service_bench::run_service_bench(serve_factory(), spec)
             }),
+            serve_wire: Box::new(move |spec| crate::net_bench::run_net_bench(wire_factory(), spec)),
             conformance: Box::new(move || lsa_engine::conformance::full_suite(&factory())),
             service_conformance: Box::new(move || {
                 lsa_service::conformance::service_suite(&service_conf_factory())
@@ -304,6 +329,14 @@ impl EngineEntry {
         spec: &crate::service_bench::ServiceSpec,
     ) -> crate::service_bench::ServiceOutcome {
         (self.serve)(spec)
+    }
+
+    /// Run an open-loop wire benchmark over a loopback TCP socket
+    /// ([`crate::net_bench::run_net_bench`]) on a freshly constructed
+    /// engine: the full `lsa-wire` serving path, framing and in-flight
+    /// windows included.
+    pub fn serve_wire(&self, spec: &crate::net_bench::NetSpec) -> crate::net_bench::NetOutcome {
+        (self.serve_wire)(spec)
     }
 
     /// Build a fresh engine + workload instance and return its type-erased
@@ -593,6 +626,20 @@ mod tests {
     }
 
     #[test]
+    fn every_entry_runs_the_hashset_workload() {
+        let wl = Workload::Hashset(HashsetConfig {
+            key_range: 128,
+            initial: 64,
+            member_percent: 50,
+            buckets: 16,
+        });
+        for entry in default_registry() {
+            let out = entry.run(&wl, 2, Duration::from_millis(5));
+            assert!(out.commits() > 0, "{} committed nothing", entry.label());
+        }
+    }
+
+    #[test]
     fn every_entry_runs_the_scan_workload() {
         let wl = Workload::Scan(ScanConfig { objects: 12 });
         for entry in default_registry() {
@@ -667,6 +714,29 @@ mod tests {
             });
             assert!(out.completed > 0, "{engine}({tb}) served nothing");
             assert_eq!(out.completed + out.shed, out.offered);
+        }
+    }
+
+    #[test]
+    fn entries_serve_requests_over_the_wire() {
+        use crate::net_bench::{NetKind, NetSpec};
+        let reg = default_registry();
+        for (engine, tb) in [("lsa-rt", "shared-counter"), ("lsa-sharded", "block64")] {
+            let entry = find_entry(&reg, engine, tb).unwrap();
+            let out = entry.serve_wire(&NetSpec {
+                kind: NetKind::Bank,
+                rate: 1_000.0,
+                duration: Duration::from_millis(60),
+                workers: 2,
+                queue_depth: 64,
+                window: 32,
+                conns: 2,
+            });
+            assert!(
+                out.completed > 0,
+                "{engine}({tb}) served nothing over the wire"
+            );
+            assert_eq!(out.completed + out.shed + out.errors, out.offered);
         }
     }
 

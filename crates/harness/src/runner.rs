@@ -231,6 +231,16 @@ impl<E: TxnEngine> BenchWorker for lsa_workloads::IntsetWorker<E> {
     }
 }
 
+impl<E: TxnEngine> BenchWorker for lsa_workloads::HashsetWorker<E> {
+    fn step(&mut self) {
+        lsa_workloads::HashsetWorker::step(self);
+    }
+
+    fn worker_stats(&self) -> EngineStats {
+        self.stats()
+    }
+}
+
 impl<E: TxnEngine> BenchWorker for lsa_workloads::SnapshotWorker<E> {
     fn step(&mut self) {
         lsa_workloads::SnapshotWorker::step(self);

@@ -141,6 +141,12 @@ impl LatencyHistogram {
     pub fn p99(&self) -> u64 {
         self.percentile(0.99)
     }
+    /// 99.9th percentile (ns) — the saturation knee shows up here first:
+    /// under open-loop load the extreme tail inflates well before the p99
+    /// does, so the sweep binaries print this column next to p99.
+    pub fn p999(&self) -> u64 {
+        self.percentile(0.999)
+    }
 
     /// Bucket-wise merge of another histogram (per-worker → service-wide).
     pub fn merge(&mut self, other: &LatencyHistogram) {
@@ -236,6 +242,8 @@ mod tests {
         within(h.p50(), 5_000_000);
         within(h.p90(), 9_000_000);
         within(h.p99(), 9_900_000);
+        within(h.p999(), 9_990_000);
+        assert!(h.p999() >= h.p99(), "percentiles must be monotone");
         assert_eq!(h.percentile(1.0), 10_000_000, "p100 is the exact max");
         within(h.mean_ns() as u64, 5_000_000);
     }

@@ -44,4 +44,6 @@ pub mod service;
 pub use executor::{block_on, Executor};
 pub use histogram::LatencyHistogram;
 pub use queue::{BoundedQueue, PushError};
-pub use service::{Completion, Response, ServiceConfig, ServiceReport, SubmitError, TxnService};
+pub use service::{
+    Completion, Response, ServiceConfig, ServiceHandle, ServiceReport, SubmitError, TxnService,
+};

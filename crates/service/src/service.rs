@@ -131,6 +131,90 @@ struct Shared<E: TxnEngine> {
     shard_affine: bool,
 }
 
+impl<E: TxnEngine> Shared<E> {
+    /// Worker a request is routed to: shard-affine when the engine is
+    /// sharded and the client hinted a shard, round-robin otherwise.
+    fn route(&self, shard: Option<usize>) -> usize {
+        let n = self.queues.len();
+        match shard {
+            Some(s) if self.shard_affine => s % n,
+            _ => self.rr.fetch_add(1, Ordering::Relaxed) % n,
+        }
+    }
+
+    fn submit_to<R, F>(&self, shard: Option<usize>, body: F) -> Result<Completion<R>, SubmitError>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut E::Handle) -> R + Send + 'static,
+    {
+        let (tx, rx) = oneshot::channel();
+        let submitted = Instant::now();
+        let job = Job {
+            submitted,
+            run: Box::new(move |handle: &mut E::Handle| {
+                let value = body(handle);
+                tx.send(Response {
+                    value,
+                    latency: submitted.elapsed(),
+                });
+            }),
+        };
+        match self.queues[self.route(shard)].try_push(job) {
+            Ok(()) => {
+                self.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(Completion { rx })
+            }
+            Err(PushError::Overloaded(_)) => {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::Overloaded)
+            }
+            Err(PushError::Closed(_)) => Err(SubmitError::Closed),
+        }
+    }
+}
+
+/// A cloneable submission surface onto a running [`TxnService`] — what
+/// external front-ends (the `lsa-wire` TCP server's per-connection reader
+/// threads) hold instead of the service itself. Handles share the service's
+/// queues, routing and shed accounting; they do not keep the workers alive
+/// and every submission fails with [`SubmitError::Closed`] once the owning
+/// service shuts down.
+pub struct ServiceHandle<E: TxnEngine> {
+    shared: Arc<Shared<E>>,
+}
+
+impl<E: TxnEngine> Clone for ServiceHandle<E> {
+    fn clone(&self) -> Self {
+        ServiceHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<E: TxnEngine> ServiceHandle<E> {
+    /// [`TxnService::submit`] through the handle.
+    pub fn submit<R, F>(&self, body: F) -> Result<Completion<R>, SubmitError>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut E::Handle) -> R + Send + 'static,
+    {
+        self.shared.submit_to(None, body)
+    }
+
+    /// [`TxnService::submit_to`] through the handle.
+    pub fn submit_to<R, F>(
+        &self,
+        shard: Option<usize>,
+        body: F,
+    ) -> Result<Completion<R>, SubmitError>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut E::Handle) -> R + Send + 'static,
+    {
+        self.shared.submit_to(shard, body)
+    }
+}
+
 /// What each worker thread hands back at shutdown.
 struct WorkerReport {
     completed: u64,
@@ -227,16 +311,6 @@ impl<E: TxnEngine> TxnService<E> {
         TxnService { shared, workers }
     }
 
-    /// Worker a request is routed to: shard-affine when the engine is
-    /// sharded and the client hinted a shard, round-robin otherwise.
-    fn route(&self, shard: Option<usize>) -> usize {
-        let n = self.shared.queues.len();
-        match shard {
-            Some(s) if self.shared.shard_affine => s % n,
-            _ => self.shared.rr.fetch_add(1, Ordering::Relaxed) % n,
-        }
-    }
-
     /// Submit `body` for execution on some worker's engine handle.
     ///
     /// Returns immediately: `Ok` carries the [`Completion`] future, `Err`
@@ -247,7 +321,7 @@ impl<E: TxnEngine> TxnService<E> {
         R: Send + 'static,
         F: FnOnce(&mut E::Handle) -> R + Send + 'static,
     {
-        self.submit_to(None, body)
+        self.shared.submit_to(None, body)
     }
 
     /// [`submit`](TxnService::submit) with a shard-affinity hint: on sharded
@@ -262,28 +336,16 @@ impl<E: TxnEngine> TxnService<E> {
         R: Send + 'static,
         F: FnOnce(&mut E::Handle) -> R + Send + 'static,
     {
-        let (tx, rx) = oneshot::channel();
-        let submitted = Instant::now();
-        let job = Job {
-            submitted,
-            run: Box::new(move |handle: &mut E::Handle| {
-                let value = body(handle);
-                tx.send(Response {
-                    value,
-                    latency: submitted.elapsed(),
-                });
-            }),
-        };
-        match self.shared.queues[self.route(shard)].try_push(job) {
-            Ok(()) => {
-                self.shared.submitted.fetch_add(1, Ordering::Relaxed);
-                Ok(Completion { rx })
-            }
-            Err(PushError::Overloaded(_)) => {
-                self.shared.shed.fetch_add(1, Ordering::Relaxed);
-                Err(SubmitError::Overloaded)
-            }
-            Err(PushError::Closed(_)) => Err(SubmitError::Closed),
+        self.shared.submit_to(shard, body)
+    }
+
+    /// A cloneable [`ServiceHandle`] sharing this service's queues — the
+    /// submission surface handed to external front-ends (one per wire-server
+    /// connection thread) so the service itself can stay solely owned for
+    /// [`shutdown`](TxnService::shutdown).
+    pub fn handle(&self) -> ServiceHandle<E> {
+        ServiceHandle {
+            shared: Arc::clone(&self.shared),
         }
     }
 
@@ -503,22 +565,56 @@ mod tests {
         let svc = TxnService::start(engine, small_cfg(3, 64));
         // Same hint → same worker, always.
         for shard in 0..4usize {
-            let first = svc.route(Some(shard));
+            let first = svc.shared.route(Some(shard));
             for _ in 0..10 {
-                assert_eq!(svc.route(Some(shard)), first);
+                assert_eq!(svc.shared.route(Some(shard)), first);
             }
         }
         // Distinct hints spread over workers modulo the pool size.
-        assert_ne!(svc.route(Some(0)), svc.route(Some(1)));
+        assert_ne!(svc.shared.route(Some(0)), svc.shared.route(Some(1)));
         drop(svc);
 
         // Unsharded engines round-robin even with hints.
         let engine = Stm::new(SharedCounter::new());
         let svc = TxnService::start(engine, small_cfg(2, 8));
-        let a = svc.route(Some(3));
-        let b = svc.route(Some(3));
+        let a = svc.shared.route(Some(3));
+        let b = svc.shared.route(Some(3));
         assert_ne!(a, b, "round-robin must rotate");
         drop(svc);
+    }
+
+    /// The cloneable handle is a full submission surface: it routes through
+    /// the same queues and accounting, and turns into typed `Closed` errors
+    /// once the owning service has shut down.
+    #[test]
+    fn service_handle_submits_and_closes_with_the_service() {
+        let engine = Stm::new(SharedCounter::new());
+        let var = engine.new_var(0u64);
+        let svc = TxnService::start(engine, small_cfg(2, 64));
+        let h1 = svc.handle();
+        let h2 = h1.clone();
+        let v = var.clone();
+        let a = h1
+            .submit(move |h| h.atomically(|tx| tx.modify(&v, |x| x + 1)))
+            .unwrap();
+        let v = var.clone();
+        let b = h2
+            .submit_to(Some(0), move |h| {
+                h.atomically(|tx| tx.modify(&v, |x| x + 1))
+            })
+            .unwrap();
+        a.wait().unwrap();
+        b.wait().unwrap();
+        let report = svc.shutdown();
+        assert_eq!(report.submitted, 2);
+        assert_eq!(report.completed, 2);
+        assert_eq!(*<Stm<SharedCounter> as TxnEngine>::peek(&var), 2);
+        // The service is gone; handles must refuse with the typed error.
+        match h1.submit(|_h| ()) {
+            Err(SubmitError::Closed) => {}
+            Err(e) => panic!("expected Closed after shutdown, got {e:?}"),
+            Ok(_) => panic!("expected Closed after shutdown, got an admission"),
+        }
     }
 
     #[test]

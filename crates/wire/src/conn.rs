@@ -1,0 +1,231 @@
+//! Per-connection plumbing shared by server and client: the outbound frame
+//! queue each writer loop drains, and the bounded in-flight window that
+//! propagates backpressure to the socket.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// An unbounded, closeable MPSC queue of encoded frames feeding one writer
+/// loop. Unlike the service's admission queue this one never sheds —
+/// everything pushed here is a response (or an already-admitted client
+/// request) that *must* reach the socket; its depth is bounded externally by
+/// the in-flight [`Window`], not by dropping.
+pub struct OutQueue {
+    inner: Arc<OutInner>,
+}
+
+struct OutInner {
+    state: Mutex<OutState>,
+    cv: Condvar,
+}
+
+struct OutState {
+    frames: VecDeque<Vec<u8>>,
+    closed: bool,
+}
+
+impl Clone for OutQueue {
+    fn clone(&self) -> Self {
+        OutQueue {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl Default for OutQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OutQueue {
+    /// Empty open queue.
+    pub fn new() -> Self {
+        OutQueue {
+            inner: Arc::new(OutInner {
+                state: Mutex::new(OutState {
+                    frames: VecDeque::new(),
+                    closed: false,
+                }),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Enqueue one encoded frame. Frames pushed after close are dropped
+    /// (the connection is going away; there is no socket to write to).
+    pub fn push(&self, frame: Vec<u8>) {
+        let mut st = self.inner.state.lock().unwrap();
+        if st.closed {
+            return;
+        }
+        st.frames.push_back(frame);
+        drop(st);
+        self.inner.cv.notify_one();
+    }
+
+    /// Blocking pop: the next frame, or `None` once closed *and* drained —
+    /// close-then-drain, so a writer flushes everything accepted before
+    /// exiting.
+    pub fn pop(&self) -> Option<Vec<u8>> {
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            if let Some(f) = st.frames.pop_front() {
+                return Some(f);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.inner.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Close the queue: producers become no-ops, the writer drains then
+    /// ends.
+    pub fn close(&self) {
+        self.inner.state.lock().unwrap().closed = true;
+        self.inner.cv.notify_all();
+    }
+}
+
+/// A bounded in-flight window: the per-connection cap on requests that have
+/// been read off the socket but whose responses have not yet been queued for
+/// writing.
+///
+/// The reader thread [`acquire`](Window::acquire)s before submitting each
+/// request and the completion path [`release`](Window::release)s when the
+/// response is queued. When a connection has `cap` requests outstanding the
+/// reader *stops reading* — the kernel receive buffer fills, the TCP window
+/// closes, and the client's writes block: backpressure propagates to the
+/// socket instead of the server buffering an unbounded number of decoded
+/// requests per connection.
+pub struct Window {
+    inner: Arc<WindowInner>,
+}
+
+struct WindowInner {
+    state: Mutex<WindowState>,
+    cv: Condvar,
+    cap: usize,
+}
+
+struct WindowState {
+    in_flight: usize,
+    closed: bool,
+}
+
+impl Clone for Window {
+    fn clone(&self) -> Self {
+        Window {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl Window {
+    /// Window admitting at most `cap` in-flight requests.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "window must admit at least one request");
+        Window {
+            inner: Arc::new(WindowInner {
+                state: Mutex::new(WindowState {
+                    in_flight: 0,
+                    closed: false,
+                }),
+                cv: Condvar::new(),
+                cap,
+            }),
+        }
+    }
+
+    /// Block until a slot frees up (or the window closes). Returns `false`
+    /// if closed — the reader should stop.
+    pub fn acquire(&self) -> bool {
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            if st.closed {
+                return false;
+            }
+            if st.in_flight < self.inner.cap {
+                st.in_flight += 1;
+                return true;
+            }
+            st = self.inner.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Return a slot (response queued). Safe to call from any thread.
+    pub fn release(&self) {
+        let mut st = self.inner.state.lock().unwrap();
+        debug_assert!(st.in_flight > 0, "release without acquire");
+        st.in_flight = st.in_flight.saturating_sub(1);
+        drop(st);
+        self.inner.cv.notify_one();
+    }
+
+    /// Unblock any reader waiting on the window (connection teardown).
+    pub fn close(&self) {
+        self.inner.state.lock().unwrap().closed = true;
+        self.inner.cv.notify_all();
+    }
+
+    /// Currently in-flight requests.
+    pub fn in_flight(&self) -> usize {
+        self.inner.state.lock().unwrap().in_flight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn out_queue_is_fifo_and_close_then_drain() {
+        let q = OutQueue::new();
+        q.push(vec![1]);
+        q.push(vec![2]);
+        q.close();
+        q.push(vec![3]); // after close: dropped
+        assert_eq!(q.pop(), Some(vec![1]));
+        assert_eq!(q.pop(), Some(vec![2]));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn out_queue_close_releases_blocked_pop() {
+        let q = OutQueue::new();
+        let q2 = q.clone();
+        let j = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(Duration::from_millis(10));
+        q.close();
+        assert_eq!(j.join().unwrap(), None);
+    }
+
+    #[test]
+    fn window_blocks_at_cap_and_resumes_on_release() {
+        let w = Window::new(2);
+        assert!(w.acquire());
+        assert!(w.acquire());
+        assert_eq!(w.in_flight(), 2);
+        let w2 = w.clone();
+        let j = std::thread::spawn(move || w2.acquire());
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(w.in_flight(), 2, "third acquire must be blocked at cap");
+        w.release();
+        assert!(j.join().unwrap(), "release must unblock the waiter");
+        assert_eq!(w.in_flight(), 2);
+    }
+
+    #[test]
+    fn window_close_unblocks_with_false() {
+        let w = Window::new(1);
+        assert!(w.acquire());
+        let w2 = w.clone();
+        let j = std::thread::spawn(move || w2.acquire());
+        std::thread::sleep(Duration::from_millis(10));
+        w.close();
+        assert!(!j.join().unwrap(), "close must fail pending acquires");
+        assert!(!w.acquire(), "closed windows admit nothing");
+    }
+}

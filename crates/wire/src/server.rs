@@ -1,0 +1,413 @@
+//! The TCP wire server: framed requests multiplexed onto a [`TxnService`]
+//! worker pool.
+//!
+//! Threading model (DESIGN.md §12):
+//!
+//! * one *listener* thread accepts connections,
+//! * per connection, one *reader* thread decodes frames from the socket and
+//!   submits them to the service through a cloned
+//!   [`ServiceHandle`](lsa_service::ServiceHandle), and one *writer* thread
+//!   drains the connection's [`OutQueue`] back to the socket,
+//! * the transactions themselves run on the service's worker pool — the
+//!   completion closure encodes the reply and pushes it straight onto the
+//!   connection's out queue, so no extra completion-pump thread sits between
+//!   the engine and the socket.
+//!
+//! Backpressure is two-layered. The service's bounded submission queues
+//! shed excess *admitted* load with typed [`Reply::Overloaded`] responses
+//! (the client sees every shed — it is an answered request, counted in the
+//! service's overload taxonomy). Before that, each connection's bounded
+//! in-flight [`Window`] caps how many decoded requests may be outstanding;
+//! at the cap the reader stops reading, the kernel's receive buffer fills,
+//! and TCP pushes back on the client's writes — per-connection backpressure
+//! that no amount of client pipelining can overrun.
+
+use crate::conn::{OutQueue, Window};
+use crate::frame::{decode_frame, encode_frame, ErrorCode, FrameError, ReadBuf};
+use crate::tables::{Reply, Request, Tables, TablesConfig};
+use lsa_engine::TxnEngine;
+use lsa_service::{ServiceConfig, ServiceHandle, ServiceReport, SubmitError, TxnService};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Wire-server construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Service worker threads (each holds one registered engine handle).
+    pub workers: usize,
+    /// Bounded depth of each worker's submission queue; pushes past it are
+    /// answered with [`Reply::Overloaded`].
+    pub queue_depth: usize,
+    /// Per-connection in-flight window: decoded-but-unanswered requests a
+    /// connection may have outstanding before its reader stops reading.
+    pub window: usize,
+    /// Sizing of the hosted tables.
+    pub tables: TablesConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(4))
+                .unwrap_or(2),
+            queue_depth: 256,
+            window: 128,
+            tables: TablesConfig::default(),
+        }
+    }
+}
+
+/// Shared server state: shutdown flag, connection registry, wire counters.
+struct ServerShared {
+    shutdown: AtomicBool,
+    conns: Mutex<Vec<ConnHandle>>,
+    accepted: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+/// A live connection's teardown handles.
+struct ConnHandle {
+    stream: TcpStream,
+    out: OutQueue,
+    window: Window,
+    reader: JoinHandle<()>,
+    writer: JoinHandle<()>,
+}
+
+/// What [`WireServer::shutdown`] hands back.
+#[derive(Debug)]
+pub struct WireReport {
+    /// The drained service's report (latency, shed accounting, engine
+    /// statistics; wire sheds appear as `abort_reasons.overload`).
+    pub service: ServiceReport,
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Request frames decoded.
+    pub frames_in: u64,
+    /// Response frames queued for writing.
+    pub frames_out: u64,
+    /// Connections torn down on malformed frame streams.
+    pub protocol_errors: u64,
+}
+
+/// A TCP front-end serving [`Request`]s against [`Tables`] hosted on any
+/// [`TxnEngine`], through an `lsa-service` worker pool.
+pub struct WireServer<E: TxnEngine> {
+    engine: E,
+    tables: Tables<E>,
+    service: Option<TxnService<E>>,
+    shared: Arc<ServerShared>,
+    accept: Option<JoinHandle<()>>,
+    addr: SocketAddr,
+}
+
+impl<E: TxnEngine> WireServer<E> {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port), seed the
+    /// tables on `engine`, start the service pool and the listener thread.
+    pub fn start(engine: E, addr: &str, cfg: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let tables = Tables::build(&engine, &cfg.tables);
+        let service = TxnService::start(
+            engine.clone(),
+            ServiceConfig {
+                workers: cfg.workers,
+                queue_depth: cfg.queue_depth,
+            },
+        );
+        let handle = service.handle();
+        let shared = Arc::new(ServerShared {
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            accepted: AtomicU64::new(0),
+            frames_in: AtomicU64::new(0),
+            frames_out: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let tables = tables.clone();
+            std::thread::spawn(move || {
+                accept_loop(listener, shared, tables, handle, cfg.window);
+            })
+        };
+        Ok(WireServer {
+            engine,
+            tables,
+            service: Some(service),
+            shared,
+            accept: Some(accept),
+            addr: local,
+        })
+    }
+
+    /// The bound address (to hand to clients).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, tear down connection readers, drain the service (all
+    /// admitted requests still execute and their responses are written),
+    /// flush and join the writers, audit the tables, and report.
+    pub fn shutdown(mut self) -> WireReport {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.accept.take() {
+            let _ = a.join();
+        }
+        let conns: Vec<ConnHandle> = self.shared.conns.lock().unwrap().drain(..).collect();
+        // Stop the readers first: no new submissions after this point.
+        for c in &conns {
+            c.window.close();
+            let _ = c.stream.shutdown(Shutdown::Read);
+        }
+        let mut readers = Vec::new();
+        let mut writers = Vec::new();
+        let mut outs = Vec::new();
+        for c in conns {
+            readers.push(c.reader);
+            writers.push(c.writer);
+            outs.push(c.out);
+        }
+        for r in readers {
+            let _ = r.join();
+        }
+        // Drain the service: every admitted request runs, its completion
+        // closure pushes the response onto its connection's out queue.
+        let service = self.service.take().expect("service present until shutdown");
+        let report = service.shutdown();
+        // Now the out queues are complete: close-then-drain flushes them.
+        for o in &outs {
+            o.close();
+        }
+        for w in writers {
+            let _ = w.join();
+        }
+        self.tables.assert_quiescent(&self.engine);
+        WireReport {
+            service: report,
+            connections: self.shared.accepted.load(Ordering::Relaxed),
+            frames_in: self.shared.frames_in.load(Ordering::Relaxed),
+            frames_out: self.shared.frames_out.load(Ordering::Relaxed),
+            protocol_errors: self.shared.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<E: TxnEngine> Drop for WireServer<E> {
+    fn drop(&mut self) {
+        if self.service.is_some() {
+            self.shared.shutdown.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(self.addr);
+            if let Some(a) = self.accept.take() {
+                let _ = a.join();
+            }
+            let conns: Vec<ConnHandle> = self.shared.conns.lock().unwrap().drain(..).collect();
+            for c in &conns {
+                c.window.close();
+                c.out.close();
+                let _ = c.stream.shutdown(Shutdown::Both);
+            }
+            for c in conns {
+                let _ = c.reader.join();
+                let _ = c.writer.join();
+            }
+            // Dropping the service closes and drains its queues.
+            self.service.take();
+        }
+    }
+}
+
+fn accept_loop<E: TxnEngine>(
+    listener: TcpListener,
+    shared: Arc<ServerShared>,
+    tables: Tables<E>,
+    service: ServiceHandle<E>,
+    window_cap: usize,
+) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return; // the wake-up connection (or a late client) is dropped
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let _ = stream.set_nodelay(true);
+        shared.accepted.fetch_add(1, Ordering::Relaxed);
+        let out = OutQueue::new();
+        let window = Window::new(window_cap);
+        let reader = {
+            let stream = match stream.try_clone() {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let shared = Arc::clone(&shared);
+            let tables = tables.clone();
+            let service = service.clone();
+            let out = out.clone();
+            let window = window.clone();
+            std::thread::spawn(move || {
+                reader_loop(stream, shared, tables, service, out, window);
+            })
+        };
+        let writer = {
+            let stream = match stream.try_clone() {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let out = out.clone();
+            std::thread::spawn(move || writer_loop(stream, out))
+        };
+        shared.conns.lock().unwrap().push(ConnHandle {
+            stream,
+            out,
+            window,
+            reader,
+            writer,
+        });
+    }
+}
+
+/// Encode `reply` for `req_id` and queue it on the connection.
+fn queue_reply(shared: &ServerShared, out: &OutQueue, req_id: u64, reply: Reply) {
+    let mut buf = Vec::with_capacity(32);
+    encode_frame(&mut buf, reply.opcode(), req_id, None, |b| {
+        reply.encode_payload(b)
+    });
+    shared.frames_out.fetch_add(1, Ordering::Relaxed);
+    out.push(buf);
+}
+
+fn reader_loop<E: TxnEngine>(
+    mut stream: TcpStream,
+    shared: Arc<ServerShared>,
+    tables: Tables<E>,
+    service: ServiceHandle<E>,
+    out: OutQueue,
+    window: Window,
+) {
+    let mut rb = ReadBuf::new();
+    let mut chunk = vec![0u8; 64 * 1024];
+    'conn: loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => break 'conn, // peer closed
+            Ok(n) => n,
+            Err(_) => break 'conn,
+        };
+        rb.extend(&chunk[..n]);
+        loop {
+            match decode_frame(rb.window()) {
+                Ok(None) => break, // need more bytes
+                Ok(Some((frame, consumed))) => {
+                    shared.frames_in.fetch_add(1, Ordering::Relaxed);
+                    let req_id = frame.header.req_id;
+                    let shard = frame.header.shard.map(|s| s as usize);
+                    match Request::decode(&frame) {
+                        Ok(req) => {
+                            rb.consume(consumed);
+                            if !submit_request(
+                                &shared, &tables, &service, &out, &window, req_id, shard, req,
+                            ) {
+                                break 'conn; // service closed / window closed
+                            }
+                        }
+                        Err(FrameError::BadPayload(_)) => {
+                            // Framing was sound — answer the request with a
+                            // typed error and keep the stream.
+                            rb.consume(consumed);
+                            queue_reply(&shared, &out, req_id, Reply::Error(ErrorCode::BadPayload));
+                        }
+                        Err(_) => unreachable!("Request::decode only raises BadPayload"),
+                    }
+                }
+                Err(err) => {
+                    // The stream cannot be resynchronized: answer with a
+                    // typed error frame (req id 0 — the header is not
+                    // trustworthy) and tear the connection down.
+                    shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    let code = match err {
+                        FrameError::VersionSkew { .. } => ErrorCode::WrongDirection,
+                        _ => ErrorCode::BadPayload,
+                    };
+                    queue_reply(&shared, &out, 0, Reply::Error(code));
+                    // Close-then-drain: the writer flushes the error frame,
+                    // then shuts the write half down so the peer sees EOF.
+                    // (On a plain peer EOF the queue stays open — in-flight
+                    // replies still need the writer.)
+                    out.close();
+                    break 'conn;
+                }
+            }
+        }
+    }
+    // Reader gone: no further submissions will land on this connection. The
+    // out queue stays open — in-flight completions still push replies, and
+    // the server's shutdown path closes it after the service drain.
+    let _ = stream.shutdown(Shutdown::Read);
+}
+
+/// Submit one decoded request. Returns `false` when the connection should
+/// stop reading (service closed or window torn down).
+#[allow(clippy::too_many_arguments)]
+fn submit_request<E: TxnEngine>(
+    shared: &Arc<ServerShared>,
+    tables: &Tables<E>,
+    service: &ServiceHandle<E>,
+    out: &OutQueue,
+    window: &Window,
+    req_id: u64,
+    shard: Option<usize>,
+    req: Request,
+) -> bool {
+    // Bounded in-flight window: block the reader (and thereby the socket)
+    // until a slot frees up.
+    if !window.acquire() {
+        return false;
+    }
+    let job = {
+        let tables = tables.clone();
+        let out = out.clone();
+        let window = window.clone();
+        let shared = Arc::clone(shared);
+        move |handle: &mut E::Handle| {
+            let reply = tables.apply(handle, &req);
+            queue_reply(&shared, &out, req_id, reply);
+            window.release();
+        }
+    };
+    match service.submit_to(shard, job) {
+        Ok(_completion) => true, // the job itself writes the response
+        Err(SubmitError::Overloaded) => {
+            // Shed by admission control: the typed overload response IS the
+            // answer — the client sees every shed explicitly.
+            queue_reply(shared, out, req_id, Reply::Overloaded);
+            window.release();
+            true
+        }
+        Err(SubmitError::Closed) => {
+            queue_reply(shared, out, req_id, Reply::Error(ErrorCode::Shutdown));
+            window.release();
+            false
+        }
+    }
+}
+
+fn writer_loop(mut stream: TcpStream, out: OutQueue) {
+    while let Some(frame) = out.pop() {
+        if stream.write_all(&frame).is_err() {
+            // The peer is gone; drain the queue so completion pushes never
+            // accumulate, then exit with it.
+            while out.pop().is_some() {}
+            return;
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Write);
+}

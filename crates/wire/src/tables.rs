@@ -1,0 +1,501 @@
+//! Request/reply message types and the server-hosted transactional tables
+//! they operate on.
+//!
+//! The wire protocol does not ship closures — it ships *named operations*
+//! against tables both sides agree on: a bank (transfer/audit over `i64`
+//! accounts), a sorted-list integer set, and a bucketed hash set. The
+//! server builds these on its engine at startup ([`Tables::build`]); each
+//! decoded [`Request`] becomes one transaction against them, executed on an
+//! `lsa-service` worker. This is the same workload vocabulary the in-process
+//! benchmarks use, so wire-served numbers are directly comparable to
+//! `service_bench` rows.
+
+use crate::frame::{ErrorCode, Frame, FrameError, Opcode};
+use lsa_engine::{EngineHandle, EngineVar, TxnEngine, TxnOps};
+use lsa_workloads::{HashSetT, IntSetList};
+
+/// A set operation discriminant shared by the intset and hashset opcodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SetOp {
+    /// Membership test (read-only).
+    Member = 0,
+    /// Insert; reply is whether the key was newly added.
+    Insert = 1,
+    /// Remove; reply is whether the key was present.
+    Remove = 2,
+}
+
+impl SetOp {
+    fn from_u8(b: u8) -> Result<SetOp, FrameError> {
+        Ok(match b {
+            0 => SetOp::Member,
+            1 => SetOp::Insert,
+            2 => SetOp::Remove,
+            _ => return Err(FrameError::BadPayload("set op out of range")),
+        })
+    }
+}
+
+/// One decoded request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Move `amount` from one account to another.
+    BankTransfer {
+        /// Source account index.
+        from: u32,
+        /// Destination account index.
+        to: u32,
+        /// Amount to move.
+        amount: i64,
+    },
+    /// Read every account in one transaction; reply with the total.
+    BankAudit,
+    /// Operation on the sorted-list set.
+    Intset {
+        /// Which operation.
+        op: SetOp,
+        /// The key.
+        key: i64,
+    },
+    /// Operation on the hash set.
+    Hashset {
+        /// Which operation.
+        op: SetOp,
+        /// The key.
+        key: i64,
+    },
+}
+
+impl Request {
+    /// The opcode this request travels under.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Request::Ping => Opcode::Ping,
+            Request::BankTransfer { .. } => Opcode::BankTransfer,
+            Request::BankAudit => Opcode::BankAudit,
+            Request::Intset { .. } => Opcode::IntsetOp,
+            Request::Hashset { .. } => Opcode::HashsetOp,
+        }
+    }
+
+    /// Append the payload encoding to `buf`.
+    pub fn encode_payload(&self, buf: &mut Vec<u8>) {
+        match self {
+            Request::Ping | Request::BankAudit => {}
+            Request::BankTransfer { from, to, amount } => {
+                buf.extend_from_slice(&from.to_le_bytes());
+                buf.extend_from_slice(&to.to_le_bytes());
+                buf.extend_from_slice(&amount.to_le_bytes());
+            }
+            Request::Intset { op, key } | Request::Hashset { op, key } => {
+                buf.push(*op as u8);
+                buf.extend_from_slice(&key.to_le_bytes());
+            }
+        }
+    }
+
+    /// Decode a request from a frame. Response opcodes and malformed
+    /// payloads yield typed errors, never panics.
+    pub fn decode(frame: &Frame<'_>) -> Result<Request, FrameError> {
+        let p = frame.payload;
+        let exact = |n: usize| {
+            if p.len() == n {
+                Ok(())
+            } else {
+                Err(FrameError::BadPayload("payload length mismatch"))
+            }
+        };
+        match frame.header.opcode {
+            Opcode::Ping => {
+                exact(0)?;
+                Ok(Request::Ping)
+            }
+            Opcode::BankTransfer => {
+                exact(16)?;
+                Ok(Request::BankTransfer {
+                    from: u32::from_le_bytes(p[0..4].try_into().unwrap()),
+                    to: u32::from_le_bytes(p[4..8].try_into().unwrap()),
+                    amount: i64::from_le_bytes(p[8..16].try_into().unwrap()),
+                })
+            }
+            Opcode::BankAudit => {
+                exact(0)?;
+                Ok(Request::BankAudit)
+            }
+            Opcode::IntsetOp => {
+                exact(9)?;
+                Ok(Request::Intset {
+                    op: SetOp::from_u8(p[0])?,
+                    key: i64::from_le_bytes(p[1..9].try_into().unwrap()),
+                })
+            }
+            Opcode::HashsetOp => {
+                exact(9)?;
+                Ok(Request::Hashset {
+                    op: SetOp::from_u8(p[0])?,
+                    key: i64::from_le_bytes(p[1..9].try_into().unwrap()),
+                })
+            }
+            Opcode::RespOk | Opcode::RespOverloaded | Opcode::RespError => {
+                Err(FrameError::BadPayload("response opcode in request stream"))
+            }
+        }
+    }
+}
+
+/// One decoded reply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Reply {
+    /// Ack with no value (ping, transfer).
+    Ok,
+    /// The audit total.
+    Total(i64),
+    /// Set-operation result (membership / inserted / removed).
+    Flag(bool),
+    /// The service shed the request — the typed backpressure signal.
+    Overloaded,
+    /// Request-level failure.
+    Error(ErrorCode),
+}
+
+impl Reply {
+    /// The opcode this reply travels under.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Reply::Overloaded => Opcode::RespOverloaded,
+            Reply::Error(_) => Opcode::RespError,
+            _ => Opcode::RespOk,
+        }
+    }
+
+    /// Append the payload encoding to `buf`.
+    pub fn encode_payload(&self, buf: &mut Vec<u8>) {
+        match self {
+            Reply::Ok | Reply::Overloaded => {}
+            Reply::Total(v) => buf.extend_from_slice(&v.to_le_bytes()),
+            Reply::Flag(b) => buf.push(*b as u8),
+            Reply::Error(code) => buf.push(*code as u8),
+        }
+    }
+
+    /// Decode a reply from a frame. `RespOk` payloads are disambiguated by
+    /// length (empty ack, 1-byte flag, 8-byte total) — the request side
+    /// knows which it expects; the decoder only validates well-formedness.
+    pub fn decode(frame: &Frame<'_>) -> Result<Reply, FrameError> {
+        let p = frame.payload;
+        match frame.header.opcode {
+            Opcode::RespOk => match p.len() {
+                0 => Ok(Reply::Ok),
+                1 => match p[0] {
+                    0 => Ok(Reply::Flag(false)),
+                    1 => Ok(Reply::Flag(true)),
+                    _ => Err(FrameError::BadPayload("flag byte out of range")),
+                },
+                8 => Ok(Reply::Total(i64::from_le_bytes(p.try_into().unwrap()))),
+                _ => Err(FrameError::BadPayload("unrecognized RespOk payload")),
+            },
+            Opcode::RespOverloaded => {
+                if p.is_empty() {
+                    Ok(Reply::Overloaded)
+                } else {
+                    Err(FrameError::BadPayload("overload reply carries no payload"))
+                }
+            }
+            Opcode::RespError => {
+                if p.len() == 1 {
+                    Ok(Reply::Error(ErrorCode::from_u8(p[0])?))
+                } else {
+                    Err(FrameError::BadPayload("error reply is one code byte"))
+                }
+            }
+            _ => Err(FrameError::BadPayload("request opcode in response stream")),
+        }
+    }
+}
+
+/// Sizing of the server-hosted tables.
+#[derive(Clone, Copy, Debug)]
+pub struct TablesConfig {
+    /// Bank account count.
+    pub accounts: u32,
+    /// Initial balance per account (the audit invariant is
+    /// `accounts * initial`).
+    pub initial: i64,
+    /// Intset keys are meaningful in `0..set_key_range`; half the even keys
+    /// are pre-inserted so lookups traverse a stable-length list.
+    pub set_key_range: i64,
+    /// Hash-set bucket count.
+    pub hash_buckets: usize,
+}
+
+impl Default for TablesConfig {
+    fn default() -> Self {
+        TablesConfig {
+            accounts: 64,
+            initial: 1_000,
+            set_key_range: 128,
+            hash_buckets: 32,
+        }
+    }
+}
+
+/// The transactional tables a wire server serves, plus the request
+/// interpreter. Cheap to clone (engine vars are shared handles) — each
+/// connection reader holds a clone to build request closures from.
+pub struct Tables<E: TxnEngine> {
+    accounts: Vec<EngineVar<E, i64>>,
+    expected_total: i64,
+    intset: IntSetList<E>,
+    hashset: HashSetT<E>,
+}
+
+impl<E: TxnEngine> Clone for Tables<E> {
+    fn clone(&self) -> Self {
+        Tables {
+            accounts: self.accounts.clone(),
+            expected_total: self.expected_total,
+            intset: self.intset.clone(),
+            hashset: self.hashset.clone(),
+        }
+    }
+}
+
+impl<E: TxnEngine> Tables<E> {
+    /// Build and seed the tables on `engine`.
+    pub fn build(engine: &E, cfg: &TablesConfig) -> Self {
+        assert!(cfg.accounts >= 2, "a transfer needs two accounts");
+        assert!(cfg.set_key_range >= 2);
+        let accounts = (0..cfg.accounts)
+            .map(|_| engine.new_var(cfg.initial))
+            .collect();
+        let intset = IntSetList::new(engine.clone());
+        let hashset = HashSetT::new(engine.clone(), cfg.hash_buckets);
+        let mut h = engine.register();
+        for k in (0..cfg.set_key_range).step_by(2) {
+            intset.insert(&mut h, k);
+            hashset.insert(&mut h, k);
+        }
+        Tables {
+            accounts,
+            expected_total: cfg.accounts as i64 * cfg.initial,
+            intset,
+            hashset,
+        }
+    }
+
+    /// The invariant audit total (what [`Request::BankAudit`] must observe).
+    pub fn expected_total(&self) -> i64 {
+        self.expected_total
+    }
+
+    /// Execute one request as a transaction on `handle`. Out-of-range
+    /// account indices are a request-level error, not a panic — the wire
+    /// accepts arbitrary peers.
+    pub fn apply(&self, h: &mut E::Handle, req: &Request) -> Reply {
+        match *req {
+            Request::Ping => Reply::Ok,
+            Request::BankTransfer { from, to, amount } => {
+                let n = self.accounts.len() as u32;
+                if from >= n || to >= n || from == to {
+                    return Reply::Error(ErrorCode::BadPayload);
+                }
+                let a = self.accounts[from as usize].clone();
+                let b = self.accounts[to as usize].clone();
+                h.atomically(|tx| {
+                    let va = *tx.read(&a)?;
+                    let vb = *tx.read(&b)?;
+                    tx.write(&a, va - amount)?;
+                    tx.write(&b, vb + amount)?;
+                    Ok(())
+                });
+                Reply::Ok
+            }
+            Request::BankAudit => {
+                let total = h.atomically(|tx| {
+                    let mut sum = 0i64;
+                    for a in &self.accounts {
+                        sum += *tx.read(a)?;
+                    }
+                    Ok(sum)
+                });
+                Reply::Total(total)
+            }
+            Request::Intset { op, key } => Reply::Flag(match op {
+                SetOp::Member => self.intset.contains(h, key),
+                SetOp::Insert => self.intset.insert(h, key),
+                SetOp::Remove => self.intset.remove(h, key),
+            }),
+            Request::Hashset { op, key } => Reply::Flag(match op {
+                SetOp::Member => self.hashset.contains(h, key),
+                SetOp::Insert => self.hashset.insert(h, key),
+                SetOp::Remove => self.hashset.remove(h, key),
+            }),
+        }
+    }
+
+    /// Post-drain invariant audit with a fresh handle: bank conservation and
+    /// intset structure. Called by the server after shutdown drains.
+    pub fn assert_quiescent(&self, engine: &E) {
+        let mut h = engine.register();
+        let total: i64 = {
+            let accounts = self.accounts.clone();
+            h.atomically(|tx| {
+                let mut sum = 0i64;
+                for a in &accounts {
+                    sum += *tx.read(a)?;
+                }
+                Ok(sum)
+            })
+        };
+        assert_eq!(
+            total, self.expected_total,
+            "bank invariant broken over the wire"
+        );
+        let keys = self.intset.to_vec(&mut h);
+        assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "intset lost sortedness/uniqueness over the wire"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{decode_frame, encode_frame};
+    use lsa_stm::Stm;
+    use lsa_time::counter::SharedCounter;
+
+    fn roundtrip_request(req: Request) {
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, req.opcode(), 77, Some(2), |b| {
+            req.encode_payload(b)
+        });
+        let (frame, _) = decode_frame(&buf).unwrap().unwrap();
+        assert_eq!(Request::decode(&frame).unwrap(), req);
+    }
+
+    fn roundtrip_reply(reply: Reply) {
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, reply.opcode(), 77, None, |b| {
+            reply.encode_payload(b)
+        });
+        let (frame, _) = decode_frame(&buf).unwrap().unwrap();
+        assert_eq!(Reply::decode(&frame).unwrap(), reply);
+    }
+
+    #[test]
+    fn requests_and_replies_roundtrip() {
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::BankTransfer {
+            from: 3,
+            to: 9,
+            amount: -17,
+        });
+        roundtrip_request(Request::BankAudit);
+        for op in [SetOp::Member, SetOp::Insert, SetOp::Remove] {
+            roundtrip_request(Request::Intset { op, key: -5 });
+            roundtrip_request(Request::Hashset {
+                op,
+                key: i64::MAX - 1,
+            });
+        }
+        roundtrip_reply(Reply::Ok);
+        roundtrip_reply(Reply::Total(-123456789));
+        roundtrip_reply(Reply::Flag(true));
+        roundtrip_reply(Reply::Flag(false));
+        roundtrip_reply(Reply::Overloaded);
+        roundtrip_reply(Reply::Error(ErrorCode::BadPayload));
+        roundtrip_reply(Reply::Error(ErrorCode::Shutdown));
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_errors() {
+        // Transfer payload one byte short.
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, Opcode::BankTransfer, 1, None, |b| {
+            b.extend_from_slice(&[0u8; 15])
+        });
+        let (frame, _) = decode_frame(&buf).unwrap().unwrap();
+        assert!(matches!(
+            Request::decode(&frame),
+            Err(FrameError::BadPayload(_))
+        ));
+        // Set op discriminant out of range.
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, Opcode::IntsetOp, 1, None, |b| {
+            b.push(9);
+            b.extend_from_slice(&0i64.to_le_bytes());
+        });
+        let (frame, _) = decode_frame(&buf).unwrap().unwrap();
+        assert!(matches!(
+            Request::decode(&frame),
+            Err(FrameError::BadPayload(_))
+        ));
+        // Response opcode where a request is expected.
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, Opcode::RespOk, 1, None, |_| {});
+        let (frame, _) = decode_frame(&buf).unwrap().unwrap();
+        assert!(Request::decode(&frame).is_err());
+    }
+
+    #[test]
+    fn tables_apply_all_request_kinds() {
+        let engine = Stm::new(SharedCounter::new());
+        let tables = Tables::build(&engine, &TablesConfig::default());
+        let mut h = engine.register();
+        assert_eq!(tables.apply(&mut h, &Request::Ping), Reply::Ok);
+        assert_eq!(
+            tables.apply(
+                &mut h,
+                &Request::BankTransfer {
+                    from: 0,
+                    to: 1,
+                    amount: 50
+                }
+            ),
+            Reply::Ok
+        );
+        assert_eq!(
+            tables.apply(&mut h, &Request::BankAudit),
+            Reply::Total(tables.expected_total())
+        );
+        // Seeded with even keys: key 2 is present, key 3 is not.
+        assert_eq!(
+            tables.apply(
+                &mut h,
+                &Request::Intset {
+                    op: SetOp::Member,
+                    key: 2
+                }
+            ),
+            Reply::Flag(true)
+        );
+        assert_eq!(
+            tables.apply(
+                &mut h,
+                &Request::Hashset {
+                    op: SetOp::Insert,
+                    key: 3
+                }
+            ),
+            Reply::Flag(true)
+        );
+        // Out-of-range account: request-level error, no panic.
+        assert_eq!(
+            tables.apply(
+                &mut h,
+                &Request::BankTransfer {
+                    from: 0,
+                    to: 10_000,
+                    amount: 1
+                }
+            ),
+            Reply::Error(ErrorCode::BadPayload)
+        );
+        tables.assert_quiescent(&engine);
+    }
+}

@@ -1,0 +1,181 @@
+//! Property tests for the wire codec: round-trip identity over arbitrary
+//! messages, and totality over malformed input — the decoder answers every
+//! byte string with "more bytes please", a complete frame, or a typed
+//! [`FrameError`], and it never panics.
+
+use lsa_wire::frame::{
+    decode_frame, encode_frame, FrameError, HEADER_BODY, LEN_PREFIX, MAX_FRAME_BODY, WIRE_VERSION,
+};
+use lsa_wire::tables::{Reply, Request, SetOp};
+use lsa_wire::{ErrorCode, Opcode};
+use proptest::prelude::*;
+
+fn request_from(kind: u8, a: u32, b: u32, v: i64, op: u8) -> Request {
+    let op = match op % 3 {
+        0 => SetOp::Member,
+        1 => SetOp::Insert,
+        _ => SetOp::Remove,
+    };
+    match kind % 5 {
+        0 => Request::Ping,
+        1 => Request::BankTransfer {
+            from: a,
+            to: b,
+            amount: v,
+        },
+        2 => Request::BankAudit,
+        3 => Request::Intset { op, key: v },
+        _ => Request::Hashset { op, key: v },
+    }
+}
+
+fn reply_from(kind: u8, v: i64, flag: bool) -> Reply {
+    match kind % 5 {
+        0 => Reply::Ok,
+        1 => Reply::Total(v),
+        2 => Reply::Flag(flag),
+        3 => Reply::Overloaded,
+        _ => Reply::Error(match kind % 3 {
+            0 => ErrorCode::BadPayload,
+            1 => ErrorCode::WrongDirection,
+            _ => ErrorCode::Shutdown,
+        }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// encode → decode is the identity on requests, for every request id
+    /// and shard hint.
+    #[test]
+    fn request_roundtrip(
+        fields in (any::<u8>(), any::<u32>(), any::<u32>(), any::<i64>(), any::<u8>()),
+        req_id in any::<u64>(),
+        shard in any::<u32>(),
+        with_shard in any::<bool>(),
+    ) {
+        let (kind, a, b, v, op) = fields;
+        let req = request_from(kind, a, b, v, op);
+        // u32::MAX is the on-wire "no hint" sentinel; an explicit hint must
+        // avoid it.
+        let shard = with_shard.then_some(shard % (u32::MAX - 1));
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, req.opcode(), req_id, shard, |p| req.encode_payload(p));
+        let (frame, consumed) = decode_frame(&buf).unwrap().expect("complete frame");
+        prop_assert_eq!(consumed, buf.len());
+        prop_assert_eq!(frame.header.req_id, req_id);
+        prop_assert_eq!(frame.header.shard, shard);
+        prop_assert_eq!(Request::decode(&frame).unwrap(), req);
+    }
+
+    /// encode → decode is the identity on replies.
+    #[test]
+    fn reply_roundtrip(
+        kind in any::<u8>(),
+        v in any::<i64>(),
+        flag in any::<bool>(),
+        req_id in any::<u64>(),
+    ) {
+        let reply = reply_from(kind, v, flag);
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, reply.opcode(), req_id, None, |p| reply.encode_payload(p));
+        let (frame, consumed) = decode_frame(&buf).unwrap().expect("complete frame");
+        prop_assert_eq!(consumed, buf.len());
+        prop_assert_eq!(frame.header.req_id, req_id);
+        prop_assert_eq!(Reply::decode(&frame).unwrap(), reply);
+    }
+
+    /// Every prefix of a valid frame is "need more bytes" — truncation is a
+    /// streaming condition, never an error and never a panic.
+    #[test]
+    fn truncation_is_total(
+        fields in (any::<u8>(), any::<u32>(), any::<u32>(), any::<i64>(), any::<u8>()),
+        cut_seed in any::<u64>(),
+    ) {
+        let (kind, a, b, v, op) = fields;
+        let req = request_from(kind, a, b, v, op);
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, req.opcode(), 42, Some(1), |p| req.encode_payload(p));
+        let cut = (cut_seed % buf.len() as u64) as usize;
+        prop_assert_eq!(decode_frame(&buf[..cut]).unwrap(), None);
+    }
+
+    /// Arbitrary byte soup: the decoder answers with Ok(None), a frame, or
+    /// a typed error — it must not panic on any input.
+    #[test]
+    fn decoder_is_total_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = decode_frame(&bytes);
+    }
+
+    /// Single-byte corruption of a valid frame never panics, and corrupting
+    /// the version, opcode or flags bytes yields the matching typed error.
+    #[test]
+    fn bit_flips_map_to_typed_errors(
+        pos_seed in any::<u64>(),
+        xor in 1u8..,
+    ) {
+        let req = Request::BankTransfer { from: 1, to: 2, amount: 3 };
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, req.opcode(), 9, None, |p| req.encode_payload(p));
+        let pos = (pos_seed % buf.len() as u64) as usize;
+        buf[pos] ^= xor;
+        match decode_frame(&buf) {
+            Ok(None) | Ok(Some(_)) => {} // corrupted length/id/payload can stay parseable
+            Err(e) => {
+                if pos == 4 {
+                    prop_assert_eq!(e, FrameError::VersionSkew { got: WIRE_VERSION ^ xor });
+                }
+                if pos == 5 {
+                    prop_assert!(matches!(e, FrameError::UnknownOpcode(_)));
+                }
+                if pos == 6 || pos == 7 {
+                    prop_assert!(matches!(e, FrameError::BadFlags(_)));
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic witnesses for each malformed-frame class (the named
+/// satellite cases: truncated header, oversized length, unknown opcode,
+/// version skew — all typed errors, never panics).
+#[test]
+fn malformed_witnesses() {
+    // Truncated header: 3 of the 4 length-prefix bytes.
+    assert_eq!(decode_frame(&[0x10, 0x00, 0x00]).unwrap(), None);
+
+    // Runt: body length smaller than the fixed header.
+    let mut runt = Vec::new();
+    runt.extend_from_slice(&((HEADER_BODY as u32) - 1).to_le_bytes());
+    runt.extend_from_slice(&[0u8; 64]);
+    assert_eq!(
+        decode_frame(&runt),
+        Err(FrameError::Runt(HEADER_BODY as u32 - 1))
+    );
+
+    // Oversized: the length field alone must trigger rejection, before the
+    // decoder waits for (or allocates) a body it will never accept.
+    let huge = (MAX_FRAME_BODY + 7).to_le_bytes();
+    assert_eq!(
+        decode_frame(&huge),
+        Err(FrameError::Oversized(MAX_FRAME_BODY + 7))
+    );
+
+    // Unknown opcode.
+    let mut buf = Vec::new();
+    encode_frame(&mut buf, Opcode::Ping, 1, None, |_| {});
+    buf[LEN_PREFIX + 1] = 0x6f;
+    assert_eq!(decode_frame(&buf), Err(FrameError::UnknownOpcode(0x6f)));
+
+    // Version skew.
+    let mut buf = Vec::new();
+    encode_frame(&mut buf, Opcode::Ping, 1, None, |_| {});
+    buf[LEN_PREFIX] = WIRE_VERSION + 3;
+    assert_eq!(
+        decode_frame(&buf),
+        Err(FrameError::VersionSkew {
+            got: WIRE_VERSION + 3
+        })
+    );
+}

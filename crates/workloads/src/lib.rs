@@ -41,7 +41,7 @@ pub mod snapshot;
 
 pub use bank::{BankConfig, BankWorker, BankWorkload};
 pub use disjoint::{DisjointConfig, DisjointWorker, DisjointWorkload};
-pub use hashset::HashSetT;
+pub use hashset::{HashSetT, HashsetConfig, HashsetWorker, HashsetWorkload};
 pub use intset_list::{IntSetList, IntsetConfig, IntsetWorker, IntsetWorkload};
 pub use placement::PlacementHint;
 pub use rng::FastRng;
