@@ -151,7 +151,8 @@ fn point_json(kind: NetKind, engine: &str, tb: &str, rate: f64, out: &NetOutcome
          \"offered\":{},\"completed\":{},\"shed\":{},\"errors\":{},\
          \"throughput\":{:.0},\"shed_rate\":{:.4},\
          \"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"max_ns\":{},\
-         \"frames_in\":{},\"frames_out\":{},\"protocol_errors\":{}}}",
+         \"frames_in\":{},\"frames_out\":{},\"protocol_errors\":{},\
+         \"hist_merges\":{},\"job_pool_hit\":{:.4},\"buf_pool_hit\":{:.4}}}",
         kind.name(),
         engine,
         tb,
@@ -170,6 +171,9 @@ fn point_json(kind: NetKind, engine: &str, tb: &str, rate: f64, out: &NetOutcome
         out.report.frames_in,
         out.report.frames_out,
         out.report.protocol_errors,
+        out.hist_merges,
+        out.report.job_pool.hit_rate(),
+        out.report.buf_pool.hit_rate(),
     )
 }
 
@@ -236,6 +240,7 @@ fn main() {
             "max us",
             "shed %",
             "errs",
+            "pool %",
             "knee",
         ],
     );
@@ -279,6 +284,7 @@ fn main() {
                     us(out.latency.max_ns()),
                     f2(out.shed_rate() * 100.0),
                     out.errors.to_string(),
+                    f2(out.report.job_pool.hit_rate() * 100.0),
                     match knee {
                         Some(k) if k == i => "<-- knee".into(),
                         _ => String::new(),
@@ -305,7 +311,11 @@ fn main() {
          and must be 0 in a healthy run. with --rate A..B the knee marker \
          tags the first point per cell that sheds > 1% or whose p99 exceeds \
          4x the lowest-rate baseline — the saturation knee of the serving \
-         path. the server audits its table invariants (bank total, set \
-         sortedness, hash placement) at shutdown of every point."
+         path. pool % is the server's request-record pool hit rate (100% \
+         after warm-up means the serving path allocated nothing per \
+         request); latency was recorded into per-lane histograms merged at \
+         report time, never a global lock. the server audits its table \
+         invariants (bank total, set sortedness, hash placement) at \
+         shutdown of every point."
     );
 }

@@ -315,6 +315,7 @@ fn main() {
             "p99.9 us",
             "max us",
             "shed %",
+            "pool hit %",
             "aborts/commit",
             "aborts v/nv/ct/ov",
             "live-vers",
@@ -322,6 +323,7 @@ fn main() {
             "wm-lag",
         ],
     );
+    let (mut pool_hits, mut pool_misses) = (0u64, 0u64);
     for kind in &args.kinds {
         for entry in &registry {
             for &rate in &rates {
@@ -331,6 +333,8 @@ fn main() {
                     ..args.spec
                 };
                 let out = entry.serve(&spec);
+                pool_hits += out.pool.hits;
+                pool_misses += out.pool.misses;
                 let us = |ns: u64| format!("{:.0}", ns as f64 / 1_000.0);
                 t.row(vec![
                     kind.name().into(),
@@ -345,6 +349,7 @@ fn main() {
                     us(out.latency.p999()),
                     us(out.latency.max_ns()),
                     f2(out.shed_rate() * 100.0),
+                    f2(out.pool.hit_rate() * 100.0),
                     f3(out.engine.abort_ratio()),
                     out.engine.abort_reasons.to_string(),
                     out.engine.memory.versions_live.to_string(),
@@ -355,6 +360,19 @@ fn main() {
         }
     }
     t.print();
+    let pool_total = pool_hits + pool_misses;
+    println!(
+        "record pool hit rate: {} ({} hits / {} gets) — requests travel as \
+         pooled records; a hit means the arrival reused a recycled record \
+         and the steady-state serving path allocated nothing per request.",
+        if pool_total == 0 {
+            "n/a".to_string()
+        } else {
+            format!("{:.2}%", pool_hits as f64 / pool_total as f64 * 100.0)
+        },
+        pool_hits,
+        pool_total,
+    );
     println!(
         "open-loop arrivals: requests were submitted on a fixed schedule and \
          latency includes queueing delay, so overload shows up as shed % and \

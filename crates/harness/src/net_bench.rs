@@ -14,6 +14,7 @@
 //! saturation knee: the first offered rate where the server starts
 //! shedding or p99 latency blows past the uncontended baseline.
 
+use crossbeam_utils::CachePadded;
 use lsa_engine::TxnEngine;
 use lsa_service::{Executor, LatencyHistogram};
 use lsa_wire::{
@@ -108,6 +109,12 @@ pub struct NetOutcome {
     /// Client-side submit-to-reply latency distribution (completed
     /// requests only — the full round trip including framing and socket).
     pub latency: LatencyHistogram,
+    /// Per-lane latency histograms merged into [`latency`](Self::latency)
+    /// at report time — one merge per client lane. The measurement path
+    /// records into the submitting lane's own histogram, so completion
+    /// tasks never contend on one global lock; this gauge proves the merge
+    /// actually covered every lane.
+    pub hist_merges: u64,
     /// The server's own accounting (frames, sheds, protocol errors,
     /// service report).
     pub report: WireReport,
@@ -249,13 +256,21 @@ pub fn run_net_bench<E: TxnEngine>(engine: E, spec: &NetSpec) -> NetOutcome {
     let client = WireClient::connect(server.local_addr(), spec.conns).expect("loopback client");
 
     let ex = Executor::new(2);
-    let done = Arc::new(AtomicU64::new(0));
-    let shed = Arc::new(AtomicU64::new(0));
-    let errors = Arc::new(AtomicU64::new(0));
-    // `LatencyHistogram::record` needs `&mut`; completion tasks on the
-    // executor share it behind a mutex (microseconds-scale critical
-    // section, far off the submit path).
-    let latency = Arc::new(Mutex::new(LatencyHistogram::new()));
+    // Shared counters are cache-line padded: completion tasks bump them
+    // from executor threads while the submitter reads the clock on its
+    // own line — no false sharing on the measurement path.
+    let done = Arc::new(CachePadded::new(AtomicU64::new(0)));
+    let shed = Arc::new(CachePadded::new(AtomicU64::new(0)));
+    let errors = Arc::new(CachePadded::new(AtomicU64::new(0)));
+    // `LatencyHistogram::record` needs `&mut`. Instead of one global
+    // mutex that every completion task fights over, each client lane gets
+    // its own histogram (requests go to lane `offered % conns`, matching
+    // the client's round-robin); they are merged once at report time.
+    let lanes: Arc<Vec<Mutex<LatencyHistogram>>> = Arc::new(
+        (0..spec.conns)
+            .map(|_| Mutex::new(LatencyHistogram::new()))
+            .collect(),
+    );
     let mut rng = FastRng::new(0x0b5e_55ed);
 
     let start = Instant::now();
@@ -269,7 +284,8 @@ pub fn run_net_bench<E: TxnEngine>(engine: E, spec: &NetSpec) -> NetOutcome {
                 let done = Arc::clone(&done);
                 let shed = Arc::clone(&shed);
                 let errors = Arc::clone(&errors);
-                let latency = Arc::clone(&latency);
+                let lanes = Arc::clone(&lanes);
+                let lane_ix = (offered % spec.conns as u64) as usize;
                 ex.spawn(async move {
                     match pending.await {
                         Ok(Reply::Overloaded) => {
@@ -279,7 +295,7 @@ pub fn run_net_bench<E: TxnEngine>(engine: E, spec: &NetSpec) -> NetOutcome {
                             errors.fetch_add(1, Ordering::Relaxed);
                         }
                         Ok(_) => {
-                            latency.lock().unwrap().record(submitted.elapsed());
+                            lanes[lane_ix].lock().unwrap().record(submitted.elapsed());
                             done.fetch_add(1, Ordering::Relaxed);
                         }
                     }
@@ -301,10 +317,13 @@ pub fn run_net_bench<E: TxnEngine>(engine: E, spec: &NetSpec) -> NetOutcome {
     drop(client);
     let report = server.shutdown();
 
-    let latency = Arc::try_unwrap(latency)
-        .expect("completion tasks drained")
-        .into_inner()
-        .unwrap();
+    let lanes = Arc::try_unwrap(lanes).expect("completion tasks drained");
+    let mut latency = LatencyHistogram::new();
+    let mut hist_merges = 0u64;
+    for lane in lanes {
+        latency.merge(&lane.into_inner().unwrap());
+        hist_merges += 1;
+    }
     NetOutcome {
         offered,
         completed: done.load(Ordering::Relaxed),
@@ -312,6 +331,7 @@ pub fn run_net_bench<E: TxnEngine>(engine: E, spec: &NetSpec) -> NetOutcome {
         errors: errors.load(Ordering::Relaxed),
         elapsed,
         latency,
+        hist_merges,
         report,
     }
 }
@@ -343,6 +363,11 @@ mod tests {
         assert_eq!(out.latency.count(), out.completed);
         assert!(out.latency.p99() >= out.latency.p50());
         assert!(out.throughput() > 0.0);
+        assert_eq!(
+            out.hist_merges,
+            quick_spec(NetKind::Bank).conns as u64,
+            "one per-lane histogram merged per client connection"
+        );
         // Both sides agree: the server read one frame per offered request
         // and wrote one reply per request (sheds included).
         assert_eq!(out.report.frames_in, out.offered);

@@ -18,11 +18,13 @@
 //! consistency check of the serving path.
 
 use lsa_engine::{EngineHandle, EngineStats, EngineVar, MemoryStats, TxnEngine, TxnOps};
-use lsa_service::{Executor, LatencyHistogram, ServiceConfig, SubmitError, TxnService};
+use lsa_service::pool::WeakPool;
+use lsa_service::{
+    LatencyHistogram, Pool, PoolStats, RunRequest, ServiceConfig, SubmitError, TxnService,
+};
 use lsa_workloads::{
     BankConfig, BankWorkload, FastRng, IntSetList, PlacementHint, SnapshotConfig, SnapshotWorkload,
 };
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -111,6 +113,10 @@ pub struct ServiceOutcome {
     /// Merged worker engine statistics (sheds under
     /// `abort_reasons.overload`).
     pub engine: EngineStats,
+    /// Request-record pool accounting: after warm-up every arrival should
+    /// reuse a recycled record (`hits`), so a high hit rate demonstrates
+    /// the steady-state serving path allocates nothing per request.
+    pub pool: PoolStats,
 }
 
 impl ServiceOutcome {
@@ -147,20 +153,135 @@ fn wait_until(deadline: Instant) {
     }
 }
 
+/// What one pooled request record executes on a worker. The variants
+/// mirror the closure bodies of the legacy submission path; shared tables
+/// travel as `Arc`s cloned from the [`Mix`], so arming a record clones two
+/// `Arc`s at most — never a `Vec`, never a fresh box.
+enum BenchOp<E: TxnEngine> {
+    /// A recycled record waiting in the pool.
+    Idle,
+    /// Bank transfer between two endpoints.
+    Transfer {
+        a: EngineVar<E, i64>,
+        b: EngineVar<E, i64>,
+        amount: i64,
+    },
+    /// Whole-table audit asserting the invariant total.
+    Audit {
+        accounts: Arc<Vec<EngineVar<E, i64>>>,
+        expected: i64,
+    },
+    /// Sorted-list member/insert/remove (op drawn 0..10 like the mix).
+    Set {
+        set: IntSetList<E>,
+        op: usize,
+        key: i64,
+    },
+    /// Snapshot analytics scan asserting the zero-sum invariant.
+    Scan { vars: Arc<Vec<EngineVar<E, i64>>> },
+    /// Zero-sum update transfer between two snapshot keys.
+    ZeroSum {
+        a: EngineVar<E, i64>,
+        b: EngineVar<E, i64>,
+        amount: i64,
+    },
+}
+
+/// The pooled request record of the open-loop generator: armed with a
+/// [`BenchOp`] before submission, executed once on a worker, then recycled
+/// into its home pool — the serving path's allocation-free lifecycle
+/// ([`RunRequest`]), exercised here exactly as the wire server exercises it.
+struct BenchJob<E: TxnEngine> {
+    op: BenchOp<E>,
+    home: WeakPool<Box<BenchJob<E>>>,
+}
+
+impl<E: TxnEngine> RunRequest<E> for BenchJob<E> {
+    fn run(&mut self, h: &mut E::Handle) {
+        match std::mem::replace(&mut self.op, BenchOp::Idle) {
+            BenchOp::Idle => unreachable!("record submitted without being armed"),
+            BenchOp::Transfer { a, b, amount } => {
+                h.atomically(|tx| {
+                    let va = *tx.read(&a)?;
+                    let vb = *tx.read(&b)?;
+                    tx.write(&a, va - amount)?;
+                    tx.write(&b, vb + amount)?;
+                    Ok(())
+                });
+            }
+            BenchOp::Audit { accounts, expected } => {
+                let total = h.atomically(|tx| {
+                    let mut sum = 0i64;
+                    for a in accounts.iter() {
+                        sum += *tx.read(a)?;
+                    }
+                    Ok(sum)
+                });
+                assert_eq!(total, expected, "service audit observed a torn snapshot");
+            }
+            BenchOp::Set { set, op, key } => {
+                match op {
+                    0..=5 => set.contains(h, key),
+                    6 | 7 => set.insert(h, key),
+                    _ => set.remove(h, key),
+                };
+            }
+            BenchOp::Scan { vars } => {
+                let sum = h.atomically(|tx| {
+                    let mut s = 0i64;
+                    for v in vars.iter() {
+                        s += *tx.read(v)?;
+                    }
+                    Ok(s)
+                });
+                assert_eq!(sum, 0, "analytics request observed a torn snapshot");
+            }
+            BenchOp::ZeroSum { a, b, amount } => {
+                h.atomically(|tx| {
+                    tx.modify(&a, |v| v + amount)?;
+                    tx.modify(&b, |v| v - amount)
+                });
+            }
+        }
+    }
+
+    fn recycle(mut self: Box<Self>) {
+        self.op = BenchOp::Idle;
+        if let Some(pool) = self.home.upgrade() {
+            pool.put(self);
+        }
+    }
+}
+
+/// The record pool of one run, sized so every record that can be admitted
+/// at once (all worker queues full) has a recycled home to return to.
+fn job_pool<E: TxnEngine>(workers: usize, queue_depth: usize) -> Pool<Box<BenchJob<E>>> {
+    Pool::new(workers * queue_depth + 64)
+}
+
 /// The per-kind request state plus the submission logic. One value of this
-/// enum is built before the run; `submit_one` draws a request from the mix
-/// and submits it, spawning the completion consumer on the executor.
+/// enum is built before the run; `submit_one` draws a request from the mix,
+/// arms a pooled record with it and submits the record.
 enum Mix<E: TxnEngine> {
-    Bank { wl: BankWorkload<E> },
-    Intset { set: IntSetList<E>, key_range: i64 },
-    Snapshot { wl: SnapshotWorkload<E> },
+    Bank {
+        wl: BankWorkload<E>,
+        audit: Arc<Vec<EngineVar<E, i64>>>,
+    },
+    Intset {
+        set: IntSetList<E>,
+        key_range: i64,
+    },
+    Snapshot {
+        wl: SnapshotWorkload<E>,
+        scan: Arc<Vec<EngineVar<E, i64>>>,
+    },
 }
 
 impl<E: TxnEngine> Mix<E> {
     fn build(engine: &E, kind: RequestKind, placement: PlacementHint) -> Self {
         match kind {
-            RequestKind::Bank => Mix::Bank {
-                wl: BankWorkload::with_placement(
+            RequestKind::Bank => {
+                let wl = BankWorkload::with_placement(
                     engine.clone(),
                     BankConfig {
                         accounts: 64,
@@ -168,8 +289,10 @@ impl<E: TxnEngine> Mix<E> {
                         audit_percent: 20,
                     },
                     placement,
-                ),
-            },
+                );
+                let audit = Arc::new(wl.accounts().to_vec());
+                Mix::Bank { wl, audit }
+            }
             RequestKind::Intset => {
                 let set = IntSetList::new(engine.clone());
                 let key_range = 128i64;
@@ -179,46 +302,35 @@ impl<E: TxnEngine> Mix<E> {
                 }
                 Mix::Intset { set, key_range }
             }
-            RequestKind::Snapshot => Mix::Snapshot {
-                wl: SnapshotWorkload::new(
+            RequestKind::Snapshot => {
+                let wl = SnapshotWorkload::new(
                     engine.clone(),
                     SnapshotConfig {
                         keys: 128,
                         scan_percent: 80,
                         scan_window: 128,
                     },
-                ),
-            },
+                );
+                let scan = Arc::new(wl.vars().to_vec());
+                Mix::Snapshot { wl, scan }
+            }
         }
     }
 
-    /// Submit one request drawn from the mix. Returns `false` if admission
-    /// control shed it.
-    fn submit_one(
-        &self,
-        svc: &TxnService<E>,
-        rng: &mut FastRng,
-        ex: &Executor,
-        done: &Arc<AtomicU64>,
-        canceled: &Arc<AtomicU64>,
-    ) -> bool {
+    /// Draw one request from the mix: the op to arm a record with plus its
+    /// shard-affinity hint.
+    fn draw(&self, rng: &mut FastRng) -> (BenchOp<E>, Option<usize>) {
         match self {
-            Mix::Bank { wl } => {
+            Mix::Bank { wl, audit } => {
                 if rng.percent(20) {
                     // Audit: read every account, assert the invariant.
-                    let accounts: Vec<EngineVar<E, i64>> = wl.accounts().to_vec();
-                    let expected = wl.expected_total();
-                    let req = move |h: &mut E::Handle| {
-                        let total = h.atomically(|tx| {
-                            let mut sum = 0i64;
-                            for a in &accounts {
-                                sum += *tx.read(a)?;
-                            }
-                            Ok(sum)
-                        });
-                        assert_eq!(total, expected, "service audit observed a torn snapshot");
-                    };
-                    spawn_completion(svc.submit(req), ex, done, canceled)
+                    (
+                        BenchOp::Audit {
+                            accounts: Arc::clone(audit),
+                            expected: wl.expected_total(),
+                        },
+                        None,
+                    )
                 } else {
                     // Transfer inside one shard-affinity group; with spread
                     // placement the single group is the whole table.
@@ -230,52 +342,36 @@ impl<E: TxnEngine> Mix<E> {
                     if to == from {
                         to = lo + (to - lo + 1) % span;
                     }
-                    let amount = rng.range(1, 100);
                     // Only the two endpoints are cloned — this is the open
                     // loop's hot path, and per-arrival overhead distorts
                     // the schedule at high rates.
                     let accounts = wl.accounts();
-                    let (a, b) = (accounts[from].clone(), accounts[to].clone());
-                    let shard = (wl.groups() > 1).then_some(g);
-                    let req = move |h: &mut E::Handle| {
-                        h.atomically(|tx| {
-                            let va = *tx.read(&a)?;
-                            let vb = *tx.read(&b)?;
-                            tx.write(&a, va - amount)?;
-                            tx.write(&b, vb + amount)?;
-                            Ok(())
-                        });
-                    };
-                    spawn_completion(svc.submit_to(shard, req), ex, done, canceled)
+                    (
+                        BenchOp::Transfer {
+                            a: accounts[from].clone(),
+                            b: accounts[to].clone(),
+                            amount: rng.range(1, 100),
+                        },
+                        (wl.groups() > 1).then_some(g),
+                    )
                 }
             }
-            Mix::Intset { set, key_range } => {
-                let set = set.clone();
-                let key = rng.below(*key_range as usize) as i64;
-                let op = rng.below(10);
-                let req = move |h: &mut E::Handle| {
-                    match op {
-                        0..=5 => set.contains(h, key),
-                        6 | 7 => set.insert(h, key),
-                        _ => set.remove(h, key),
-                    };
-                };
-                spawn_completion(svc.submit(req), ex, done, canceled)
-            }
-            Mix::Snapshot { wl } => {
+            Mix::Intset { set, key_range } => (
+                BenchOp::Set {
+                    set: set.clone(),
+                    op: rng.below(10),
+                    key: rng.below(*key_range as usize) as i64,
+                },
+                None,
+            ),
+            Mix::Snapshot { wl, scan } => {
                 if rng.percent(80) {
-                    let vars: Vec<EngineVar<E, i64>> = wl.vars().to_vec();
-                    let req = move |h: &mut E::Handle| {
-                        let sum = h.atomically(|tx| {
-                            let mut s = 0i64;
-                            for v in &vars {
-                                s += *tx.read(v)?;
-                            }
-                            Ok(s)
-                        });
-                        assert_eq!(sum, 0, "analytics request observed a torn snapshot");
-                    };
-                    spawn_completion(svc.submit(req), ex, done, canceled)
+                    (
+                        BenchOp::Scan {
+                            vars: Arc::clone(scan),
+                        },
+                        None,
+                    )
                 } else {
                     let vars = wl.vars();
                     let i = rng.below(vars.len());
@@ -283,16 +379,44 @@ impl<E: TxnEngine> Mix<E> {
                     if j == i {
                         j = (j + 1) % vars.len();
                     }
-                    let amount = rng.range(1, 50);
-                    let (a, b) = (vars[i].clone(), vars[j].clone());
-                    let req = move |h: &mut E::Handle| {
-                        h.atomically(|tx| {
-                            tx.modify(&a, |v| v + amount)?;
-                            tx.modify(&b, |v| v - amount)
-                        });
-                    };
-                    spawn_completion(svc.submit(req), ex, done, canceled)
+                    (
+                        BenchOp::ZeroSum {
+                            a: vars[i].clone(),
+                            b: vars[j].clone(),
+                            amount: rng.range(1, 50),
+                        },
+                        None,
+                    )
                 }
+            }
+        }
+    }
+
+    /// Submit one request drawn from the mix through the pooled record
+    /// path. Returns `false` if admission control shed it (the refused
+    /// record goes straight back into the pool).
+    fn submit_one(
+        &self,
+        svc: &TxnService<E>,
+        rng: &mut FastRng,
+        pool: &Pool<Box<BenchJob<E>>>,
+    ) -> bool {
+        let (op, shard) = self.draw(rng);
+        let mut job = pool.get().unwrap_or_else(|| {
+            Box::new(BenchJob {
+                op: BenchOp::Idle,
+                home: pool.downgrade(),
+            })
+        });
+        job.op = op;
+        match svc.submit_record(shard, job) {
+            Ok(()) => true,
+            Err((SubmitError::Overloaded, record)) => {
+                record.recycle();
+                false
+            }
+            Err((SubmitError::Closed, _)) => {
+                panic!("service closed during the measurement window")
             }
         }
     }
@@ -300,7 +424,7 @@ impl<E: TxnEngine> Mix<E> {
     /// Post-drain invariant audit.
     fn assert_quiescent(&self) {
         match self {
-            Mix::Bank { wl } => {
+            Mix::Bank { wl, .. } => {
                 assert_eq!(
                     wl.quiescent_total(),
                     wl.expected_total(),
@@ -316,7 +440,7 @@ impl<E: TxnEngine> Mix<E> {
                     "intset lost sortedness/uniqueness through the service"
                 );
             }
-            Mix::Snapshot { wl } => {
+            Mix::Snapshot { wl, .. } => {
                 assert_eq!(
                     wl.quiescent_sum(),
                     0,
@@ -327,41 +451,16 @@ impl<E: TxnEngine> Mix<E> {
     }
 }
 
-/// Hand a submission result to the executor: completed requests bump
-/// `done`, canceled ones `canceled`. Returns `false` on shed.
-fn spawn_completion<R: Send + 'static>(
-    submitted: Result<lsa_service::Completion<R>, SubmitError>,
-    ex: &Executor,
-    done: &Arc<AtomicU64>,
-    canceled: &Arc<AtomicU64>,
-) -> bool {
-    match submitted {
-        Ok(completion) => {
-            let done = Arc::clone(done);
-            let canceled = Arc::clone(canceled);
-            ex.spawn(async move {
-                match completion.await {
-                    Ok(_) => {
-                        done.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Err(_) => {
-                        canceled.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-            });
-            true
-        }
-        Err(SubmitError::Overloaded) => false,
-        Err(SubmitError::Closed) => panic!("service closed during the measurement window"),
-    }
-}
-
 /// Run one open-loop service benchmark on `engine`.
 ///
 /// Arrival `n` is scheduled at `start + n/rate` regardless of completions
 /// (catch-up bursts if the submitter falls behind — open-loop semantics);
-/// after the window the accepted backlog drains fully before the service
-/// shuts down, so the latency histogram covers every completed request.
+/// after the window the service's close-then-drain shutdown finishes the
+/// accepted backlog (`completed == submitted` by construction), so the
+/// latency histogram covers every completed request. Requests travel as
+/// pooled [`RunRequest`] records — the same allocation-free lifecycle the
+/// wire server uses — and the outcome's [`PoolStats`] gauge proves the
+/// recycling actually happened.
 pub fn run_service_bench<E: TxnEngine>(engine: E, spec: &ServiceSpec) -> ServiceOutcome {
     assert!(spec.rate > 0.0, "rate must be positive");
     let mix = Mix::build(&engine, spec.kind, spec.placement);
@@ -375,32 +474,27 @@ pub fn run_service_bench<E: TxnEngine>(engine: E, spec: &ServiceSpec) -> Service
             queue_depth: spec.queue_depth,
         },
     );
-    let ex = Executor::new(2);
-    let done = Arc::new(AtomicU64::new(0));
-    let canceled = Arc::new(AtomicU64::new(0));
+    let pool = job_pool::<E>(spec.workers, spec.queue_depth);
     let mut rng = FastRng::new(0x0af1_5e7e);
 
     let start = Instant::now();
     let mut offered = 0u64;
     while start.elapsed() < spec.duration {
         wait_until(start + Duration::from_secs_f64(offered as f64 / spec.rate));
-        mix.submit_one(&svc, &mut rng, &ex, &done, &canceled);
+        mix.submit_one(&svc, &mut rng, &pool);
         offered += 1;
     }
 
-    // Drain: workers finish the accepted backlog, completion tasks resolve.
-    ex.wait_idle();
-    let elapsed = start.elapsed();
+    // Drain: shutdown closes admission and the workers finish every
+    // accepted record before joining.
     let report = svc.shutdown();
-    ex.shutdown();
+    let elapsed = start.elapsed();
     mix.assert_quiescent();
 
     assert_eq!(
-        canceled.load(Ordering::Relaxed),
-        0,
-        "no accepted request may be canceled (shutdown happens after drain)"
+        report.completed, report.submitted,
+        "close-then-drain must finish every accepted request"
     );
-    debug_assert_eq!(report.completed, done.load(Ordering::Relaxed));
     let mut engine_stats = report.engine;
     engine_stats.memory = mem_engine.memory_stats();
     ServiceOutcome {
@@ -410,6 +504,7 @@ pub fn run_service_bench<E: TxnEngine>(engine: E, spec: &ServiceSpec) -> Service
         elapsed,
         latency: report.latency,
         engine: engine_stats,
+        pool: pool.stats(),
     }
 }
 
@@ -465,9 +560,7 @@ pub fn run_memory_ceiling<E: TxnEngine>(
             queue_depth: spec.queue_depth,
         },
     );
-    let ex = Executor::new(2);
-    let done = Arc::new(AtomicU64::new(0));
-    let canceled = Arc::new(AtomicU64::new(0));
+    let pool = job_pool::<E>(spec.workers, spec.queue_depth);
     let mut rng = FastRng::new(0x5eed_c0de);
 
     let start = Instant::now();
@@ -477,18 +570,16 @@ pub fn run_memory_ceiling<E: TxnEngine>(
         let round_end = spec.duration * round as u32;
         while start.elapsed() < round_end {
             wait_until(start + Duration::from_secs_f64(offered as f64 / spec.rate));
-            mix.submit_one(&svc, &mut rng, &ex, &done, &canceled);
+            mix.submit_one(&svc, &mut rng, &pool);
             offered += 1;
         }
         samples.push(mem_engine.memory_stats());
     }
 
-    ex.wait_idle();
-    let elapsed = start.elapsed();
     let report = svc.shutdown();
-    ex.shutdown();
+    let elapsed = start.elapsed();
     mix.assert_quiescent();
-    assert_eq!(canceled.load(Ordering::Relaxed), 0);
+    assert_eq!(report.completed, report.submitted);
 
     let mut engine_stats = report.engine;
     engine_stats.memory = mem_engine.memory_stats();
@@ -501,6 +592,7 @@ pub fn run_memory_ceiling<E: TxnEngine>(
             elapsed,
             latency: report.latency,
             engine: engine_stats,
+            pool: pool.stats(),
         },
     }
 }
@@ -538,6 +630,14 @@ mod tests {
             out.engine.memory.versions_live >= 64,
             "memory gauges must be sampled after the drain: {:?}",
             out.engine.memory
+        );
+        // Every arrival takes exactly one record from the pool, and after
+        // warm-up recycled records dominate fresh allocations.
+        assert_eq!(out.pool.hits + out.pool.misses, out.offered);
+        assert!(
+            out.pool.hits > 0,
+            "steady state must reuse recycled records: {:?}",
+            out.pool
         );
     }
 

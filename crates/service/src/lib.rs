@@ -19,7 +19,15 @@
 //!   [`ServiceReport`] whose shed accounting lands in the cross-engine
 //!   [`AbortClass::Overload`](lsa_engine::AbortClass) taxonomy,
 //! * [`oneshot`] — the completion channel: a future-and-blocking receiver,
-//! * [`queue`] — the bounded MPSC submission queue,
+//!   poolable through [`oneshot::OneshotPool`] so hot request paths reuse
+//!   the channel allocation,
+//! * [`queue`] — the lock-free bounded MPSC submission ring (memory
+//!   ordering argument in DESIGN.md §13); the previous mutex
+//!   implementation survives as [`MutexQueue`] for the `queue_bench`
+//!   old-vs-new comparison,
+//! * [`pool`] — the lock-free object [`Pool`] behind the allocation-free
+//!   request lifecycle (request records, oneshots, reply buffers), with
+//!   the hit/miss gauge `service_bench` prints,
 //! * [`executor`] — a small multi-threaded future executor plus
 //!   [`block_on`], driving completion futures without an async framework,
 //! * [`histogram`] — HDR-style bucketed latency histogram (p50/p90/p99/max
@@ -38,12 +46,15 @@ pub mod conformance;
 pub mod executor;
 pub mod histogram;
 pub mod oneshot;
+pub mod pool;
 pub mod queue;
 pub mod service;
 
 pub use executor::{block_on, Executor};
 pub use histogram::LatencyHistogram;
-pub use queue::{BoundedQueue, PushError};
+pub use pool::{Pool, PoolStats};
+pub use queue::{BoundedQueue, MutexQueue, PushError};
 pub use service::{
-    Completion, Response, ServiceConfig, ServiceHandle, ServiceReport, SubmitError, TxnService,
+    Completion, Response, RunRequest, ServiceConfig, ServiceHandle, ServiceReport, SubmitError,
+    TxnService,
 };

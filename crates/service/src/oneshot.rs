@@ -9,7 +9,14 @@
 //! The workspace builds offline with no tokio/futures dependency (see
 //! `crates/shims/*`), so this is `std` + `core::task` only: a mutex-guarded
 //! slot holding either the parked consumer's [`Waker`]/condvar or the value.
+//!
+//! Channels can be *pooled*: an [`OneshotPool`] recycles the shared
+//! allocation behind a channel once both halves are done with it, so a hot
+//! request path (the wire client's pending-reply correlation) pays no heap
+//! allocation per request at steady state. [`channel`] remains the
+//! unpooled constructor.
 
+use crate::pool::{Pool, PoolStats, WeakPool};
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::{Arc, Condvar, Mutex};
@@ -42,27 +49,94 @@ enum Slot<T> {
 struct Inner<T> {
     slot: Mutex<Slot<T>>,
     cv: Condvar,
+    /// Where the shared allocation goes when both halves are done with it.
+    /// Dangling (never upgrades) for unpooled channels.
+    home: WeakPool<Arc<Inner<T>>>,
 }
 
-/// Create a connected sender/receiver pair.
+/// Create a connected, unpooled sender/receiver pair (one allocation per
+/// channel). Hot paths should prefer an [`OneshotPool`].
 pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
-    let inner = Arc::new(Inner {
+    pair(Arc::new(Inner {
         slot: Mutex::new(Slot::Empty(None)),
         cv: Condvar::new(),
-    });
+        home: WeakPool::new(),
+    }))
+}
+
+fn pair<T>(inner: Arc<Inner<T>>) -> (Sender<T>, Receiver<T>) {
     (
         Sender {
-            inner: Arc::clone(&inner),
-            sent: false,
+            inner: Some(Arc::clone(&inner)),
         },
-        Receiver { inner },
+        Receiver { inner: Some(inner) },
     )
+}
+
+/// A pool of oneshot channels: [`OneshotPool::channel`] hands out recycled
+/// channel allocations, and whichever half of a pair is relinquished *last*
+/// (sent/waited/dropped) resets the slot and returns the allocation to the
+/// pool. At steady state a request/reply hot loop pays zero allocations for
+/// its completion plumbing; [`stats`](OneshotPool::stats) exposes the
+/// hit/miss gauge that proves it.
+pub struct OneshotPool<T> {
+    pool: Pool<Arc<Inner<T>>>,
+}
+
+impl<T> Clone for OneshotPool<T> {
+    fn clone(&self) -> Self {
+        OneshotPool {
+            pool: self.pool.clone(),
+        }
+    }
+}
+
+impl<T> OneshotPool<T> {
+    /// A pool retaining at most `capacity` free channels. Size it past the
+    /// expected number of concurrently in-flight requests.
+    pub fn new(capacity: usize) -> Self {
+        OneshotPool {
+            pool: Pool::new(capacity),
+        }
+    }
+
+    /// A connected pair backed by a recycled allocation when one is
+    /// available (pool hit), or a fresh one otherwise (miss).
+    pub fn channel(&self) -> (Sender<T>, Receiver<T>) {
+        let inner = self.pool.get().unwrap_or_else(|| {
+            Arc::new(Inner {
+                slot: Mutex::new(Slot::Empty(None)),
+                cv: Condvar::new(),
+                home: self.pool.downgrade(),
+            })
+        });
+        pair(inner)
+    }
+
+    /// Hit/miss traffic of [`channel`](OneshotPool::channel).
+    pub fn stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+}
+
+/// Relinquish one half's reference. The last half out (sole owner of the
+/// `Arc`) resets the slot and recycles the allocation to its home pool.
+/// Both halves hold independent clones, so a concurrent double-drop can at
+/// worst *miss* a recycle (both see a count of 2 — the allocation frees
+/// normally), never recycle twice or recycle a live channel.
+fn release<T>(arc: Arc<Inner<T>>) {
+    if Arc::strong_count(&arc) == 1 {
+        if let Some(pool) = arc.home.upgrade() {
+            *arc.slot.lock().unwrap() = Slot::Empty(None);
+            pool.put(arc);
+        }
+    }
 }
 
 /// The producing half; consumed by [`Sender::send`].
 pub struct Sender<T> {
-    inner: Arc<Inner<T>>,
-    sent: bool,
+    /// `Some` until the half is relinquished (send or drop).
+    inner: Option<Arc<Inner<T>>>,
 }
 
 impl<T> Sender<T> {
@@ -70,9 +144,9 @@ impl<T> Sender<T> {
     /// dropped receiver is not an error — the value is simply discarded
     /// (the service must not panic because a client gave up on a request).
     pub fn send(mut self, value: T) {
-        self.sent = true;
+        let inner = self.inner.take().expect("send consumes the live sender");
         let waker = {
-            let mut slot = self.inner.slot.lock().unwrap();
+            let mut slot = inner.slot.lock().unwrap();
             let prev = std::mem::replace(&mut *slot, Slot::Value(value));
             match prev {
                 Slot::Empty(w) => w,
@@ -81,20 +155,21 @@ impl<T> Sender<T> {
                 _ => None,
             }
         };
-        self.inner.cv.notify_all();
+        inner.cv.notify_all();
         if let Some(w) = waker {
             w.wake();
         }
+        release(inner);
     }
 }
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
-        if self.sent {
-            return;
-        }
+        let Some(inner) = self.inner.take() else {
+            return; // sent: the channel was relinquished there
+        };
         let waker = {
-            let mut slot = self.inner.slot.lock().unwrap();
+            let mut slot = inner.slot.lock().unwrap();
             match std::mem::replace(&mut *slot, Slot::Closed) {
                 Slot::Empty(w) => w,
                 other => {
@@ -103,22 +178,29 @@ impl<T> Drop for Sender<T> {
                 }
             }
         };
-        self.inner.cv.notify_all();
+        inner.cv.notify_all();
         if let Some(w) = waker {
             w.wake();
         }
+        release(inner);
     }
 }
 
 /// The consuming half: a [`Future`] resolving to `Result<T, Canceled>`.
 pub struct Receiver<T> {
-    inner: Arc<Inner<T>>,
+    /// `Some` until the half is relinquished (wait or drop).
+    inner: Option<Arc<Inner<T>>>,
 }
 
 impl<T> Receiver<T> {
+    fn live(&self) -> &Inner<T> {
+        self.inner.as_ref().expect("receiver relinquished")
+    }
+
     /// Non-blocking probe: `None` while nothing happened yet.
     pub fn try_recv(&mut self) -> Option<Result<T, Canceled>> {
-        let mut slot = self.inner.slot.lock().unwrap();
+        let inner = self.live();
+        let mut slot = inner.slot.lock().unwrap();
         match std::mem::replace(&mut *slot, Slot::Taken) {
             Slot::Value(v) => Some(Ok(v)),
             Slot::Closed => Some(Err(Canceled)),
@@ -131,18 +213,31 @@ impl<T> Receiver<T> {
     }
 
     /// Block the calling thread until the value (or cancellation) arrives.
-    pub fn wait(self) -> Result<T, Canceled> {
-        let mut slot = self.inner.slot.lock().unwrap();
-        loop {
-            match std::mem::replace(&mut *slot, Slot::Taken) {
-                Slot::Value(v) => return Ok(v),
-                Slot::Closed => return Err(Canceled),
-                other @ Slot::Empty(_) => {
-                    *slot = other;
-                    slot = self.inner.cv.wait(slot).unwrap();
+    pub fn wait(mut self) -> Result<T, Canceled> {
+        let inner = self.inner.take().expect("wait consumes the live receiver");
+        let result = {
+            let mut slot = inner.slot.lock().unwrap();
+            loop {
+                match std::mem::replace(&mut *slot, Slot::Taken) {
+                    Slot::Value(v) => break Ok(v),
+                    Slot::Closed => break Err(Canceled),
+                    other @ Slot::Empty(_) => {
+                        *slot = other;
+                        slot = inner.cv.wait(slot).unwrap();
+                    }
+                    Slot::Taken => panic!("oneshot value already taken"),
                 }
-                Slot::Taken => panic!("oneshot value already taken"),
             }
+        };
+        release(inner);
+        result
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            release(inner);
         }
     }
 }
@@ -152,7 +247,7 @@ impl<T> Future for Receiver<T> {
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
         let this = self.get_mut();
-        let mut slot = this.inner.slot.lock().unwrap();
+        let mut slot = this.live().slot.lock().unwrap();
         match std::mem::replace(&mut *slot, Slot::Taken) {
             Slot::Value(v) => Poll::Ready(Ok(v)),
             Slot::Closed => Poll::Ready(Err(Canceled)),
@@ -260,5 +355,54 @@ mod tests {
         let (tx, rx) = channel();
         drop(rx);
         tx.send(9usize);
+    }
+
+    /// Pooled channels: the first pair misses (fresh allocation), completes
+    /// normally, and its allocation comes back reset for the next pair.
+    #[test]
+    fn pooled_channel_recycles_after_both_halves() {
+        let pool = OneshotPool::new(4);
+        let (tx, rx) = pool.channel(); // cold: miss
+        tx.send(1u32);
+        assert_eq!(rx.wait(), Ok(1));
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses), (0, 1));
+
+        let (tx, rx) = pool.channel(); // recycled: hit
+        assert_eq!(pool.stats().hits, 1);
+        drop(tx); // cancellation also recycles once both halves are gone
+        assert_eq!(rx.wait(), Err(Canceled));
+
+        let (_tx, mut rx) = pool.channel();
+        assert_eq!(pool.stats().hits, 2);
+        assert!(rx.try_recv().is_none(), "recycled slot comes back empty");
+    }
+
+    /// An unconsumed sent value must not leak into the next user of the
+    /// recycled allocation.
+    #[test]
+    fn recycled_slot_never_leaks_a_stale_value() {
+        let pool = OneshotPool::new(2);
+        let (tx, rx) = pool.channel();
+        tx.send(7u8);
+        drop(rx); // value never taken; slot reset on recycle
+        let (_tx, mut rx) = pool.channel();
+        assert_eq!(pool.stats().hits, 1, "allocation was recycled");
+        assert!(rx.try_recv().is_none(), "stale value must be gone");
+    }
+
+    /// Pooled channels work across threads like unpooled ones.
+    #[test]
+    fn pooled_channel_crosses_threads() {
+        let pool = OneshotPool::new(8);
+        for round in 0..8u64 {
+            let (tx, rx) = pool.channel();
+            let j = std::thread::spawn(move || rx.wait());
+            tx.send(round);
+            assert_eq!(j.join().unwrap(), Ok(round));
+        }
+        let s = pool.stats();
+        assert_eq!(s.hits + s.misses, 8);
+        assert!(s.hits >= 6, "steady state must mostly hit, got {s:?}");
     }
 }

@@ -22,6 +22,7 @@
 use crate::histogram::LatencyHistogram;
 use crate::oneshot;
 use crate::queue::{BoundedQueue, PushError};
+use crossbeam_utils::CachePadded;
 use lsa_engine::{EngineHandle, EngineRequest, EngineStats, TxnEngine};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -115,18 +116,65 @@ impl<R> std::future::Future for Completion<R> {
     }
 }
 
+/// A poolable request record: the allocation-free alternative to the boxed
+/// closure + oneshot submission path.
+///
+/// A record is submitted with [`TxnService::submit_record`], executed once
+/// on a worker's engine handle, and then handed back to wherever it came
+/// from via [`recycle`](RunRequest::recycle) — the concrete type typically
+/// pushes itself into a [`Pool`](crate::Pool) it carries a handle to, so at
+/// steady state the serving path performs no per-request heap allocation.
+/// There is no completion future on this path: the record's `run` body is
+/// responsible for delivering its own result (the wire server's records
+/// encode the reply and push it onto the connection's out queue).
+pub trait RunRequest<E: TxnEngine>: Send {
+    /// Execute the request on a worker's registered engine handle. Called
+    /// exactly once per submission.
+    fn run(&mut self, handle: &mut E::Handle);
+
+    /// Return the record to its home pool (or just drop it). Called after
+    /// `run` returns normally. (Records caught in a panic teardown are
+    /// dropped, not recycled — the pool refills from fresh allocations.)
+    fn recycle(self: Box<Self>);
+}
+
+/// What a queued job executes: the legacy closure path (one allocation per
+/// request, carries its own oneshot) or a pooled record (allocation-free at
+/// steady state).
+enum JobRun<E: TxnEngine> {
+    /// Type-erased request closure + its captured completion sender.
+    Closure(EngineRequest<E>),
+    /// Pooled, recyclable request record.
+    Record(Box<dyn RunRequest<E>>),
+}
+
 /// One queued unit of work: the submission timestamp (for the worker-side
-/// latency capture) plus the type-erased request closure.
+/// latency capture) plus what to run.
 struct Job<E: TxnEngine> {
     submitted: Instant,
-    run: EngineRequest<E>,
+    run: JobRun<E>,
+}
+
+impl<E: TxnEngine> Job<E> {
+    /// Extract the record from a refused record submission so the caller
+    /// can recycle it.
+    fn into_record(self) -> Box<dyn RunRequest<E>> {
+        match self.run {
+            JobRun::Record(r) => r,
+            JobRun::Closure(_) => unreachable!("refused record job holds a record"),
+        }
+    }
 }
 
 struct Shared<E: TxnEngine> {
     queues: Vec<BoundedQueue<Job<E>>>,
-    rr: AtomicUsize,
-    submitted: AtomicU64,
-    shed: AtomicU64,
+    // Each counter on its own cache line: the round-robin cursor and the
+    // admission counters are hammered by every submitting thread, and
+    // without padding they false-share with each other (and with the
+    // queue vector's metadata) across sockets.
+    rr: CachePadded<AtomicUsize>,
+    submitted: CachePadded<AtomicU64>,
+    shed: CachePadded<AtomicU64>,
     /// Shard-affine routing enabled (engine reports > 1 shard).
     shard_affine: bool,
 }
@@ -151,13 +199,13 @@ impl<E: TxnEngine> Shared<E> {
         let submitted = Instant::now();
         let job = Job {
             submitted,
-            run: Box::new(move |handle: &mut E::Handle| {
+            run: JobRun::Closure(Box::new(move |handle: &mut E::Handle| {
                 let value = body(handle);
                 tx.send(Response {
                     value,
                     latency: submitted.elapsed(),
                 });
-            }),
+            })),
         };
         match self.queues[self.route(shard)].try_push(job) {
             Ok(()) => {
@@ -169,6 +217,31 @@ impl<E: TxnEngine> Shared<E> {
                 Err(SubmitError::Overloaded)
             }
             Err(PushError::Closed(_)) => Err(SubmitError::Closed),
+        }
+    }
+
+    /// Submit a pooled record (see [`RunRequest`]). On refusal the record
+    /// comes back with the typed error so the caller can recycle it — a
+    /// shed must not cost the allocation the pool exists to avoid.
+    fn submit_record(
+        &self,
+        shard: Option<usize>,
+        record: Box<dyn RunRequest<E>>,
+    ) -> Result<(), (SubmitError, Box<dyn RunRequest<E>>)> {
+        let job = Job {
+            submitted: Instant::now(),
+            run: JobRun::Record(record),
+        };
+        match self.queues[self.route(shard)].try_push(job) {
+            Ok(()) => {
+                self.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(PushError::Overloaded(job)) => {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                Err((SubmitError::Overloaded, job.into_record()))
+            }
+            Err(PushError::Closed(job)) => Err((SubmitError::Closed, job.into_record())),
         }
     }
 }
@@ -212,6 +285,15 @@ impl<E: TxnEngine> ServiceHandle<E> {
         F: FnOnce(&mut E::Handle) -> R + Send + 'static,
     {
         self.shared.submit_to(shard, body)
+    }
+
+    /// [`TxnService::submit_record`] through the handle.
+    pub fn submit_record(
+        &self,
+        shard: Option<usize>,
+        record: Box<dyn RunRequest<E>>,
+    ) -> Result<(), (SubmitError, Box<dyn RunRequest<E>>)> {
+        self.shared.submit_record(shard, record)
     }
 }
 
@@ -257,9 +339,9 @@ impl<E: TxnEngine> TxnService<E> {
             .collect();
         let shared = Arc::new(Shared {
             queues,
-            rr: AtomicUsize::new(0),
-            submitted: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
+            rr: CachePadded::new(AtomicUsize::new(0)),
+            submitted: CachePadded::new(AtomicU64::new(0)),
+            shed: CachePadded::new(AtomicU64::new(0)),
             shard_affine,
         });
         let workers = (0..cfg.workers)
@@ -279,10 +361,16 @@ impl<E: TxnEngine> TxnService<E> {
                     let mut batch = Vec::with_capacity(WORKER_BATCH);
                     while queue.pop_batch(&mut batch, WORKER_BATCH) > 0 {
                         for job in batch.drain(..) {
-                            let outcome =
-                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    (job.run)(&mut handle)
-                                }));
+                            let Job { submitted, run } = job;
+                            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                || match run {
+                                    JobRun::Closure(f) => f(&mut handle),
+                                    JobRun::Record(mut r) => {
+                                        r.run(&mut handle);
+                                        r.recycle();
+                                    }
+                                },
+                            ));
                             if let Err(payload) = outcome {
                                 // A request body panicked (e.g. an invariant
                                 // assert fired). Fail loudly, not silently:
@@ -296,7 +384,7 @@ impl<E: TxnEngine> TxnService<E> {
                                 while queue.pop().is_some() {}
                                 std::panic::resume_unwind(payload);
                             }
-                            latency.record(job.submitted.elapsed());
+                            latency.record(submitted.elapsed());
                             completed += 1;
                         }
                     }
@@ -337,6 +425,19 @@ impl<E: TxnEngine> TxnService<E> {
         F: FnOnce(&mut E::Handle) -> R + Send + 'static,
     {
         self.shared.submit_to(shard, body)
+    }
+
+    /// Submit a pooled, recyclable request record — the allocation-free
+    /// fast path (see [`RunRequest`]). No completion future: the record
+    /// delivers its own result from `run`, and the worker still captures
+    /// submission-to-completion latency in the service report. On refusal
+    /// the record is handed back with the typed error for recycling.
+    pub fn submit_record(
+        &self,
+        shard: Option<usize>,
+        record: Box<dyn RunRequest<E>>,
+    ) -> Result<(), (SubmitError, Box<dyn RunRequest<E>>)> {
+        self.shared.submit_record(shard, record)
     }
 
     /// A cloneable [`ServiceHandle`] sharing this service's queues — the

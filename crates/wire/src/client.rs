@@ -19,7 +19,7 @@
 
 use crate::frame::{decode_frame, encode_frame, FrameError, ReadBuf};
 use crate::tables::{Reply, Request};
-use lsa_service::oneshot::{self, Receiver, Sender};
+use lsa_service::oneshot::{OneshotPool, Receiver, Sender};
 use std::collections::HashMap;
 use std::future::Future;
 use std::io::{Read, Write};
@@ -77,8 +77,11 @@ struct LaneConn {
 }
 
 /// A connection slot; `None` until first use and after a death is noticed.
+/// The encode buffer lives with the lane (both are used under the lane
+/// lock), so steady-state sends reuse it instead of allocating per request.
 struct Lane {
     conn: Option<LaneConn>,
+    buf: Vec<u8>,
 }
 
 /// A reply that has not arrived yet. Either block on [`wait`](Self::wait)
@@ -110,6 +113,9 @@ pub struct WireClient {
     lanes: Vec<Mutex<Lane>>,
     next_id: AtomicU64,
     rr: AtomicUsize,
+    /// Pooled reply channels: at steady state a request's pending-reply
+    /// correlation reuses a recycled channel allocation.
+    replies: OneshotPool<Reply>,
 }
 
 /// The shard hint a request travels with: derived from the data it touches
@@ -138,10 +144,16 @@ impl WireClient {
         Ok(WireClient {
             addr,
             lanes: (0..lanes)
-                .map(|_| Mutex::new(Lane { conn: None }))
+                .map(|_| {
+                    Mutex::new(Lane {
+                        conn: None,
+                        buf: Vec::with_capacity(256),
+                    })
+                })
                 .collect(),
             next_id: AtomicU64::new(1),
             rr: AtomicUsize::new(0),
+            replies: OneshotPool::new((lanes * 256).max(1024)),
         })
     }
 
@@ -162,10 +174,13 @@ impl WireClient {
         if lane.conn.is_none() {
             lane.conn = Some(open_conn(self.addr)?);
         }
-        let conn = lane.conn.as_mut().expect("lane connected above");
+        // Split the lane borrow: the connection and the reusable encode
+        // buffer are distinct fields under the same lock.
+        let Lane { conn, buf } = &mut *lane;
+        let conn = conn.as_mut().expect("lane connected above");
 
         let req_id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let (tx, rx) = oneshot::channel();
+        let (tx, rx) = self.replies.channel();
         {
             let mut pending = conn.pending.lock().unwrap();
             if pending.closed {
@@ -173,11 +188,11 @@ impl WireClient {
             }
             pending.map.insert(req_id, tx);
         }
-        let mut buf = Vec::with_capacity(64);
-        encode_frame(&mut buf, req.opcode(), req_id, shard_hint(req), |b| {
+        buf.clear();
+        encode_frame(buf, req.opcode(), req_id, shard_hint(req), |b| {
             req.encode_payload(b)
         });
-        if let Err(e) = conn.stream.write_all(&buf) {
+        if let Err(e) = conn.stream.write_all(buf) {
             // The write failed before the request could have been accepted:
             // withdraw the pending entry and tear the lane down so the next
             // send reconnects.

@@ -3,6 +3,7 @@
 //! propagates backpressure to the socket.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// An unbounded, closeable MPSC queue of encoded frames feeding one writer
@@ -80,6 +81,27 @@ impl OutQueue {
         }
     }
 
+    /// Blocking batch pop: waits like [`pop`](OutQueue::pop), then drains up
+    /// to `max` frames into `out` in FIFO order. Returns the number
+    /// appended; `0` means closed and fully drained. One lock acquisition
+    /// amortizes over the whole burst — the writer loop coalesces the
+    /// drained frames into a single socket write.
+    pub fn pop_batch(&self, out: &mut Vec<Vec<u8>>, max: usize) -> usize {
+        assert!(max >= 1, "batch size must be at least 1");
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            if !st.frames.is_empty() {
+                let n = st.frames.len().min(max);
+                out.extend(st.frames.drain(..n));
+                return n;
+            }
+            if st.closed {
+                return 0;
+            }
+            st = self.inner.cv.wait(st).unwrap();
+        }
+    }
+
     /// Close the queue: producers become no-ops, the writer drains then
     /// ends.
     pub fn close(&self) {
@@ -103,15 +125,23 @@ pub struct Window {
     inner: Arc<WindowInner>,
 }
 
-struct WindowInner {
-    state: Mutex<WindowState>,
-    cv: Condvar,
-    cap: usize,
-}
+/// High bit of the window word: closed.
+const WIN_CLOSED: u64 = 1 << 63;
+/// Low bits: the in-flight count.
+const WIN_COUNT: u64 = WIN_CLOSED - 1;
 
-struct WindowState {
-    in_flight: usize,
-    closed: bool,
+struct WindowInner {
+    /// In-flight count (low bits) + closed flag (high bit). The acquire and
+    /// release fast paths are single CAS/fetch ops on this word; the
+    /// mutex/condvar pair below is touched only when the reader is actually
+    /// parked at the cap (same wakeup protocol as the submission ring —
+    /// DESIGN.md §13).
+    state: AtomicU64,
+    /// Parked acquirers (0 or 1: one reader per connection).
+    waiters: AtomicU64,
+    park: Mutex<()>,
+    cv: Condvar,
+    cap: u64,
 }
 
 impl Clone for Window {
@@ -128,50 +158,72 @@ impl Window {
         assert!(cap >= 1, "window must admit at least one request");
         Window {
             inner: Arc::new(WindowInner {
-                state: Mutex::new(WindowState {
-                    in_flight: 0,
-                    closed: false,
-                }),
+                state: AtomicU64::new(0),
+                waiters: AtomicU64::new(0),
+                park: Mutex::new(()),
                 cv: Condvar::new(),
-                cap,
+                cap: cap as u64,
             }),
         }
     }
 
     /// Block until a slot frees up (or the window closes). Returns `false`
-    /// if closed — the reader should stop.
+    /// if closed — the reader should stop. Lock-free while slots are
+    /// available; parks only at the cap.
     pub fn acquire(&self) -> bool {
-        let mut st = self.inner.state.lock().unwrap();
+        let inner = &*self.inner;
         loop {
-            if st.closed {
+            let st = inner.state.load(Ordering::Acquire);
+            if st & WIN_CLOSED != 0 {
                 return false;
             }
-            if st.in_flight < self.inner.cap {
-                st.in_flight += 1;
-                return true;
+            if st & WIN_COUNT < inner.cap {
+                if inner
+                    .state
+                    .compare_exchange_weak(st, st + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    return true;
+                }
+                continue;
             }
-            st = self.inner.cv.wait(st).unwrap();
+            // At cap: park. Register in `waiters` and re-check under the
+            // lock so a concurrent release/close (which reads `waiters`
+            // behind a SeqCst fence) cannot slip through unnoticed.
+            let guard = inner.park.lock().unwrap();
+            inner.waiters.fetch_add(1, Ordering::SeqCst);
+            fence(Ordering::SeqCst);
+            let st = inner.state.load(Ordering::SeqCst);
+            if st & WIN_CLOSED == 0 && st & WIN_COUNT >= inner.cap {
+                let _guard = inner.cv.wait(guard).unwrap();
+            }
+            inner.waiters.fetch_sub(1, Ordering::SeqCst);
         }
     }
 
-    /// Return a slot (response queued). Safe to call from any thread.
+    /// Return a slot (response queued). Safe to call from any thread; a
+    /// single `fetch_sub` unless the reader is parked at the cap.
     pub fn release(&self) {
-        let mut st = self.inner.state.lock().unwrap();
-        debug_assert!(st.in_flight > 0, "release without acquire");
-        st.in_flight = st.in_flight.saturating_sub(1);
-        drop(st);
-        self.inner.cv.notify_one();
+        let inner = &*self.inner;
+        let prev = inner.state.fetch_sub(1, Ordering::SeqCst);
+        debug_assert!(prev & WIN_COUNT > 0, "release without acquire");
+        fence(Ordering::SeqCst);
+        if inner.waiters.load(Ordering::SeqCst) > 0 {
+            drop(inner.park.lock().unwrap());
+            inner.cv.notify_one();
+        }
     }
 
     /// Unblock any reader waiting on the window (connection teardown).
     pub fn close(&self) {
-        self.inner.state.lock().unwrap().closed = true;
+        self.inner.state.fetch_or(WIN_CLOSED, Ordering::SeqCst);
+        drop(self.inner.park.lock().unwrap());
         self.inner.cv.notify_all();
     }
 
     /// Currently in-flight requests.
     pub fn in_flight(&self) -> usize {
-        self.inner.state.lock().unwrap().in_flight
+        (self.inner.state.load(Ordering::SeqCst) & WIN_COUNT) as usize
     }
 }
 
@@ -200,6 +252,68 @@ mod tests {
         std::thread::sleep(Duration::from_millis(10));
         q.close();
         assert_eq!(j.join().unwrap(), None);
+    }
+
+    #[test]
+    fn out_queue_pop_batch_drains_bursts_then_ends() {
+        let q = OutQueue::new();
+        for i in 0..5u8 {
+            q.push(vec![i]);
+        }
+        let mut out = Vec::new();
+        // Capped at `max`, FIFO prefix first.
+        assert_eq!(q.pop_batch(&mut out, 3), 3);
+        assert_eq!(out, vec![vec![0], vec![1], vec![2]]);
+        // The remainder comes in one call; close-then-drain still ends with 0.
+        q.close();
+        assert_eq!(q.pop_batch(&mut out, 64), 2);
+        assert_eq!(out.len(), 5);
+        assert_eq!(q.pop_batch(&mut out, 64), 0, "closed + drained ends");
+    }
+
+    #[test]
+    fn out_queue_pop_batch_blocks_until_work_or_close() {
+        let q = OutQueue::new();
+        let q2 = q.clone();
+        let j = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            (q2.pop_batch(&mut out, 8), out)
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        q.push(vec![7]);
+        assert_eq!(j.join().unwrap(), (1, vec![vec![7]]));
+
+        let q2 = q.clone();
+        let j = std::thread::spawn(move || q2.pop_batch(&mut Vec::new(), 8));
+        std::thread::sleep(Duration::from_millis(10));
+        q.close();
+        assert_eq!(j.join().unwrap(), 0, "close releases a blocked batch pop");
+    }
+
+    /// Ping-pong stress across the parking protocol: an acquirer racing a
+    /// releaser at cap must neither deadlock (lost wakeup) nor over-admit.
+    #[test]
+    fn window_stress_ping_pong_at_cap() {
+        let w = Window::new(1);
+        const ROUNDS: u64 = 20_000;
+        std::thread::scope(|s| {
+            let w2 = w.clone();
+            s.spawn(move || {
+                for _ in 0..ROUNDS {
+                    assert!(w2.acquire(), "window closed mid-test");
+                }
+            });
+            for _ in 0..ROUNDS {
+                // Busy-wait until the acquirer holds the slot, then hand it
+                // back — every release races the next parked acquire.
+                while w.in_flight() == 0 {
+                    std::hint::spin_loop();
+                }
+                assert_eq!(w.in_flight(), 1, "cap-1 window must never over-admit");
+                w.release();
+            }
+        });
+        assert_eq!(w.in_flight(), 0);
     }
 
     #[test]

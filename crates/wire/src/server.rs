@@ -25,13 +25,25 @@
 use crate::conn::{OutQueue, Window};
 use crate::frame::{decode_frame, encode_frame, ErrorCode, FrameError, ReadBuf};
 use crate::tables::{Reply, Request, Tables, TablesConfig};
+use crossbeam_utils::CachePadded;
 use lsa_engine::TxnEngine;
-use lsa_service::{ServiceConfig, ServiceHandle, ServiceReport, SubmitError, TxnService};
+use lsa_service::pool::{Pool, PoolStats, WeakPool};
+use lsa_service::{
+    RunRequest, ServiceConfig, ServiceHandle, ServiceReport, SubmitError, TxnService,
+};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+
+/// Frames the writer drains from the out queue per wakeup; the burst is
+/// coalesced into one gather buffer and hits the socket as a single
+/// `write_all` instead of one syscall per reply.
+const WRITER_BATCH: usize = 64;
+
+/// Free reply-encode buffers the server retains across all connections.
+const BUF_POOL_CAP: usize = 2048;
 
 /// Wire-server construction parameters.
 #[derive(Clone, Copy, Debug)]
@@ -61,14 +73,63 @@ impl Default for ServerConfig {
     }
 }
 
-/// Shared server state: shutdown flag, connection registry, wire counters.
+/// Shared server state: shutdown flag, connection registry, wire counters,
+/// and the reply-buffer pool. The counters are cache-line padded — they are
+/// bumped from every reader, worker, and writer thread, and without padding
+/// the frame counters false-share with each other and with the shutdown
+/// flag.
 struct ServerShared {
     shutdown: AtomicBool,
     conns: Mutex<Vec<ConnHandle>>,
-    accepted: AtomicU64,
-    frames_in: AtomicU64,
-    frames_out: AtomicU64,
-    protocol_errors: AtomicU64,
+    accepted: CachePadded<AtomicU64>,
+    frames_in: CachePadded<AtomicU64>,
+    frames_out: CachePadded<AtomicU64>,
+    protocol_errors: CachePadded<AtomicU64>,
+    /// Recycled reply-encode buffers: `queue_reply` takes one, the writer
+    /// returns it after the frame hits the socket.
+    buf_pool: Pool<Vec<u8>>,
+}
+
+/// Everything a request needs to answer on its connection, shared once per
+/// connection instead of cloned per request: the old closure path cloned
+/// four `Arc`s into a fresh box per request; a [`WireJob`] carries one
+/// `Arc<ConnCtx>` and is itself pooled.
+struct ConnCtx<E: TxnEngine> {
+    tables: Tables<E>,
+    out: OutQueue,
+    window: Window,
+    shared: Arc<ServerShared>,
+}
+
+/// A pooled request record for the serving hot path (see
+/// [`RunRequest`]): armed by the reader with the decoded request and its
+/// connection context, executed on a service worker, recycled to the
+/// server-wide job pool. At steady state submission allocates nothing.
+struct WireJob<E: TxnEngine> {
+    /// Armed with the connection context; taken by `run`.
+    ctx: Option<Arc<ConnCtx<E>>>,
+    req: Request,
+    req_id: u64,
+    /// Home pool (weak: pooled jobs must not keep the pool alive).
+    home: WeakPool<Box<WireJob<E>>>,
+}
+
+impl<E: TxnEngine> RunRequest<E> for WireJob<E> {
+    fn run(&mut self, handle: &mut E::Handle) {
+        let ctx = self.ctx.take().expect("job armed before submission");
+        let reply = ctx.tables.apply(handle, &self.req);
+        queue_reply(&ctx.shared, &ctx.out, self.req_id, reply);
+        ctx.window.release();
+    }
+
+    fn recycle(mut self: Box<Self>) {
+        // Drop the context even when `run` never executed (shed path): a
+        // pooled job must not pin a dead connection's queues.
+        self.ctx = None;
+        if let Some(pool) = self.home.upgrade() {
+            pool.put(self);
+        }
+    }
 }
 
 /// A live connection's teardown handles.
@@ -94,6 +155,11 @@ pub struct WireReport {
     pub frames_out: u64,
     /// Connections torn down on malformed frame streams.
     pub protocol_errors: u64,
+    /// Request-record pool traffic: hits mean a request was served without
+    /// allocating its record.
+    pub job_pool: PoolStats,
+    /// Reply-encode buffer pool traffic.
+    pub buf_pool: PoolStats,
 }
 
 /// A TCP front-end serving [`Request`]s against [`Tables`] hosted on any
@@ -103,6 +169,7 @@ pub struct WireServer<E: TxnEngine> {
     tables: Tables<E>,
     service: Option<TxnService<E>>,
     shared: Arc<ServerShared>,
+    job_pool: Pool<Box<WireJob<E>>>,
     accept: Option<JoinHandle<()>>,
     addr: SocketAddr,
 }
@@ -125,16 +192,22 @@ impl<E: TxnEngine> WireServer<E> {
         let shared = Arc::new(ServerShared {
             shutdown: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
-            accepted: AtomicU64::new(0),
-            frames_in: AtomicU64::new(0),
-            frames_out: AtomicU64::new(0),
-            protocol_errors: AtomicU64::new(0),
+            accepted: CachePadded::new(AtomicU64::new(0)),
+            frames_in: CachePadded::new(AtomicU64::new(0)),
+            frames_out: CachePadded::new(AtomicU64::new(0)),
+            protocol_errors: CachePadded::new(AtomicU64::new(0)),
+            buf_pool: Pool::new(BUF_POOL_CAP),
         });
+        // Sized past the in-flight high-water mark (every queue slot full
+        // plus a worker batch in hand) so steady state never overflows it.
+        let job_pool: Pool<Box<WireJob<E>>> =
+            Pool::new(cfg.workers * cfg.queue_depth + cfg.window + 64);
         let accept = {
             let shared = Arc::clone(&shared);
             let tables = tables.clone();
+            let job_pool = job_pool.clone();
             std::thread::spawn(move || {
-                accept_loop(listener, shared, tables, handle, cfg.window);
+                accept_loop(listener, shared, tables, handle, job_pool, cfg.window);
             })
         };
         Ok(WireServer {
@@ -142,6 +215,7 @@ impl<E: TxnEngine> WireServer<E> {
             tables,
             service: Some(service),
             shared,
+            job_pool,
             accept: Some(accept),
             addr: local,
         })
@@ -197,6 +271,8 @@ impl<E: TxnEngine> WireServer<E> {
             frames_in: self.shared.frames_in.load(Ordering::Relaxed),
             frames_out: self.shared.frames_out.load(Ordering::Relaxed),
             protocol_errors: self.shared.protocol_errors.load(Ordering::Relaxed),
+            job_pool: self.job_pool.stats(),
+            buf_pool: self.shared.buf_pool.stats(),
         }
     }
 }
@@ -230,6 +306,7 @@ fn accept_loop<E: TxnEngine>(
     shared: Arc<ServerShared>,
     tables: Tables<E>,
     service: ServiceHandle<E>,
+    job_pool: Pool<Box<WireJob<E>>>,
     window_cap: usize,
 ) {
     for stream in listener.incoming() {
@@ -244,18 +321,21 @@ fn accept_loop<E: TxnEngine>(
         shared.accepted.fetch_add(1, Ordering::Relaxed);
         let out = OutQueue::new();
         let window = Window::new(window_cap);
+        let ctx = Arc::new(ConnCtx {
+            tables: tables.clone(),
+            out: out.clone(),
+            window: window.clone(),
+            shared: Arc::clone(&shared),
+        });
         let reader = {
             let stream = match stream.try_clone() {
                 Ok(s) => s,
                 Err(_) => continue,
             };
-            let shared = Arc::clone(&shared);
-            let tables = tables.clone();
             let service = service.clone();
-            let out = out.clone();
-            let window = window.clone();
+            let job_pool = job_pool.clone();
             std::thread::spawn(move || {
-                reader_loop(stream, shared, tables, service, out, window);
+                reader_loop(stream, ctx, service, job_pool);
             })
         };
         let writer = {
@@ -263,8 +343,9 @@ fn accept_loop<E: TxnEngine>(
                 Ok(s) => s,
                 Err(_) => continue,
             };
+            let shared = Arc::clone(&shared);
             let out = out.clone();
-            std::thread::spawn(move || writer_loop(stream, out))
+            std::thread::spawn(move || writer_loop(stream, out, shared))
         };
         shared.conns.lock().unwrap().push(ConnHandle {
             stream,
@@ -276,9 +357,15 @@ fn accept_loop<E: TxnEngine>(
     }
 }
 
-/// Encode `reply` for `req_id` and queue it on the connection.
+/// Encode `reply` for `req_id` and queue it on the connection. The encode
+/// buffer comes from the server's pool (the writer returns it after the
+/// frame hits the socket), so steady-state replies allocate nothing.
 fn queue_reply(shared: &ServerShared, out: &OutQueue, req_id: u64, reply: Reply) {
-    let mut buf = Vec::with_capacity(32);
+    let mut buf = shared
+        .buf_pool
+        .get()
+        .unwrap_or_else(|| Vec::with_capacity(64));
+    buf.clear();
     encode_frame(&mut buf, reply.opcode(), req_id, None, |b| {
         reply.encode_payload(b)
     });
@@ -288,12 +375,11 @@ fn queue_reply(shared: &ServerShared, out: &OutQueue, req_id: u64, reply: Reply)
 
 fn reader_loop<E: TxnEngine>(
     mut stream: TcpStream,
-    shared: Arc<ServerShared>,
-    tables: Tables<E>,
+    ctx: Arc<ConnCtx<E>>,
     service: ServiceHandle<E>,
-    out: OutQueue,
-    window: Window,
+    job_pool: Pool<Box<WireJob<E>>>,
 ) {
+    let shared = Arc::clone(&ctx.shared);
     let mut rb = ReadBuf::new();
     let mut chunk = vec![0u8; 64 * 1024];
     'conn: loop {
@@ -313,9 +399,7 @@ fn reader_loop<E: TxnEngine>(
                     match Request::decode(&frame) {
                         Ok(req) => {
                             rb.consume(consumed);
-                            if !submit_request(
-                                &shared, &tables, &service, &out, &window, req_id, shard, req,
-                            ) {
+                            if !submit_request(&ctx, &service, &job_pool, req_id, shard, req) {
                                 break 'conn; // service closed / window closed
                             }
                         }
@@ -323,7 +407,12 @@ fn reader_loop<E: TxnEngine>(
                             // Framing was sound — answer the request with a
                             // typed error and keep the stream.
                             rb.consume(consumed);
-                            queue_reply(&shared, &out, req_id, Reply::Error(ErrorCode::BadPayload));
+                            queue_reply(
+                                &shared,
+                                &ctx.out,
+                                req_id,
+                                Reply::Error(ErrorCode::BadPayload),
+                            );
                         }
                         Err(_) => unreachable!("Request::decode only raises BadPayload"),
                     }
@@ -337,12 +426,12 @@ fn reader_loop<E: TxnEngine>(
                         FrameError::VersionSkew { .. } => ErrorCode::WrongDirection,
                         _ => ErrorCode::BadPayload,
                     };
-                    queue_reply(&shared, &out, 0, Reply::Error(code));
+                    queue_reply(&shared, &ctx.out, 0, Reply::Error(code));
                     // Close-then-drain: the writer flushes the error frame,
                     // then shuts the write half down so the peer sees EOF.
                     // (On a plain peer EOF the queue stays open — in-flight
                     // replies still need the writer.)
-                    out.close();
+                    ctx.out.close();
                     break 'conn;
                 }
             }
@@ -354,59 +443,89 @@ fn reader_loop<E: TxnEngine>(
     let _ = stream.shutdown(Shutdown::Read);
 }
 
-/// Submit one decoded request. Returns `false` when the connection should
-/// stop reading (service closed or window torn down).
-#[allow(clippy::too_many_arguments)]
+/// Submit one decoded request as a pooled record. Returns `false` when the
+/// connection should stop reading (service closed or window torn down).
 fn submit_request<E: TxnEngine>(
-    shared: &Arc<ServerShared>,
-    tables: &Tables<E>,
+    ctx: &Arc<ConnCtx<E>>,
     service: &ServiceHandle<E>,
-    out: &OutQueue,
-    window: &Window,
+    job_pool: &Pool<Box<WireJob<E>>>,
     req_id: u64,
     shard: Option<usize>,
     req: Request,
 ) -> bool {
     // Bounded in-flight window: block the reader (and thereby the socket)
     // until a slot frees up.
-    if !window.acquire() {
+    if !ctx.window.acquire() {
         return false;
     }
-    let job = {
-        let tables = tables.clone();
-        let out = out.clone();
-        let window = window.clone();
-        let shared = Arc::clone(shared);
-        move |handle: &mut E::Handle| {
-            let reply = tables.apply(handle, &req);
-            queue_reply(&shared, &out, req_id, reply);
-            window.release();
-        }
-    };
-    match service.submit_to(shard, job) {
-        Ok(_completion) => true, // the job itself writes the response
-        Err(SubmitError::Overloaded) => {
+    // Arm a recycled record (or allocate one on a cold pool): one pointer-
+    // sized context handle plus the `Copy` request — no per-request boxes,
+    // no oneshot.
+    let mut job = job_pool.get().unwrap_or_else(|| {
+        Box::new(WireJob {
+            ctx: None,
+            req: Request::Ping,
+            req_id: 0,
+            home: job_pool.downgrade(),
+        })
+    });
+    job.ctx = Some(Arc::clone(ctx));
+    job.req = req;
+    job.req_id = req_id;
+    match service.submit_record(shard, job) {
+        Ok(()) => true, // the record itself writes the response
+        Err((SubmitError::Overloaded, record)) => {
             // Shed by admission control: the typed overload response IS the
-            // answer — the client sees every shed explicitly.
-            queue_reply(shared, out, req_id, Reply::Overloaded);
-            window.release();
+            // answer — the client sees every shed explicitly. The refused
+            // record goes straight back to the pool.
+            queue_reply(&ctx.shared, &ctx.out, req_id, Reply::Overloaded);
+            ctx.window.release();
+            record.recycle();
             true
         }
-        Err(SubmitError::Closed) => {
-            queue_reply(shared, out, req_id, Reply::Error(ErrorCode::Shutdown));
-            window.release();
+        Err((SubmitError::Closed, record)) => {
+            queue_reply(
+                &ctx.shared,
+                &ctx.out,
+                req_id,
+                Reply::Error(ErrorCode::Shutdown),
+            );
+            ctx.window.release();
+            record.recycle();
             false
         }
     }
 }
 
-fn writer_loop(mut stream: TcpStream, out: OutQueue) {
-    while let Some(frame) = out.pop() {
-        if stream.write_all(&frame).is_err() {
+fn writer_loop(mut stream: TcpStream, out: OutQueue, shared: Arc<ServerShared>) {
+    let mut frames: Vec<Vec<u8>> = Vec::with_capacity(WRITER_BATCH);
+    let mut gather: Vec<u8> = Vec::with_capacity(16 * 1024);
+    loop {
+        frames.clear();
+        if out.pop_batch(&mut frames, WRITER_BATCH) == 0 {
+            break; // closed and fully drained: flush semantics preserved
+        }
+        // Coalesce the burst into one socket write. A lone frame skips the
+        // gather copy; a backlog becomes a single syscall instead of one
+        // per reply.
+        let wrote = if frames.len() == 1 {
+            stream.write_all(&frames[0])
+        } else {
+            gather.clear();
+            for f in &frames {
+                gather.extend_from_slice(f);
+            }
+            stream.write_all(&gather)
+        };
+        if wrote.is_err() {
             // The peer is gone; drain the queue so completion pushes never
             // accumulate, then exit with it.
             while out.pop().is_some() {}
             return;
+        }
+        // Frames are on the wire: recycle their buffers for `queue_reply`.
+        for f in frames.drain(..) {
+            shared.buf_pool.put(f);
         }
     }
     let _ = stream.shutdown(Shutdown::Write);
