@@ -271,12 +271,17 @@ fn main() {
         println!("{label:<40} {ns:>12.1} ns/op");
     }
     if let Ok(path) = std::env::var("LSA_BENCH_JSON") {
-        let entries: Vec<String> = benches
-            .iter()
-            .map(|(label, ns)| format!("{{\"name\":\"{label}\",\"ns_per_op\":{ns:.1}}}"))
-            .collect();
-        let doc = format!("{{\"benches\":[{}]}}\n", entries.join(","));
-        std::fs::write(&path, doc).unwrap_or_else(|e| {
+        use lsa_harness::Json;
+        let doc = Json::obj([(
+            "benches",
+            Json::arr(benches.iter().map(|(label, ns)| {
+                Json::obj([
+                    ("name", Json::str(*label)),
+                    ("ns_per_op", Json::Fixed(*ns, 1)),
+                ])
+            })),
+        )]);
+        doc.write_file(&path).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(2);
         });

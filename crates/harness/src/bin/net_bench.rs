@@ -21,7 +21,7 @@
 //! Honours `LSA_MEASURE_MS` (per-point submission window) and `LSA_CSV=1`.
 
 use lsa_harness::net_bench::{knee_index, KneePoint, NetKind, NetOutcome, NetSpec};
-use lsa_harness::{f2, measure_window, RangeSpec, Table};
+use lsa_harness::{f2, measure_window, Json, RangeSpec, Table};
 
 struct Args {
     kinds: Vec<NetKind>,
@@ -143,38 +143,37 @@ const DEFAULT_CELLS: [(&str, &str); 3] = [
     ("tl2", "shared-counter"),
 ];
 
-/// One sweep point as a JSON object (std-only formatting — the repo
-/// carries no serde).
-fn point_json(kind: NetKind, engine: &str, tb: &str, rate: f64, out: &NetOutcome) -> String {
-    format!(
-        "{{\"kind\":\"{}\",\"engine\":\"{}\",\"time_base\":\"{}\",\"rate\":{:.0},\
-         \"offered\":{},\"completed\":{},\"shed\":{},\"errors\":{},\
-         \"throughput\":{:.0},\"shed_rate\":{:.4},\
-         \"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"max_ns\":{},\
-         \"frames_in\":{},\"frames_out\":{},\"protocol_errors\":{},\
-         \"hist_merges\":{},\"job_pool_hit\":{:.4},\"buf_pool_hit\":{:.4}}}",
-        kind.name(),
-        engine,
-        tb,
-        rate,
-        out.offered,
-        out.completed,
-        out.shed,
-        out.errors,
-        out.throughput(),
-        out.shed_rate(),
-        out.latency.p50(),
-        out.latency.p90(),
-        out.latency.p99(),
-        out.latency.p999(),
-        out.latency.max_ns(),
-        out.report.frames_in,
-        out.report.frames_out,
-        out.report.protocol_errors,
-        out.hist_merges,
-        out.report.job_pool.hit_rate(),
-        out.report.buf_pool.hit_rate(),
-    )
+/// One sweep point as a JSON object (shared `lsa_harness::Json` emitter).
+fn point_json(kind: NetKind, engine: &str, tb: &str, rate: f64, out: &NetOutcome) -> Json {
+    Json::obj([
+        ("kind", Json::str(kind.name())),
+        ("engine", Json::str(engine)),
+        ("time_base", Json::str(tb)),
+        ("rate", Json::Fixed(rate, 0)),
+        ("offered", Json::U64(out.offered)),
+        ("completed", Json::U64(out.completed)),
+        ("shed", Json::U64(out.shed)),
+        ("errors", Json::U64(out.errors)),
+        ("throughput", Json::Fixed(out.throughput(), 0)),
+        ("shed_rate", Json::Fixed(out.shed_rate(), 4)),
+        ("p50_ns", Json::U64(out.latency.p50())),
+        ("p90_ns", Json::U64(out.latency.p90())),
+        ("p99_ns", Json::U64(out.latency.p99())),
+        ("p999_ns", Json::U64(out.latency.p999())),
+        ("max_ns", Json::U64(out.latency.max_ns())),
+        ("frames_in", Json::U64(out.report.frames_in)),
+        ("frames_out", Json::U64(out.report.frames_out)),
+        ("protocol_errors", Json::U64(out.report.protocol_errors)),
+        ("hist_merges", Json::U64(out.hist_merges)),
+        (
+            "job_pool_hit",
+            Json::Fixed(out.report.job_pool.hit_rate(), 4),
+        ),
+        (
+            "buf_pool_hit",
+            Json::Fixed(out.report.buf_pool.hit_rate(), 4),
+        ),
+    ])
 }
 
 fn main() {
@@ -295,8 +294,8 @@ fn main() {
     }
     t.print();
     if let Some(path) = &args.json {
-        let doc = format!("{{\"points\":[{}]}}\n", json_points.join(","));
-        std::fs::write(path, doc).unwrap_or_else(|e| {
+        let doc = Json::obj([("points", Json::Arr(json_points))]);
+        doc.write_file(path).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(2);
         });

@@ -36,7 +36,7 @@
 
 use lsa_engine::MemoryStats;
 use lsa_harness::service_bench::{run_memory_ceiling, RequestKind, ServiceSpec};
-use lsa_harness::{f2, f3, measure_window, RangeSpec, Table};
+use lsa_harness::{f2, f3, measure_window, Json, RangeSpec, Table};
 use lsa_workloads::PlacementHint;
 
 struct Args {
@@ -171,14 +171,15 @@ const DEFAULT_CELLS: [(&str, &str); 5] = [
     ("validation", "commit-counter"),
 ];
 
-/// One memory sample as a JSON object (std-only formatting — the repo
-/// carries no serde).
-fn mem_json(m: &MemoryStats) -> String {
-    format!(
-        "{{\"versions_live\":{},\"versions_retired\":{},\"versions_reclaimed\":{},\
-         \"arena_bytes\":{},\"watermark_lag\":{}}}",
-        m.versions_live, m.versions_retired, m.versions_reclaimed, m.arena_bytes, m.watermark_lag
-    )
+/// One memory sample as a JSON object (shared `lsa_harness::Json` emitter).
+fn mem_json(m: &MemoryStats) -> Json {
+    Json::obj([
+        ("versions_live", Json::U64(m.versions_live)),
+        ("versions_retired", Json::U64(m.versions_retired)),
+        ("versions_reclaimed", Json::U64(m.versions_reclaimed)),
+        ("arena_bytes", Json::U64(m.arena_bytes)),
+        ("watermark_lag", Json::U64(m.watermark_lag)),
+    ])
 }
 
 /// `--mem-ceiling`: sustained open-loop load on the multi-version LSA cell
@@ -224,23 +225,21 @@ fn run_mem_ceiling_mode(args: &Args) -> ! {
         if ok { "OK" } else { "FAILED" },
     );
     if let Some(path) = &args.mem_json {
-        let samples: Vec<String> = report.samples.iter().map(mem_json).collect();
-        let doc = format!(
-            "{{\"kind\":\"{}\",\"engine\":\"lsa-rt\",\"time_base\":\"shared-counter\",\
-             \"rate\":{},\"rounds\":{},\"round_ms\":{},\"offered\":{},\"completed\":{},\
-             \"shed\":{},\"plateaued\":{},\"samples\":[{}],\"final\":{}}}\n",
-            kind.name(),
-            spec.rate,
-            args.rounds,
-            spec.duration.as_millis(),
-            report.outcome.offered,
-            report.outcome.completed,
-            report.outcome.shed,
-            ok,
-            samples.join(","),
-            mem_json(&report.outcome.engine.memory),
-        );
-        std::fs::write(path, doc).unwrap_or_else(|e| {
+        let doc = Json::obj([
+            ("kind", Json::str(kind.name())),
+            ("engine", Json::str("lsa-rt")),
+            ("time_base", Json::str("shared-counter")),
+            ("rate", Json::Fixed(spec.rate, 0)),
+            ("rounds", Json::U64(args.rounds as u64)),
+            ("round_ms", Json::U64(spec.duration.as_millis() as u64)),
+            ("offered", Json::U64(report.outcome.offered)),
+            ("completed", Json::U64(report.outcome.completed)),
+            ("shed", Json::U64(report.outcome.shed)),
+            ("plateaued", Json::Bool(ok)),
+            ("samples", Json::arr(report.samples.iter().map(mem_json))),
+            ("final", mem_json(&report.outcome.engine.memory)),
+        ]);
+        doc.write_file(path).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(2);
         });

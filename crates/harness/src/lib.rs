@@ -22,7 +22,8 @@
 //! percentiles, shed accounting), [`net_bench`] (the same open-loop lens
 //! over a real loopback socket through `lsa-wire`, plus the saturation-knee
 //! locator), [`args`] (the shared `N`/`A..B` sweep-range syntax),
-//! [`table`] (text/CSV output), [`altix_sim`]
+//! [`table`] (text/CSV output), [`json`] (the one JSON emitter behind every
+//! `BENCH_*.json` artifact), [`altix_sim`]
 //! (the discrete-event model of the paper's 16-CPU ccNUMA testbed — the
 //! documented substitution for hardware this reproduction does not have).
 //!
@@ -34,6 +35,7 @@
 
 pub mod altix_sim;
 pub mod args;
+pub mod json;
 pub mod net_bench;
 pub mod registry;
 pub mod runner;
@@ -42,6 +44,7 @@ pub mod table;
 
 pub use altix_sim::{simulate, AltixParams, SimPoint, SimTimeBase};
 pub use args::RangeSpec;
+pub use json::Json;
 pub use net_bench::{knee_index, run_net_bench, KneePoint, NetKind, NetOutcome, NetSpec};
 pub use registry::{default_registry, run_workload, EngineEntry, Workload};
 pub use runner::{measure_window, run_for, run_steps, BenchWorker, RunOutcome};

@@ -118,6 +118,15 @@ pub struct NetOutcome {
     /// The server's own accounting (frames, sheds, protocol errors,
     /// service report).
     pub report: WireReport,
+    /// A `Stats` scrape sent over the live wire at the halfway point of the
+    /// submission window: the server's registry snapshot (JSON), taken
+    /// while the workload was in flight. `None` only if the scrape's reply
+    /// was lost with the connection.
+    pub mid_scrape: Option<String>,
+    /// `Stats` requests the generator sent alongside the workload. They
+    /// ride the frame counters (`frames_in`/`frames_out`) but not the
+    /// service queues, so `report.frames_in == offered + scrapes`.
+    pub scrapes: u64,
 }
 
 impl NetOutcome {
@@ -273,10 +282,26 @@ pub fn run_net_bench<E: TxnEngine>(engine: E, spec: &NetSpec) -> NetOutcome {
     );
     let mut rng = FastRng::new(0x0b5e_55ed);
 
+    let mid_scrape: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+    let mut scrapes = 0u64;
+
     let start = Instant::now();
     let mut offered = 0u64;
     while start.elapsed() < spec.duration {
         wait_until(start + Duration::from_secs_f64(offered as f64 / spec.rate));
+        // One live scrape at halftime, over the same wire the workload is
+        // using: fire-and-forget so the arrival schedule is not perturbed.
+        if scrapes == 0 && start.elapsed() >= spec.duration / 2 {
+            if let Ok(pending) = client.send(&Request::Stats) {
+                scrapes += 1;
+                let slot = Arc::clone(&mid_scrape);
+                ex.spawn(async move {
+                    if let Ok(Reply::Stats(json)) = pending.await {
+                        *slot.lock().unwrap() = String::from_utf8(json).ok();
+                    }
+                });
+            }
+        }
         let req = draw_request(spec.kind, &mut rng, &tables);
         let submitted = Instant::now();
         match client.send(&req) {
@@ -324,6 +349,7 @@ pub fn run_net_bench<E: TxnEngine>(engine: E, spec: &NetSpec) -> NetOutcome {
         latency.merge(&lane.into_inner().unwrap());
         hist_merges += 1;
     }
+    let mid_scrape = mid_scrape.lock().unwrap().take();
     NetOutcome {
         offered,
         completed: done.load(Ordering::Relaxed),
@@ -333,6 +359,8 @@ pub fn run_net_bench<E: TxnEngine>(engine: E, spec: &NetSpec) -> NetOutcome {
         latency,
         hist_merges,
         report,
+        mid_scrape,
+        scrapes,
     }
 }
 
@@ -369,11 +397,18 @@ mod tests {
             "one per-lane histogram merged per client connection"
         );
         // Both sides agree: the server read one frame per offered request
-        // and wrote one reply per request (sheds included).
-        assert_eq!(out.report.frames_in, out.offered);
-        assert_eq!(out.report.frames_out, out.offered);
+        // (plus the halftime stats scrape) and wrote one reply per frame.
+        assert_eq!(out.report.frames_in, out.offered + out.scrapes);
+        assert_eq!(out.report.frames_out, out.offered + out.scrapes);
         assert_eq!(out.report.service.shed, out.shed);
         assert_eq!(out.report.protocol_errors, 0);
+        // The halftime scrape crossed the live wire and carries all three
+        // layers of the metrics surface.
+        assert_eq!(out.scrapes, 1, "one stats scrape per run");
+        let scrape = out.mid_scrape.expect("stats reply resolved");
+        assert!(scrape.contains("\"wire.frames_in\""));
+        assert!(scrape.contains("\"service.submitted\""));
+        assert!(scrape.contains("\"engine.commits\""));
     }
 
     #[test]

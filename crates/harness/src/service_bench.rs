@@ -117,6 +117,11 @@ pub struct ServiceOutcome {
     /// reuse a recycled record (`hits`), so a high hit rate demonstrates
     /// the steady-state serving path allocates nothing per request.
     pub pool: PoolStats,
+    /// A metrics-registry snapshot (JSON) taken at the halfway point of the
+    /// submission window, while workers were mid-flight — the in-process
+    /// twin of the wire-served `Stats` scrape. `None` for runs that skip
+    /// the scrape (memory-ceiling rounds).
+    pub mid_scrape: Option<String>,
 }
 
 impl ServiceOutcome {
@@ -479,10 +484,16 @@ pub fn run_service_bench<E: TxnEngine>(engine: E, spec: &ServiceSpec) -> Service
 
     let start = Instant::now();
     let mut offered = 0u64;
+    let mut mid_scrape = None;
     while start.elapsed() < spec.duration {
         wait_until(start + Duration::from_secs_f64(offered as f64 / spec.rate));
         mix.submit_one(&svc, &mut rng, &pool);
         offered += 1;
+        // Scrape the registry once at halftime, mid-load: proves the
+        // sharded counters are readable while every worker is writing them.
+        if mid_scrape.is_none() && start.elapsed() >= spec.duration / 2 {
+            mid_scrape = Some(svc.metrics().snapshot_json());
+        }
     }
 
     // Drain: shutdown closes admission and the workers finish every
@@ -505,6 +516,7 @@ pub fn run_service_bench<E: TxnEngine>(engine: E, spec: &ServiceSpec) -> Service
         latency: report.latency,
         engine: engine_stats,
         pool: pool.stats(),
+        mid_scrape,
     }
 }
 
@@ -593,6 +605,7 @@ pub fn run_memory_ceiling<E: TxnEngine>(
             latency: report.latency,
             engine: engine_stats,
             pool: pool.stats(),
+            mid_scrape: None,
         },
     }
 }
@@ -639,6 +652,13 @@ mod tests {
             "steady state must reuse recycled records: {:?}",
             out.pool
         );
+        // The halftime scrape happened under live load and carries the
+        // engine- and service-level metric names.
+        let scrape = out.mid_scrape.expect("halftime registry scrape");
+        assert!(scrape.contains("\"service.submitted\""));
+        assert!(scrape.contains("\"service.queue_depth\""));
+        assert!(scrape.contains("\"engine.commits\""));
+        assert!(scrape.contains("\"time.commit_ts.shared\""));
     }
 
     #[test]

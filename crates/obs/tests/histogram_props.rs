@@ -1,0 +1,105 @@
+//! Property witnesses for the histogram's two load-bearing claims:
+//!
+//! 1. **Quantization error bound**: for any recorded value, any reported
+//!    quantile overshoots the true (sorted-sample) quantile by at most one
+//!    sub-bucket width — ≲3% relative error (1/32 plus one), across the
+//!    full nanosecond domain. The service's p50/p99 tables and the knee
+//!    detector's `p99 > 4×baseline` rule both assume this.
+//! 2. **Merge is associative and commutative**: per-worker and per-lane
+//!    histograms are merged in whatever order threads exit; the merge
+//!    order must not change any reported quantile, count, or max.
+
+use lsa_obs::LatencyHistogram;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// The exact quantile the histogram approximates: the rank-`ceil(q·n)`
+/// order statistic of the recorded values.
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+fn build(values: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &v in values {
+        h.record_ns(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Every reported quantile is ≥ the exact one (bucket upper bounds are
+    /// conservative) and overshoots by at most one sub-bucket width:
+    /// `reported ≤ exact + exact/32 + 1` — the ≤~3% error claim.
+    #[test]
+    fn quantile_error_is_within_one_sub_bucket(
+        values in vec(any::<u64>(), 1..200),
+        q_mil in 0u32..1001u32,
+    ) {
+        let q = q_mil as f64 / 1000.0;
+        let h = build(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let exact = exact_percentile(&sorted, q);
+        let got = h.percentile(q);
+        prop_assert!(got >= exact,
+            "reported quantile must not undershoot: got {got}, exact {exact} (q={q})");
+        let bound = exact.saturating_add(exact / 32).saturating_add(1);
+        prop_assert!(got <= bound,
+            "reported {got} exceeds exact {exact} by more than a sub-bucket (q={q})");
+    }
+
+    /// Merge order is irrelevant: (a ∪ b) ∪ c and a ∪ (b ∪ c) and any
+    /// permutation report identical counts, maxima, and quantiles — and
+    /// they all equal recording every value into one histogram.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in vec(any::<u64>(), 0..60),
+        b in vec(any::<u64>(), 0..60),
+        c in vec(any::<u64>(), 0..60),
+    ) {
+        let mut left = build(&a);          // (a ∪ b) ∪ c
+        left.merge(&build(&b));
+        left.merge(&build(&c));
+
+        let mut right = build(&b);         // a ∪ (b ∪ c), built b-first
+        right.merge(&build(&c));
+        right.merge(&build(&a));
+
+        let mut one = LatencyHistogram::new();
+        for &v in a.iter().chain(&b).chain(&c) {
+            one.record_ns(v);
+        }
+
+        for h in [&left, &right] {
+            prop_assert_eq!(h.count(), one.count());
+            prop_assert_eq!(h.max_ns(), one.max_ns());
+            for q_mil in [0u32, 100, 250, 500, 900, 990, 999, 1000] {
+                let q = q_mil as f64 / 1000.0;
+                prop_assert_eq!(h.percentile(q), one.percentile(q),
+                    "quantile q={} changed under merge order", q);
+            }
+        }
+        // The exported bucket arrays agree exactly, not just the quantiles.
+        let lb: Vec<_> = left.buckets().collect();
+        let rb: Vec<_> = right.buckets().collect();
+        let ob: Vec<_> = one.buckets().collect();
+        prop_assert_eq!(&lb, &ob);
+        prop_assert_eq!(&rb, &ob);
+    }
+
+    /// Merging an empty histogram is the identity.
+    #[test]
+    fn merge_with_empty_is_identity(values in vec(any::<u64>(), 0..100)) {
+        let mut h = build(&values);
+        let before: Vec<_> = h.buckets().collect();
+        h.merge(&LatencyHistogram::new());
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let after: Vec<_> = h.buckets().collect();
+        prop_assert_eq!(before, after);
+    }
+}

@@ -1,292 +1,7 @@
-//! HDR-style bucketed latency histogram.
-//!
-//! Per-request latencies are recorded in nanoseconds into
-//! logarithmically-spaced buckets with linear sub-buckets (the
-//! HdrHistogram layout): values below 2^5 are exact, every octave above is
-//! split into 32 linear sub-buckets, bounding the relative quantization
-//! error at ~3% across the full `u64` range — precise enough for p50/p99
-//! tables at a fixed 15 KiB of memory, with O(1) recording (no allocation,
-//! no sorting on the hot path, unlike keeping raw samples).
-//!
-//! Percentile queries scan the cumulative counts ([`LatencyHistogram::
-//! percentile`] returns each bucket's upper bound, so reported values are
-//! conservative); per-worker histograms merge by bucket-wise addition.
+//! Latency histogram — re-exported from `lsa-obs`, its home since the
+//! observability layer unified latency accounting across the service
+//! workers, the wire lanes, and the metrics registry. The type (and its
+//! HDR-style bucket layout) is unchanged; see [`lsa_obs::histogram`] for
+//! the implementation and its property tests.
 
-use std::time::Duration;
-
-/// log2 of the linear sub-bucket count per octave.
-const SUB_BITS: u32 = 5;
-/// Linear sub-buckets per octave (and size of the exact low range).
-const SUB: usize = 1 << SUB_BITS;
-/// Bucket count: the exact range plus 32 sub-buckets for each octave from
-/// 2^5 up to 2^63.
-const BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
-
-/// A fixed-size latency histogram (nanosecond domain).
-#[derive(Clone)]
-pub struct LatencyHistogram {
-    counts: Box<[u64; BUCKETS]>,
-    count: u64,
-    sum: u128,
-    max: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-fn bucket_index(v: u64) -> usize {
-    if v < SUB as u64 {
-        return v as usize;
-    }
-    let msb = 63 - v.leading_zeros(); // >= SUB_BITS
-    let octave = (msb - SUB_BITS) as usize;
-    // v >> (msb - SUB_BITS) lies in [SUB, 2*SUB); subtracting SUB yields
-    // the linear sub-bucket. For msb == SUB_BITS this continues the exact
-    // range seamlessly (bucket_index(32) == 32).
-    let sub = ((v >> (msb - SUB_BITS)) as usize) - SUB;
-    SUB + octave * SUB + sub
-}
-
-/// Largest value mapping into bucket `idx` — what percentile queries report.
-fn bucket_upper_bound(idx: usize) -> u64 {
-    if idx < SUB {
-        return idx as u64;
-    }
-    let octave = (idx - SUB) / SUB;
-    let sub = ((idx - SUB) % SUB) as u128;
-    let unit = 1u128 << octave; // sub-bucket width in this octave
-                                // u128 intermediate: the very top bucket's exclusive bound is 2^64.
-    ((SUB as u128 + sub + 1) * unit - 1) as u64
-}
-
-impl LatencyHistogram {
-    /// Empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram {
-            counts: Box::new([0u64; BUCKETS]),
-            count: 0,
-            sum: 0,
-            max: 0,
-        }
-    }
-
-    /// Record one latency in nanoseconds.
-    pub fn record_ns(&mut self, ns: u64) {
-        self.counts[bucket_index(ns)] += 1;
-        self.count += 1;
-        self.sum += ns as u128;
-        self.max = self.max.max(ns);
-    }
-
-    /// Record one latency as a [`Duration`] (saturating at `u64::MAX` ns).
-    pub fn record(&mut self, d: Duration) {
-        self.record_ns(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
-    }
-
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Exact maximum recorded value (ns).
-    pub fn max_ns(&self) -> u64 {
-        self.max
-    }
-
-    /// Mean of recorded values (ns); 0 when empty.
-    pub fn mean_ns(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
-        }
-    }
-
-    /// Value (ns) at quantile `q` in `[0, 1]`: the upper bound of the first
-    /// bucket whose cumulative count reaches `ceil(q · count)` — i.e. at
-    /// least a fraction `q` of samples are ≤ the returned value (within
-    /// bucket resolution). Returns 0 when empty; `q >= 1` reports the exact
-    /// maximum.
-    pub fn percentile(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        if q >= 1.0 {
-            return self.max;
-        }
-        let rank = ((q.max(0.0) * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (idx, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                // Never report past the true maximum (coarse top buckets).
-                return bucket_upper_bound(idx).min(self.max);
-            }
-        }
-        self.max
-    }
-
-    /// Convenience accessors for the table columns.
-    pub fn p50(&self) -> u64 {
-        self.percentile(0.50)
-    }
-    /// 90th percentile (ns).
-    pub fn p90(&self) -> u64 {
-        self.percentile(0.90)
-    }
-    /// 99th percentile (ns).
-    pub fn p99(&self) -> u64 {
-        self.percentile(0.99)
-    }
-    /// 99.9th percentile (ns) — the saturation knee shows up here first:
-    /// under open-loop load the extreme tail inflates well before the p99
-    /// does, so the sweep binaries print this column next to p99.
-    pub fn p999(&self) -> u64 {
-        self.percentile(0.999)
-    }
-
-    /// Bucket-wise merge of another histogram (per-worker → service-wide).
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.sum += other.sum;
-        self.max = self.max.max(other.max);
-    }
-}
-
-impl std::fmt::Debug for LatencyHistogram {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("LatencyHistogram")
-            .field("count", &self.count)
-            .field("p50_ns", &self.p50())
-            .field("p90_ns", &self.p90())
-            .field("p99_ns", &self.p99())
-            .field("max_ns", &self.max)
-            .finish()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn low_values_are_exact() {
-        for v in 0..SUB as u64 {
-            assert_eq!(bucket_index(v), v as usize);
-            assert_eq!(bucket_upper_bound(v as usize), v);
-        }
-        // The first octave bucket continues the exact range seamlessly.
-        assert_eq!(bucket_index(32), 32);
-        assert_eq!(bucket_upper_bound(32), 32);
-    }
-
-    #[test]
-    fn indices_are_monotone_and_bounded() {
-        let mut last = 0usize;
-        let mut v = 1u64;
-        while v < u64::MAX / 2 {
-            let idx = bucket_index(v);
-            assert!(idx >= last, "index must not decrease (v={v})");
-            assert!(idx < BUCKETS);
-            last = idx;
-            v = v.wrapping_mul(3) + 1;
-        }
-        assert!(bucket_index(u64::MAX) < BUCKETS);
-    }
-
-    #[test]
-    fn upper_bound_inverts_index() {
-        // Every bucket's upper bound must map back into that bucket, and
-        // the next value into the next bucket — the pair defines the edge.
-        for idx in 0..BUCKETS - 1 {
-            let ub = bucket_upper_bound(idx);
-            assert_eq!(bucket_index(ub), idx, "upper bound of bucket {idx}");
-            assert_eq!(bucket_index(ub + 1), idx + 1);
-        }
-    }
-
-    #[test]
-    fn quantization_error_is_bounded() {
-        // For any value, the reported bucket upper bound overshoots by at
-        // most one sub-bucket width: ≤ value / 32 + 1.
-        let mut v = 1u64;
-        while v < 1 << 40 {
-            let ub = bucket_upper_bound(bucket_index(v));
-            assert!(ub >= v);
-            assert!(
-                ub - v <= v / SUB as u64 + 1,
-                "error too large at {v}: reported {ub}"
-            );
-            v = v * 7 / 3 + 1;
-        }
-    }
-
-    #[test]
-    fn percentiles_of_uniform_ramp() {
-        let mut h = LatencyHistogram::new();
-        for ns in 1..=10_000u64 {
-            h.record_ns(ns * 1_000); // 1µs .. 10ms ramp
-        }
-        assert_eq!(h.count(), 10_000);
-        assert_eq!(h.max_ns(), 10_000_000);
-        let within = |got: u64, want: u64| {
-            let err = got.abs_diff(want) as f64 / want as f64;
-            assert!(err < 0.04, "got {got}, want ~{want} (err {err:.3})");
-        };
-        within(h.p50(), 5_000_000);
-        within(h.p90(), 9_000_000);
-        within(h.p99(), 9_900_000);
-        within(h.p999(), 9_990_000);
-        assert!(h.p999() >= h.p99(), "percentiles must be monotone");
-        assert_eq!(h.percentile(1.0), 10_000_000, "p100 is the exact max");
-        within(h.mean_ns() as u64, 5_000_000);
-    }
-
-    #[test]
-    fn empty_histogram_is_all_zero() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.p50(), 0);
-        assert_eq!(h.p99(), 0);
-        assert_eq!(h.max_ns(), 0);
-        assert_eq!(h.mean_ns(), 0.0);
-    }
-
-    #[test]
-    fn merge_equals_combined_recording() {
-        let mut a = LatencyHistogram::new();
-        let mut b = LatencyHistogram::new();
-        let mut all = LatencyHistogram::new();
-        for i in 0..1000u64 {
-            let v = (i * 97 + 13) * 1000;
-            if i % 2 == 0 {
-                a.record_ns(v);
-            } else {
-                b.record_ns(v);
-            }
-            all.record_ns(v);
-        }
-        a.merge(&b);
-        assert_eq!(a.count(), all.count());
-        assert_eq!(a.max_ns(), all.max_ns());
-        for q in [0.1, 0.5, 0.9, 0.99] {
-            assert_eq!(a.percentile(q), all.percentile(q));
-        }
-    }
-
-    #[test]
-    fn record_duration_saturates() {
-        let mut h = LatencyHistogram::new();
-        h.record(Duration::from_micros(250));
-        assert_eq!(h.count(), 1);
-        assert_eq!(h.max_ns(), 250_000);
-        h.record(Duration::from_secs(u64::MAX)); // > u64::MAX ns
-        assert_eq!(h.max_ns(), u64::MAX);
-    }
-}
+pub use lsa_obs::LatencyHistogram;

@@ -24,7 +24,9 @@ use crate::oneshot;
 use crate::queue::{BoundedQueue, PushError};
 use crossbeam_utils::CachePadded;
 use lsa_engine::{EngineHandle, EngineRequest, EngineStats, TxnEngine};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use lsa_obs::registry::{Counter, MetricsRegistry};
+use lsa_obs::trace::{self, EventKind};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -166,15 +168,89 @@ impl<E: TxnEngine> Job<E> {
     }
 }
 
+/// Registry handles for the per-batch engine-stat fold: workers diff their
+/// handle's cheap local [`EngineStats`] once per drained batch and add the
+/// deltas to these sharded counters, so a mid-run scrape sees live engine
+/// and time-base numbers without any per-transaction shared write.
+struct EngineCounters {
+    commits: Counter,
+    ro_commits: Counter,
+    aborts_validation: Counter,
+    aborts_no_version: Counter,
+    aborts_contention: Counter,
+    retries: Counter,
+    reads: Counter,
+    writes: Counter,
+    validations: Counter,
+    cts_shared: Counter,
+    cts_exclusive: Counter,
+    cross_shard_commits: Counter,
+}
+
+impl EngineCounters {
+    fn new(metrics: &MetricsRegistry) -> Self {
+        EngineCounters {
+            commits: metrics.counter("engine.commits"),
+            ro_commits: metrics.counter("engine.ro_commits"),
+            aborts_validation: metrics.counter("engine.aborts.validation"),
+            aborts_no_version: metrics.counter("engine.aborts.no_version"),
+            aborts_contention: metrics.counter("engine.aborts.contention"),
+            retries: metrics.counter("engine.retries"),
+            reads: metrics.counter("engine.reads"),
+            writes: metrics.counter("engine.writes"),
+            validations: metrics.counter("engine.validations"),
+            cts_shared: metrics.counter("time.commit_ts.shared"),
+            cts_exclusive: metrics.counter("time.commit_ts.exclusive"),
+            cross_shard_commits: metrics.counter("engine.cross_shard_commits"),
+        }
+    }
+
+    /// Add `now - prev` to every counter. Exclusive commit timestamps are
+    /// derived: every update commit acquired one commit timestamp from the
+    /// time base, and the engine counts the shared-class arbitrations
+    /// ([`EngineStats::shared_commit_ts`]), so exclusive = commits − shared.
+    fn fold_delta(&self, prev: &EngineStats, now: &EngineStats) {
+        let d = |n: u64, p: u64| n.saturating_sub(p);
+        self.commits.add(d(now.commits, prev.commits));
+        self.ro_commits.add(d(now.ro_commits, prev.ro_commits));
+        self.aborts_validation.add(d(
+            now.abort_reasons.validation,
+            prev.abort_reasons.validation,
+        ));
+        self.aborts_no_version.add(d(
+            now.abort_reasons.no_version,
+            prev.abort_reasons.no_version,
+        ));
+        self.aborts_contention.add(d(
+            now.abort_reasons.contention,
+            prev.abort_reasons.contention,
+        ));
+        self.retries.add(d(now.retries, prev.retries));
+        self.reads.add(d(now.reads, prev.reads));
+        self.writes.add(d(now.writes, prev.writes));
+        self.validations.add(d(now.validations, prev.validations));
+        self.cts_shared
+            .add(d(now.shared_commit_ts, prev.shared_commit_ts));
+        self.cts_exclusive.add(
+            d(now.commits, prev.commits)
+                .saturating_sub(d(now.shared_commit_ts, prev.shared_commit_ts)),
+        );
+        self.cross_shard_commits
+            .add(d(now.cross_shard_commits, prev.cross_shard_commits));
+    }
+}
+
 struct Shared<E: TxnEngine> {
     queues: Vec<BoundedQueue<Job<E>>>,
-    // Each counter on its own cache line: the round-robin cursor and the
-    // admission counters are hammered by every submitting thread, and
-    // without padding they false-share with each other (and with the
-    // queue vector's metadata) across sockets.
+    // The round-robin cursor on its own cache line: it is hammered by
+    // every submitting thread, and without padding it false-shares with
+    // the queue vector's metadata across sockets. The admission counters
+    // that used to sit beside it are now registry counters — sharded
+    // per-thread, so they never bounce a line at all.
     rr: CachePadded<AtomicUsize>,
-    submitted: CachePadded<AtomicU64>,
-    shed: CachePadded<AtomicU64>,
+    submitted: Counter,
+    shed: Counter,
+    metrics: MetricsRegistry,
     /// Shard-affine routing enabled (engine reports > 1 shard).
     shard_affine: bool,
 }
@@ -207,13 +283,16 @@ impl<E: TxnEngine> Shared<E> {
                 });
             })),
         };
-        match self.queues[self.route(shard)].try_push(job) {
+        let qix = self.route(shard);
+        match self.queues[qix].try_push(job) {
             Ok(()) => {
-                self.submitted.fetch_add(1, Ordering::Relaxed);
+                self.submitted.inc();
+                trace::event_sampled(EventKind::Enqueue, 0, qix as u64);
                 Ok(Completion { rx })
             }
             Err(PushError::Overloaded(_)) => {
-                self.shed.fetch_add(1, Ordering::Relaxed);
+                self.shed.inc();
+                trace::event(EventKind::Shed, 0, qix as u64);
                 Err(SubmitError::Overloaded)
             }
             Err(PushError::Closed(_)) => Err(SubmitError::Closed),
@@ -232,13 +311,16 @@ impl<E: TxnEngine> Shared<E> {
             submitted: Instant::now(),
             run: JobRun::Record(record),
         };
-        match self.queues[self.route(shard)].try_push(job) {
+        let qix = self.route(shard);
+        match self.queues[qix].try_push(job) {
             Ok(()) => {
-                self.submitted.fetch_add(1, Ordering::Relaxed);
+                self.submitted.inc();
+                trace::event_sampled(EventKind::Enqueue, 0, qix as u64);
                 Ok(())
             }
             Err(PushError::Overloaded(job)) => {
-                self.shed.fetch_add(1, Ordering::Relaxed);
+                self.shed.inc();
+                trace::event(EventKind::Shed, 0, qix as u64);
                 Err((SubmitError::Overloaded, job.into_record()))
             }
             Err(PushError::Closed(job)) => Err((SubmitError::Closed, job.into_record())),
@@ -295,13 +377,20 @@ impl<E: TxnEngine> ServiceHandle<E> {
     ) -> Result<(), (SubmitError, Box<dyn RunRequest<E>>)> {
         self.shared.submit_record(shard, record)
     }
+
+    /// [`TxnService::metrics`] through the handle — front-ends scrape (and
+    /// extend) the same registry the service instruments into.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.shared.metrics
+    }
 }
 
-/// What each worker thread hands back at shutdown.
+/// What each worker thread hands back at shutdown. (Latency lives in the
+/// metrics registry's sharded `service.latency_ns` histogram, recorded by
+/// each worker into its own shard and merged only at scrape/shutdown.)
 struct WorkerReport {
     completed: u64,
     stats: EngineStats,
-    latency: LatencyHistogram,
 }
 
 /// Aggregated outcome of a service's lifetime, produced by
@@ -330,8 +419,16 @@ pub struct TxnService<E: TxnEngine> {
 }
 
 impl<E: TxnEngine> TxnService<E> {
-    /// Start the worker pool on `engine`.
+    /// Start the worker pool on `engine`, instrumenting into a fresh
+    /// [`MetricsRegistry`] (see [`metrics`](TxnService::metrics)).
     pub fn start(engine: E, cfg: ServiceConfig) -> Self {
+        Self::start_with_metrics(engine, cfg, MetricsRegistry::new())
+    }
+
+    /// [`start`](TxnService::start) instrumenting into a caller-supplied
+    /// registry, so an embedding front-end (the wire server) can serve one
+    /// namespace spanning its own metrics and the service's.
+    pub fn start_with_metrics(engine: E, cfg: ServiceConfig, metrics: MetricsRegistry) -> Self {
         assert!(cfg.workers >= 1, "need at least one worker");
         let shard_affine = engine.shards() > 1;
         let queues: Vec<BoundedQueue<Job<E>>> = (0..cfg.workers)
@@ -340,26 +437,44 @@ impl<E: TxnEngine> TxnService<E> {
         let shared = Arc::new(Shared {
             queues,
             rr: CachePadded::new(AtomicUsize::new(0)),
-            submitted: CachePadded::new(AtomicU64::new(0)),
-            shed: CachePadded::new(AtomicU64::new(0)),
+            submitted: metrics.counter("service.submitted"),
+            shed: metrics.counter("service.shed"),
+            metrics: metrics.clone(),
             shard_affine,
+        });
+        // Queue depth is a sampled gauge: nothing is maintained between
+        // scrapes, and the Weak capture means a torn-down service costs
+        // (and reports) nothing.
+        let depth_src = Arc::downgrade(&shared);
+        metrics.gauge_fn("service.queue_depth", move || {
+            depth_src
+                .upgrade()
+                .map(|s| s.queues.iter().map(|q| q.len()).sum::<usize>() as i64)
+                .unwrap_or(0)
         });
         let workers = (0..cfg.workers)
             .map(|w| {
                 let queue = shared.queues[w].clone();
                 let engine = engine.clone();
+                let latency = metrics.histogram("service.latency_ns");
+                let engine_counters = EngineCounters::new(&metrics);
                 std::thread::spawn(move || {
                     // One long-lived registered handle per worker: requests
                     // from many clients multiplex onto few STM threads.
                     let mut handle = engine.register();
-                    let mut latency = LatencyHistogram::new();
                     let mut completed = 0u64;
+                    let mut folded = EngineStats::default();
                     // Batched run loop: drain a burst per wakeup instead of
                     // one job per park/unpark cycle — under backlog the
                     // queue lock and condvar are touched once per
                     // `WORKER_BATCH` jobs.
                     let mut batch = Vec::with_capacity(WORKER_BATCH);
-                    while queue.pop_batch(&mut batch, WORKER_BATCH) > 0 {
+                    loop {
+                        let n = queue.pop_batch(&mut batch, WORKER_BATCH);
+                        if n == 0 {
+                            break;
+                        }
+                        trace::event_sampled(EventKind::Dequeue, 0, n as u64);
                         for job in batch.drain(..) {
                             let Job { submitted, run } = job;
                             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
@@ -387,12 +502,16 @@ impl<E: TxnEngine> TxnService<E> {
                             latency.record(submitted.elapsed());
                             completed += 1;
                         }
+                        // Per-batch fold of the handle's cheap local stats
+                        // into the registry, so mid-run scrapes see live
+                        // engine/time-base counters.
+                        let now = handle.engine_stats();
+                        engine_counters.fold_delta(&folded, &now);
+                        folded = now;
                     }
-                    WorkerReport {
-                        completed,
-                        stats: handle.engine_stats(),
-                        latency,
-                    }
+                    let stats = handle.engine_stats();
+                    engine_counters.fold_delta(&folded, &stats);
+                    WorkerReport { completed, stats }
                 })
             })
             .collect();
@@ -452,12 +571,20 @@ impl<E: TxnEngine> TxnService<E> {
 
     /// Requests shed so far by admission control.
     pub fn shed_count(&self) -> u64 {
-        self.shared.shed.load(Ordering::Relaxed)
+        self.shared.shed.value()
     }
 
     /// Requests admitted so far.
     pub fn submitted_count(&self) -> u64 {
-        self.shared.submitted.load(Ordering::Relaxed)
+        self.shared.submitted.value()
+    }
+
+    /// The service's metrics registry: admission counters, live queue
+    /// depth, the sharded latency histogram, and the engine/time-base
+    /// counters the workers fold per batch. Scrape it any time with
+    /// [`MetricsRegistry::snapshot`] — mid-run scrapes are the point.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.shared.metrics
     }
 
     /// Worker count.
@@ -472,21 +599,27 @@ impl<E: TxnEngine> TxnService<E> {
             q.close();
         }
         let mut report = ServiceReport {
-            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            submitted: self.shared.submitted.value(),
             completed: 0,
-            shed: self.shared.shed.load(Ordering::Relaxed),
+            shed: self.shared.shed.value(),
             latency: LatencyHistogram::new(),
             engine: EngineStats::default(),
         };
         for w in self.workers.drain(..) {
             let wr = w.join().expect("service worker panicked");
             report.completed += wr.completed;
-            report.latency.merge(&wr.latency);
             report.engine.merge(&wr.stats);
         }
+        // The workers have quiesced: the registry histogram now holds
+        // exactly the completed requests' latencies.
+        report.latency = self.shared.metrics.histogram("service.latency_ns").merged();
         // Shed accounting on the shared taxonomy: admission-control drops
         // are overload "aborts" of the serving layer.
         report.engine.abort_reasons.overload += report.shed;
+        if report.shed > 0 {
+            // A run that shed is exactly what the flight recorder is for.
+            trace::anomaly("service shutdown with sheds", 256);
+        }
         report
     }
 }
@@ -507,6 +640,7 @@ mod tests {
     use super::*;
     use lsa_stm::{ShardedStm, Stm};
     use lsa_time::counter::SharedCounter;
+    use std::sync::atomic::AtomicU64;
     use std::sync::{Condvar, Mutex};
 
     fn small_cfg(workers: usize, depth: usize) -> ServiceConfig {

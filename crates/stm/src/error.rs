@@ -43,6 +43,15 @@ impl AbortReason {
         AbortReason::Explicit,
     ];
 
+    /// Index of this reason in [`AbortReason::ALL`] — the class byte the
+    /// flight-recorder tracer records with `Abort` events.
+    pub fn trace_class(self) -> u8 {
+        AbortReason::ALL
+            .iter()
+            .position(|r| *r == self)
+            .expect("reason in ALL") as u8
+    }
+
     /// Short label used in experiment output.
     pub fn label(self) -> &'static str {
         match self {

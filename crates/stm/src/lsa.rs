@@ -44,6 +44,7 @@ use crate::stats::TxnStats;
 use crate::status::TxnStatus;
 use crate::txn_shared::{CommitCtx, CtxEntry, TxnShared};
 use crate::version::VersionMeta;
+use lsa_obs::trace::{self, EventKind};
 use lsa_time::{ThreadClock, TimeBase, Timestamp, ValidityRange};
 use std::any::Any;
 use std::collections::HashMap;
@@ -491,6 +492,7 @@ impl<'h, B: TimeBase> Txn<'h, B> {
             self.range.restrict_upper(ub);
         }
         self.stats.extensions += 1;
+        trace::txn_event(EventKind::Extend, 0, self.shared.id());
     }
 
     /// Help a committing transaction complete (Algorithm 3 lines 12–13 and
@@ -575,6 +577,15 @@ impl<'h, B: TimeBase> Txn<'h, B> {
         if arbitrated.is_shared() {
             self.stats.shared_cts += 1;
         }
+        trace::txn_event(
+            if arbitrated.is_shared() {
+                EventKind::CtsShared
+            } else {
+                EventKind::CtsExclusive
+            },
+            0,
+            self.shared.id(),
+        );
         let ct = self.shared.set_ct(arbitrated.ts());
 
         // Snapshot-isolation mode (TRANSACT'06 extension): skip the read-set
@@ -583,6 +594,7 @@ impl<'h, B: TimeBase> Txn<'h, B> {
         // runs Algorithm 2 lines 43–48.
         if !self.cfg.snapshot_isolation {
             self.stats.validated_entries += self.read_set.len() as u64;
+            trace::txn_event(EventKind::Validate, 0, self.shared.id());
         }
         let valid =
             self.cfg.snapshot_isolation || validate(self.clock, &self.read_set, ct, &self.shared);

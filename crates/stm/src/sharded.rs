@@ -61,6 +61,7 @@ use crate::object::{TObject, TVar};
 use crate::reclaim::{ReclaimDomain, ReclaimStats, SnapshotRegistry, SnapshotSlot};
 use crate::stats::TxnStats;
 use crate::stm::{after_failed_attempt, begin_attempt, next_instance};
+use lsa_obs::trace::{self, EventKind};
 use lsa_time::sharded::{ShardedClock, ShardedTimeBase, TouchSet};
 use lsa_time::{ThreadClock, TimeBase, Timestamp};
 use std::sync::Arc;
@@ -360,6 +361,7 @@ impl<B: TimeBase> ShardedHandle<B> {
         // `begin_attempt` / `after_failed_attempt`.
         loop {
             let txn_id = self.next_txn_id();
+            trace::txn_begin(txn_id);
             let inner = &self.stm.inner;
             let shared = begin_attempt(
                 txn_id,
@@ -396,19 +398,28 @@ impl<B: TimeBase> ShardedHandle<B> {
                         // single-shard.
                         stx.touch.arm_commit();
                     }
-                    if let Ok(ct) = stx.txn.finish_commit() {
-                        drop(stx);
-                        if ct.is_some() {
-                            self.last_commit_time = ct;
-                            if spanned >= 2 {
-                                self.stats.cross_shard_commits += 1;
+                    match stx.txn.finish_commit() {
+                        Ok(ct) => {
+                            drop(stx);
+                            trace::txn_event(EventKind::Commit, ct.is_none() as u8, txn_id);
+                            if ct.is_some() {
+                                self.last_commit_time = ct;
+                                if spanned >= 2 {
+                                    self.stats.cross_shard_commits += 1;
+                                }
                             }
+                            self.maybe_advance_watermark();
+                            return value;
                         }
-                        self.maybe_advance_watermark();
-                        return value;
+                        Err(a) => {
+                            trace::txn_event(EventKind::Abort, a.reason.trace_class(), txn_id);
+                        }
                     }
                 }
-                Err(abort) => stx.txn.ensure_aborted(abort.reason),
+                Err(abort) => {
+                    stx.txn.ensure_aborted(abort.reason);
+                    trace::txn_event(EventKind::Abort, abort.reason.trace_class(), txn_id);
+                }
             }
             drop(stx);
             // Abort feedback goes to the clocks of the shards the failed

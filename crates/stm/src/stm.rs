@@ -29,6 +29,7 @@ use crate::object::{TObject, TVar};
 use crate::reclaim::{ReclaimDomain, ReclaimStats, SnapshotRegistry, SnapshotSlot};
 use crate::stats::TxnStats;
 use crate::txn_shared::TxnShared;
+use lsa_obs::trace::{self, EventKind};
 use lsa_time::{ThreadClock, TimeBase, Timestamp};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
@@ -323,6 +324,7 @@ impl<B: TimeBase> ThreadHandle<B> {
         // / `after_failed_attempt`.
         loop {
             let txn_id = self.next_txn_id();
+            trace::txn_begin(txn_id);
             let inner = &self.stm.inner;
             let shared = begin_attempt(
                 txn_id,
@@ -343,17 +345,24 @@ impl<B: TimeBase> ThreadHandle<B> {
                 Some(self.slot.as_ref()),
             );
             match body(&mut txn) {
-                Ok(value) => {
-                    if let Ok(ct) = txn.finish_commit() {
+                Ok(value) => match txn.finish_commit() {
+                    Ok(ct) => {
                         drop(txn);
+                        trace::txn_event(EventKind::Commit, ct.is_none() as u8, txn_id);
                         if ct.is_some() {
                             self.last_commit_time = ct;
                         }
                         self.maybe_advance_watermark();
                         return value;
                     }
+                    Err(a) => {
+                        trace::txn_event(EventKind::Abort, a.reason.trace_class(), txn_id);
+                    }
+                },
+                Err(abort) => {
+                    txn.ensure_aborted(abort.reason);
+                    trace::txn_event(EventKind::Abort, abort.reason.trace_class(), txn_id);
                 }
-                Err(abort) => txn.ensure_aborted(abort.reason),
             }
             drop(txn);
             // Abort feedback to the time base: GV5-style clocks advance on
@@ -383,6 +392,7 @@ impl<B: TimeBase> ThreadHandle<B> {
         let mut last = None;
         for _ in 0..max_attempts {
             let txn_id = self.next_txn_id();
+            trace::txn_begin(txn_id);
             let shared = Arc::new(TxnShared::new(txn_id));
             if self.stm.inner.cfg.snapshot_isolation {
                 shared.mark_snapshot_isolation();
@@ -400,16 +410,21 @@ impl<B: TimeBase> ThreadHandle<B> {
                 Ok(value) => match txn.finish_commit() {
                     Ok(ct) => {
                         drop(txn);
+                        trace::txn_event(EventKind::Commit, ct.is_none() as u8, txn_id);
                         if ct.is_some() {
                             self.last_commit_time = ct;
                         }
                         self.maybe_advance_watermark();
                         return Ok(value);
                     }
-                    Err(a) => last = Some(a),
+                    Err(a) => {
+                        trace::txn_event(EventKind::Abort, a.reason.trace_class(), txn_id);
+                        last = Some(a);
+                    }
                 },
                 Err(a) => {
                     txn.ensure_aborted(a.reason);
+                    trace::txn_event(EventKind::Abort, a.reason.trace_class(), txn_id);
                     last = Some(a);
                 }
             }

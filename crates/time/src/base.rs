@@ -76,6 +76,17 @@ impl<Ts: Copy> CommitTs<Ts> {
     pub fn is_shared(self) -> bool {
         matches!(self, CommitTs::Shared(_))
     }
+
+    /// Arbitration-outcome label, matching the metric names the service
+    /// layer exports (`time.commit_ts.shared` / `time.commit_ts.exclusive`)
+    /// and the flight-recorder event kinds (`cts-shared` / `cts-exclusive`).
+    #[inline]
+    pub fn class(self) -> &'static str {
+        match self {
+            CommitTs::Exclusive(_) => "exclusive",
+            CommitTs::Shared(_) => "shared",
+        }
+    }
 }
 
 /// Cross-thread uniqueness class of the timestamps a base hands out — the
@@ -367,6 +378,8 @@ mod tests {
         assert_eq!(CommitTs::Shared(9u64).ts(), 9);
         assert!(!CommitTs::Exclusive(7u64).is_shared());
         assert!(CommitTs::Shared(9u64).is_shared());
+        assert_eq!(CommitTs::Exclusive(7u64).class(), "exclusive");
+        assert_eq!(CommitTs::Shared(9u64).class(), "shared");
     }
 
     #[test]

@@ -123,7 +123,7 @@ pub struct WireClient {
 /// and whole-table audits have no affinity.
 pub fn shard_hint(req: &Request) -> Option<u32> {
     match *req {
-        Request::Ping | Request::BankAudit => None,
+        Request::Ping | Request::BankAudit | Request::Stats => None,
         Request::BankTransfer { from, .. } => Some(from),
         Request::Intset { key, .. } | Request::Hashset { key, .. } => {
             Some(key.rem_euclid(1 << 30) as u32)

@@ -62,6 +62,11 @@ pub enum Opcode {
     IntsetOp = 0x04,
     /// Hash-set operation: payload `op u8, key i64`.
     HashsetOp = 0x05,
+    /// Live metrics scrape: empty payload, answered with [`Opcode::RespStats`]
+    /// carrying a JSON snapshot. Served inline on the connection reader —
+    /// never queued behind the transactional workload — so it stays
+    /// answerable while the service sheds load.
+    Stats = 0x06,
     /// Successful response; payload depends on the request opcode.
     RespOk = 0x80,
     /// The service shed the request (admission control) — the typed
@@ -69,6 +74,8 @@ pub enum Opcode {
     RespOverloaded = 0x81,
     /// Request-level failure; payload is one [`ErrorCode`] byte.
     RespError = 0x82,
+    /// Metrics snapshot response: payload is a UTF-8 JSON document.
+    RespStats = 0x83,
 }
 
 impl Opcode {
@@ -80,9 +87,11 @@ impl Opcode {
             0x03 => Opcode::BankAudit,
             0x04 => Opcode::IntsetOp,
             0x05 => Opcode::HashsetOp,
+            0x06 => Opcode::Stats,
             0x80 => Opcode::RespOk,
             0x81 => Opcode::RespOverloaded,
             0x82 => Opcode::RespError,
+            0x83 => Opcode::RespStats,
             other => return Err(FrameError::UnknownOpcode(other)),
         })
     }

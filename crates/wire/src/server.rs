@@ -25,15 +25,15 @@
 use crate::conn::{OutQueue, Window};
 use crate::frame::{decode_frame, encode_frame, ErrorCode, FrameError, ReadBuf};
 use crate::tables::{Reply, Request, Tables, TablesConfig};
-use crossbeam_utils::CachePadded;
 use lsa_engine::TxnEngine;
+use lsa_obs::registry::{Counter, MetricsRegistry};
 use lsa_service::pool::{Pool, PoolStats, WeakPool};
 use lsa_service::{
     RunRequest, ServiceConfig, ServiceHandle, ServiceReport, SubmitError, TxnService,
 };
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
@@ -74,20 +74,59 @@ impl Default for ServerConfig {
 }
 
 /// Shared server state: shutdown flag, connection registry, wire counters,
-/// and the reply-buffer pool. The counters are cache-line padded — they are
-/// bumped from every reader, worker, and writer thread, and without padding
-/// the frame counters false-share with each other and with the shutdown
-/// flag.
+/// and the reply-buffer pool. The counters live in the server's
+/// [`MetricsRegistry`] — per-thread sharded and cache-line padded inside
+/// `lsa-obs`, so readers, workers, and writers bump them without false
+/// sharing, and a live `Stats` scrape sees them merged alongside the
+/// service- and engine-level metrics (the registry is shared with the
+/// [`TxnService`]).
 struct ServerShared {
     shutdown: AtomicBool,
     conns: Mutex<Vec<ConnHandle>>,
-    accepted: CachePadded<AtomicU64>,
-    frames_in: CachePadded<AtomicU64>,
-    frames_out: CachePadded<AtomicU64>,
-    protocol_errors: CachePadded<AtomicU64>,
+    metrics: MetricsRegistry,
+    accepted: Counter,
+    frames_in: Counter,
+    frames_out: Counter,
+    protocol_errors: Counter,
+    ops: OpCounters,
     /// Recycled reply-encode buffers: `queue_reply` takes one, the writer
     /// returns it after the frame hits the socket.
     buf_pool: Pool<Vec<u8>>,
+}
+
+/// Per-opcode request counters (`wire.op.*`): which operations the peers
+/// actually send, visible live through the `Stats` surface.
+struct OpCounters {
+    ping: Counter,
+    bank_transfer: Counter,
+    bank_audit: Counter,
+    intset: Counter,
+    hashset: Counter,
+    stats: Counter,
+}
+
+impl OpCounters {
+    fn new(metrics: &MetricsRegistry) -> Self {
+        OpCounters {
+            ping: metrics.counter("wire.op.ping"),
+            bank_transfer: metrics.counter("wire.op.bank_transfer"),
+            bank_audit: metrics.counter("wire.op.bank_audit"),
+            intset: metrics.counter("wire.op.intset"),
+            hashset: metrics.counter("wire.op.hashset"),
+            stats: metrics.counter("wire.op.stats"),
+        }
+    }
+
+    fn for_req(&self, req: &Request) -> &Counter {
+        match req {
+            Request::Ping => &self.ping,
+            Request::BankTransfer { .. } => &self.bank_transfer,
+            Request::BankAudit => &self.bank_audit,
+            Request::Intset { .. } => &self.intset,
+            Request::Hashset { .. } => &self.hashset,
+            Request::Stats => &self.stats,
+        }
+    }
 }
 
 /// Everything a request needs to answer on its connection, shared once per
@@ -181,22 +220,45 @@ impl<E: TxnEngine> WireServer<E> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let tables = Tables::build(&engine, &cfg.tables);
-        let service = TxnService::start(
+        // One registry spans the whole serving path: the service registers
+        // its engine/queue metrics on it, the server its wire counters, and
+        // a live `Stats` scrape snapshots them all together.
+        let metrics = MetricsRegistry::new();
+        let service = TxnService::start_with_metrics(
             engine.clone(),
             ServiceConfig {
                 workers: cfg.workers,
                 queue_depth: cfg.queue_depth,
             },
+            metrics.clone(),
         );
         let handle = service.handle();
         let shared = Arc::new(ServerShared {
             shutdown: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
-            accepted: CachePadded::new(AtomicU64::new(0)),
-            frames_in: CachePadded::new(AtomicU64::new(0)),
-            frames_out: CachePadded::new(AtomicU64::new(0)),
-            protocol_errors: CachePadded::new(AtomicU64::new(0)),
+            accepted: metrics.counter("wire.accepted"),
+            frames_in: metrics.counter("wire.frames_in"),
+            frames_out: metrics.counter("wire.frames_out"),
+            protocol_errors: metrics.counter("wire.protocol_errors"),
+            ops: OpCounters::new(&metrics),
+            metrics,
             buf_pool: Pool::new(BUF_POOL_CAP),
+        });
+        // Live in-flight window occupancy, summed across connections. Weak:
+        // the registry outliving the server must not pin its state.
+        let occupancy_src = Arc::downgrade(&shared);
+        shared.metrics.gauge_fn("wire.window_in_flight", move || {
+            occupancy_src
+                .upgrade()
+                .map(|s| {
+                    s.conns
+                        .lock()
+                        .unwrap()
+                        .iter()
+                        .map(|c| c.window.in_flight() as i64)
+                        .sum()
+                })
+                .unwrap_or(0)
         });
         // Sized past the in-flight high-water mark (every queue slot full
         // plus a worker batch in hand) so steady state never overflows it.
@@ -267,13 +329,20 @@ impl<E: TxnEngine> WireServer<E> {
         self.tables.assert_quiescent(&self.engine);
         WireReport {
             service: report,
-            connections: self.shared.accepted.load(Ordering::Relaxed),
-            frames_in: self.shared.frames_in.load(Ordering::Relaxed),
-            frames_out: self.shared.frames_out.load(Ordering::Relaxed),
-            protocol_errors: self.shared.protocol_errors.load(Ordering::Relaxed),
+            connections: self.shared.accepted.value(),
+            frames_in: self.shared.frames_in.value(),
+            frames_out: self.shared.frames_out.value(),
+            protocol_errors: self.shared.protocol_errors.value(),
             job_pool: self.job_pool.stats(),
             buf_pool: self.shared.buf_pool.stats(),
         }
+    }
+
+    /// The server's metrics registry — shared with its [`TxnService`], so a
+    /// snapshot covers engine, service-queue, and wire-layer metrics. The
+    /// same snapshot is served over the wire as [`Request::Stats`].
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.shared.metrics
     }
 }
 
@@ -318,7 +387,7 @@ fn accept_loop<E: TxnEngine>(
             Err(_) => continue,
         };
         let _ = stream.set_nodelay(true);
-        shared.accepted.fetch_add(1, Ordering::Relaxed);
+        shared.accepted.inc();
         let out = OutQueue::new();
         let window = Window::new(window_cap);
         let ctx = Arc::new(ConnCtx {
@@ -369,7 +438,7 @@ fn queue_reply(shared: &ServerShared, out: &OutQueue, req_id: u64, reply: Reply)
     encode_frame(&mut buf, reply.opcode(), req_id, None, |b| {
         reply.encode_payload(b)
     });
-    shared.frames_out.fetch_add(1, Ordering::Relaxed);
+    shared.frames_out.inc();
     out.push(buf);
 }
 
@@ -393,11 +462,21 @@ fn reader_loop<E: TxnEngine>(
             match decode_frame(rb.window()) {
                 Ok(None) => break, // need more bytes
                 Ok(Some((frame, consumed))) => {
-                    shared.frames_in.fetch_add(1, Ordering::Relaxed);
+                    shared.frames_in.inc();
                     let req_id = frame.header.req_id;
                     let shard = frame.header.shard.map(|s| s as usize);
                     match Request::decode(&frame) {
+                        Ok(Request::Stats) => {
+                            // Answered inline from the registry, off the
+                            // service queues: the scrape stays live while
+                            // admission control sheds the workload.
+                            shared.ops.stats.inc();
+                            rb.consume(consumed);
+                            let json = shared.metrics.snapshot_json().into_bytes();
+                            queue_reply(&shared, &ctx.out, req_id, Reply::Stats(json));
+                        }
                         Ok(req) => {
+                            shared.ops.for_req(&req).inc();
                             rb.consume(consumed);
                             if !submit_request(&ctx, &service, &job_pool, req_id, shard, req) {
                                 break 'conn; // service closed / window closed
@@ -421,7 +500,7 @@ fn reader_loop<E: TxnEngine>(
                     // The stream cannot be resynchronized: answer with a
                     // typed error frame (req id 0 — the header is not
                     // trustworthy) and tear the connection down.
-                    shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    shared.protocol_errors.inc();
                     let code = match err {
                         FrameError::VersionSkew { .. } => ErrorCode::WrongDirection,
                         _ => ErrorCode::BadPayload,

@@ -67,6 +67,10 @@ pub enum Request {
         /// The key.
         key: i64,
     },
+    /// Live metrics scrape. The server answers inline on the connection
+    /// reader with a [`Reply::Stats`] JSON snapshot — it never rides the
+    /// service queues, so it stays answerable while the workload is shed.
+    Stats,
 }
 
 impl Request {
@@ -78,13 +82,14 @@ impl Request {
             Request::BankAudit => Opcode::BankAudit,
             Request::Intset { .. } => Opcode::IntsetOp,
             Request::Hashset { .. } => Opcode::HashsetOp,
+            Request::Stats => Opcode::Stats,
         }
     }
 
     /// Append the payload encoding to `buf`.
     pub fn encode_payload(&self, buf: &mut Vec<u8>) {
         match self {
-            Request::Ping | Request::BankAudit => {}
+            Request::Ping | Request::BankAudit | Request::Stats => {}
             Request::BankTransfer { from, to, amount } => {
                 buf.extend_from_slice(&from.to_le_bytes());
                 buf.extend_from_slice(&to.to_le_bytes());
@@ -139,15 +144,19 @@ impl Request {
                     key: i64::from_le_bytes(p[1..9].try_into().unwrap()),
                 })
             }
-            Opcode::RespOk | Opcode::RespOverloaded | Opcode::RespError => {
+            Opcode::Stats => {
+                exact(0)?;
+                Ok(Request::Stats)
+            }
+            Opcode::RespOk | Opcode::RespOverloaded | Opcode::RespError | Opcode::RespStats => {
                 Err(FrameError::BadPayload("response opcode in request stream"))
             }
         }
     }
 }
 
-/// One decoded reply.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// One decoded reply. Not `Copy`: [`Reply::Stats`] owns its JSON bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Reply {
     /// Ack with no value (ping, transfer).
     Ok,
@@ -155,6 +164,8 @@ pub enum Reply {
     Total(i64),
     /// Set-operation result (membership / inserted / removed).
     Flag(bool),
+    /// Metrics snapshot: a UTF-8 JSON document.
+    Stats(Vec<u8>),
     /// The service shed the request — the typed backpressure signal.
     Overloaded,
     /// Request-level failure.
@@ -167,6 +178,7 @@ impl Reply {
         match self {
             Reply::Overloaded => Opcode::RespOverloaded,
             Reply::Error(_) => Opcode::RespError,
+            Reply::Stats(_) => Opcode::RespStats,
             _ => Opcode::RespOk,
         }
     }
@@ -177,6 +189,7 @@ impl Reply {
             Reply::Ok | Reply::Overloaded => {}
             Reply::Total(v) => buf.extend_from_slice(&v.to_le_bytes()),
             Reply::Flag(b) => buf.push(*b as u8),
+            Reply::Stats(json) => buf.extend_from_slice(json),
             Reply::Error(code) => buf.push(*code as u8),
         }
     }
@@ -209,6 +222,13 @@ impl Reply {
                     Ok(Reply::Error(ErrorCode::from_u8(p[0])?))
                 } else {
                     Err(FrameError::BadPayload("error reply is one code byte"))
+                }
+            }
+            Opcode::RespStats => {
+                if std::str::from_utf8(p).is_ok() {
+                    Ok(Reply::Stats(p.to_vec()))
+                } else {
+                    Err(FrameError::BadPayload("stats reply is not UTF-8"))
                 }
             }
             _ => Err(FrameError::BadPayload("request opcode in response stream")),
@@ -333,6 +353,10 @@ impl<E: TxnEngine> Tables<E> {
                 SetOp::Insert => self.hashset.insert(h, key),
                 SetOp::Remove => self.hashset.remove(h, key),
             }),
+            // The server answers stats inline on the connection reader (the
+            // tables have no registry); a direct apply yields an empty
+            // snapshot so the interpreter stays total.
+            Request::Stats => Reply::Stats(b"{}".to_vec()),
         }
     }
 
@@ -396,6 +420,7 @@ mod tests {
             amount: -17,
         });
         roundtrip_request(Request::BankAudit);
+        roundtrip_request(Request::Stats);
         for op in [SetOp::Member, SetOp::Insert, SetOp::Remove] {
             roundtrip_request(Request::Intset { op, key: -5 });
             roundtrip_request(Request::Hashset {
@@ -407,6 +432,7 @@ mod tests {
         roundtrip_reply(Reply::Total(-123456789));
         roundtrip_reply(Reply::Flag(true));
         roundtrip_reply(Reply::Flag(false));
+        roundtrip_reply(Reply::Stats(br#"{"counters":{}}"#.to_vec()));
         roundtrip_reply(Reply::Overloaded);
         roundtrip_reply(Reply::Error(ErrorCode::BadPayload));
         roundtrip_reply(Reply::Error(ErrorCode::Shutdown));

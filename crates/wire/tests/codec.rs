@@ -16,7 +16,7 @@ fn request_from(kind: u8, a: u32, b: u32, v: i64, op: u8) -> Request {
         1 => SetOp::Insert,
         _ => SetOp::Remove,
     };
-    match kind % 5 {
+    match kind % 6 {
         0 => Request::Ping,
         1 => Request::BankTransfer {
             from: a,
@@ -25,16 +25,18 @@ fn request_from(kind: u8, a: u32, b: u32, v: i64, op: u8) -> Request {
         },
         2 => Request::BankAudit,
         3 => Request::Intset { op, key: v },
-        _ => Request::Hashset { op, key: v },
+        4 => Request::Hashset { op, key: v },
+        _ => Request::Stats,
     }
 }
 
 fn reply_from(kind: u8, v: i64, flag: bool) -> Reply {
-    match kind % 5 {
+    match kind % 6 {
         0 => Reply::Ok,
         1 => Reply::Total(v),
         2 => Reply::Flag(flag),
         3 => Reply::Overloaded,
+        4 => Reply::Stats(format!("{{\"x\":{v}}}").into_bytes()),
         _ => Reply::Error(match kind % 3 {
             0 => ErrorCode::BadPayload,
             1 => ErrorCode::WrongDirection,
@@ -135,6 +137,65 @@ proptest! {
             }
         }
     }
+}
+
+/// Deterministic witnesses for the `Stats` scrape opcodes: round-trip,
+/// payload-carrying requests rejected, non-UTF-8 snapshots rejected, and
+/// direction confusion caught — all typed, never a panic.
+#[test]
+fn stats_opcode_witnesses() {
+    // Request round-trip: empty payload, request direction.
+    assert!(Opcode::Stats.is_request());
+    assert!(!Opcode::RespStats.is_request());
+    let mut buf = Vec::new();
+    encode_frame(&mut buf, Opcode::Stats, 11, None, |_| {});
+    let (frame, consumed) = decode_frame(&buf).unwrap().unwrap();
+    assert_eq!(consumed, buf.len());
+    assert_eq!(Request::decode(&frame).unwrap(), Request::Stats);
+
+    // Every truncation of a Stats frame is "need more bytes".
+    for cut in 0..buf.len() {
+        assert_eq!(decode_frame(&buf[..cut]).unwrap(), None);
+    }
+
+    // A Stats request carrying payload bytes is malformed.
+    let mut fat = Vec::new();
+    encode_frame(&mut fat, Opcode::Stats, 11, None, |p| p.push(7));
+    let (frame, _) = decode_frame(&fat).unwrap().unwrap();
+    assert!(matches!(
+        Request::decode(&frame),
+        Err(FrameError::BadPayload(_))
+    ));
+
+    // Reply round-trip preserves the JSON bytes.
+    let json = br#"{"counters":{"wire.frames_in":3}}"#.to_vec();
+    let reply = Reply::Stats(json.clone());
+    let mut buf = Vec::new();
+    encode_frame(&mut buf, reply.opcode(), 11, None, |p| {
+        reply.encode_payload(p)
+    });
+    let (frame, _) = decode_frame(&buf).unwrap().unwrap();
+    assert_eq!(Reply::decode(&frame).unwrap(), Reply::Stats(json));
+
+    // A non-UTF-8 snapshot payload is a typed error, not a panic.
+    let mut bad = Vec::new();
+    encode_frame(&mut bad, Opcode::RespStats, 11, None, |p| {
+        p.extend_from_slice(&[0xff, 0xfe, 0x80])
+    });
+    let (frame, _) = decode_frame(&bad).unwrap().unwrap();
+    assert!(matches!(
+        Reply::decode(&frame),
+        Err(FrameError::BadPayload(_))
+    ));
+
+    // Direction confusion: RespStats in the request stream and Stats in the
+    // response stream are both rejected.
+    let (frame, _) = decode_frame(&bad).unwrap().unwrap();
+    assert!(Request::decode(&frame).is_err());
+    let mut req = Vec::new();
+    encode_frame(&mut req, Opcode::Stats, 11, None, |_| {});
+    let (frame, _) = decode_frame(&req).unwrap().unwrap();
+    assert!(Reply::decode(&frame).is_err());
 }
 
 /// Deterministic witnesses for each malformed-frame class (the named
